@@ -1,0 +1,225 @@
+//! Logical addressing: the n:m mapping between atoms and physical records.
+//!
+//! "Depending on the storage structure, a physical record corresponds to
+//! either a part of an atom (a partition), an entire atom (in a sort
+//! order) or an atom cluster. This establishes an n:m relationship between
+//! atoms and physical records, whereas the usual mapping of conceptual to
+//! internal schema is built on a 1:1 relationship. A sophisticated
+//! addressing structure is required to manage such n:m relationships
+//! \[Si87\]." (Section 3.2.)
+//!
+//! [`AddressTable`] is that structure: for every atom it records the
+//! *primary* record (in the atom type's base file) and every *redundant
+//! placement* in a tuning structure, tagged with the owning structure and
+//! a staleness bit used by deferred update: a stale copy must not be used
+//! until reconciled.
+
+use crate::record_file::RecordPtr;
+use parking_lot::RwLock;
+use prima_mad::value::AtomId;
+use std::collections::HashMap;
+
+/// Identifier of a tuning structure instance (partition, sort order,
+/// cluster …), assigned by the access system.
+pub type StructureId = u32;
+
+/// One redundant placement of an atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    pub structure: StructureId,
+    pub ptr: RecordPtr,
+    /// Set while a deferred update is pending on this copy.
+    pub stale: bool,
+}
+
+/// All physical locations of one atom.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AtomAddresses {
+    /// Primary record in the atom type's base record file.
+    pub primary: Option<RecordPtr>,
+    /// Redundant copies in tuning structures.
+    pub redundant: Vec<Placement>,
+}
+
+/// The addressing structure. Interior-mutable; shared by the access
+/// system's components.
+#[derive(Debug, Default)]
+pub struct AddressTable {
+    map: RwLock<HashMap<AtomId, AtomAddresses>>,
+}
+
+impl AddressTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly inserted atom's primary record.
+    pub fn set_primary(&self, id: AtomId, ptr: RecordPtr) {
+        self.map.write().entry(id).or_default().primary = Some(ptr);
+    }
+
+    /// Primary record pointer, if the atom exists.
+    pub fn primary(&self, id: AtomId) -> Option<RecordPtr> {
+        self.map.read().get(&id).and_then(|a| a.primary)
+    }
+
+    /// True if the atom is known.
+    pub fn exists(&self, id: AtomId) -> bool {
+        self.map.read().get(&id).map(|a| a.primary.is_some()).unwrap_or(false)
+    }
+
+    /// Adds (or replaces) the placement of `id` in `structure`.
+    pub fn set_placement(&self, id: AtomId, structure: StructureId, ptr: RecordPtr) {
+        let mut map = self.map.write();
+        let entry = map.entry(id).or_default();
+        if let Some(p) = entry.redundant.iter_mut().find(|p| p.structure == structure) {
+            p.ptr = ptr;
+            p.stale = false;
+        } else {
+            entry.redundant.push(Placement { structure, ptr, stale: false });
+        }
+    }
+
+    /// Removes the placement of `id` in `structure`, returning it.
+    pub fn remove_placement(&self, id: AtomId, structure: StructureId) -> Option<Placement> {
+        let mut map = self.map.write();
+        let entry = map.get_mut(&id)?;
+        let idx = entry.redundant.iter().position(|p| p.structure == structure)?;
+        Some(entry.redundant.remove(idx))
+    }
+
+    /// Marks the copy in `structure` stale (deferred update pending).
+    /// Returns true if such a placement exists.
+    pub fn mark_stale(&self, id: AtomId, structure: StructureId) -> bool {
+        let mut map = self.map.write();
+        if let Some(p) = map
+            .get_mut(&id)
+            .and_then(|e| e.redundant.iter_mut().find(|p| p.structure == structure))
+        {
+            p.stale = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The placement of `id` in `structure`, if any.
+    pub fn placement(&self, id: AtomId, structure: StructureId) -> Option<Placement> {
+        self.map
+            .read()
+            .get(&id)
+            .and_then(|e| e.redundant.iter().find(|p| p.structure == structure).copied())
+    }
+
+    /// All placements of an atom (primary excluded).
+    pub fn placements(&self, id: AtomId) -> Vec<Placement> {
+        self.map.read().get(&id).map(|e| e.redundant.clone()).unwrap_or_default()
+    }
+
+    /// Number of *fresh* (non-stale) redundant copies — the candidates the
+    /// paper says any read may pick from ("any physical record can be
+    /// used. The one with minimum access cost should be selected").
+    pub fn fresh_copies(&self, id: AtomId) -> usize {
+        self.map
+            .read()
+            .get(&id)
+            .map(|e| e.redundant.iter().filter(|p| !p.stale).count())
+            .unwrap_or(0)
+    }
+
+    /// Drops the atom entirely (on delete), returning what was recorded.
+    pub fn remove_atom(&self, id: AtomId) -> Option<AtomAddresses> {
+        self.map.write().remove(&id)
+    }
+
+    /// Removes every placement belonging to `structure` (structure drop),
+    /// returning the affected atoms.
+    pub fn drop_structure(&self, structure: StructureId) -> Vec<AtomId> {
+        let mut out = Vec::new();
+        let mut map = self.map.write();
+        for (id, e) in map.iter_mut() {
+            let before = e.redundant.len();
+            e.redundant.retain(|p| p.structure != structure);
+            if e.redundant.len() != before {
+                out.push(*id);
+            }
+        }
+        out
+    }
+
+    /// Number of atoms registered.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(p: u32, s: u16) -> RecordPtr {
+        RecordPtr { page: p, slot: s }
+    }
+
+    #[test]
+    fn primary_lifecycle() {
+        let t = AddressTable::new();
+        let id = AtomId::new(1, 1);
+        assert!(!t.exists(id));
+        t.set_primary(id, ptr(0, 0));
+        assert!(t.exists(id));
+        assert_eq!(t.primary(id), Some(ptr(0, 0)));
+        t.remove_atom(id);
+        assert!(!t.exists(id));
+    }
+
+    #[test]
+    fn n_to_m_placements() {
+        let t = AddressTable::new();
+        let id = AtomId::new(1, 1);
+        t.set_primary(id, ptr(0, 0));
+        t.set_placement(id, 10, ptr(5, 1));
+        t.set_placement(id, 11, ptr(9, 2));
+        assert_eq!(t.placements(id).len(), 2);
+        assert_eq!(t.fresh_copies(id), 2);
+        // Replacing a placement keeps one entry per structure.
+        t.set_placement(id, 10, ptr(6, 0));
+        assert_eq!(t.placements(id).len(), 2);
+        assert_eq!(t.placement(id, 10).unwrap().ptr, ptr(6, 0));
+    }
+
+    #[test]
+    fn staleness_tracking() {
+        let t = AddressTable::new();
+        let id = AtomId::new(1, 1);
+        t.set_primary(id, ptr(0, 0));
+        t.set_placement(id, 10, ptr(5, 1));
+        assert!(t.mark_stale(id, 10));
+        assert_eq!(t.fresh_copies(id), 0);
+        assert!(t.placement(id, 10).unwrap().stale);
+        // Re-placing clears staleness (the deferred update completed).
+        t.set_placement(id, 10, ptr(5, 1));
+        assert_eq!(t.fresh_copies(id), 1);
+        assert!(!t.mark_stale(id, 99), "unknown structure");
+    }
+
+    #[test]
+    fn drop_structure_removes_all_its_placements() {
+        let t = AddressTable::new();
+        for i in 0..5 {
+            let id = AtomId::new(1, i);
+            t.set_primary(id, ptr(i as u32, 0));
+            t.set_placement(id, 7, ptr(100 + i as u32, 0));
+        }
+        let affected = t.drop_structure(7);
+        assert_eq!(affected.len(), 5);
+        for i in 0..5 {
+            assert!(t.placements(AtomId::new(1, i)).is_empty());
+            assert!(t.exists(AtomId::new(1, i)), "primary untouched");
+        }
+    }
+}

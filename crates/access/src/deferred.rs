@@ -1,0 +1,129 @@
+//! Deferred update of redundant storage structures.
+//!
+//! "Storage redundancy may introduce substantial overhead when an atom is
+//! modified (and necessarily all its allocated physical records). To limit
+//! the amount of immediate overhead, deferred update is used, i.e., during
+//! an update operation only one physical record is modified whereas all
+//! others are modified later." (Section 3.2.)
+//!
+//! The queue records which redundant copies are pending; the address
+//! table's staleness bit (see [`crate::addressing`]) makes readers bypass
+//! them until [`crate::AccessSystem::reconcile`] applies the queue.
+
+use parking_lot::Mutex;
+use prima_mad::value::AtomId;
+use std::collections::VecDeque;
+
+use crate::addressing::StructureId;
+
+/// One queued maintenance action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingOp {
+    /// Re-materialise the atom's copy in a sort order or partition.
+    RefreshCopy { structure: StructureId, atom: AtomId },
+    /// Remove the atom's copy from a structure (atom deleted).
+    DropCopy { structure: StructureId, atom: AtomId },
+    /// Rebuild an atom cluster after its characteristic atom (or a member)
+    /// changed.
+    RefreshCluster { structure: StructureId, characteristic: AtomId },
+}
+
+/// FIFO queue of deferred maintenance work, with simple statistics.
+#[derive(Debug, Default)]
+pub struct DeferredQueue {
+    inner: Mutex<VecDeque<PendingOp>>,
+    enqueued_total: Mutex<u64>,
+}
+
+impl DeferredQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a maintenance action. Duplicate back-to-back entries for
+    /// the same copy are collapsed (only the latest state matters).
+    pub fn push(&self, op: PendingOp) {
+        let mut q = self.inner.lock();
+        if q.back() != Some(&op) {
+            q.push_back(op);
+            *self.enqueued_total.lock() += 1;
+        }
+    }
+
+    /// Removes and returns the oldest pending action.
+    pub fn pop(&self) -> Option<PendingOp> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Drains the whole queue.
+    pub fn drain(&self) -> Vec<PendingOp> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// Actions currently pending.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Total actions ever enqueued (the "saved immediate work" metric of
+    /// experiment E-DEF).
+    pub fn enqueued_total(&self) -> u64 {
+        *self.enqueued_total.lock()
+    }
+
+    /// Discards all pending actions that refer to `structure` (structure
+    /// dropped before reconciliation).
+    pub fn purge_structure(&self, structure: StructureId) {
+        self.inner.lock().retain(|op| match op {
+            PendingOp::RefreshCopy { structure: s, .. }
+            | PendingOp::DropCopy { structure: s, .. }
+            | PendingOp::RefreshCluster { structure: s, .. } => *s != structure,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(s: StructureId, a: u64) -> PendingOp {
+        PendingOp::RefreshCopy { structure: s, atom: AtomId::new(0, a) }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = DeferredQueue::new();
+        q.push(op(1, 1));
+        q.push(op(1, 2));
+        q.push(op(2, 1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(op(1, 1)));
+        assert_eq!(q.drain(), vec![op(1, 2), op(2, 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_duplicates_collapse() {
+        let q = DeferredQueue::new();
+        q.push(op(1, 1));
+        q.push(op(1, 1));
+        q.push(op(1, 2));
+        q.push(op(1, 1));
+        assert_eq!(q.len(), 3, "only adjacent duplicates collapse");
+        assert_eq!(q.enqueued_total(), 3);
+    }
+
+    #[test]
+    fn purge_structure_removes_only_its_ops() {
+        let q = DeferredQueue::new();
+        q.push(op(1, 1));
+        q.push(op(2, 1));
+        q.push(PendingOp::RefreshCluster { structure: 1, characteristic: AtomId::new(0, 9) });
+        q.purge_structure(1);
+        assert_eq!(q.drain(), vec![op(2, 1)]);
+    }
+}

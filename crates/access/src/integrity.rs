@@ -1,0 +1,216 @@
+//! Referential integrity: system-enforced back-reference maintenance.
+//!
+//! "Performing update operations, [the access system] is responsible for
+//! the automatic maintenance of referential integrity defined by
+//! reference attributes (system-enforced integrity). An update operation
+//! on a reference attribute thus includes implicit update operations on
+//! other atoms to adjust the appropriate back-reference attributes."
+//! (Section 3.2; see also the symmetry requirement of Section 2.2.)
+//!
+//! This module contains the *pure* half of that machinery: computing which
+//! back-reference adjustments an attribute change implies
+//! ([`backref_ops`]) and applying one adjustment to a target atom's value
+//! vector ([`apply_backref`]). The effectful half (reading and rewriting
+//! the target atoms) lives in [`crate::access_system`].
+
+use prima_mad::schema::Schema;
+use prima_mad::value::{AtomId, Value};
+
+/// One implicit update: add or remove `source` in `target`'s
+/// back-reference attribute `attr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackRefOp {
+    pub target: AtomId,
+    pub attr: usize,
+    pub add: bool,
+    pub source: AtomId,
+}
+
+/// Computes the implicit updates caused by changing reference attribute
+/// `attr_idx` of atom `source` (type `source.atom_type`) from `old` to
+/// `new`. Non-reference attributes yield no ops.
+pub fn backref_ops(
+    schema: &Schema,
+    source: AtomId,
+    attr_idx: usize,
+    old: &Value,
+    new: &Value,
+) -> Vec<BackRefOp> {
+    let Some(assoc) = schema.association_of(source.atom_type, attr_idx) else {
+        return Vec::new();
+    };
+    let old_ids = old.referenced_ids();
+    let new_ids = new.referenced_ids();
+    let mut ops = Vec::new();
+    for id in &old_ids {
+        if !new_ids.contains(id) {
+            ops.push(BackRefOp { target: *id, attr: assoc.to.attr, add: false, source });
+        }
+    }
+    for id in &new_ids {
+        if !old_ids.contains(id) {
+            ops.push(BackRefOp { target: *id, attr: assoc.to.attr, add: true, source });
+        }
+    }
+    ops
+}
+
+/// Applies one back-reference adjustment to a target atom's value vector.
+/// Handles both single-reference and reference-set back attributes; the
+/// operation is idempotent (adding an existing reference or removing an
+/// absent one is a no-op).
+pub fn apply_backref(values: &mut [Value], op: &BackRefOp) {
+    let Some(slot) = values.get_mut(op.attr) else { return };
+    match slot {
+        Value::RefSet(ids) => {
+            if op.add {
+                if let Err(pos) = ids.binary_search(&op.source) {
+                    ids.insert(pos, op.source);
+                }
+            } else if let Ok(pos) = ids.binary_search(&op.source) {
+                ids.remove(pos);
+            }
+        }
+        Value::Ref(r) => {
+            if op.add {
+                *r = Some(op.source);
+            } else if *r == Some(op.source) {
+                *r = None;
+            }
+        }
+        // An unset back attribute materialises on first add; its shape
+        // (single vs set) is unknown without the schema, so the access
+        // system normalises values before calling (Null never reaches
+        // here for reference attributes).
+        Value::Null if op.add => *slot = Value::RefSet(vec![op.source]),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_mad::schema::{AtomType, Attribute, AttrType, Cardinality};
+
+    /// solid.sub <-> solid.super (recursive n:m association).
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_atom_type(AtomType::build(
+            "solid",
+            vec![
+                Attribute::new("solid_id", AttrType::Identifier),
+                Attribute::new("sub", AttrType::ref_set("solid", "super", Cardinality::any())),
+                Attribute::new("super", AttrType::ref_set("solid", "sub", Cardinality::any())),
+                Attribute::new("brep", AttrType::reference("brep", "solid")),
+            ],
+            vec![],
+        ))
+        .unwrap();
+        s.add_atom_type(AtomType::build(
+            "brep",
+            vec![
+                Attribute::new("brep_id", AttrType::Identifier),
+                Attribute::new("solid", AttrType::reference("solid", "brep")),
+            ],
+            vec![],
+        ))
+        .unwrap();
+        s.validate().unwrap();
+        s
+    }
+
+    #[test]
+    fn adding_references_adds_backrefs() {
+        let s = schema();
+        let me = AtomId::new(0, 1);
+        let kid = AtomId::new(0, 2);
+        let ops = backref_ops(
+            &s,
+            me,
+            1, // sub
+            &Value::RefSet(vec![]),
+            &Value::ref_set(vec![kid]),
+        );
+        assert_eq!(ops, vec![BackRefOp { target: kid, attr: 2, add: true, source: me }]);
+    }
+
+    #[test]
+    fn removing_references_removes_backrefs() {
+        let s = schema();
+        let me = AtomId::new(0, 1);
+        let a = AtomId::new(0, 2);
+        let b = AtomId::new(0, 3);
+        let ops = backref_ops(&s, me, 1, &Value::ref_set(vec![a, b]), &Value::ref_set(vec![b]));
+        assert_eq!(ops, vec![BackRefOp { target: a, attr: 2, add: false, source: me }]);
+    }
+
+    #[test]
+    fn unchanged_references_yield_no_ops() {
+        let s = schema();
+        let me = AtomId::new(0, 1);
+        let a = AtomId::new(0, 2);
+        let v = Value::ref_set(vec![a]);
+        assert!(backref_ops(&s, me, 1, &v, &v).is_empty());
+    }
+
+    #[test]
+    fn single_reference_change_swaps_target() {
+        let s = schema();
+        let me = AtomId::new(0, 1);
+        let old_brep = AtomId::new(1, 10);
+        let new_brep = AtomId::new(1, 11);
+        let ops = backref_ops(
+            &s,
+            me,
+            3, // brep
+            &Value::Ref(Some(old_brep)),
+            &Value::Ref(Some(new_brep)),
+        );
+        assert_eq!(ops.len(), 2);
+        assert!(ops.contains(&BackRefOp { target: old_brep, attr: 1, add: false, source: me }));
+        assert!(ops.contains(&BackRefOp { target: new_brep, attr: 1, add: true, source: me }));
+    }
+
+    #[test]
+    fn non_reference_attribute_yields_nothing() {
+        let s = schema();
+        let ops = backref_ops(&s, AtomId::new(0, 1), 0, &Value::Null, &Value::Int(1));
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn apply_to_ref_set_is_idempotent_and_sorted() {
+        let me = AtomId::new(0, 1);
+        let mut values = vec![Value::Null, Value::ref_set(vec![AtomId::new(0, 5)])];
+        let add = BackRefOp { target: AtomId::new(0, 9), attr: 1, add: true, source: me };
+        apply_backref(&mut values, &add);
+        apply_backref(&mut values, &add);
+        assert_eq!(values[1], Value::ref_set(vec![me, AtomId::new(0, 5)]));
+        let rm = BackRefOp { target: AtomId::new(0, 9), attr: 1, add: false, source: me };
+        apply_backref(&mut values, &rm);
+        apply_backref(&mut values, &rm);
+        assert_eq!(values[1], Value::ref_set(vec![AtomId::new(0, 5)]));
+    }
+
+    #[test]
+    fn apply_to_single_ref() {
+        let me = AtomId::new(0, 1);
+        let mut values = vec![Value::Ref(None)];
+        apply_backref(&mut values, &BackRefOp { target: me, attr: 0, add: true, source: me });
+        assert_eq!(values[0], Value::Ref(Some(me)));
+        // Removing someone else's reference is a no-op.
+        let other = AtomId::new(0, 2);
+        apply_backref(&mut values, &BackRefOp { target: me, attr: 0, add: false, source: other });
+        assert_eq!(values[0], Value::Ref(Some(me)));
+        apply_backref(&mut values, &BackRefOp { target: me, attr: 0, add: false, source: me });
+        assert_eq!(values[0], Value::Ref(None));
+    }
+
+    #[test]
+    fn out_of_range_attr_is_ignored() {
+        let me = AtomId::new(0, 1);
+        let mut values = vec![Value::Null];
+        apply_backref(&mut values, &BackRefOp { target: me, attr: 9, add: true, source: me });
+        assert_eq!(values, vec![Value::Null]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Scans: navigational set access with a current position.
+//!
+//! "Effective processing of data system operations critically depends on
+//! the availability of powerful navigational capabilities. This includes
+//! the notion of a 'position' in a set of atoms […] scans are introduced
+//! as a concept to control a dynamically defined set of atoms, to hold a
+//! current position in such a set, and to successively accept single
+//! atoms (NEXT/PRIOR) for further processing." (Section 3.2.)
+//!
+//! The five scans of the paper:
+//!
+//! | scan | source | order | module |
+//! |------|--------|-------|--------|
+//! | atom-type scan | base record file | system-defined (physical) | [`atom_type`] |
+//! | sort scan | sort order / access path / explicit sort | key order | [`sort`] |
+//! | access-path scan | B*-tree or grid file | key order, per-key directions | [`access_path`] |
+//! | atom-cluster-type scan | characteristic atoms | system-defined | [`cluster`] |
+//! | atom-cluster scan | one cluster's members | system-defined | [`cluster`] |
+
+pub mod access_path;
+pub mod atom_type;
+pub mod cluster;
+pub mod sort;
+
+pub use access_path::{AccessPathScan, MultidimScan};
+pub use atom_type::AtomTypeScan;
+pub use cluster::{AtomClusterScan, AtomClusterTypeScan};
+pub use sort::{SortScan, SortSource};
+
+use crate::atom::Atom;
+use crate::error::AccessResult;
+
+/// Scan direction for a single step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Next,
+    Prior,
+}
+
+/// Common cursor interface of all five scans.
+pub trait Scan {
+    /// Moves to the next qualifying atom (in scan order) and returns it.
+    fn next(&mut self) -> AccessResult<Option<Atom>>;
+
+    /// Moves to the previous qualifying atom.
+    fn prior(&mut self) -> AccessResult<Option<Atom>>;
+
+    /// One step in either direction.
+    fn step(&mut self, dir: Direction) -> AccessResult<Option<Atom>> {
+        match dir {
+            Direction::Next => self.next(),
+            Direction::Prior => self.prior(),
+        }
+    }
+
+    /// Drains the remainder of the scan forward.
+    fn collect_remaining(&mut self) -> AccessResult<Vec<Atom>> {
+        let mut out = Vec::new();
+        while let Some(a) = self.next()? {
+            out.push(a);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,129 @@
+//! E-DEF — Section 3.2: deferred update. "During an update operation only
+//! one physical record is modified whereas all others are modified
+//! later." Immediate vs deferred maintenance under r redundant copies:
+//! update latency should stay flat under deferral and grow with r under
+//! immediate maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima::{Prima, UpdatePolicy, Value};
+use prima_bench::report;
+use std::sync::atomic::Ordering;
+
+const DDL: &str = "
+CREATE ATOM_TYPE item
+  ( id : IDENTIFIER, item_no : INTEGER, a : INTEGER, b : INTEGER,
+    c : CHAR_VAR )
+KEYS_ARE (item_no);
+";
+
+/// Builds a database whose items carry `r` redundant copies (r sort
+/// orders — each holds a full atom copy).
+fn build(r: usize) -> Prima {
+    let db = Prima::builder().buffer_bytes(32 << 20).build_with_ddl(DDL).unwrap();
+    for i in 0..2000i64 {
+        db.insert(
+            "item",
+            &[
+                ("item_no", Value::Int(i)),
+                ("a", Value::Int(i % 97)),
+                ("b", Value::Int(i % 31)),
+                ("c", Value::Str(format!("payload {i}"))),
+            ],
+        )
+        .unwrap();
+    }
+    for k in 0..r {
+        // Alternate key attributes to make the sort orders distinct.
+        let attr = if k % 2 == 0 { "a" } else { "b" };
+        db.ldl(&format!("CREATE SORT ORDER so{k} ON item ({attr})")).unwrap();
+    }
+    db
+}
+
+fn records_touched_report() {
+    for r in [1usize, 2, 4, 8] {
+        for policy in [UpdatePolicy::Immediate, UpdatePolicy::Deferred] {
+            let db = build(r);
+            db.set_update_policy(policy);
+            let t = db.schema().type_id("item").unwrap();
+            let ids = db.access().all_ids(t).unwrap();
+            db.access().stats().reset();
+            for (i, id) in ids.iter().take(200).enumerate() {
+                db.modify(*id, &[("c", Value::Str(format!("updated {i}")))]).unwrap();
+            }
+            let written = db.access().stats().records_written.load(Ordering::Relaxed);
+            let pending = db.access().deferred_queue().len();
+            let series = format!("r={r} {policy:?}");
+            report("DEF", &series, "records_written_sync", written);
+            report("DEF", &series, "deferred_pending", pending);
+        }
+    }
+}
+
+fn bench_deferred(c: &mut Criterion) {
+    records_touched_report();
+    let mut g = c.benchmark_group("deferred_update");
+    g.sample_size(10);
+    for r in [1usize, 4, 8] {
+        for policy in [UpdatePolicy::Immediate, UpdatePolicy::Deferred] {
+            let db = build(r);
+            db.set_update_policy(policy);
+            let t = db.schema().type_id("item").unwrap();
+            let ids = db.access().all_ids(t).unwrap();
+            let label = format!("{policy:?}");
+            let mut i = 0usize;
+            g.bench_with_input(BenchmarkId::new(label, r), &r, |b, _| {
+                b.iter(|| {
+                    let id = ids[i % ids.len()];
+                    i += 1;
+                    db.modify(id, &[("c", Value::Str(format!("u{i}")))]).unwrap();
+                })
+            });
+        }
+    }
+    // The read penalty after deferral: a sort scan over stale copies must
+    // fall back to primary records until RECONCILE.
+    let db = build(4);
+    db.set_update_policy(UpdatePolicy::Deferred);
+    let t = db.schema().type_id("item").unwrap();
+    for id in db.access().all_ids(t).unwrap().iter().take(500) {
+        db.modify(*id, &[("c", Value::Str("stale".into()))]).unwrap();
+    }
+    g.bench_function("sort_scan_with_stale_copies", |b| {
+        use prima_access::scan::{Scan, SortScan};
+        use std::ops::Bound;
+        b.iter(|| {
+            let mut s = SortScan::open(
+                db.access(),
+                t,
+                &[2],
+                prima_access::Ssa::True,
+                Bound::Unbounded,
+                Bound::Unbounded,
+            )
+            .unwrap();
+            s.collect_remaining().unwrap()
+        })
+    });
+    db.reconcile().unwrap();
+    g.bench_function("sort_scan_after_reconcile", |b| {
+        use prima_access::scan::{Scan, SortScan};
+        use std::ops::Bound;
+        b.iter(|| {
+            let mut s = SortScan::open(
+                db.access(),
+                t,
+                &[2],
+                prima_access::Ssa::True,
+                Bound::Unbounded,
+                Bound::Unbounded,
+            )
+            .unwrap();
+            s.collect_remaining().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_deferred);
+criterion_main!(benches);

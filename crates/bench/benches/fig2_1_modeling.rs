@@ -1,0 +1,75 @@
+//! E-F2.1 — Fig. 2.1: modeling approaches to boundary representation.
+//!
+//! Regenerates the figure's argument as numbers: for the same solid set,
+//! the hierarchical approach stores redundant copies (≈6× per point) and
+//! pays the redundancy on every geometric update, the network approach
+//! stores connector atoms, MAD stores neither. Criterion times the
+//! "move one corner point" update under each discipline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima::Value;
+use prima_bench::report;
+use prima_workloads::modeling::{build, ModelingApproach};
+
+fn shape_report() {
+    for n in [5usize, 20] {
+        for approach in ModelingApproach::ALL {
+            let (_db, stats) = build(approach, n).expect("build");
+            let series = format!("{} n={n}", approach.name());
+            report("F2.1", &series, "atoms", stats.atoms);
+            report("F2.1", &series, "point_copies", format!("{:.1}", stats.point_copies));
+            report("F2.1", &series, "move_update_cost", stats.move_update_cost);
+        }
+    }
+}
+
+fn bench_point_move(c: &mut Criterion) {
+    shape_report();
+    let mut g = c.benchmark_group("fig2_1_point_move");
+    g.sample_size(10);
+    for approach in ModelingApproach::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(approach.name()),
+            &approach,
+            |b, &approach| {
+                let (db, _) = build(approach, 10).expect("build");
+                // Pre-resolve the victim copies per discipline.
+                let (ty, xattr): (&str, &str) = match approach {
+                    ModelingApproach::HierarchicalRedundant => ("hpoint", "x"),
+                    ModelingApproach::NetworkConnectors => ("npoint", "x"),
+                    ModelingApproach::MadDirect => ("point", "placement"),
+                };
+                let t = db.schema().type_id(ty).unwrap();
+                let ids = db.access().all_ids(t).unwrap();
+                let mut i = 0usize;
+                b.iter(|| {
+                    // Hierarchical must touch all copies of a geometric
+                    // point; we emulate by updating 6 copies (the box
+                    // incidence factor), others update 1.
+                    let k = match approach {
+                        ModelingApproach::HierarchicalRedundant => 6,
+                        _ => 1,
+                    };
+                    for _ in 0..k {
+                        let id = ids[i % ids.len()];
+                        i += 1;
+                        let v = if xattr == "placement" {
+                            Value::Record(vec![
+                                ("x_coord".into(), Value::Real(i as f64)),
+                                ("y_coord".into(), Value::Real(0.0)),
+                                ("z_coord".into(), Value::Real(0.0)),
+                            ])
+                        } else {
+                            Value::Real(i as f64)
+                        };
+                        db.modify(id, &[(xattr, v)]).unwrap();
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_point_move);
+criterion_main!(benches);

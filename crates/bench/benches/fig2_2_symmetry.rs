@@ -1,0 +1,78 @@
+//! E-F2.2 — Fig. 2.2: association types are symmetric.
+//!
+//! "An association is symmetric in that the referenced record must
+//! contain a back-reference that can be used in exactly the same way."
+//! For 1:n and n:m association types at several fan-outs, forward
+//! derivation (A→B) and backward derivation (B→A) must have the same
+//! cost shape — unlike hierarchical models where the inverse direction
+//! needs a scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima::{Prima, Value};
+use prima_bench::report;
+
+const DDL: &str = "
+CREATE ATOM_TYPE a
+  ( id : IDENTIFIER, a_no : INTEGER,
+    bs : SET_OF (REF_TO (b.as_)) )
+KEYS_ARE (a_no);
+CREATE ATOM_TYPE b
+  ( id : IDENTIFIER, b_no : INTEGER,
+    as_ : SET_OF (REF_TO (a.bs)) )
+KEYS_ARE (b_no);
+";
+
+/// n:m graph: `n_a` A-atoms, each referencing `fanout` B-atoms; B-atoms
+/// shared round-robin so each B is referenced by ~`fanout` A's too.
+fn build(n_a: usize, fanout: usize) -> Prima {
+    let db = Prima::builder().buffer_bytes(64 << 20).build_with_ddl(DDL).unwrap();
+    let n_b = n_a; // symmetric population
+    let mut bs = Vec::new();
+    for i in 0..n_b {
+        bs.push(db.insert("b", &[("b_no", Value::Int(i as i64 + 1))]).unwrap());
+    }
+    for i in 0..n_a {
+        let targets: Vec<_> = (0..fanout).map(|k| bs[(i + k * 7) % n_b]).collect();
+        db.insert(
+            "a",
+            &[("a_no", Value::Int(i as i64 + 1)), ("bs", Value::ref_set(targets))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_2_symmetry");
+    g.sample_size(20);
+    for fanout in [1usize, 4, 16] {
+        let db = build(256, fanout);
+        let fwd_q = "SELECT ALL FROM a-b WHERE a_no = 17";
+        let bwd_q = "SELECT ALL FROM b-a WHERE b_no = 17";
+        // Shape: derived set sizes are comparable in both directions.
+        let fwd = db.query(fwd_q).unwrap();
+        let bwd = db.query(bwd_q).unwrap();
+        report(
+            "F2.2",
+            &format!("fanout={fanout} forward a->b"),
+            "derived_atoms",
+            fwd.atoms_of("b").len(),
+        );
+        report(
+            "F2.2",
+            &format!("fanout={fanout} backward b->a"),
+            "derived_atoms",
+            bwd.atoms_of("a").len(),
+        );
+        g.bench_with_input(BenchmarkId::new("forward", fanout), &fanout, |bch, _| {
+            bch.iter(|| db.query(fwd_q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("backward", fanout), &fanout, |bch, _| {
+            bch.iter(|| db.query(bwd_q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_symmetry);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E-F3.1 — Fig. 3.1: the implementation model. One molecule query is
+//! traced through all layers: molecule sets (data system) → atoms
+//! (access system) → pages (buffer) → blocks (device), and the per-layer
+//! counters are reported. Criterion times the query cold (all layers) and
+//! warm (upper layers only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_bench::{brep_db, report};
+use std::sync::atomic::Ordering;
+
+fn layer_trace() {
+    let db = brep_db(50);
+    db.storage().drop_cache().unwrap();
+    db.storage().io_stats().reset();
+    db.storage().buffer_stats().reset();
+    db.access().stats().reset();
+    let (set, trace) =
+        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 25").unwrap();
+    report("F3.1", "data system   (molecule sets)", "molecules", set.len());
+    report("F3.1", "data system   (atoms in molecule)", "atoms", set.molecules[0].atom_count());
+    report("F3.1", "data system   (root access)", "path", format!("{:?}", trace.root_access));
+    report(
+        "F3.1",
+        "access system (primary record reads)",
+        "reads",
+        db.access().stats().primary_reads.load(Ordering::Relaxed),
+    );
+    let (hits, misses, _, _) = db.storage().buffer_stats().snapshot();
+    report("F3.1", "storage system (buffer fixes)", "hits", hits);
+    report("F3.1", "storage system (buffer fixes)", "misses", misses);
+    let io = db.storage().io_stats().snapshot();
+    report("F3.1", "device        (blocks)", "block_reads", io.block_reads);
+    report("F3.1", "device        (bytes)", "bytes_read", io.bytes_read);
+    report("F3.1", "device        (simulated time)", "ms", io.sim_time_ns / 1_000_000);
+}
+
+fn bench_layers(c: &mut Criterion) {
+    layer_trace();
+    let db = brep_db(50);
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 25";
+    let mut g = c.benchmark_group("fig3_1_layers");
+    g.sample_size(10);
+    g.bench_function("cold_all_layers", |b| {
+        b.iter(|| {
+            db.storage().drop_cache().unwrap();
+            db.query(q).unwrap()
+        })
+    });
+    let _ = db.query(q).unwrap(); // warm the buffer
+    g.bench_function("warm_upper_layers", |b| b.iter(|| db.query(q).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

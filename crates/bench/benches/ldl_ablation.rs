@@ -1,0 +1,100 @@
+//! E-LDL — Section 2.3/3.2: every LDL tuning mechanism, before/after, on
+//! the same query. "The underlying idea is to make storage redundancy
+//! available to speed up molecule processing."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_bench::{brep_db, report};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldl_ablation");
+    g.sample_size(10);
+
+    // Access path: range qualification on a non-key attribute.
+    {
+        let db = brep_db(500);
+        let q = "SELECT ALL FROM face WHERE square_dim > 80.0";
+        let (set, t0) = db.query_traced(q).unwrap();
+        g.bench_function("range_query/no_access_path", |b| b.iter(|| db.query(q).unwrap()));
+        db.ldl("CREATE ACCESS PATH ap_sq ON face (square_dim)").unwrap();
+        let (set2, t1) = db.query_traced(q).unwrap();
+        assert_eq!(set.len(), set2.len());
+        report("LDL", "range query before", "access", format!("{:?}", t0.root_access));
+        report("LDL", "range query after CREATE ACCESS PATH", "access", format!("{:?}", t1.root_access));
+        report("LDL", "range query", "hits", set.len());
+        g.bench_function("range_query/with_access_path", |b| b.iter(|| db.query(q).unwrap()));
+    }
+
+    // Partition: projection-only horizontal access.
+    {
+        let db = brep_db(500);
+        let q = "SELECT solid_no, description FROM solid WHERE sub = EMPTY";
+        g.bench_function("projection/no_partition", |b| b.iter(|| db.query(q).unwrap()));
+        db.ldl("CREATE PARTITION p ON solid (solid_no, description, sub)").unwrap();
+        let (_, t) = db.query_traced(q).unwrap();
+        report("LDL", "projection after CREATE PARTITION", "access", format!("{:?}", t.root_access));
+        g.bench_function("projection/with_partition", |b| b.iter(|| db.query(q).unwrap()));
+    }
+
+    // Cluster: molecule materialisation.
+    {
+        let db = brep_db(200);
+        let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 100";
+        g.bench_function("molecule/no_cluster", |b| {
+            b.iter(|| {
+                db.storage().drop_cache().unwrap();
+                db.query(q).unwrap()
+            })
+        });
+        db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 1K").unwrap();
+        let (_, t) = db.query_traced(q).unwrap();
+        report("LDL", "molecule after CREATE ATOM_CLUSTER", "cluster", format!("{:?}", t.cluster_used));
+        g.bench_function("molecule/with_cluster", |b| {
+            b.iter(|| {
+                db.storage().drop_cache().unwrap();
+                db.query(q).unwrap()
+            })
+        });
+    }
+
+    // Controlled redundancy: the SAME atom type under two sort orders —
+    // both scans come out pre-sorted.
+    {
+        use prima_access::scan::{Scan, SortScan, SortSource};
+        use std::ops::Bound;
+        let db = brep_db(300);
+        let t = db.schema().type_id("edge").unwrap();
+        let at = db.schema().atom_type(t).unwrap();
+        let len_attr = at.attribute_index("length").unwrap();
+        db.ldl("CREATE SORT ORDER so_len ON edge (length)").unwrap();
+        let mut scan = SortScan::open(
+            db.access(),
+            t,
+            &[len_attr],
+            prima_access::Ssa::True,
+            Bound::Unbounded,
+            Bound::Unbounded,
+        )
+        .unwrap();
+        assert_eq!(scan.source(), SortSource::SortOrder);
+        let n = scan.collect_remaining().unwrap().len();
+        report("LDL", "two sort orders (controlled redundancy)", "edges", n);
+        g.bench_function("sorted_scan/with_sort_order", |b| {
+            b.iter(|| {
+                let mut s = SortScan::open(
+                    db.access(),
+                    t,
+                    &[len_attr],
+                    prima_access::Ssa::True,
+                    Bound::Unbounded,
+                    Bound::Unbounded,
+                )
+                .unwrap();
+                s.collect_remaining().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

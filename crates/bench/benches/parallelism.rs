@@ -1,0 +1,61 @@
+//! E-PAR — Sections 1/4: semantic parallelism. Molecule-set construction
+//! decomposed into one DU per molecule, executed on 1..8 workers. The
+//! shape under test: speed-up grows with workers on large molecule sets
+//! (the "inherent parallelism" of sizable engineering operations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_bench::{brep_db, report};
+use std::time::Instant;
+
+fn speedup_report() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    report("PAR", "host", "available_parallelism", host);
+    if host == 1 {
+        report(
+            "PAR",
+            "host",
+            "note",
+            "single-CPU host: speedup cannot exceed 1.0x; see EXPERIMENTS.md",
+        );
+    }
+    let db = brep_db(300);
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
+    // Warm the buffer so the measurement isolates CPU-side assembly.
+    let baseline = db.query(q).unwrap();
+    let t0 = Instant::now();
+    let serial = db.query(q).unwrap();
+    let serial_time = t0.elapsed();
+    assert_eq!(baseline.len(), serial.len());
+    report("PAR", "serial", "time_ms", serial_time.as_millis());
+    for threads in [2usize, 4, 8] {
+        let t0 = Instant::now();
+        let par = db.query_parallel(q, threads).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(par.len(), serial.len());
+        let speedup = serial_time.as_secs_f64() / elapsed.as_secs_f64();
+        report(
+            "PAR",
+            &format!("{threads} workers"),
+            "speedup",
+            format!("{speedup:.2}x ({} ms)", elapsed.as_millis()),
+        );
+    }
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    speedup_report();
+    let db = brep_db(200);
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
+    let _ = db.query(q).unwrap();
+    let mut g = c.benchmark_group("parallelism");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| db.query_parallel(q, t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E-SORT — Section 3.2: the sort scan's three strategies on the same
+//! request. "Since sorting an entire atom type is expensive and time
+//! consuming, the sort scan may be supported by a redundant storage
+//! structure, the sort order. … It may engage an access path if
+//! available, or has to perform the sort explicitly."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima::{Prima, Value};
+use prima_access::scan::{Scan, SortScan, SortSource};
+use prima_bench::report;
+use std::ops::Bound;
+
+const DDL: &str = "
+CREATE ATOM_TYPE m
+  ( id : IDENTIFIER, m_no : INTEGER, v : INTEGER, pad : CHAR_VAR )
+KEYS_ARE (m_no);
+";
+
+fn build(n: i64, structure: Option<&str>) -> Prima {
+    let db = Prima::builder().buffer_bytes(64 << 20).build_with_ddl(DDL).unwrap();
+    for i in 0..n {
+        db.insert(
+            "m",
+            &[
+                ("m_no", Value::Int(i)),
+                ("v", Value::Int((i * 2654435761) % 100_000)),
+                ("pad", Value::Str("p".repeat(40))),
+            ],
+        )
+        .unwrap();
+    }
+    if let Some(ldl) = structure {
+        db.ldl(ldl).unwrap();
+    }
+    db
+}
+
+fn run_scan(db: &Prima) -> (SortSource, usize) {
+    let mut s = SortScan::open(
+        db.access(),
+        0,
+        &[2],
+        prima_access::Ssa::True,
+        Bound::Unbounded,
+        Bound::Unbounded,
+    )
+    .unwrap();
+    let src = s.source();
+    let n = s.collect_remaining().unwrap().len();
+    (src, n)
+}
+
+fn bench_sort_scan(c: &mut Criterion) {
+    let n = 20_000i64;
+    let variants: [(&str, Option<&str>); 3] = [
+        ("sort_order", Some("CREATE SORT ORDER so ON m (v)")),
+        ("access_path", Some("CREATE ACCESS PATH ap ON m (v)")),
+        ("explicit_sort", None),
+    ];
+    let mut g = c.benchmark_group("sort_scan");
+    g.sample_size(10);
+    for (label, ldl) in variants {
+        let db = build(n, ldl);
+        let (src, count) = run_scan(&db);
+        report("SORT", label, "strategy", format!("{src:?}"));
+        report("SORT", label, "atoms_delivered", count);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| run_scan(&db))
+        });
+    }
+    // Start/stop conditions: a narrow range should favour the access
+    // path / sort order dramatically over the explicit sort (which pays
+    // the full sort regardless).
+    for (label, ldl) in variants {
+        let db = build(n, ldl);
+        g.bench_with_input(BenchmarkId::new("narrow_range", label), &label, |b, _| {
+            b.iter(|| {
+                let mut s = SortScan::open(
+                    db.access(),
+                    0,
+                    &[2],
+                    prima_access::Ssa::True,
+                    Bound::Included(vec![Value::Int(1000)]),
+                    Bound::Excluded(vec![Value::Int(2000)]),
+                )
+                .unwrap();
+                s.collect_remaining().unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort_scan);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! E-BUF — Section 3.3: one buffer for five page sizes. The paper's
+//! modified LRU (single byte-budgeted pool) against the strawman
+//! statically partitioned buffer, under *shifting reference patterns* —
+//! the case the paper says static partitioning handles poorly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima_bench::report;
+use prima_storage::buffer::{BufferManager, PageStore, PartitionedBuffer};
+use prima_storage::{BlockAddr, BlockDevice, Page, PageId, PageSize, SimDisk, StorageError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Five segments, one per page size; segment i = file i.
+struct Store {
+    disk: SimDisk,
+}
+
+impl Store {
+    fn new() -> Arc<Self> {
+        let disk = SimDisk::new();
+        for (i, s) in PageSize::ALL.iter().enumerate() {
+            disk.create_file(i as u32, s.bytes());
+        }
+        Arc::new(Store { disk })
+    }
+}
+
+impl PageStore for Store {
+    fn load(&self, id: PageId) -> Result<Page, StorageError> {
+        let size = PageSize::ALL[id.segment as usize];
+        let mut buf = vec![0u8; size.bytes()];
+        self.disk.read_block(BlockAddr::new(id.segment, id.page), &mut buf)?;
+        Page::from_bytes(id, size, &buf)
+    }
+
+    fn store(&self, page: &mut Page) -> Result<(), StorageError> {
+        page.update_checksum();
+        let id = page.id();
+        self.disk.write_block(BlockAddr::new(id.segment, id.page), page.as_bytes())
+    }
+
+    fn page_size_of(&self, segment: u32) -> Result<PageSize, StorageError> {
+        PageSize::ALL
+            .get(segment as usize)
+            .copied()
+            .ok_or(StorageError::UnknownSegment(segment))
+    }
+}
+
+/// A reference trace with a *shifting* working set: phase 1 hammers the
+/// small-page segments, phase 2 the 8K segment, phase 3 mixes.
+fn trace(len: usize, seed: u64) -> Vec<PageId> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let phase = (i * 3) / len;
+        let (seg, universe) = match phase {
+            0 => (rng.gen_range(0..2u32), 60u32),  // 1/2K + 1K pages
+            1 => (4u32, 24),                        // 8K pages
+            _ => (rng.gen_range(0..5u32), 40),      // mixed
+        };
+        out.push(PageId::new(seg, rng.gen_range(0..universe)));
+    }
+    out
+}
+
+fn hit_ratio_report() {
+    let capacity = 64 * 1024;
+    let refs = trace(30_000, 9);
+    // Modified LRU (paper).
+    let store = Store::new();
+    let buf = BufferManager::new(store, capacity);
+    for &id in &refs {
+        let _ = buf.fix(id).unwrap();
+    }
+    let modified = buf.stats().hit_ratio();
+    // Static partition (strawman), equal fifths.
+    let store = Store::new();
+    let pbuf = PartitionedBuffer::new_equal(store, capacity);
+    for &id in &refs {
+        let _ = pbuf.fix(id).unwrap();
+    }
+    let partitioned = pbuf.stats().hit_ratio();
+    report("BUF", "modified LRU, one pool (paper)", "hit_ratio", format!("{modified:.3}"));
+    report("BUF", "static partition, five pools", "hit_ratio", format!("{partitioned:.3}"));
+    report(
+        "BUF",
+        "shape check",
+        "modified_lru_wins",
+        if modified > partitioned { "yes" } else { "NO (investigate)" },
+    );
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    hit_ratio_report();
+    let refs = trace(5_000, 7);
+    let mut g = c.benchmark_group("storage_buffer");
+    g.sample_size(10);
+    g.bench_function("modified_lru", |b| {
+        b.iter(|| {
+            let store = Store::new();
+            let buf = BufferManager::new(store, 64 * 1024);
+            for &id in &refs {
+                let _ = buf.fix(id).unwrap();
+            }
+            buf.stats().snapshot()
+        })
+    });
+    g.bench_function("static_partition", |b| {
+        b.iter(|| {
+            let store = Store::new();
+            let buf = PartitionedBuffer::new_equal(store, 64 * 1024);
+            for &id in &refs {
+                let _ = buf.fix(id).unwrap();
+            }
+            buf.stats().snapshot()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

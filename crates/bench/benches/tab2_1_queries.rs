@@ -1,0 +1,82 @@
+//! E-T2.1 — Table 2.1: the four MQL queries, timed across database sizes
+//! (a: vertical network access; b: recursive molecule; c: horizontal
+//! access with projection; d: tree molecule with quantifier and qualified
+//! projection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_bench::{brep_db, brep_db_assembly, report};
+
+fn bench_queries(c: &mut Criterion) {
+    // (a) vertical access, key-qualified — latency vs database size
+    // (should stay flat: key lookup + molecule-size work).
+    let mut g = c.benchmark_group("tab2_1a_vertical");
+    g.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let db = brep_db(n);
+        let q = format!("SELECT ALL FROM brep-face-edge-point WHERE brep_no = {}", n / 2);
+        let set = db.query(&q).unwrap();
+        report("T2.1a", &format!("solids={n}"), "molecule_atoms", set.molecules[0].atom_count());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| db.query(&q).unwrap())
+        });
+    }
+    g.finish();
+
+    // (b) recursive molecule — latency vs hierarchy depth.
+    let mut g = c.benchmark_group("tab2_1b_recursive");
+    g.sample_size(20);
+    for depth in [2usize, 4, 6] {
+        let (db, root) = brep_db_assembly(1 << depth, depth, 2);
+        let q = format!("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root}");
+        let set = db.query(&q).unwrap();
+        report(
+            "T2.1b",
+            &format!("depth={depth}"),
+            "molecule_atoms",
+            set.molecules[0].atom_count(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| db.query(&q).unwrap())
+        });
+    }
+    g.finish();
+
+    // (c) horizontal access with projection — with and without a
+    // covering partition.
+    let mut g = c.benchmark_group("tab2_1c_horizontal");
+    g.sample_size(10);
+    for n in [200usize, 1000] {
+        let q = "SELECT solid_no, description FROM solid WHERE sub = EMPTY";
+        let db = brep_db(n);
+        g.bench_with_input(BenchmarkId::new("base_scan", n), &n, |b, _| {
+            b.iter(|| db.query(q).unwrap())
+        });
+        db.ldl("CREATE PARTITION p_head ON solid (solid_no, description, sub)").unwrap();
+        let (set, trace) = db.query_traced(q).unwrap();
+        report("T2.1c", &format!("solids={n} partition"), "root_access", format!("{:?}", trace.root_access));
+        report("T2.1c", &format!("solids={n}"), "primitive_solids", set.len());
+        g.bench_with_input(BenchmarkId::new("partition_scan", n), &n, |b, _| {
+            b.iter(|| db.query(q).unwrap())
+        });
+    }
+    g.finish();
+
+    // (d) the miscellaneous query.
+    let mut g = c.benchmark_group("tab2_1d_misc");
+    g.sample_size(20);
+    for n in [10usize, 100] {
+        let db = brep_db(n);
+        let q = "SELECT edge, (point, face := SELECT face_id, square_dim FROM face WHERE square_dim > 10.0)
+                 FROM brep-edge (face, point)
+                 WHERE brep_no = 1 AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0";
+        let set = db.query(q).unwrap();
+        report("T2.1d", &format!("solids={n}"), "molecules", set.len());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| db.query(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Diagnostic: raw `read_atom` thread-scaling probe (used to verify that
+//! the kernel's shared structures do not serialise parallel DUs beyond
+//! what the host's CPU count dictates).
+
+use prima_workloads::brep::{self, BrepConfig};
+use std::time::Instant;
+
+fn main() {
+    let db = brep::open_db(64 << 20).unwrap();
+    brep::populate(&db, &BrepConfig::with_solids(300)).unwrap();
+    let t = db.schema().type_id("point").unwrap();
+    let ids = db.access().all_ids(t).unwrap();
+    // warm
+    for id in &ids { let _ = db.read(*id).unwrap(); }
+    let reps = 40usize;
+    let t0 = Instant::now();
+    for _ in 0..reps { for id in &ids { let _ = db.read(*id).unwrap(); } }
+    let serial = t0.elapsed();
+    println!("serial: {:?} for {} reads", serial, reps*ids.len());
+    for threads in [2usize,4,8] {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for k in 0..threads {
+                let ids = &ids; let db = &db;
+                s.spawn(move || {
+                    for _ in 0..reps/threads { for id in ids { let _ = db.read(*id).unwrap(); } }
+                    let _ = k;
+                });
+            }
+        });
+        let e = t0.elapsed();
+        println!("{} threads: {:?} speedup {:.2}", threads, e, serial.as_secs_f64()/e.as_secs_f64());
+    }
+}

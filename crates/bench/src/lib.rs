@@ -1,0 +1,32 @@
+//! Shared helpers for the PRIMA benchmark harness.
+//!
+//! Every bench regenerates one figure or table of the paper (see the
+//! per-experiment index in DESIGN.md). Absolute numbers differ from 1987
+//! hardware, but each harness prints the *shape* the paper argues for —
+//! who wins, by what factor, where behaviour crosses over — alongside the
+//! Criterion timings. EXPERIMENTS.md records the measured shapes.
+
+use prima::Prima;
+use prima_workloads::brep::{self, BrepConfig};
+
+/// A BREP database with `n` solids (and optional assembly hierarchy),
+/// ready for querying.
+pub fn brep_db(n: usize) -> Prima {
+    let db = brep::open_db(64 << 20).expect("open");
+    brep::populate(&db, &BrepConfig::with_solids(n)).expect("populate");
+    db
+}
+
+/// Same with an assembly hierarchy.
+pub fn brep_db_assembly(n: usize, depth: usize, fanout: usize) -> (Prima, i64) {
+    let db = brep::open_db(64 << 20).expect("open");
+    let stats =
+        brep::populate(&db, &BrepConfig::with_assembly(n, depth, fanout)).expect("populate");
+    let root = stats.root_solid_nos.first().copied().unwrap_or(1);
+    (db, root)
+}
+
+/// Prints one experiment-report line (machine-grepable prefix).
+pub fn report(experiment: &str, series: &str, metric: &str, value: impl std::fmt::Display) {
+    eprintln!("[{experiment}] {series:<42} {metric:<18} = {value}");
+}

@@ -1,0 +1,175 @@
+//! Data manipulation: molecule insertion, deletion and modification.
+//!
+//! "Analogously to retrieval capabilities, insert, delete, and modify
+//! operations allow for dealing with an integral molecule as well as its
+//! components. Modification especially supports connection and
+//! disconnection of molecule components. The delete statement reflects
+//! removal of single components as well as of whole component sets,
+//! thereby automatically disconnecting these parts from the specified
+//! surrounding molecules. […] Common to all manipulation operations is
+//! the system-enforced support for structural integrity" (Section 2.2) —
+//! the disconnection itself happens in the access system's back-reference
+//! maintenance; this module translates statement semantics into atom
+//! operations.
+
+use super::exec::execute;
+use super::validate::{resolve_ref, validate};
+use crate::error::{PrimaError, PrimaResult};
+use prima_access::AccessSystem;
+use prima_mad::mql::{Delete, Insert, Modify, Query, SelectList, SetExpr, Statement};
+use prima_mad::value::{AtomId, Value};
+use prima_mad::AttrType;
+
+/// Result of a manipulation statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmlResult {
+    /// The inserted atom's logical address.
+    Inserted(AtomId),
+    /// Number of atoms deleted.
+    Deleted(usize),
+    /// Number of atoms modified.
+    Modified(usize),
+}
+
+/// Executes a non-SELECT statement.
+pub fn execute_statement(sys: &AccessSystem, stmt: &Statement) -> PrimaResult<DmlResult> {
+    match stmt {
+        Statement::Select(_) => Err(PrimaError::BadStatement(
+            "SELECT must go through the query interface".into(),
+        )),
+        Statement::Insert(i) => insert(sys, i),
+        Statement::Delete(d) => delete(sys, d),
+        Statement::Modify(m) => modify(sys, m),
+    }
+}
+
+fn insert(sys: &AccessSystem, stmt: &Insert) -> PrimaResult<DmlResult> {
+    let pairs: Vec<(&str, Value)> =
+        stmt.assignments.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let id = sys.insert_atom_named(&stmt.atom_type, &pairs)?;
+    Ok(DmlResult::Inserted(id))
+}
+
+fn delete(sys: &AccessSystem, stmt: &Delete) -> PrimaResult<DmlResult> {
+    // Find the qualifying molecules with a SELECT ALL over the same FROM.
+    let query = Query {
+        select: SelectList::All,
+        from: stmt.from.clone(),
+        predicate: stmt.predicate.clone(),
+    };
+    let resolved = validate(sys.schema(), &query)?;
+    let (set, _) = execute(sys, &resolved)?;
+    // Which structure nodes are deleted?
+    let victim_nodes: Vec<usize> = match &stmt.only_components {
+        None => (0..resolved.nodes.len()).collect(),
+        Some(names) => {
+            let mut out = Vec::new();
+            for n in names {
+                out.push(resolved.node_by_label(n).ok_or_else(|| {
+                    PrimaError::UnresolvedReference {
+                        reference: n.clone(),
+                        detail: "DELETE ONLY names unknown component".into(),
+                    }
+                })?);
+            }
+            out
+        }
+    };
+    let mut deleted = 0usize;
+    for m in &set.molecules {
+        for &node in &victim_nodes {
+            for atom in m.atoms_of_node(node) {
+                // Molecules may overlap (non-disjoint); an atom can
+                // already be gone.
+                if sys.exists(atom.id) {
+                    sys.delete_atom(atom.id)?;
+                    deleted += 1;
+                }
+            }
+        }
+    }
+    Ok(DmlResult::Deleted(deleted))
+}
+
+fn modify(sys: &AccessSystem, stmt: &Modify) -> PrimaResult<DmlResult> {
+    let query = Query {
+        select: SelectList::All,
+        from: stmt.from.clone(),
+        predicate: stmt.predicate.clone(),
+    };
+    let resolved = validate(sys.schema(), &query)?;
+    let (set, _) = execute(sys, &resolved)?;
+    let mut modified = 0usize;
+    for m in &set.molecules {
+        for (target, expr) in &stmt.assignments {
+            let (node, attr) = resolve_ref(&resolved, target, sys.schema())?;
+            let at = sys.schema().atom_type(resolved.nodes[node].atom_type).expect("resolved");
+            let is_set = matches!(at.attributes[attr].ty, AttrType::RefSet(..));
+            let is_single_ref = matches!(at.attributes[attr].ty, AttrType::Ref(_));
+            let atom_ids: Vec<AtomId> =
+                m.atoms_of_node(node).iter().map(|a| a.id).collect();
+            for id in atom_ids {
+                if !sys.exists(id) {
+                    continue;
+                }
+                match expr {
+                    SetExpr::Value(v) => {
+                        sys.modify_atom(id, &[(attr, v.clone())])?;
+                        modified += 1;
+                    }
+                    SetExpr::Connect(sub) => {
+                        let targets = root_ids(sys, sub)?;
+                        let current = sys.read_atom(id, None)?;
+                        let new_value = if is_set {
+                            let mut ids = current.values[attr].referenced_ids();
+                            ids.extend(targets.iter().copied());
+                            Value::ref_set(ids)
+                        } else if is_single_ref {
+                            Value::Ref(targets.first().copied())
+                        } else {
+                            return Err(PrimaError::BadStatement(format!(
+                                "CONNECT target '{}' is not a reference attribute",
+                                at.attributes[attr].name
+                            )));
+                        };
+                        sys.modify_atom(id, &[(attr, new_value)])?;
+                        modified += 1;
+                    }
+                    SetExpr::Disconnect(sub) => {
+                        let targets = root_ids(sys, sub)?;
+                        let current = sys.read_atom(id, None)?;
+                        let new_value = if is_set {
+                            let ids: Vec<AtomId> = current.values[attr]
+                                .referenced_ids()
+                                .into_iter()
+                                .filter(|t| !targets.contains(t))
+                                .collect();
+                            Value::ref_set(ids)
+                        } else if is_single_ref {
+                            match current.values[attr] {
+                                Value::Ref(Some(t)) if targets.contains(&t) => Value::Ref(None),
+                                ref other => other.clone(),
+                            }
+                        } else {
+                            return Err(PrimaError::BadStatement(format!(
+                                "DISCONNECT target '{}' is not a reference attribute",
+                                at.attributes[attr].name
+                            )));
+                        };
+                        sys.modify_atom(id, &[(attr, new_value)])?;
+                        modified += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(DmlResult::Modified(modified))
+}
+
+/// Runs a sub-query and returns its molecules' root atom ids (the atoms a
+/// CONNECT/DISCONNECT refers to).
+fn root_ids(sys: &AccessSystem, q: &Query) -> PrimaResult<Vec<AtomId>> {
+    let resolved = validate(sys.schema(), q)?;
+    let (set, _) = execute(sys, &resolved)?;
+    Ok(set.molecules.iter().map(|m| m.root.atom.id).collect())
+}

@@ -1,0 +1,462 @@
+//! Molecule management and query execution (Section 3.1).
+//!
+//! "A one-molecule-at-a-time interface is provided by the molecule
+//! management. […] molecule processing has to cope with cursor management
+//! and cluster management, hiding the underlying access system interface.
+//! It deals with searching the qualified parts of the desired molecule
+//! and combining these parts, while performing 'simple' projections and
+//! qualifications 'pushed down' for efficiency reasons."
+//!
+//! Execution pipeline:
+//!
+//! 1. **Root access** — pick the cheapest way to the qualifying root
+//!    atoms: `KEYS_ARE` lookup, B*-tree access-path scan, or atom-type
+//!    scan with the pushed-down SSA ([`RootAccess`]).
+//! 2. **Vertical assembly** — starting from each root, follow the
+//!    resolved associations to fetch the dependent component atoms.
+//!    When an atom cluster materialises the molecule, it is prefetched
+//!    in one chained read ("cluster management").
+//! 3. **Recursion** — recursive edges expand level by level; an ancestor
+//!    set guards against reference cycles.
+//! 4. **Residual qualification** — quantifiers and non-root predicates,
+//!    evaluated per molecule.
+//! 5. **Projection** — per-node descriptors, including qualified
+//!    projections.
+
+use super::molecule::{MolAtom, Molecule, MoleculeSet, NodeInfo};
+use super::plan::{
+    root_bounds, ExecutionTrace, NodeProjection, ResolvedQuery, RootAccess,
+};
+use super::validate::{convert_op, predicate_to_atom_ssa, resolve_ref};
+use crate::error::{PrimaError, PrimaResult};
+use prima_access::cluster::AtomClusterType;
+use prima_access::scan::{AccessPathScan, AtomTypeScan, Scan};
+use prima_access::ssa::Ssa;
+use prima_access::{AccessSystem, Atom, CmpOp};
+use prima_mad::mql::{Operand, Predicate};
+use prima_mad::value::{AtomId, Value};
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Executes a resolved query, returning the molecule set and a trace of
+/// the physical decisions taken.
+pub fn execute(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
+    let mut trace = ExecutionTrace::default();
+    let roots = find_roots(sys, q, &mut trace)?;
+    trace.roots_inspected = roots.len();
+    let clusters = sys.cluster_types_of(q.nodes[0].atom_type);
+    let mut molecules = Vec::new();
+    for root in roots {
+        let mut fetched = 0usize;
+        let molecule = assemble_molecule(sys, q, root, &clusters, &mut trace, &mut fetched)?;
+        trace.atoms_fetched += fetched;
+        if let Some(res) = &q.residual {
+            if !eval_residual(sys, q, &molecule, res)? {
+                continue;
+            }
+        }
+        if let Some(projected) = apply_projection(sys, q, molecule) {
+            molecules.push(projected);
+        }
+    }
+    trace.molecules = molecules.len();
+    Ok((MoleculeSet { nodes: node_infos(q), molecules }, trace))
+}
+
+/// Node descriptions for result sets.
+pub(crate) fn node_infos(q: &ResolvedQuery) -> Vec<NodeInfo> {
+    q.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| NodeInfo {
+            label: n.label.clone(),
+            atom_type: n.atom_type,
+            recursive: n.recursive,
+            selected: !matches!(q.select.per_node.get(i), Some(NodeProjection::Exclude)),
+        })
+        .collect()
+}
+
+/// Assembles, qualifies and projects a single root's molecule — the unit
+/// of work of semantic parallelism (one DU per molecule; see
+/// [`crate::parallel`]). Returns `None` when the molecule does not
+/// qualify.
+pub(crate) fn process_root(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    root: Atom,
+    clusters: &[Arc<AtomClusterType>],
+) -> PrimaResult<Option<Molecule>> {
+    let mut trace = ExecutionTrace::default();
+    let mut fetched = 0usize;
+    let molecule = assemble_molecule(sys, q, root, clusters, &mut trace, &mut fetched)?;
+    if let Some(res) = &q.residual {
+        if !eval_residual(sys, q, &molecule, res)? {
+            return Ok(None);
+        }
+    }
+    Ok(apply_projection(sys, q, molecule))
+}
+
+/// Root access selection ("molecule-type-specific optimization").
+pub(crate) fn find_roots(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    trace: &mut ExecutionTrace,
+) -> PrimaResult<Vec<Atom>> {
+    let root_type = q.nodes[0].atom_type;
+    let at = sys.schema().atom_type(root_type).expect("resolved").clone();
+    let bounds = root_bounds(&q.root_ssa);
+    // 1. KEYS_ARE equality -> direct lookup.
+    for b in &bounds {
+        if b.op == CmpOp::Eq && at.is_key(&at.attributes[b.attr].name) {
+            trace.root_access = RootAccess::KeyLookup { attr: b.attr };
+            let Some(id) = sys.lookup_by_key(root_type, b.attr, &b.value)? else {
+                return Ok(Vec::new());
+            };
+            let atom = sys.read_atom(id, None)?;
+            return Ok(if q.root_ssa.eval(&atom) { vec![atom] } else { Vec::new() });
+        }
+    }
+    // 2. A B*-tree over a bounded attribute.
+    for b in &bounds {
+        if let Some(ix) = sys
+            .btrees_of(root_type)
+            .into_iter()
+            .find(|ix| ix.key_attrs.first() == Some(&b.attr) && ix.key_attrs.len() == 1)
+        {
+            trace.root_access = RootAccess::AccessPath { index_name: ix.name.clone() };
+            let (start, stop) = match b.op {
+                CmpOp::Eq => (
+                    Bound::Included(vec![b.value.clone()]),
+                    Bound::Included(vec![b.value.clone()]),
+                ),
+                CmpOp::Gt => (Bound::Excluded(vec![b.value.clone()]), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(vec![b.value.clone()]), Bound::Unbounded),
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(vec![b.value.clone()])),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(vec![b.value.clone()])),
+                CmpOp::Ne => (Bound::Unbounded, Bound::Unbounded),
+            };
+            let mut scan =
+                AccessPathScan::open(sys, &ix, q.root_ssa.clone(), start, stop, false)?;
+            return Ok(scan.collect_remaining()?);
+        }
+    }
+    // 3. Single-component queries whose SSA and projection are covered by
+    // a partition scan the (denser) partition file instead — "partitions
+    // collect the results of projections".
+    if q.nodes.len() == 1 {
+        let mut needed = q.root_ssa.attrs();
+        match q.select.per_node.first() {
+            Some(NodeProjection::Attrs(attrs)) => needed.extend(attrs.iter().copied()),
+            Some(NodeProjection::All) | None => needed.push(usize::MAX), // not coverable
+            Some(NodeProjection::Qualified { attrs, ssa }) => {
+                needed.extend(ssa.attrs());
+                match attrs {
+                    Some(a) => needed.extend(a.iter().copied()),
+                    None => needed.push(usize::MAX),
+                }
+            }
+            Some(NodeProjection::Exclude) => {}
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        if let Some(part) = sys.partitions_of(root_type).into_iter().find(|p| p.covers(&needed)) {
+            trace.root_access = RootAccess::PartitionScan { name: part.name.clone() };
+            let mut out = Vec::new();
+            part.for_each(|_, atom| {
+                // Skip stale copies (deferred update pending): fall back to
+                // the primary record for those atoms.
+                if sys.deferred_stale(atom.id, part.id) {
+                    let fresh = sys.read_atom(atom.id, None)?;
+                    if q.root_ssa.eval(&fresh) {
+                        out.push(fresh);
+                    }
+                } else if q.root_ssa.eval(&atom) {
+                    out.push(atom);
+                }
+                Ok(())
+            })?;
+            return Ok(out);
+        }
+    }
+    // 4. Atom-type scan with SSA pushdown.
+    trace.root_access = RootAccess::TypeScan;
+    let mut scan = AtomTypeScan::open(sys, root_type, q.root_ssa.clone(), None)?;
+    Ok(scan.collect_remaining()?)
+}
+
+/// Assembles one molecule occurrence from its root atom.
+fn assemble_molecule(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    root: Atom,
+    clusters: &[Arc<AtomClusterType>],
+    trace: &mut ExecutionTrace,
+    fetched: &mut usize,
+) -> PrimaResult<Molecule> {
+    // Cluster management: prefetch the whole cluster in one chained read
+    // if one materialises this root's molecule.
+    let mut prefetch: HashMap<AtomId, Atom> = HashMap::new();
+    if let Some(ct) = clusters.iter().find(|ct| ct.contains(root.id)) {
+        for a in ct.read_all(root.id)? {
+            prefetch.insert(a.id, a);
+        }
+        *fetched += prefetch.len();
+        trace.cluster_used = Some(ct.name.clone());
+    }
+    let mut ancestors = HashSet::new();
+    ancestors.insert(root.id);
+    let root_mol = expand(sys, q, 0, root, 0, &prefetch, &mut ancestors, fetched)?;
+    Ok(Molecule::new(root_mol))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    node_idx: usize,
+    atom: Atom,
+    level: u32,
+    prefetch: &HashMap<AtomId, Atom>,
+    ancestors: &mut HashSet<AtomId>,
+    fetched: &mut usize,
+) -> PrimaResult<MolAtom> {
+    let mut out = MolAtom::new(node_idx, level, atom);
+    // Edges to expand: the node's children; a recursive node re-applies
+    // its own incoming edge.
+    let mut edges: Vec<(usize, prima_mad::schema::Association, bool)> = Vec::new();
+    for &c in &q.nodes[node_idx].children {
+        let assoc = q.nodes[c].via.expect("non-root nodes have via");
+        edges.push((c, assoc, q.nodes[c].recursive));
+    }
+    if q.nodes[node_idx].recursive {
+        let assoc = q.nodes[node_idx].via.expect("recursive nodes are non-root");
+        edges.push((node_idx, assoc, true));
+    }
+    for (child_idx, assoc, recursive) in edges {
+        let ids = out
+            .atom
+            .values
+            .get(assoc.from.attr)
+            .map(|v| v.referenced_ids())
+            .unwrap_or_default();
+        for id in ids {
+            if recursive && ancestors.contains(&id) {
+                // Cycle guard for recursive structures ("solids are
+                // constructed using previously defined solids" — a cycle
+                // would be a modelling error, but the kernel must not
+                // loop).
+                continue;
+            }
+            let child_atom = match prefetch.get(&id) {
+                Some(a) => a.clone(),
+                None => {
+                    *fetched += 1;
+                    match sys.read_atom(id, None) {
+                        Ok(a) => a,
+                        // Dangling ids cannot occur through the access
+                        // system's integrity maintenance; skip defensively.
+                        Err(prima_access::AccessError::NoSuchAtom(_)) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            };
+            if recursive {
+                ancestors.insert(id);
+            }
+            let child_level = if recursive { level + 1 } else { level };
+            let child =
+                expand(sys, q, child_idx, child_atom, child_level, prefetch, ancestors, fetched)?;
+            if recursive {
+                ancestors.remove(&id);
+            }
+            out.children.push(child);
+        }
+    }
+    Ok(out)
+}
+
+/// Residual predicate evaluation on one molecule. Non-root component
+/// comparisons use existential semantics (a molecule qualifies when *some*
+/// component atom satisfies the term); explicit quantifiers override.
+fn eval_residual(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    m: &Molecule,
+    pred: &Predicate,
+) -> PrimaResult<bool> {
+    Ok(match pred {
+        Predicate::And(ts) => {
+            for t in ts {
+                if !eval_residual(sys, q, m, t)? {
+                    return Ok(false);
+                }
+            }
+            true
+        }
+        Predicate::Or(ts) => {
+            for t in ts {
+                if eval_residual(sys, q, m, t)? {
+                    return Ok(true);
+                }
+            }
+            false
+        }
+        Predicate::Not(t) => !eval_residual(sys, q, m, t)?,
+        Predicate::Compare { left, op, right } => {
+            let op = convert_op(*op);
+            match (left, right) {
+                (Operand::Ref(r), Operand::Literal(v)) => {
+                    exists_atom(sys, q, m, r, |val| op.eval(val.total_cmp(v)))?
+                }
+                (Operand::Literal(v), Operand::Ref(r)) => {
+                    exists_atom(sys, q, m, r, |val| op.flip().eval(val.total_cmp(v)))?
+                }
+                (Operand::Ref(l), Operand::Ref(rr)) => {
+                    // exists a pair satisfying the comparison
+                    let lv = ref_values(sys, q, m, l)?;
+                    let rv = ref_values(sys, q, m, rr)?;
+                    lv.iter().any(|a| rv.iter().any(|b| op.eval(a.total_cmp(b))))
+                }
+                (Operand::Literal(a), Operand::Literal(b)) => op.eval(a.total_cmp(b)),
+            }
+        }
+        Predicate::IsEmpty(r) => exists_atom(sys, q, m, r, |v| v.is_empty_like())?,
+        Predicate::NotEmpty(r) => exists_atom(sys, q, m, r, |v| !v.is_empty_like())?,
+        Predicate::ExistsAtLeast { n, component, inner } => {
+            count_matching(sys, q, m, component, inner)? >= *n as usize
+        }
+        Predicate::ForAll { component, inner } => {
+            let node = q.node_by_label(component).ok_or_else(|| {
+                PrimaError::UnresolvedReference {
+                    reference: component.clone(),
+                    detail: "quantifier over unknown component".into(),
+                }
+            })?;
+            let atoms = m.atoms_of_node(node);
+            let ssa = quantifier_ssa(sys, q, node, inner)?;
+            atoms.iter().all(|a| ssa.eval(a))
+        }
+    })
+}
+
+fn count_matching(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    m: &Molecule,
+    component: &str,
+    inner: &Predicate,
+) -> PrimaResult<usize> {
+    let node = q.node_by_label(component).ok_or_else(|| PrimaError::UnresolvedReference {
+        reference: component.to_string(),
+        detail: "quantifier over unknown component".into(),
+    })?;
+    let ssa = quantifier_ssa(sys, q, node, inner)?;
+    Ok(m.atoms_of_node(node).iter().filter(|a| ssa.eval(a)).count())
+}
+
+fn quantifier_ssa(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    node: usize,
+    inner: &Predicate,
+) -> PrimaResult<Ssa> {
+    let at = sys.schema().atom_type(q.nodes[node].atom_type).expect("resolved");
+    predicate_to_atom_ssa(inner, |attr| at.attribute_index(attr)).ok_or_else(|| {
+        PrimaError::BadStatement(
+            "quantifier body must be decidable on the quantified component".into(),
+        )
+    })
+}
+
+/// Values of `r` across the molecule (all atoms of the referenced node,
+/// restricted to a recursion level when given).
+fn ref_values(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    m: &Molecule,
+    r: &prima_mad::mql::CompRef,
+) -> PrimaResult<Vec<Value>> {
+    let (node, attr) = resolve_ref(q, r, sys.schema())?;
+    let atoms = match r.level {
+        // A level reference selects by recursion depth; in a recursive
+        // structure the same atom type backs several structure nodes, so
+        // match on type + level rather than the node index alone.
+        Some(l) => {
+            let t = q.nodes[node].atom_type;
+            let mut out = Vec::new();
+            m.for_each(|ma| {
+                if ma.level == l && q.nodes[ma.node].atom_type == t {
+                    out.push(ma.atom.values.get(attr).cloned());
+                }
+            });
+            return Ok(out.into_iter().flatten().collect());
+        }
+        None => m.atoms_of_node(node),
+    };
+    Ok(atoms.iter().filter_map(|a| a.values.get(attr).cloned()).collect())
+}
+
+fn exists_atom(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    m: &Molecule,
+    r: &prima_mad::mql::CompRef,
+    f: impl Fn(&Value) -> bool,
+) -> PrimaResult<bool> {
+    Ok(ref_values(sys, q, m, r)?.iter().any(f))
+}
+
+/// Applies per-node projections to one molecule. Returns `None` when a
+/// qualified projection on the *root* rejects the whole molecule.
+fn apply_projection(sys: &AccessSystem, q: &ResolvedQuery, m: Molecule) -> Option<Molecule> {
+    fn project_node(
+        sys: &AccessSystem,
+        q: &ResolvedQuery,
+        mut ma: MolAtom,
+    ) -> Option<MolAtom> {
+        let proj = q
+            .select
+            .per_node
+            .get(ma.node)
+            .cloned()
+            .unwrap_or(NodeProjection::All);
+        match proj {
+            NodeProjection::All => {}
+            NodeProjection::Attrs(attrs) => {
+                let at = sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
+                let mut keep = attrs.clone();
+                keep.push(at.identifier_index());
+                ma.atom = ma.atom.project(&keep);
+            }
+            NodeProjection::Qualified { attrs, ssa } => {
+                if !ssa.eval(&ma.atom) {
+                    return None;
+                }
+                if let Some(attrs) = attrs {
+                    let at =
+                        sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
+                    let mut keep = attrs.clone();
+                    keep.push(at.identifier_index());
+                    ma.atom = ma.atom.project(&keep);
+                }
+            }
+            NodeProjection::Exclude => {
+                let at = sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
+                ma.atom = ma.atom.project(&[at.identifier_index()]);
+            }
+        }
+        ma.children = ma
+            .children
+            .into_iter()
+            .filter_map(|c| project_node(sys, q, c))
+            .collect();
+        Some(ma)
+    }
+    project_node(sys, q, m.root).map(Molecule::new)
+}

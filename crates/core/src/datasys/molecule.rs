@@ -1,0 +1,234 @@
+//! Molecule result representation.
+//!
+//! "The objects the user has to deal with are called molecule
+//! occurrences, shortly molecules. Each molecule consists of more
+//! primitive molecules and belongs to its molecule type" (Section 2.2).
+//! A molecule occurrence here is a tree of atoms mirroring the (resolved,
+//! hierarchical) molecule structure of the query's FROM clause; recursive
+//! structures carry the recursion *level* on every atom (level 0 = root,
+//! as used by the seed qualification `piece_list (0).…`).
+
+use prima_access::Atom;
+use prima_mad::value::AtomId;
+use std::fmt;
+
+/// One atom inside a molecule occurrence, with its structural position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MolAtom {
+    /// Index into the resolved structure's node list.
+    pub node: usize,
+    /// Recursion level (0 for non-recursive structures).
+    pub level: u32,
+    pub atom: Atom,
+    pub children: Vec<MolAtom>,
+}
+
+impl MolAtom {
+    pub fn new(node: usize, level: u32, atom: Atom) -> Self {
+        MolAtom { node, level, atom, children: Vec::new() }
+    }
+
+    /// Number of atoms in this subtree.
+    pub fn atom_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.atom_count()).sum::<usize>()
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a MolAtom)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+/// One molecule occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    pub root: MolAtom,
+}
+
+impl Molecule {
+    pub fn new(root: MolAtom) -> Self {
+        Molecule { root }
+    }
+
+    /// Total number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.root.atom_count()
+    }
+
+    /// All atoms of a given structure node, in pre-order.
+    pub fn atoms_of_node(&self, node: usize) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.root.visit(&mut |m| {
+            if m.node == node {
+                out.push(&m.atom);
+            }
+        });
+        out
+    }
+
+    /// All atoms of a node at a given recursion level.
+    pub fn atoms_of_node_at(&self, node: usize, level: u32) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.root.visit(&mut |m| {
+            if m.node == node && m.level == level {
+                out.push(&m.atom);
+            }
+        });
+        out
+    }
+
+    /// All member atom ids (duplicates possible when molecules overlap —
+    /// non-disjoint molecules share atoms).
+    pub fn atom_ids(&self) -> Vec<AtomId> {
+        let mut out = Vec::new();
+        self.root.visit(&mut |m| out.push(m.atom.id));
+        out
+    }
+
+    /// Greatest recursion level present.
+    pub fn depth(&self) -> u32 {
+        let mut max = 0;
+        self.root.visit(&mut |m| max = max.max(m.level));
+        max
+    }
+
+    /// Visits every [`MolAtom`] in pre-order.
+    pub fn for_each(&self, mut f: impl FnMut(&MolAtom)) {
+        self.root.visit(&mut f);
+    }
+}
+
+/// Description of one structure node, carried along with results so
+/// applications can address components by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    pub label: String,
+    pub atom_type: prima_mad::AtomTypeId,
+    pub recursive: bool,
+    /// Whether the SELECT list keeps this component's attribute values
+    /// (excluded components remain as identifier-only skeleton).
+    pub selected: bool,
+}
+
+/// A set of molecules: the result of an MQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoleculeSet {
+    /// Structure description (index = node id used in [`MolAtom::node`]).
+    pub nodes: Vec<NodeInfo>,
+    pub molecules: Vec<Molecule>,
+}
+
+impl MoleculeSet {
+    /// Node id of a component label.
+    pub fn node_id(&self, label: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.label == label)
+    }
+
+    /// All atoms of the named component across all molecules.
+    pub fn atoms_of(&self, label: &str) -> Vec<&Atom> {
+        match self.node_id(label) {
+            Some(id) => self.molecules.iter().flat_map(|m| m.atoms_of_node(id)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total atom count across molecules.
+    pub fn atom_count(&self) -> usize {
+        self.molecules.iter().map(|m| m.atom_count()).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.molecules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.molecules.is_empty()
+    }
+}
+
+impl fmt::Display for MoleculeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} molecule(s)", self.molecules.len())?;
+        for (i, m) in self.molecules.iter().enumerate() {
+            writeln!(f, "molecule #{i}:")?;
+            fmt_mol_atom(f, &m.root, &self.nodes, 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_mol_atom(
+    f: &mut fmt::Formatter<'_>,
+    m: &MolAtom,
+    nodes: &[NodeInfo],
+    indent: usize,
+) -> fmt::Result {
+    let label = nodes.get(m.node).map(|n| n.label.as_str()).unwrap_or("?");
+    write!(f, "{}{} {}", "  ".repeat(indent), label, m.atom.id)?;
+    if m.level > 0 {
+        write!(f, " (level {})", m.level)?;
+    }
+    let shown: Vec<String> = m
+        .atom
+        .values
+        .iter()
+        .filter(|v| !matches!(v, prima_mad::Value::Null))
+        .take(4)
+        .map(|v| v.to_string())
+        .collect();
+    writeln!(f, " [{}]", shown.join(", "))?;
+    for c in &m.children {
+        fmt_mol_atom(f, c, nodes, indent + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prima_mad::Value;
+
+    fn atom(t: u16, seq: u64) -> Atom {
+        Atom::new(AtomId::new(t, seq), vec![Value::Id(AtomId::new(t, seq))])
+    }
+
+    fn sample() -> MoleculeSet {
+        // root (node 0) with two children of node 1, one grandchild node 1
+        // at level 2 (recursive-ish).
+        let mut root = MolAtom::new(0, 0, atom(0, 1));
+        let mut c1 = MolAtom::new(1, 1, atom(1, 10));
+        c1.children.push(MolAtom::new(1, 2, atom(1, 20)));
+        root.children.push(c1);
+        root.children.push(MolAtom::new(1, 1, atom(1, 11)));
+        MoleculeSet {
+            nodes: vec![
+                NodeInfo { label: "solid".into(), atom_type: 0, recursive: false, selected: true },
+                NodeInfo { label: "part".into(), atom_type: 1, recursive: true, selected: true },
+            ],
+            molecules: vec![Molecule::new(root)],
+        }
+    }
+
+    #[test]
+    fn counting_and_lookup() {
+        let s = sample();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.atom_count(), 4);
+        assert_eq!(s.molecules[0].depth(), 2);
+        assert_eq!(s.atoms_of("part").len(), 3);
+        assert_eq!(s.atoms_of("solid").len(), 1);
+        assert_eq!(s.atoms_of("nothing").len(), 0);
+        assert_eq!(s.molecules[0].atoms_of_node_at(1, 2).len(), 1);
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let s = sample();
+        let text = s.to_string();
+        assert!(text.contains("molecule #0"));
+        assert!(text.contains("solid @0:1"));
+        assert!(text.contains("(level 2)"));
+    }
+}

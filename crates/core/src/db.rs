@@ -1,0 +1,263 @@
+//! The PRIMA facade: "the conceptually simplest system structure […]
+//! using PRIMA without additional components as a 'complete' DBMS. The
+//! services at the MAD interface are directly made available to its
+//! users." (Section 4.)
+
+use crate::datasys::{self, DmlResult, ExecutionTrace, MoleculeSet};
+use crate::error::{PrimaError, PrimaResult};
+use crate::ldl_exec;
+use crate::parallel;
+use crate::txn::{Transaction, TxnManager};
+use prima_access::{AccessSystem, Atom, UpdatePolicy};
+use prima_mad::ddl;
+use prima_mad::mql::{parse_query, parse_statement, Statement};
+use prima_mad::value::{AtomId, Value};
+use prima_mad::Schema;
+use prima_storage::{CostModel, SimDisk, StorageSystem};
+use std::sync::Arc;
+
+/// Configuration for a PRIMA instance.
+pub struct PrimaBuilder {
+    buffer_bytes: usize,
+    cost_model: CostModel,
+}
+
+impl Default for PrimaBuilder {
+    fn default() -> Self {
+        PrimaBuilder { buffer_bytes: 8 << 20, cost_model: CostModel::default() }
+    }
+}
+
+impl PrimaBuilder {
+    /// Database buffer size in bytes (default 8 MiB).
+    pub fn buffer_bytes(mut self, bytes: usize) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Cost model of the simulated device.
+    pub fn cost_model(mut self, m: CostModel) -> Self {
+        self.cost_model = m;
+        self
+    }
+
+    /// Builds a kernel over an already-constructed schema.
+    pub fn build_with_schema(self, schema: Schema) -> PrimaResult<Prima> {
+        let storage = Arc::new(StorageSystem::new(
+            Arc::new(SimDisk::with_cost(self.cost_model)),
+            self.buffer_bytes,
+        ));
+        let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
+        let txn = TxnManager::new(Arc::clone(&access));
+        Ok(Prima { storage, access, txn })
+    }
+
+    /// Builds a kernel from a MAD-DDL script.
+    pub fn build_with_ddl(self, ddl_src: &str) -> PrimaResult<Prima> {
+        let mut schema = Schema::new();
+        ddl::load_script(&mut schema, ddl_src).map_err(|e| match e {
+            ddl::DdlError::Parse(p) => PrimaError::Parse(p),
+            ddl::DdlError::Schema(s) => PrimaError::Schema(s),
+        })?;
+        self.build_with_schema(schema)
+    }
+}
+
+/// An open PRIMA kernel instance.
+pub struct Prima {
+    storage: Arc<StorageSystem>,
+    access: Arc<AccessSystem>,
+    txn: Arc<TxnManager>,
+}
+
+impl Prima {
+    /// Starts configuring a new instance.
+    pub fn builder() -> PrimaBuilder {
+        PrimaBuilder::default()
+    }
+
+    /// The underlying access system (atom-oriented interface).
+    pub fn access(&self) -> &Arc<AccessSystem> {
+        &self.access
+    }
+
+    /// The underlying storage system (for I/O statistics).
+    pub fn storage(&self) -> &Arc<StorageSystem> {
+        &self.storage
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.access.schema()
+    }
+
+    // -----------------------------------------------------------------
+    // MQL
+    // -----------------------------------------------------------------
+
+    /// Runs an MQL `SELECT`, returning the molecule set.
+    pub fn query(&self, mql: &str) -> PrimaResult<MoleculeSet> {
+        Ok(self.query_traced(mql)?.0)
+    }
+
+    /// Runs a `SELECT` and also returns the execution trace (root access
+    /// choice, cluster use, counts).
+    pub fn query_traced(&self, mql: &str) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
+        let q = parse_query(mql)?;
+        let resolved = datasys::validate(self.access.schema(), &q)?;
+        datasys::execute(&self.access, &resolved)
+    }
+
+    /// Runs a `SELECT` with molecule construction decomposed into DUs
+    /// executed on `threads` workers (semantic parallelism, Section 4).
+    pub fn query_parallel(&self, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {
+        let q = parse_query(mql)?;
+        let resolved = datasys::validate(self.access.schema(), &q)?;
+        Ok(parallel::execute_parallel(&self.access, &resolved, threads)?.0)
+    }
+
+    /// Executes an MQL manipulation statement (`INSERT`/`DELETE`/
+    /// `MODIFY`).
+    pub fn execute(&self, mql: &str) -> PrimaResult<DmlResult> {
+        let stmt = parse_statement(mql)?;
+        match stmt {
+            Statement::Select(_) => Err(PrimaError::BadStatement(
+                "use query() for SELECT".into(),
+            )),
+            other => datasys::execute_statement(&self.access, &other),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // LDL
+    // -----------------------------------------------------------------
+
+    /// Executes an LDL script (tuning structures; transparent to MQL).
+    pub fn ldl(&self, src: &str) -> PrimaResult<usize> {
+        ldl_exec::execute_ldl(&self.access, src)
+    }
+
+    /// Applies all pending deferred maintenance.
+    pub fn reconcile(&self) -> PrimaResult<usize> {
+        Ok(self.access.reconcile()?)
+    }
+
+    /// Sets the redundancy maintenance policy.
+    pub fn set_update_policy(&self, p: UpdatePolicy) {
+        self.access.set_update_policy(p);
+    }
+
+    // -----------------------------------------------------------------
+    // Direct atom interface (application-layer style access)
+    // -----------------------------------------------------------------
+
+    /// Inserts an atom by type name with named attribute values, returning
+    /// its logical address. (The programmatic path applications use to
+    /// load data; reference values connect components directly.)
+    pub fn insert(&self, type_name: &str, attrs: &[(&str, Value)]) -> PrimaResult<AtomId> {
+        Ok(self.access.insert_atom_named(type_name, attrs)?)
+    }
+
+    /// Reads one atom.
+    pub fn read(&self, id: AtomId) -> PrimaResult<Atom> {
+        Ok(self.access.read_atom(id, None)?)
+    }
+
+    /// Modifies named attributes of an atom.
+    pub fn modify(&self, id: AtomId, attrs: &[(&str, Value)]) -> PrimaResult<()> {
+        Ok(self.access.modify_atom_named(id, attrs)?)
+    }
+
+    /// Deletes an atom (disconnecting it everywhere).
+    pub fn delete(&self, id: AtomId) -> PrimaResult<()> {
+        Ok(self.access.delete_atom(id)?)
+    }
+
+    // -----------------------------------------------------------------
+    // Transactions
+    // -----------------------------------------------------------------
+
+    /// Begins a top-level transaction.
+    pub fn begin(&self) -> PrimaResult<Transaction> {
+        Ok(self.txn.begin(None)?)
+    }
+
+    /// The transaction manager (for advanced nesting scenarios).
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.txn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasys::DmlResult;
+
+    const DDL: &str = "
+        CREATE ATOM_TYPE thing (id: IDENTIFIER, n: INTEGER, s: CHAR_VAR)
+        KEYS_ARE (n);
+    ";
+
+    fn db() -> Prima {
+        Prima::builder().buffer_bytes(1 << 20).build_with_ddl(DDL).unwrap()
+    }
+
+    #[test]
+    fn build_rejects_bad_ddl() {
+        assert!(matches!(
+            Prima::builder().build_with_ddl("CREATE NONSENSE"),
+            Err(PrimaError::Parse(_))
+        ));
+        assert!(matches!(
+            Prima::builder().build_with_ddl(
+                "CREATE ATOM_TYPE a (id: IDENTIFIER, r: REF_TO (missing.x));"
+            ),
+            Err(PrimaError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn query_vs_execute_routing() {
+        let d = db();
+        assert!(matches!(
+            d.execute("SELECT ALL FROM thing"),
+            Err(PrimaError::BadStatement(_))
+        ));
+        let r = d.execute("INSERT thing (n: 1, s: 'one')").unwrap();
+        assert!(matches!(r, DmlResult::Inserted(_)));
+        assert_eq!(d.query("SELECT ALL FROM thing").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn direct_atom_interface_round_trip() {
+        let d = db();
+        let id = d.insert("thing", &[("n", Value::Int(7)), ("s", Value::Str("x".into()))]).unwrap();
+        assert_eq!(d.read(id).unwrap().values[1], Value::Int(7));
+        d.modify(id, &[("s", Value::Str("y".into()))]).unwrap();
+        assert_eq!(d.read(id).unwrap().values[2], Value::Str("y".into()));
+        d.delete(id).unwrap();
+        assert!(d.read(id).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let d = db();
+        let err = d.query("SELECT FROM").unwrap_err();
+        assert!(matches!(err, PrimaError::Parse(_)));
+    }
+
+    #[test]
+    fn ldl_round_trip_and_reconcile() {
+        let d = db();
+        for i in 0..20 {
+            d.insert("thing", &[("n", Value::Int(i)), ("s", Value::Str("v".into()))]).unwrap();
+        }
+        assert_eq!(d.ldl("CREATE SORT ORDER so ON thing (n); RECONCILE").unwrap(), 2);
+        d.set_update_policy(UpdatePolicy::Deferred);
+        let t = d.schema().type_id("thing").unwrap();
+        let id = d.access().all_ids(t).unwrap()[0];
+        d.modify(id, &[("s", Value::Str("w".into()))]).unwrap();
+        assert!(!d.access().deferred_queue().is_empty());
+        assert_eq!(d.reconcile().unwrap(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type of the PRIMA kernel (data-system level and above).
+
+use prima_access::AccessError;
+use prima_mad::mql::ParseError;
+use prima_mad::SchemaError;
+use prima_storage::StorageError;
+use std::fmt;
+
+pub type PrimaResult<T> = Result<T, PrimaError>;
+
+/// Errors surfaced at the MAD interface.
+#[derive(Debug)]
+pub enum PrimaError {
+    /// MQL / DDL / LDL syntax error.
+    Parse(ParseError),
+    /// Schema-level violation.
+    Schema(SchemaError),
+    /// Access-system failure.
+    Access(AccessError),
+    /// Storage-system failure.
+    Storage(StorageError),
+    /// Query validation: a FROM component name is neither an atom type
+    /// nor a molecule type.
+    UnknownComponent(String),
+    /// Query validation: a predicate/select reference cannot be resolved.
+    UnresolvedReference { reference: String, detail: String },
+    /// Query validation: no (unique) association connects two components.
+    NoAssociation { from: String, to: String, detail: String },
+    /// Recursive molecule queries need a seed qualification
+    /// (`name (0).attr = …`).
+    MissingSeed(String),
+    /// DML statement invalid (e.g. assignment to unknown attribute).
+    BadStatement(String),
+    /// Transaction-level conflict or misuse.
+    Txn(crate::txn::TxnError),
+}
+
+impl fmt::Display for PrimaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimaError::Parse(e) => write!(f, "parse error: {e}"),
+            PrimaError::Schema(e) => write!(f, "schema error: {e}"),
+            PrimaError::Access(e) => write!(f, "access error: {e}"),
+            PrimaError::Storage(e) => write!(f, "storage error: {e}"),
+            PrimaError::UnknownComponent(n) => {
+                write!(f, "unknown component '{n}' in FROM clause")
+            }
+            PrimaError::UnresolvedReference { reference, detail } => {
+                write!(f, "cannot resolve '{reference}': {detail}")
+            }
+            PrimaError::NoAssociation { from, to, detail } => {
+                write!(f, "no association from '{from}' to '{to}': {detail}")
+            }
+            PrimaError::MissingSeed(n) => {
+                write!(f, "recursive molecule '{n}' needs a seed qualification")
+            }
+            PrimaError::BadStatement(d) => write!(f, "bad statement: {d}"),
+            PrimaError::Txn(e) => write!(f, "transaction error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimaError {}
+
+impl From<ParseError> for PrimaError {
+    fn from(e: ParseError) -> Self {
+        PrimaError::Parse(e)
+    }
+}
+
+impl From<SchemaError> for PrimaError {
+    fn from(e: SchemaError) -> Self {
+        PrimaError::Schema(e)
+    }
+}
+
+impl From<AccessError> for PrimaError {
+    fn from(e: AccessError) -> Self {
+        PrimaError::Access(e)
+    }
+}
+
+impl From<StorageError> for PrimaError {
+    fn from(e: StorageError) -> Self {
+        PrimaError::Storage(e)
+    }
+}
+
+impl From<crate::txn::TxnError> for PrimaError {
+    fn from(e: crate::txn::TxnError) -> Self {
+        PrimaError::Txn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = PrimaError::UnknownComponent("blob".into());
+        assert!(e.to_string().contains("blob"));
+        let e = PrimaError::MissingSeed("piece_list".into());
+        assert!(e.to_string().contains("seed"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # PRIMA — a DBMS kernel prototype implementing the MAD model
+//!
+//! Reproduction of *Härder, Meyer-Wegener, Mitschang, Sikeler: "PRIMA — a
+//! DBMS Prototype Supporting Engineering Applications", VLDB 1987.*
+//!
+//! PRIMA is a three-layer DBMS kernel (Fig. 3.1 of the paper):
+//!
+//! ```text
+//!   application layer          (examples/ in this repository)
+//!   ───────────────────────── MAD interface: molecule sets ───────
+//!   data system                crate prima       [`datasys`]
+//!   ───────────────────────── atoms ──────────────────────────────
+//!   access system              crate prima-access
+//!   ───────────────────────── physical records / pages ───────────
+//!   storage system             crate prima-storage
+//!   ───────────────────────── blocks ─────────────────────────────
+//!   (simulated) external devices
+//! ```
+//!
+//! The entry point is [`Prima`]: open an in-memory kernel, load a schema
+//! with MAD-DDL, tune it with LDL, and run MQL:
+//!
+//! ```
+//! use prima::Prima;
+//!
+//! let db = Prima::builder().build_with_ddl("
+//!     CREATE ATOM_TYPE solid (
+//!         solid_id : IDENTIFIER,
+//!         solid_no : INTEGER,
+//!         sub      : SET_OF (REF_TO (solid.super)),
+//!         super    : SET_OF (REF_TO (solid.sub)) )
+//!     KEYS_ARE (solid_no);
+//! ").unwrap();
+//! db.execute("INSERT solid (solid_no: 4711)").unwrap();
+//! let result = db.query("SELECT ALL FROM solid WHERE solid_no = 4711").unwrap();
+//! assert_eq!(result.molecules.len(), 1);
+//! ```
+//!
+//! Beyond the query path, the crate provides the PRIMA processing model:
+//! nested transactions ([`txn`], refining \[Mo81\] as announced in Section
+//! 4) and *semantic parallelism* — decomposition of single user
+//! operations into concurrently executable units of work ([`parallel`]).
+
+pub mod db;
+pub mod datasys;
+pub mod error;
+pub mod ldl_exec;
+pub mod parallel;
+pub mod txn;
+
+pub use db::{Prima, PrimaBuilder};
+pub use datasys::molecule::{MolAtom, Molecule, MoleculeSet};
+pub use error::{PrimaError, PrimaResult};
+pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
+pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

@@ -1,0 +1,180 @@
+//! Atom-granularity lock table with Moss's nested-transaction rules.
+
+use super::{TxnError, TxnId};
+use parking_lot::Mutex;
+use prima_mad::value::AtomId;
+use std::collections::HashMap;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    /// `(holder, mode)` pairs; multiple Shared holders possible, one
+    /// Exclusive holder (plus the same holder may also appear Shared).
+    holders: Vec<(TxnId, LockMode)>,
+}
+
+/// The lock table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: Mutex<HashMap<AtomId, Entry>>,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires `mode` on `atom` for `t`. `ancestors` must contain `t`
+    /// itself plus all its ancestors; a conflicting holder is tolerated
+    /// iff it is in that set (Moss's rule: "all holders are ancestors").
+    pub fn acquire(
+        &self,
+        t: TxnId,
+        ancestors: &[TxnId],
+        atom: AtomId,
+        mode: LockMode,
+    ) -> Result<(), TxnError> {
+        let mut entries = self.entries.lock();
+        let e = entries.entry(atom).or_default();
+        for (holder, hmode) in &e.holders {
+            let conflicting = matches!(
+                (hmode, mode),
+                (LockMode::Exclusive, _) | (_, LockMode::Exclusive)
+            );
+            if conflicting && !ancestors.contains(holder) {
+                return Err(TxnError::LockConflict { atom, holder: *holder });
+            }
+        }
+        // Upgrade / record.
+        match e.holders.iter_mut().find(|(h, _)| *h == t) {
+            Some(slot) => {
+                if mode == LockMode::Exclusive {
+                    slot.1 = LockMode::Exclusive;
+                }
+            }
+            None => e.holders.push((t, mode)),
+        }
+        Ok(())
+    }
+
+    /// Transfers all of `from`'s locks to `to` (subtransaction commit —
+    /// "anti-inheritance").
+    pub fn transfer(&self, from: TxnId, to: TxnId) {
+        let mut entries = self.entries.lock();
+        for e in entries.values_mut() {
+            let mut inherited: Option<LockMode> = None;
+            e.holders.retain(|(h, m)| {
+                if *h == from {
+                    inherited = Some(match (inherited, *m) {
+                        (Some(LockMode::Exclusive), _) | (_, LockMode::Exclusive) => {
+                            LockMode::Exclusive
+                        }
+                        _ => LockMode::Shared,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(m) = inherited {
+                match e.holders.iter_mut().find(|(h, _)| *h == to) {
+                    Some(slot) => {
+                        if m == LockMode::Exclusive {
+                            slot.1 = LockMode::Exclusive;
+                        }
+                    }
+                    None => e.holders.push((to, m)),
+                }
+            }
+        }
+    }
+
+    /// Releases all locks of `t` (top-level commit or abort).
+    pub fn release_all(&self, t: TxnId) {
+        let mut entries = self.entries.lock();
+        entries.retain(|_, e| {
+            e.holders.retain(|(h, _)| *h != t);
+            !e.holders.is_empty()
+        });
+    }
+
+    /// Number of atoms with at least one lock (diagnostics).
+    pub fn locked_atoms(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> AtomId {
+        AtomId::new(0, n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lt = LockTable::new();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared).unwrap();
+        assert_eq!(lt.locked_atoms(), 1);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_stranger() {
+        let lt = LockTable::new();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared).unwrap_err();
+        assert!(matches!(err, TxnError::LockConflict { holder: TxnId(1), .. }));
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, TxnError::LockConflict { .. }));
+    }
+
+    #[test]
+    fn ancestor_holding_lock_is_not_a_conflict() {
+        let lt = LockTable::new();
+        // parent 1 holds X; child 2 (ancestors [2,1]) may acquire.
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        // sibling 3 (ancestors [3,1]) conflicts with 2's X.
+        let err = lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], id(1), LockMode::Shared);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn transfer_on_subcommit() {
+        let lt = LockTable::new();
+        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        lt.transfer(TxnId(2), TxnId(1));
+        // A stranger still conflicts — now with txn 1.
+        let err = lt.acquire(TxnId(9), &[TxnId(9)], id(1), LockMode::Shared).unwrap_err();
+        assert!(matches!(err, TxnError::LockConflict { holder: TxnId(1), .. }));
+        // Another child of 1 may acquire (holder is its ancestor).
+        lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], id(1), LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn release_all_clears() {
+        let lt = LockTable::new();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(2), LockMode::Shared).unwrap();
+        lt.release_all(TxnId(1));
+        assert_eq!(lt.locked_atoms(), 0);
+        lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn shared_then_upgrade_by_same_txn() {
+        let lt = LockTable::new();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Nested transactions.
+//!
+//! "We have decided to refine the concept of nested transactions \[Mo81\]
+//! as a generic mechanism for all proposed uses of PRIMA" (Section 4):
+//! fine-grained intra-transaction parallelism needs units of work that
+//! can fail and retry independently — exactly what subtransactions give.
+//!
+//! The implementation follows Moss's rules on an atom-granularity lock
+//! table:
+//!
+//! * a subtransaction may acquire a lock if every conflicting holder is
+//!   an *ancestor*;
+//! * on **commit**, a subtransaction's locks and undo log are inherited
+//!   by its parent (they only become permanent when the top-level
+//!   transaction commits);
+//! * on **abort**, its undo log is applied in reverse — *selective
+//!   in-transaction recovery*: sibling work is untouched.
+//!
+//! Lock conflicts fail fast with [`TxnError::LockConflict`] instead of
+//! blocking; the parallel executor treats that as "retry later", which is
+//! the scheduling policy the paper's semantic parallelism needs (DUs are
+//! chosen to be conflict-free, so conflicts are rare).
+
+mod lock;
+mod undo;
+
+pub use lock::{LockMode, LockTable};
+pub use undo::UndoOp;
+
+use crate::error::PrimaResult;
+use parking_lot::Mutex;
+use prima_access::{AccessSystem, Atom};
+use prima_mad::value::{AtomId, AtomTypeId, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Transaction-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnError {
+    /// Another (non-ancestor) transaction holds a conflicting lock.
+    LockConflict { atom: AtomId, holder: TxnId },
+    /// Unknown or already finished transaction.
+    NotActive(TxnId),
+    /// A parent cannot commit while children are active.
+    ChildrenActive(TxnId),
+    /// Access-system failure while applying or undoing work.
+    Access(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::LockConflict { atom, holder } => {
+                write!(f, "lock conflict on {atom} held by {holder}")
+            }
+            TxnError::NotActive(t) => write!(f, "{t} is not active"),
+            TxnError::ChildrenActive(t) => write!(f, "{t} has active children"),
+            TxnError::Access(e) => write!(f, "access error in transaction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+struct TxnState {
+    parent: Option<TxnId>,
+    children: Vec<TxnId>,
+    undo: Vec<UndoOp>,
+}
+
+/// The transaction manager: lock table plus transaction tree.
+pub struct TxnManager {
+    sys: Arc<AccessSystem>,
+    locks: LockTable,
+    active: Mutex<HashMap<TxnId, TxnState>>,
+    next: AtomicU64,
+}
+
+impl TxnManager {
+    pub fn new(sys: Arc<AccessSystem>) -> Arc<TxnManager> {
+        Arc::new(TxnManager {
+            sys,
+            locks: LockTable::new(),
+            active: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        })
+    }
+
+    /// Starts a (sub)transaction.
+    pub fn begin(self: &Arc<Self>, parent: Option<TxnId>) -> Result<Transaction, TxnError> {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        let mut active = self.active.lock();
+        if let Some(p) = parent {
+            let pstate = active.get_mut(&p).ok_or(TxnError::NotActive(p))?;
+            pstate.children.push(id);
+        }
+        active.insert(id, TxnState { parent, children: Vec::new(), undo: Vec::new() });
+        Ok(Transaction { id, mgr: Arc::clone(self), finished: false })
+    }
+
+    /// Ancestor chain of `t` (inclusive).
+    fn ancestors(&self, t: TxnId) -> Vec<TxnId> {
+        let active = self.active.lock();
+        let mut out = vec![t];
+        let mut cur = t;
+        while let Some(state) = active.get(&cur) {
+            match state.parent {
+                Some(p) => {
+                    out.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn push_undo(&self, t: TxnId, op: UndoOp) -> Result<(), TxnError> {
+        let mut active = self.active.lock();
+        let state = active.get_mut(&t).ok_or(TxnError::NotActive(t))?;
+        state.undo.push(op);
+        Ok(())
+    }
+
+    fn lock(&self, t: TxnId, atom: AtomId, mode: LockMode) -> Result<(), TxnError> {
+        let ancestors = self.ancestors(t);
+        self.locks.acquire(t, &ancestors, atom, mode)
+    }
+
+    // -----------------------------------------------------------------
+    // Transactional atom operations
+    // -----------------------------------------------------------------
+
+    fn read_atom(&self, t: TxnId, id: AtomId) -> Result<Atom, TxnError> {
+        self.lock(t, id, LockMode::Shared)?;
+        self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))
+    }
+
+    fn insert_atom(
+        &self,
+        t: TxnId,
+        atom_type: AtomTypeId,
+        values: Vec<Value>,
+    ) -> Result<AtomId, TxnError> {
+        // Referenced atoms receive implicit back-reference updates: lock
+        // them exclusively first.
+        for v in &values {
+            for target in v.referenced_ids() {
+                self.lock(t, target, LockMode::Exclusive)?;
+            }
+        }
+        let id = self
+            .sys
+            .insert_atom(atom_type, values)
+            .map_err(|e| TxnError::Access(e.to_string()))?;
+        self.lock(t, id, LockMode::Exclusive)?;
+        self.push_undo(t, UndoOp::UndoInsert { id })?;
+        Ok(id)
+    }
+
+    fn modify_atom(
+        &self,
+        t: TxnId,
+        id: AtomId,
+        updates: &[(usize, Value)],
+    ) -> Result<(), TxnError> {
+        self.lock(t, id, LockMode::Exclusive)?;
+        let before = self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))?;
+        // Lock atoms whose back-references will change.
+        for (i, v) in updates {
+            for target in before.values.get(*i).map(|x| x.referenced_ids()).unwrap_or_default()
+            {
+                self.lock(t, target, LockMode::Exclusive)?;
+            }
+            for target in v.referenced_ids() {
+                self.lock(t, target, LockMode::Exclusive)?;
+            }
+        }
+        let old: Vec<(usize, Value)> = updates
+            .iter()
+            .map(|(i, _)| (*i, before.values.get(*i).cloned().unwrap_or(Value::Null)))
+            .collect();
+        self.sys.modify_atom(id, updates).map_err(|e| TxnError::Access(e.to_string()))?;
+        self.push_undo(t, UndoOp::UndoModify { id, old })?;
+        Ok(())
+    }
+
+    fn delete_atom(&self, t: TxnId, id: AtomId) -> Result<(), TxnError> {
+        self.lock(t, id, LockMode::Exclusive)?;
+        let before = self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))?;
+        for v in &before.values {
+            for target in v.referenced_ids() {
+                self.lock(t, target, LockMode::Exclusive)?;
+            }
+        }
+        self.sys.delete_atom(id).map_err(|e| TxnError::Access(e.to_string()))?;
+        self.push_undo(t, UndoOp::UndoDelete { atom: before })?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Commit / abort
+    // -----------------------------------------------------------------
+
+    fn commit(&self, t: TxnId) -> Result<(), TxnError> {
+        let (parent, undo) = {
+            let mut active = self.active.lock();
+            let state = active.get(&t).ok_or(TxnError::NotActive(t))?;
+            if !state.children.is_empty() {
+                return Err(TxnError::ChildrenActive(t));
+            }
+            let state = active.remove(&t).unwrap();
+            if let Some(p) = state.parent {
+                if let Some(ps) = active.get_mut(&p) {
+                    ps.children.retain(|c| *c != t);
+                }
+            }
+            (state.parent, state.undo)
+        };
+        match parent {
+            Some(p) => {
+                // Moss: locks and undo are inherited by the parent.
+                self.locks.transfer(t, p);
+                let mut active = self.active.lock();
+                if let Some(ps) = active.get_mut(&p) {
+                    ps.undo.extend(undo);
+                }
+                Ok(())
+            }
+            None => {
+                // Top-level commit: work is permanent; deferred structure
+                // maintenance may now be reconciled.
+                self.locks.release_all(t);
+                Ok(())
+            }
+        }
+    }
+
+    fn abort(&self, t: TxnId) -> Result<(), TxnError> {
+        // Abort children first (deepest-first).
+        let children: Vec<TxnId> = {
+            let active = self.active.lock();
+            match active.get(&t) {
+                Some(s) => s.children.clone(),
+                None => return Err(TxnError::NotActive(t)),
+            }
+        };
+        for c in children {
+            self.abort(c)?;
+        }
+        let (parent, undo) = {
+            let mut active = self.active.lock();
+            let state = active.remove(&t).ok_or(TxnError::NotActive(t))?;
+            if let Some(p) = state.parent {
+                if let Some(ps) = active.get_mut(&p) {
+                    ps.children.retain(|c| *c != t);
+                }
+            }
+            (state.parent, state.undo)
+        };
+        let _ = parent;
+        // Selective in-transaction recovery: apply undo in reverse.
+        for op in undo.into_iter().rev() {
+            op.apply(&self.sys).map_err(|e| TxnError::Access(e.to_string()))?;
+        }
+        self.locks.release_all(t);
+        Ok(())
+    }
+
+    /// Number of active transactions (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+}
+
+/// Handle to one (sub)transaction. Dropping an unfinished transaction
+/// aborts it.
+pub struct Transaction {
+    id: TxnId,
+    mgr: Arc<TxnManager>,
+    finished: bool,
+}
+
+impl Transaction {
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Starts a subtransaction.
+    pub fn begin_child(&self) -> Result<Transaction, TxnError> {
+        self.mgr.begin(Some(self.id))
+    }
+
+    /// Transactional read (shared lock).
+    pub fn read_atom(&self, id: AtomId) -> Result<Atom, TxnError> {
+        self.mgr.read_atom(self.id, id)
+    }
+
+    /// Transactional insert (exclusive locks on the new atom and on all
+    /// referenced atoms — their back-references change).
+    pub fn insert_atom(&self, t: AtomTypeId, values: Vec<Value>) -> Result<AtomId, TxnError> {
+        self.mgr.insert_atom(self.id, t, values)
+    }
+
+    /// Transactional modify.
+    pub fn modify_atom(&self, id: AtomId, updates: &[(usize, Value)]) -> Result<(), TxnError> {
+        self.mgr.modify_atom(self.id, id, updates)
+    }
+
+    /// Transactional delete.
+    pub fn delete_atom(&self, id: AtomId) -> Result<(), TxnError> {
+        self.mgr.delete_atom(self.id, id)
+    }
+
+    /// Commits; for subtransactions the effects (and locks) pass to the
+    /// parent.
+    pub fn commit(mut self) -> Result<(), TxnError> {
+        self.finished = true;
+        self.mgr.commit(self.id)
+    }
+
+    /// Aborts, rolling back this transaction's (and its children's)
+    /// effects only.
+    pub fn abort(mut self) -> Result<(), TxnError> {
+        self.finished = true;
+        self.mgr.abort(self.id)
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.mgr.abort(self.id);
+        }
+    }
+}
+
+/// Convenience: run `f` in a child transaction, committing on `Ok` and
+/// aborting on `Err`.
+pub fn with_child<R>(
+    parent: &Transaction,
+    f: impl FnOnce(&Transaction) -> PrimaResult<R>,
+) -> PrimaResult<R> {
+    let child = parent.begin_child()?;
+    match f(&child) {
+        Ok(r) => {
+            child.commit()?;
+            Ok(r)
+        }
+        Err(e) => {
+            child.abort()?;
+            Err(e)
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Undo log entries for selective in-transaction recovery.
+//!
+//! "…a flexible transaction concept … which should also focus on fine
+//! grained intra-transaction parallelism and selective in-transaction
+//! recovery in various failure events" (Section 4). Undo is *logical*:
+//! each entry stores the inverse operation; back-references regenerate
+//! through the access system's own integrity maintenance when the inverse
+//! is applied, so sibling subtransactions' work is untouched.
+
+use prima_access::{AccessError, AccessSystem, Atom};
+use prima_mad::value::{AtomId, Value};
+
+/// One logical undo entry.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Inverse of insert: delete the atom.
+    UndoInsert { id: AtomId },
+    /// Inverse of modify: restore the old attribute values.
+    UndoModify { id: AtomId, old: Vec<(usize, Value)> },
+    /// Inverse of delete: restore the atom with its old values (and
+    /// thereby its outgoing references; back-references follow).
+    UndoDelete { atom: Atom },
+}
+
+impl UndoOp {
+    /// Applies the inverse operation.
+    pub fn apply(&self, sys: &AccessSystem) -> Result<(), AccessError> {
+        match self {
+            UndoOp::UndoInsert { id } => {
+                if sys.exists(*id) {
+                    sys.delete_atom(*id)?;
+                }
+                Ok(())
+            }
+            UndoOp::UndoModify { id, old } => {
+                if sys.exists(*id) {
+                    sys.modify_atom(*id, old)?;
+                }
+                Ok(())
+            }
+            UndoOp::UndoDelete { atom } => {
+                // Drop references to atoms that no longer exist (they may
+                // have been deleted by the same aborting transaction and
+                // restored later in the reverse replay — in that case the
+                // later restore re-adds the back-reference symmetrically).
+                let mut values = atom.values.clone();
+                for v in values.iter_mut() {
+                    match v {
+                        Value::Ref(Some(t)) if !sys.exists(*t) => *v = Value::Ref(None),
+                        Value::RefSet(ids) => ids.retain(|t| sys.exists(*t)),
+                        _ => {}
+                    }
+                }
+                sys.restore_atom(Atom::new(atom.id, values))?;
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Value encoding: the on-record byte format and order-preserving keys.
+//!
+//! Two encodings live here:
+//!
+//! * [`encode_value`]/[`decode_value`] — a self-describing tagged format
+//!   used for physical records (atoms, partitions, cluster members). The
+//!   access system treats physical records as "byte strings of variable
+//!   length" (Section 3.2); this codec is how atoms become such strings.
+//! * [`encode_key`] — a *memcomparable* encoding: byte-wise lexicographic
+//!   comparison of encoded keys equals [`Value::total_cmp`] on the values.
+//!   B*-tree access paths and sort orders store these.
+
+use crate::value::{AtomId, Value};
+
+/// Errors when decoding a physical record back into values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a value.
+    Truncated,
+    /// Unknown tag byte at the given offset.
+    BadTag(u8, usize),
+    /// String payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record truncated"),
+            CodecError::BadTag(t, off) => write!(f, "unknown value tag {t} at offset {off}"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const ID: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const REAL: u8 = 3;
+    pub const BOOL_FALSE: u8 = 4;
+    pub const BOOL_TRUE: u8 = 5;
+    pub const STR: u8 = 6;
+    pub const REF_NONE: u8 = 7;
+    pub const REF_SOME: u8 = 8;
+    pub const REF_SET: u8 = 9;
+    pub const RECORD: u8 = 10;
+    pub const ARRAY: u8 = 11;
+    pub const SET: u8 = 12;
+    pub const LIST: u8 = 13;
+}
+
+/// Appends the tagged encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(tag::NULL),
+        Value::Id(id) => {
+            out.push(tag::ID);
+            put_atom_id(id, out);
+        }
+        Value::Int(i) => {
+            out.push(tag::INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(tag::REAL);
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        Value::Bool(false) => out.push(tag::BOOL_FALSE),
+        Value::Bool(true) => out.push(tag::BOOL_TRUE),
+        Value::Str(s) => {
+            out.push(tag::STR);
+            put_len(s.len(), out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Ref(None) => out.push(tag::REF_NONE),
+        Value::Ref(Some(id)) => {
+            out.push(tag::REF_SOME);
+            put_atom_id(id, out);
+        }
+        Value::RefSet(ids) => {
+            out.push(tag::REF_SET);
+            put_len(ids.len(), out);
+            for id in ids {
+                put_atom_id(id, out);
+            }
+        }
+        Value::Record(fields) => {
+            out.push(tag::RECORD);
+            put_len(fields.len(), out);
+            for (name, val) in fields {
+                put_len(name.len(), out);
+                out.extend_from_slice(name.as_bytes());
+                encode_value(val, out);
+            }
+        }
+        Value::Array(vs) | Value::Set(vs) | Value::List(vs) => {
+            out.push(match v {
+                Value::Array(_) => tag::ARRAY,
+                Value::Set(_) => tag::SET,
+                _ => tag::LIST,
+            });
+            put_len(vs.len(), out);
+            for x in vs {
+                encode_value(x, out);
+            }
+        }
+    }
+}
+
+/// Encodes a slice of values (an atom's attribute vector) into one record
+/// image.
+pub fn encode_values(vs: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * vs.len());
+    put_len(vs.len(), &mut out);
+    for v in vs {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+/// Decodes one value from `buf` at `*pos`, advancing `*pos`.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
+    let t = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    Ok(match t {
+        tag::NULL => Value::Null,
+        tag::ID => Value::Id(get_atom_id(buf, pos)?),
+        tag::INT => Value::Int(i64::from_le_bytes(take::<8>(buf, pos)?)),
+        tag::REAL => Value::Real(f64::from_le_bytes(take::<8>(buf, pos)?)),
+        tag::BOOL_FALSE => Value::Bool(false),
+        tag::BOOL_TRUE => Value::Bool(true),
+        tag::STR => {
+            let n = get_len(buf, pos)?;
+            let bytes = take_slice(buf, pos, n)?;
+            Value::Str(String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)?)
+        }
+        tag::REF_NONE => Value::Ref(None),
+        tag::REF_SOME => Value::Ref(Some(get_atom_id(buf, pos)?)),
+        tag::REF_SET => {
+            let n = get_len(buf, pos)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(get_atom_id(buf, pos)?);
+            }
+            Value::RefSet(ids)
+        }
+        tag::RECORD => {
+            let n = get_len(buf, pos)?;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ln = get_len(buf, pos)?;
+                let name = String::from_utf8(take_slice(buf, pos, ln)?.to_vec())
+                    .map_err(|_| CodecError::BadUtf8)?;
+                let val = decode_value(buf, pos)?;
+                fields.push((name, val));
+            }
+            Value::Record(fields)
+        }
+        tag::ARRAY | tag::SET | tag::LIST => {
+            let n = get_len(buf, pos)?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(decode_value(buf, pos)?);
+            }
+            match t {
+                tag::ARRAY => Value::Array(vs),
+                tag::SET => Value::Set(vs),
+                _ => Value::List(vs),
+            }
+        }
+        other => return Err(CodecError::BadTag(other, *pos - 1)),
+    })
+}
+
+/// Decodes a record image produced by [`encode_values`].
+pub fn decode_values(buf: &[u8]) -> Result<Vec<Value>, CodecError> {
+    let mut pos = 0;
+    let n = get_len(buf, &mut pos)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_value(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+fn put_len(n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+fn get_len(buf: &[u8], pos: &mut usize) -> Result<usize, CodecError> {
+    Ok(u32::from_le_bytes(take::<4>(buf, pos)?) as usize)
+}
+
+fn put_atom_id(id: &AtomId, out: &mut Vec<u8>) {
+    out.extend_from_slice(&id.atom_type.to_le_bytes());
+    out.extend_from_slice(&id.seq.to_le_bytes());
+}
+
+fn get_atom_id(buf: &[u8], pos: &mut usize) -> Result<AtomId, CodecError> {
+    let atom_type = u16::from_le_bytes(take::<2>(buf, pos)?);
+    let seq = u64::from_le_bytes(take::<8>(buf, pos)?);
+    Ok(AtomId { atom_type, seq })
+}
+
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], CodecError> {
+    let s = buf.get(*pos..*pos + N).ok_or(CodecError::Truncated)?;
+    *pos += N;
+    Ok(s.try_into().unwrap())
+}
+
+fn take_slice<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+    let s = buf.get(*pos..*pos + n).ok_or(CodecError::Truncated)?;
+    *pos += n;
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving key encoding
+// ---------------------------------------------------------------------------
+
+/// Kind-rank bytes mirror [`Value::total_cmp`]'s cross-kind ordering.
+fn key_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Real(_) => 2,
+        Value::Str(_) => 3,
+        Value::Id(_) => 4,
+        Value::Ref(_) => 5,
+        Value::RefSet(_) => 6,
+        Value::Record(_) => 7,
+        Value::Array(_) => 8,
+        Value::Set(_) => 9,
+        Value::List(_) => 10,
+    }
+}
+
+/// Appends a memcomparable encoding of `v` to `out`: for any two values
+/// `a`, `b`, `encode_key(a) <= encode_key(b)` (bytewise) iff
+/// `a.total_cmp(b) != Greater`.
+pub fn encode_key(v: &Value, out: &mut Vec<u8>) {
+    out.push(key_rank(v));
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.push(*b as u8),
+        // Numbers: both Int and Real map into the f64 order-preserving
+        // image so cross-kind numeric comparison works. i64 values beyond
+        // 2^53 lose precision in f64; to keep the order exact we encode
+        // ints as (f64 image, raw offset image) — the second component
+        // breaks ties exactly.
+        Value::Int(i) => {
+            put_f64_key(*i as f64, out);
+            out.extend_from_slice(&((*i as u64) ^ (1 << 63)).to_be_bytes());
+        }
+        Value::Real(r) => {
+            put_f64_key(*r, out);
+            // Reals tie-break "below" any equal int image: pad with the
+            // midpoint marker so Int(3) == Real(3.0) compares equal-ish;
+            // exact equality of keys is only required for identical
+            // values, and total_cmp says Int(3)==Real(3.0), so use the
+            // same tie-break image derived from the float.
+            let i = *r as i64;
+            let exact = i as f64 == *r;
+            if exact {
+                out.extend_from_slice(&((i as u64) ^ (1 << 63)).to_be_bytes());
+            } else {
+                // Non-integral reals: tie-break bytes derived from the
+                // float image keep uniqueness without disturbing order.
+                out.extend_from_slice(&f64_key_image(*r).to_be_bytes());
+            }
+        }
+        Value::Str(s) => put_escaped(s.as_bytes(), out),
+        Value::Id(id) => put_atom_id_key(id, out),
+        Value::Ref(opt) => {
+            match opt {
+                None => out.push(0),
+                Some(id) => {
+                    out.push(1);
+                    put_atom_id_key(id, out);
+                }
+            }
+        }
+        Value::RefSet(ids) => {
+            for id in ids {
+                out.push(1);
+                put_atom_id_key(id, out);
+            }
+            out.push(0);
+        }
+        Value::Record(fields) => {
+            for (name, val) in fields {
+                out.push(1);
+                put_escaped(name.as_bytes(), out);
+                encode_key(val, out);
+            }
+            out.push(0);
+        }
+        Value::Array(vs) | Value::Set(vs) | Value::List(vs) => {
+            for x in vs {
+                out.push(1);
+                encode_key(x, out);
+            }
+            out.push(0);
+        }
+    }
+}
+
+/// Encodes a composite key (multi-attribute sort criteria / index keys).
+pub fn encode_composite_key(vs: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vs.len() * 12);
+    for v in vs {
+        encode_key(v, &mut out);
+    }
+    out
+}
+
+/// IEEE-754 trick: flip sign bit for non-negative, flip all bits for
+/// negative — the resulting u64 orders like the float (with -NaN first,
+/// +NaN last, matching `f64::total_cmp`).
+fn f64_key_image(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+fn put_f64_key(x: f64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&f64_key_image(x).to_be_bytes());
+}
+
+/// 0x00-terminated with escaping (0x00 -> 0x00 0xFF) so that prefixes
+/// order correctly and embedded NULs are safe.
+fn put_escaped(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        out.push(b);
+        if b == 0 {
+            out.push(0xFF);
+        }
+    }
+    out.push(0);
+    out.push(0);
+}
+
+fn put_atom_id_key(id: &AtomId, out: &mut Vec<u8>) {
+    out.extend_from_slice(&id.atom_type.to_be_bytes());
+    out.extend_from_slice(&id.seq.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let mut buf = Vec::new();
+        encode_value(v, &mut buf);
+        let mut pos = 0;
+        let back = decode_value(&buf, &mut pos).unwrap();
+        assert_eq!(&back, v);
+        assert_eq!(pos, buf.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        round_trip(&Value::Null);
+        round_trip(&Value::Id(AtomId::new(3, 99)));
+        round_trip(&Value::Int(-42));
+        round_trip(&Value::Real(3.25));
+        round_trip(&Value::Bool(true));
+        round_trip(&Value::Bool(false));
+        round_trip(&Value::Str("Kaiserslautern".into()));
+        round_trip(&Value::Str(String::new()));
+        round_trip(&Value::Ref(None));
+        round_trip(&Value::Ref(Some(AtomId::new(1, 2))));
+        round_trip(&Value::ref_set(vec![AtomId::new(1, 2), AtomId::new(1, 3)]));
+        round_trip(&Value::Record(vec![
+            ("x".into(), Value::Real(1.0)),
+            ("nested".into(), Value::List(vec![Value::Int(1), Value::Null])),
+        ]));
+        round_trip(&Value::Array(vec![Value::Real(0.0); 3]));
+        round_trip(&Value::Set(vec![Value::Str("a".into())]));
+    }
+
+    #[test]
+    fn values_vector_round_trip() {
+        let vs = vec![Value::Int(1), Value::Str("two".into()), Value::Null];
+        let buf = encode_values(&vs);
+        assert_eq!(decode_values(&buf).unwrap(), vs);
+    }
+
+    #[test]
+    fn truncated_input_detected() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Int(7), &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert_eq!(decode_value(&buf, &mut pos), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let buf = vec![200u8];
+        let mut pos = 0;
+        assert!(matches!(decode_value(&buf, &mut pos), Err(CodecError::BadTag(200, 0))));
+    }
+
+    fn key(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_key(v, &mut out);
+        out
+    }
+
+    fn check_order(a: &Value, b: &Value) {
+        let expect = a.total_cmp(b);
+        let got = key(a).cmp(&key(b));
+        // Key equality is only required to imply total_cmp equality for
+        // identical logical values; distinct-but-equal (Int 3 / Real 3.0)
+        // may produce equal keys too — both directions hold here.
+        assert_eq!(got, expect, "key order mismatch for {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn key_order_matches_value_order() {
+        let samples = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(1_000_000),
+            Value::Real(f64::NEG_INFINITY),
+            Value::Real(-2.5),
+            Value::Real(0.0),
+            Value::Real(2.5),
+            Value::Real(f64::INFINITY),
+            Value::Str(String::new()),
+            Value::Str("a".into()),
+            Value::Str("ab".into()),
+            Value::Str("b".into()),
+            Value::Id(AtomId::new(0, 1)),
+            Value::Id(AtomId::new(1, 0)),
+        ];
+        for a in &samples {
+            for b in &samples {
+                check_order(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn int_real_cross_kind_keys() {
+        check_order(&Value::Int(3), &Value::Real(3.5));
+        check_order(&Value::Real(2.5), &Value::Int(3));
+        check_order(&Value::Int(3), &Value::Real(3.0));
+        check_order(&Value::Real(3.0), &Value::Int(3));
+    }
+
+    #[test]
+    fn string_prefix_orders_before_extension() {
+        assert!(key(&Value::Str("ab".into())) < key(&Value::Str("ab0".into())));
+        // Embedded NUL is handled by escaping.
+        let with_nul = Value::Str("a\0b".into());
+        let plain = Value::Str("a".into());
+        assert!(key(&plain) < key(&with_nul));
+        check_order(&plain, &with_nul);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let k1 = encode_composite_key(&[Value::Int(1), Value::Str("z".into())]);
+        let k2 = encode_composite_key(&[Value::Int(2), Value::Str("a".into())]);
+        assert!(k1 < k2);
+    }
+}

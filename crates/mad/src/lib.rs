@@ -1,0 +1,39 @@
+//! # prima-mad — the Molecule-Atom Data model
+//!
+//! This crate defines the **MAD model** of the PRIMA paper (Section 2):
+//! the type system, schema objects, typed values and the three languages —
+//! the data definition language (**DDL**, Fig. 2.3), the **M**olecule
+//! **Q**uery **L**anguage (**MQL**, Table 2.1) and the load definition
+//! language (**LDL**, Section 2.3).
+//!
+//! The crate is deliberately *pure*: no storage, no I/O — just model and
+//! language. The access system (`prima-access`) and the data system
+//! (`prima`) consume these definitions.
+//!
+//! ## Model recap
+//!
+//! * An **atom** is a record with attributes of rich types
+//!   ([`schema::AttrType`]): `IDENTIFIER` (surrogate), `REFERENCE`
+//!   (typed logical pointer), scalars, `RECORD`, `ARRAY`, and the
+//!   repeating groups `SET_OF`/`LIST_OF` with optional cardinality
+//!   restrictions.
+//! * An **association** is a *pair* of reference attributes maintaining
+//!   each other as back-references; all relationship kinds (1:1, 1:n, n:m)
+//!   are expressed this way (Fig. 2.2), symmetrically.
+//! * A **molecule type** is a structure superimposed dynamically on atoms
+//!   connected by associations; it may be named in the schema
+//!   ([`schema::MoleculeType`]) or written inline in a query's
+//!   `FROM`-clause, and may be **recursive**.
+
+pub mod codec;
+pub mod ddl;
+pub mod ldl;
+pub mod mql;
+pub mod schema;
+pub mod value;
+
+pub use schema::{
+    Association, AtomType, Attribute, AttrType, Cardinality, MoleculeGraph, MoleculeType,
+    RefTarget, Schema, SchemaError,
+};
+pub use value::{AtomId, AtomTypeId, Value, ValueKind};

@@ -1,0 +1,347 @@
+//! Lexer shared by MQL, MAD-DDL and LDL.
+//!
+//! Tokens follow the surface syntax of the paper's examples (Fig. 2.3,
+//! Table 2.1): identifiers are case-insensitive keywords when they match
+//! one (`SELECT`, `FROM`, …); literals are integers, reals in scientific
+//! notation (`1.9E4`), and single-quoted strings; punctuation includes the
+//! molecule connector `-`, brace expressions, `:=` for qualified
+//! projection, and the comparison operators of MQL.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset) for error
+/// reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored as written; keyword matching is
+    /// case-insensitive via [`TokenKind::is_kw`]).
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Semicolon,
+    Dot,
+    Minus,
+    Plus,
+    Star,
+    Assign, // :=
+    Eq,     // =
+    Ne,     // <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword test for identifier tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Real(r) => write!(f, "{r}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Assign => write!(f, ":="),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexing / parsing error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at offset {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenises `input`. Comments run from `(*` to `*)` (the paper's style)
+/// or from `--` to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // (* comment *)
+        if c == '(' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(ParseError::new("unterminated comment", start));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // -- line comment
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(input[i..j].to_string()),
+                offset: start,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers: 123, 1.5, 1.9E4, 1E-2 (leading sign handled by parser).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_real = false;
+            while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            if j < bytes.len()
+                && bytes[j] == b'.'
+                && j + 1 < bytes.len()
+                && (bytes[j + 1] as char).is_ascii_digit()
+            {
+                is_real = true;
+                j += 1;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+            }
+            if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                let mut k = j + 1;
+                if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                    k += 1;
+                }
+                if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                    is_real = true;
+                    j = k;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            let text = &input[i..j];
+            let kind = if is_real {
+                TokenKind::Real(text.parse().map_err(|_| {
+                    ParseError::new(format!("bad real literal '{text}'"), start)
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| {
+                    ParseError::new(format!("bad integer literal '{text}'"), start)
+                })?)
+            };
+            tokens.push(Token { kind, offset: start });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '\'' {
+            let mut j = i + 1;
+            let mut s = String::new();
+            loop {
+                if j >= bytes.len() {
+                    return Err(ParseError::new("unterminated string", start));
+                }
+                if bytes[j] == b'\'' {
+                    // '' escapes a quote
+                    if bytes.get(j + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        j += 2;
+                        continue;
+                    }
+                    j += 1;
+                    break;
+                }
+                s.push(bytes[j] as char);
+                j += 1;
+            }
+            tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            i = j;
+            continue;
+        }
+        // Operators & punctuation.
+        let (kind, len) = match c {
+            '(' => (TokenKind::LParen, 1),
+            ')' => (TokenKind::RParen, 1),
+            ',' => (TokenKind::Comma, 1),
+            ';' => (TokenKind::Semicolon, 1),
+            '.' => (TokenKind::Dot, 1),
+            '-' => (TokenKind::Minus, 1),
+            '+' => (TokenKind::Plus, 1),
+            '*' => (TokenKind::Star, 1),
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    (TokenKind::Assign, 2)
+                } else {
+                    (TokenKind::Colon, 1)
+                }
+            }
+            '=' => (TokenKind::Eq, 1),
+            '<' => match bytes.get(i + 1) {
+                Some(&b'>') => (TokenKind::Ne, 2),
+                Some(&b'=') => (TokenKind::Le, 2),
+                _ => (TokenKind::Lt, 1),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    (TokenKind::Ge, 2)
+                } else {
+                    (TokenKind::Gt, 1)
+                }
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character '{other}'"), start))
+            }
+        };
+        tokens.push(Token { kind, offset: start });
+        i += len;
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("SELECT ALL FROM brep-face WHERE brep_no = 1713");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k[0].is_kw("select"));
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Eq));
+        assert!(k.contains(&TokenKind::Int(1713)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn scientific_reals() {
+        assert_eq!(kinds("1.9E4")[0], TokenKind::Real(1.9e4));
+        assert_eq!(kinds("1.0E2")[0], TokenKind::Real(100.0));
+        assert_eq!(kinds("2E3")[0], TokenKind::Real(2000.0));
+        assert_eq!(kinds("3.25")[0], TokenKind::Real(3.25));
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds("'cube'")[0], TokenKind::Str("cube".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn comments_paper_style() {
+        let k = kinds("SELECT (* qualification *) ALL");
+        assert_eq!(k.len(), 3); // SELECT, ALL, EOF
+        let k = kinds("a -- rest of line\nb");
+        assert_eq!(k.len(), 3);
+    }
+
+    #[test]
+    fn assign_and_comparisons() {
+        let k = kinds("face := x <> y <= z >= w < v > u");
+        assert!(k.contains(&TokenKind::Assign));
+        assert!(k.contains(&TokenKind::Ne));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ge));
+    }
+
+    #[test]
+    fn unexpected_character_reported_with_offset() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn dots_and_parens() {
+        let k = kinds("piece_list (0).solid_no");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("piece_list".into()),
+                TokenKind::LParen,
+                TokenKind::Int(0),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Ident("solid_no".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

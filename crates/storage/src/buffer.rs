@@ -1,0 +1,802 @@
+//! The database buffer.
+//!
+//! Section 3.3 of the paper: existing replacement algorithms (LRU etc.
+//! \[EH82\]) are tailored to **one** page size; PRIMA must manage five sizes
+//! in one buffer. The paper names the two candidate designs:
+//!
+//! 1. *"division of the buffer into several independent parts, each of
+//!    which managed by a dedicated replacement algorithm. Such a static
+//!    partitioning is not very flexible when reference patterns change."*
+//!    — implemented here as [`PartitionedBuffer`], the baseline.
+//! 2. *"modify a replacement algorithm in such a way that it can handle
+//!    different page sizes. This idea has been pursued in the storage
+//!    system, i.e., the well-known LRU algorithm was altered in an
+//!    appropriate way."* — implemented as [`BufferManager`]: one byte-
+//!    budgeted pool whose victim selection walks the global LRU order and
+//!    evicts as many least-recently-used unfixed pages as needed to free
+//!    room for the incoming page, whatever the size mix.
+//!
+//! Experiment `E-BUF` (see DESIGN.md) contrasts the two under shifting
+//! reference patterns.
+//!
+//! Pages are accessed under a **fix/unfix** protocol: [`BufferManager::fix`]
+//! and [`BufferManager::fix_mut`] return RAII guards; a fixed page is
+//! never evicted.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PageSize, PageType};
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{Mutex, RawRwLock, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where the buffer loads and stores pages. Implemented by the storage
+/// system over the (simulated) block device.
+pub trait PageStore: Send + Sync {
+    /// Reads the page image from external storage.
+    fn load(&self, id: PageId) -> StorageResult<Page>;
+    /// Writes the page image back (the implementation re-checksums).
+    fn store(&self, page: &mut Page) -> StorageResult<()>;
+    /// Page size of the given segment.
+    fn page_size_of(&self, segment: u32) -> StorageResult<PageSize>;
+}
+
+/// Replacement policy identifier, reported in benchmark output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Single pool, size-aware ("modified") LRU — the paper's choice.
+    ModifiedLru,
+    /// Five static pools, one per page size — the paper's strawman.
+    StaticPartition,
+}
+
+/// Buffer statistics (logical vs physical accesses).
+#[derive(Debug, Default)]
+pub struct BufferStats {
+    /// Fix requests satisfied from the pool.
+    pub hits: AtomicU64,
+    /// Fix requests that caused a device read.
+    pub misses: AtomicU64,
+    /// Pages pushed out by replacement.
+    pub evictions: AtomicU64,
+    /// Dirty pages written back (eviction or flush).
+    pub writebacks: AtomicU64,
+}
+
+impl BufferStats {
+    /// Fraction of fixes served without device I/O.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// `(hits, misses, evictions, writebacks)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.writebacks.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    fn add_from(&self, other: &BufferStats) {
+        self.hits.fetch_add(other.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.misses.fetch_add(other.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.evictions.fetch_add(other.evictions.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.writebacks.fetch_add(other.writebacks.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+type FrameRef = Arc<RwLock<Page>>;
+
+struct FrameMeta {
+    frame: FrameRef,
+    fix_count: u32,
+    dirty: bool,
+    /// Logical clock value of the most recent touch; key into `lru`.
+    tick: u64,
+    size: PageSize,
+}
+
+struct PoolInner {
+    frames: HashMap<PageId, FrameMeta>,
+    /// tick -> page, ascending = least recently used first.
+    lru: BTreeMap<u64, PageId>,
+    clock: u64,
+    used_bytes: usize,
+    /// Number of dirty frames — lets flush_all be a cheap no-op on
+    /// read-only paths (page-sequence chained reads call it per read).
+    dirty_count: usize,
+}
+
+impl PoolInner {
+    fn touch(&mut self, id: PageId) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(m) = self.frames.get_mut(&id) {
+            self.lru.remove(&m.tick);
+            m.tick = clock;
+            self.lru.insert(clock, id);
+        }
+    }
+
+    fn insert_frame(&mut self, id: PageId, frame: FrameRef, dirty: bool, size: PageSize) {
+        self.clock += 1;
+        let tick = self.clock;
+        self.lru.insert(tick, id);
+        self.used_bytes += size.bytes();
+        if dirty {
+            self.dirty_count += 1;
+        }
+        self.frames.insert(id, FrameMeta { frame, fix_count: 1, dirty, tick, size });
+    }
+
+    fn mark_dirty(&mut self, id: PageId) {
+        if let Some(m) = self.frames.get_mut(&id) {
+            if !m.dirty {
+                m.dirty = true;
+                self.dirty_count += 1;
+            }
+        }
+    }
+}
+
+/// The paper's buffer: byte budget, size-aware LRU victim selection. See
+/// module docs.
+///
+/// The pool can be split into latch *shards* (by page-id hash) so that
+/// concurrent fixes from parallel DUs do not serialise on one mutex; each
+/// shard runs the modified-LRU algorithm over its slice of the byte
+/// budget. One shard (the default of [`BufferManager::new`]) gives the
+/// exact single-pool behaviour.
+pub struct BufferManager {
+    store: Arc<dyn PageStore>,
+    capacity_bytes: usize,
+    shards: Vec<Arc<Mutex<PoolInner>>>,
+    shard_capacity: usize,
+    stats: Arc<BufferStats>,
+}
+
+impl BufferManager {
+    /// A buffer of `capacity_bytes` over the given page store (one latch
+    /// shard: exact global LRU).
+    pub fn new(store: Arc<dyn PageStore>, capacity_bytes: usize) -> Self {
+        Self::with_shards(store, capacity_bytes, 1)
+    }
+
+    /// A buffer with `shards` latch shards (for multi-threaded use).
+    pub fn with_shards(store: Arc<dyn PageStore>, capacity_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        // A single shard preserves the caller's exact byte budget (tests
+        // use tiny pools deliberately); multi-shard pools get equal
+        // slices, floored so every shard can hold one 8K page.
+        let shard_capacity = if shards == 1 {
+            capacity_bytes
+        } else {
+            (capacity_bytes / shards).max(8192)
+        };
+        BufferManager {
+            store,
+            capacity_bytes,
+            shards: (0..shards)
+                .map(|_| {
+                    Arc::new(Mutex::new(PoolInner {
+                        frames: HashMap::new(),
+                        lru: BTreeMap::new(),
+                        clock: 0,
+                        used_bytes: 0,
+                        dirty_count: 0,
+                    }))
+                })
+                .collect(),
+            shard_capacity,
+            stats: Arc::new(BufferStats::default()),
+        }
+    }
+
+    fn shard(&self, id: PageId) -> &Arc<Mutex<PoolInner>> {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        let mut h = id.segment as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(id.page as u64);
+        h ^= h >> 33;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    pub fn stats(&self) -> Arc<BufferStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Bytes currently occupied by buffered pages.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used_bytes).sum()
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+
+    /// True if the page is currently buffered (for tests/benches).
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.shard(id).lock().frames.contains_key(&id)
+    }
+
+    /// Fixes a page for reading. The returned guard keeps the page in the
+    /// buffer and allows shared access.
+    pub fn fix(&self, id: PageId) -> StorageResult<PageGuard> {
+        let frame = self.fix_frame(id, false)?;
+        let lock = frame.read_arc();
+        Ok(PageGuard { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+    }
+
+    /// Fixes a page for update. Exclusive; the frame is marked dirty.
+    pub fn fix_mut(&self, id: PageId) -> StorageResult<PageGuardMut> {
+        let frame = self.fix_frame(id, true)?;
+        let lock = frame.write_arc();
+        Ok(PageGuardMut { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+    }
+
+    /// Installs a brand-new page (after allocation) without reading the
+    /// device, and returns it fixed for update.
+    pub fn fix_new(&self, id: PageId, ptype: PageType) -> StorageResult<PageGuardMut> {
+        let size = self.store.page_size_of(id.segment)?;
+        let page = Page::new(id, size, ptype);
+        let frame = {
+            let mut inner = self.shard(id).lock();
+            if let Some(m) = inner.frames.get_mut(&id) {
+                // Re-use of a freed page number: overwrite in place.
+                m.fix_count += 1;
+                let f = Arc::clone(&m.frame);
+                inner.mark_dirty(id);
+                inner.touch(id);
+                drop(inner);
+                *f.write() = page;
+                f
+            } else {
+                self.make_room(&mut inner, size.bytes())?;
+                let f: FrameRef = Arc::new(RwLock::new(page));
+                inner.insert_frame(id, Arc::clone(&f), true, size);
+                f
+            }
+        };
+        let lock = frame.write_arc();
+        Ok(PageGuardMut { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+    }
+
+    /// Drops a page from the buffer without write-back (used when the page
+    /// is freed). No-op if not resident. Errors if the page is fixed.
+    pub fn discard(&self, id: PageId) -> StorageResult<()> {
+        let mut inner = self.shard(id).lock();
+        if let Some(m) = inner.frames.get(&id) {
+            if m.fix_count > 0 {
+                return Err(StorageError::FixConflict(id.desc()));
+            }
+            let m = inner.frames.remove(&id).unwrap();
+            inner.lru.remove(&m.tick);
+            inner.used_bytes -= m.size.bytes();
+            if m.dirty {
+                inner.dirty_count -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty page back to the store; the pool keeps its
+    /// contents (a checkpoint, not a shutdown).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        for shard in &self.shards {
+            let dirty: Vec<FrameRef> = {
+                let mut inner = shard.lock();
+                if inner.dirty_count == 0 {
+                    continue;
+                }
+                let mut v = Vec::new();
+                for m in inner.frames.values_mut() {
+                    if m.dirty {
+                        m.dirty = false;
+                        v.push(Arc::clone(&m.frame));
+                    }
+                }
+                inner.dirty_count = 0;
+                v
+            };
+            for frame in &dirty {
+                let mut page = frame.write();
+                self.store.store(&mut page)?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes dirty pages and drops every unfixed frame — used by cold-
+    /// read experiments to measure device I/O without restarting.
+    pub fn evict_all(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let victims: Vec<PageId> = inner
+                .frames
+                .iter()
+                .filter(|(_, m)| m.fix_count == 0)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in victims {
+                let m = inner.frames.remove(&id).unwrap();
+                inner.lru.remove(&m.tick);
+                inner.used_bytes -= m.size.bytes();
+            }
+        }
+        Ok(())
+    }
+
+    fn fix_frame(&self, id: PageId, for_update: bool) -> StorageResult<FrameRef> {
+        {
+            let mut inner = self.shard(id).lock();
+            if let Some(m) = inner.frames.get_mut(&id) {
+                m.fix_count += 1;
+                let f = Arc::clone(&m.frame);
+                if for_update {
+                    inner.mark_dirty(id);
+                }
+                inner.touch(id);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(f);
+            }
+        }
+        // Miss: load from device outside the pool lock, then install.
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let page = self.store.load(id)?;
+        let size = page.size();
+        let mut inner = self.shard(id).lock();
+        if let Some(m) = inner.frames.get_mut(&id) {
+            // Someone installed it while we were loading.
+            m.fix_count += 1;
+            let f = Arc::clone(&m.frame);
+            if for_update {
+                inner.mark_dirty(id);
+            }
+            inner.touch(id);
+            return Ok(f);
+        }
+        self.make_room(&mut inner, size.bytes())?;
+        let f: FrameRef = Arc::new(RwLock::new(page));
+        inner.insert_frame(id, Arc::clone(&f), for_update, size);
+        Ok(f)
+    }
+
+    /// The modified-LRU core: evict least-recently-used *unfixed* pages
+    /// until `need` more bytes fit within the (shard's) byte budget.
+    fn make_room(&self, inner: &mut PoolInner, need: usize) -> StorageResult<()> {
+        while inner.used_bytes + need > self.shard_capacity {
+            let victim = inner
+                .lru
+                .values()
+                .copied()
+                .find(|id| inner.frames.get(id).map(|m| m.fix_count == 0).unwrap_or(false));
+            let Some(vid) = victim else {
+                let unfixable: usize = inner
+                    .frames
+                    .values()
+                    .filter(|m| m.fix_count == 0)
+                    .map(|m| m.size.bytes())
+                    .sum();
+                return Err(StorageError::BufferExhausted { needed: need, unfixable });
+            };
+            let meta = inner.frames.remove(&vid).unwrap();
+            inner.lru.remove(&meta.tick);
+            inner.used_bytes -= meta.size.bytes();
+            if meta.dirty {
+                inner.dirty_count -= 1;
+            }
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if meta.dirty {
+                let mut page = meta.frame.write();
+                self.store.store(&mut page)?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guards
+// ---------------------------------------------------------------------------
+
+/// Shared read access to a fixed page. Dropping the guard unfixes the page.
+pub struct PageGuard {
+    lock: Option<ArcRwLockReadGuard<RawRwLock, Page>>,
+    pool: Arc<Mutex<PoolInner>>,
+    id: PageId,
+}
+
+/// Exclusive write access to a fixed page. Dropping the guard unfixes it.
+pub struct PageGuardMut {
+    lock: Option<ArcRwLockWriteGuard<RawRwLock, Page>>,
+    pool: Arc<Mutex<PoolInner>>,
+    id: PageId,
+}
+
+impl std::fmt::Debug for PageGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for PageGuardMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuardMut").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl std::ops::Deref for PageGuard {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        self.lock.as_ref().expect("guard alive")
+    }
+}
+
+impl std::ops::Deref for PageGuardMut {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        self.lock.as_ref().expect("guard alive")
+    }
+}
+
+impl std::ops::DerefMut for PageGuardMut {
+    fn deref_mut(&mut self) -> &mut Page {
+        self.lock.as_mut().expect("guard alive")
+    }
+}
+
+impl PageGuard {
+    pub fn page_id(&self) -> PageId {
+        self.id
+    }
+}
+
+impl PageGuardMut {
+    pub fn page_id(&self) -> PageId {
+        self.id
+    }
+}
+
+fn unfix(pool: &Mutex<PoolInner>, id: PageId) {
+    let mut inner = pool.lock();
+    if let Some(m) = inner.frames.get_mut(&id) {
+        debug_assert!(m.fix_count > 0, "unfix without fix on {id}");
+        m.fix_count = m.fix_count.saturating_sub(1);
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.lock.take();
+        unfix(&self.pool, self.id);
+    }
+}
+
+impl Drop for PageGuardMut {
+    fn drop(&mut self) {
+        self.lock.take();
+        unfix(&self.pool, self.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedBuffer: the strawman baseline
+// ---------------------------------------------------------------------------
+
+/// Statically partitioned buffer: one independent plain-LRU pool per page
+/// size. The byte budget is split across the five sizes by fixed fractions
+/// chosen at construction. The paper: "not very flexible when reference
+/// patterns change" — experiment E-BUF quantifies that.
+pub struct PartitionedBuffer {
+    store: Arc<dyn PageStore>,
+    pools: Vec<(PageSize, BufferManager)>,
+    stats: Arc<BufferStats>,
+}
+
+impl PartitionedBuffer {
+    /// Splits `capacity_bytes` into five pools using `fractions` (one entry
+    /// per [`PageSize::ALL`] position; should sum to ~1.0).
+    pub fn new(store: Arc<dyn PageStore>, capacity_bytes: usize, fractions: [f64; 5]) -> Self {
+        let pools = PageSize::ALL
+            .iter()
+            .zip(fractions.iter())
+            .map(|(&size, &frac)| {
+                let bytes = ((capacity_bytes as f64) * frac) as usize;
+                // Every pool must hold at least one page of its size to be
+                // usable at all.
+                let bytes = bytes.max(size.bytes());
+                (size, BufferManager::new(Arc::clone(&store), bytes))
+            })
+            .collect();
+        PartitionedBuffer { store, pools, stats: Arc::new(BufferStats::default()) }
+    }
+
+    /// Equal fifths for each size class.
+    pub fn new_equal(store: Arc<dyn PageStore>, capacity_bytes: usize) -> Self {
+        Self::new(store, capacity_bytes, [0.2; 5])
+    }
+
+    fn pool_of(&self, id: PageId) -> StorageResult<&BufferManager> {
+        let size = self.store.page_size_of(id.segment)?;
+        Ok(&self.pools.iter().find(|(s, _)| *s == size).expect("all sizes present").1)
+    }
+
+    pub fn fix(&self, id: PageId) -> StorageResult<PageGuard> {
+        self.pool_of(id)?.fix(id)
+    }
+
+    pub fn fix_mut(&self, id: PageId) -> StorageResult<PageGuardMut> {
+        self.pool_of(id)?.fix_mut(id)
+    }
+
+    pub fn fix_new(&self, id: PageId, ptype: PageType) -> StorageResult<PageGuardMut> {
+        self.pool_of(id)?.fix_new(id, ptype)
+    }
+
+    pub fn discard(&self, id: PageId) -> StorageResult<()> {
+        self.pool_of(id)?.discard(id)
+    }
+
+    pub fn flush_all(&self) -> StorageResult<()> {
+        for (_, p) in &self.pools {
+            p.flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregated statistics across the five pools, recomputed on call.
+    pub fn stats(&self) -> Arc<BufferStats> {
+        self.stats.reset();
+        for (_, p) in &self.pools {
+            self.stats.add_from(&p.stats());
+        }
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{BlockAddr, BlockDevice, SimDisk};
+
+    /// Minimal PageStore over a SimDisk for buffer tests: segment n is file
+    /// n; page sizes fixed per segment at construction.
+    struct TestStore {
+        disk: SimDisk,
+        sizes: Vec<PageSize>,
+    }
+
+    impl TestStore {
+        fn new(sizes: &[PageSize]) -> Arc<Self> {
+            let disk = SimDisk::new();
+            for (i, s) in sizes.iter().enumerate() {
+                disk.create_file(i as u32, s.bytes());
+            }
+            Arc::new(TestStore { disk, sizes: sizes.to_vec() })
+        }
+    }
+
+    impl PageStore for TestStore {
+        fn load(&self, id: PageId) -> StorageResult<Page> {
+            let size = self.page_size_of(id.segment)?;
+            let mut buf = vec![0u8; size.bytes()];
+            self.disk.read_block(BlockAddr::new(id.segment, id.page), &mut buf)?;
+            Page::from_bytes(id, size, &buf)
+        }
+
+        fn store(&self, page: &mut Page) -> StorageResult<()> {
+            page.update_checksum();
+            let id = page.id();
+            self.disk.write_block(BlockAddr::new(id.segment, id.page), page.as_bytes())
+        }
+
+        fn page_size_of(&self, segment: u32) -> StorageResult<PageSize> {
+            self.sizes
+                .get(segment as usize)
+                .copied()
+                .ok_or(StorageError::UnknownSegment(segment))
+        }
+    }
+
+    fn id(seg: u32, page: u32) -> PageId {
+        PageId::new(seg, page)
+    }
+
+    #[test]
+    fn fix_new_then_read_back_after_eviction() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 2 * 512); // room for 2 pages
+        {
+            let mut g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+            g.write_payload(b"page zero").unwrap();
+        }
+        {
+            let mut g = buf.fix_new(id(0, 1), PageType::Data).unwrap();
+            g.write_payload(b"page one").unwrap();
+        }
+        // Force both originals out.
+        let _ = buf.fix_new(id(0, 2), PageType::Data).unwrap();
+        let _ = buf.fix_new(id(0, 3), PageType::Data).unwrap();
+        assert!(!buf.is_resident(id(0, 0)));
+        let g = buf.fix(id(0, 0)).unwrap();
+        assert_eq!(g.payload(), b"page zero");
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 10 * 512);
+        {
+            let mut g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+            g.write_payload(b"x").unwrap();
+        }
+        let _ = buf.fix(id(0, 0)).unwrap(); // hit
+        let _ = buf.fix(id(0, 5)).unwrap(); // miss (zero page)
+        let (h, m, _, _) = buf.stats().snapshot();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn fixed_pages_are_never_evicted() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 2 * 512);
+        let g0 = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+        let g1 = buf.fix_new(id(0, 1), PageType::Data).unwrap();
+        // Pool is full of fixed pages; a third fix must fail.
+        let err = buf.fix_new(id(0, 2), PageType::Data).unwrap_err();
+        assert!(matches!(err, StorageError::BufferExhausted { .. }));
+        drop(g0);
+        drop(g1);
+        assert!(buf.fix_new(id(0, 2), PageType::Data).is_ok());
+    }
+
+    #[test]
+    fn mixed_sizes_in_one_pool() {
+        let store = TestStore::new(&[PageSize::Half, PageSize::K8]);
+        let buf = BufferManager::new(store, 8192 + 512);
+        {
+            let _small = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+        }
+        {
+            let _big = buf.fix_new(id(1, 0), PageType::Data).unwrap();
+        }
+        assert_eq!(buf.resident(), 2);
+        assert_eq!(buf.used_bytes(), 8192 + 512);
+        // Another 8K page must evict *both*? No: evicting the small page is
+        // not enough, so modified LRU keeps evicting until room: both go.
+        let _big2 = buf.fix_new(id(1, 1), PageType::Data).unwrap();
+        assert!(buf.used_bytes() <= 8192 + 512);
+        let (_, _, ev, _) = buf.stats().snapshot();
+        assert!(ev >= 1, "eviction expected, got {ev}");
+    }
+
+    #[test]
+    fn size_aware_eviction_frees_enough_for_large_page() {
+        // Pool fits sixteen 1/2K pages; bringing in one 8K page must evict
+        // all sixteen in LRU order.
+        let store = TestStore::new(&[PageSize::Half, PageSize::K8]);
+        let buf = BufferManager::new(store, 8192);
+        for p in 0..16 {
+            let _ = buf.fix_new(id(0, p), PageType::Data).unwrap();
+        }
+        assert_eq!(buf.resident(), 16);
+        let _ = buf.fix_new(id(1, 0), PageType::Data).unwrap();
+        assert_eq!(buf.resident(), 1);
+        let (_, _, ev, _) = buf.stats().snapshot();
+        assert_eq!(ev, 16);
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 3 * 512);
+        for p in 0..3 {
+            let _ = buf.fix_new(id(0, p), PageType::Data).unwrap();
+        }
+        // Touch page 0 so page 1 becomes LRU.
+        let _ = buf.fix(id(0, 0)).unwrap();
+        let _ = buf.fix_new(id(0, 3), PageType::Data).unwrap();
+        assert!(buf.is_resident(id(0, 0)));
+        assert!(!buf.is_resident(id(0, 1)));
+        assert!(buf.is_resident(id(0, 2)));
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let disk_stats = store.disk.stats();
+        let buf = BufferManager::new(Arc::clone(&store) as Arc<dyn PageStore>, 512);
+        {
+            let mut g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+            g.write_payload(b"must survive").unwrap();
+        }
+        let w0 = disk_stats.snapshot().block_writes;
+        let _ = buf.fix_new(id(0, 1), PageType::Data).unwrap();
+        assert_eq!(disk_stats.snapshot().block_writes, w0 + 1);
+        // And the content must be readable again.
+        drop(buf);
+        let store2: Arc<dyn PageStore> = store;
+        let p = store2.load(id(0, 0)).unwrap();
+        assert_eq!(p.payload(), b"must survive");
+    }
+
+    #[test]
+    fn flush_all_persists_without_evicting() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(Arc::clone(&store) as Arc<dyn PageStore>, 4 * 512);
+        {
+            let mut g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+            g.write_payload(b"checkpointed").unwrap();
+        }
+        buf.flush_all().unwrap();
+        assert!(buf.is_resident(id(0, 0)));
+        let p = (Arc::clone(&store) as Arc<dyn PageStore>).load(id(0, 0)).unwrap();
+        assert_eq!(p.payload(), b"checkpointed");
+    }
+
+    #[test]
+    fn discard_fixed_page_is_an_error() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 4 * 512);
+        let g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+        assert!(matches!(buf.discard(id(0, 0)), Err(StorageError::FixConflict(_))));
+        drop(g);
+        assert!(buf.discard(id(0, 0)).is_ok());
+        assert!(!buf.is_resident(id(0, 0)));
+    }
+
+    #[test]
+    fn partitioned_buffer_isolates_size_classes() {
+        let store = TestStore::new(&[PageSize::Half, PageSize::K8]);
+        // 20% of 10*8192 = 16384 per class minimum logic: Half pool gets
+        // 16384 bytes = 32 pages; K8 pool gets 16384 = 2 pages.
+        let buf = PartitionedBuffer::new_equal(Arc::clone(&store) as Arc<dyn PageStore>, 81920);
+        // Fill the K8 pool.
+        let _ = buf.fix_new(id(1, 0), PageType::Data).unwrap();
+        let _ = buf.fix_new(id(1, 1), PageType::Data).unwrap();
+        let _ = buf.fix_new(id(1, 2), PageType::Data).unwrap();
+        // Half-size pages are unaffected by K8 pressure.
+        let _ = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+        let _ = buf.fix(id(0, 0)).unwrap();
+        let s = buf.stats();
+        let (h, _, ev, _) = s.snapshot();
+        assert!(h >= 1);
+        assert!(ev >= 1, "K8 pool must have evicted");
+    }
+
+    #[test]
+    fn guard_drop_unfixes() {
+        let store = TestStore::new(&[PageSize::Half]);
+        let buf = BufferManager::new(store, 512);
+        {
+            let _g = buf.fix_new(id(0, 0), PageType::Data).unwrap();
+        }
+        // After the guard is gone the page can be evicted.
+        assert!(buf.fix_new(id(0, 1), PageType::Data).is_ok());
+    }
+}

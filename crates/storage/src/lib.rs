@@ -1,0 +1,43 @@
+//! # prima-storage — the Storage System of the PRIMA kernel
+//!
+//! This crate implements the lowest layer of the PRIMA architecture
+//! (Fig. 3.1 of the paper): the *storage system*, which maps **segments**,
+//! **pages** and **page sequences** onto **files** and **blocks** of a
+//! (simulated) disk.
+//!
+//! Key properties taken from Section 3.3 of the paper:
+//!
+//! * Segments are divided into pages of equal size, but — in contrast to
+//!   conventional systems — the page size of each segment can be chosen
+//!   among **1/2, 1, 2, 4 or 8 KByte** ([`PageSize`]). These are exactly the
+//!   block sizes the underlying file manager supports, so the page↔block
+//!   mapping is trivial.
+//! * A single database **buffer** holds pages of *different* sizes. The
+//!   well-known LRU algorithm is altered so that one pool can handle mixed
+//!   page sizes ([`buffer::BufferManager`]); a statically partitioned pool
+//!   ([`buffer::PartitionedBuffer`]) is provided as the baseline the paper
+//!   argues against.
+//! * **Page sequences** treat an arbitrary number of pages as a whole: one
+//!   header page plus component pages, supported by a cluster mechanism of
+//!   the file manager enabling optimal (chained) I/O ([`page_seq`]).
+//!
+//! The disk itself is simulated ([`disk::SimDisk`]): the paper ran on 1987
+//! hardware via the INCAS file manager \[Ne87\]; what its performance claims
+//! depend on are *I/O counts, block sizes and contiguity*, all of which the
+//! simulator measures faithfully (see `DESIGN.md`, substitution table).
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod page_seq;
+pub mod segment;
+pub mod stats;
+
+pub use buffer::{BufferManager, BufferStats, PageGuard, PartitionedBuffer, ReplacementPolicy};
+pub use disk::{BlockAddr, BlockDevice, CostModel, SimDisk};
+pub use error::{StorageError, StorageResult};
+pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};
+pub use page_seq::{PageSeqHandle, PageSequence};
+pub use segment::{Segment, SegmentId, StorageSystem};
+pub use stats::IoStats;

@@ -1,0 +1,382 @@
+//! Pages: the unit of transfer between buffer and disk.
+//!
+//! Section 3.3: "the storage system of PRIMA supports pages of different
+//! length. The page size of each segment can be chosen to be 1/2, 1, 2, 4
+//! or 8 Kbyte" — exactly the five block sizes of the underlying file
+//! manager, so page↔block mapping is the identity.
+//!
+//! Every page carries a fixed header "used for identification, description,
+//! and fault tolerance": a type tag, its own id (so a misdirected read is
+//! detectable), a payload length, page-sequence linkage fields, and a
+//! checksum over the payload.
+
+use crate::error::{PageRefDesc, StorageError, StorageResult};
+
+/// The five page sizes supported by the storage system (in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PageSize {
+    /// 512 bytes ("1/2 K").
+    Half,
+    /// 1 KByte.
+    K1,
+    /// 2 KByte.
+    K2,
+    /// 4 KByte.
+    K4,
+    /// 8 KByte.
+    K8,
+}
+
+impl PageSize {
+    /// All five sizes, smallest first.
+    pub const ALL: [PageSize; 5] =
+        [PageSize::Half, PageSize::K1, PageSize::K2, PageSize::K4, PageSize::K8];
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            PageSize::Half => 512,
+            PageSize::K1 => 1024,
+            PageSize::K2 => 2048,
+            PageSize::K4 => 4096,
+            PageSize::K8 => 8192,
+        }
+    }
+
+    /// Payload capacity (size minus the fixed header).
+    pub const fn payload(self) -> usize {
+        self.bytes() - PAGE_HEADER_LEN
+    }
+
+    /// The smallest supported size that can hold `payload_len` payload
+    /// bytes in one page, if any.
+    pub fn fitting(payload_len: usize) -> Option<PageSize> {
+        PageSize::ALL.into_iter().find(|s| s.payload() >= payload_len)
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSize::Half => write!(f, "1/2K"),
+            PageSize::K1 => write!(f, "1K"),
+            PageSize::K2 => write!(f, "2K"),
+            PageSize::K4 => write!(f, "4K"),
+            PageSize::K8 => write!(f, "8K"),
+        }
+    }
+}
+
+/// Identity of a page: segment number plus page number within the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    pub segment: u32,
+    pub page: u32,
+}
+
+impl PageId {
+    pub fn new(segment: u32, page: u32) -> Self {
+        PageId { segment, page }
+    }
+
+    pub(crate) fn desc(self) -> PageRefDesc {
+        PageRefDesc { segment: self.segment, page: self.page }
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.segment, self.page)
+    }
+}
+
+/// What a page is used for; stored in the header so that readers can verify
+/// they got the kind of page they expected ("description" role of the
+/// header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageType {
+    /// Freshly allocated, content not yet meaningful.
+    Free = 0,
+    /// Ordinary data page (physical records of the access system).
+    Data = 1,
+    /// Header page of a page sequence (Section 3.3 / Fig. 3.2c).
+    SeqHeader = 2,
+    /// Component page of a page sequence.
+    SeqComponent = 3,
+    /// Access-path page (B*-tree node, grid directory, ...).
+    AccessPath = 4,
+    /// Segment metadata (allocation directory).
+    Meta = 5,
+}
+
+impl PageType {
+    pub fn from_tag(tag: u8) -> Option<PageType> {
+        Some(match tag {
+            0 => PageType::Free,
+            1 => PageType::Data,
+            2 => PageType::SeqHeader,
+            3 => PageType::SeqComponent,
+            4 => PageType::AccessPath,
+            5 => PageType::Meta,
+            _ => return None,
+        })
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            PageType::Free => "free",
+            PageType::Data => "data",
+            PageType::SeqHeader => "seq-header",
+            PageType::SeqComponent => "seq-component",
+            PageType::AccessPath => "access-path",
+            PageType::Meta => "meta",
+        }
+    }
+}
+
+/// Byte length of the fixed page header.
+///
+/// Layout (little-endian):
+/// ```text
+/// 0..2   magic 0x504D ("PM")
+/// 2      page type tag
+/// 3      flags (bit 0: dirty-on-disk marker used by fault-tolerance tests)
+/// 4..8   segment id
+/// 8..12  page number
+/// 12..16 payload length actually used
+/// 16..20 page-sequence link: header page number (or u32::MAX)
+/// 20..24 page-sequence position (index of this component; 0 for header)
+/// 24..28 checksum over used payload
+/// 28..32 reserved
+/// ```
+pub const PAGE_HEADER_LEN: usize = 32;
+
+const MAGIC: u16 = 0x504D;
+const NO_LINK: u32 = u32::MAX;
+
+/// An in-memory page image: header plus payload, always exactly
+/// `size.bytes()` long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    size: PageSize,
+    buf: Box<[u8]>,
+}
+
+impl Page {
+    /// A fresh page of the given size, typed and self-identified.
+    pub fn new(id: PageId, size: PageSize, ptype: PageType) -> Page {
+        let mut p = Page { size, buf: vec![0u8; size.bytes()].into_boxed_slice() };
+        p.buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+        p.buf[2] = ptype as u8;
+        p.buf[4..8].copy_from_slice(&id.segment.to_le_bytes());
+        p.buf[8..12].copy_from_slice(&id.page.to_le_bytes());
+        p.set_seq_link(None, 0);
+        p.update_checksum();
+        p
+    }
+
+    /// Reconstructs a page from raw block bytes, verifying magic, size,
+    /// identity and checksum (the "fault tolerance" role of the header).
+    /// A completely zeroed block is accepted as a `Free` page, because the
+    /// simulated file manager returns zeroes for never-written blocks.
+    pub fn from_bytes(id: PageId, size: PageSize, bytes: &[u8]) -> StorageResult<Page> {
+        debug_assert_eq!(bytes.len(), size.bytes());
+        if bytes.iter().all(|&b| b == 0) {
+            return Ok(Page::new(id, size, PageType::Free));
+        }
+        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
+        if magic != MAGIC {
+            return Err(StorageError::ChecksumMismatch(id.desc()));
+        }
+        let page = Page { size, buf: bytes.to_vec().into_boxed_slice() };
+        let stored_seg = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let stored_no = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if (stored_seg, stored_no) != (id.segment, id.page) {
+            return Err(StorageError::ChecksumMismatch(id.desc()));
+        }
+        if page.stored_checksum() != page.compute_checksum() {
+            return Err(StorageError::ChecksumMismatch(id.desc()));
+        }
+        Ok(page)
+    }
+
+    /// The page's identity as recorded in its header.
+    pub fn id(&self) -> PageId {
+        PageId {
+            segment: u32::from_le_bytes(self.buf[4..8].try_into().unwrap()),
+            page: u32::from_le_bytes(self.buf[8..12].try_into().unwrap()),
+        }
+    }
+
+    pub fn size(&self) -> PageSize {
+        self.size
+    }
+
+    pub fn page_type(&self) -> PageType {
+        PageType::from_tag(self.buf[2]).unwrap_or(PageType::Free)
+    }
+
+    pub fn set_page_type(&mut self, t: PageType) {
+        self.buf[2] = t as u8;
+    }
+
+    /// Number of payload bytes in use.
+    pub fn payload_len(&self) -> usize {
+        u32::from_le_bytes(self.buf[12..16].try_into().unwrap()) as usize
+    }
+
+    /// Read-only view of the used payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + self.payload_len()]
+    }
+
+    /// Read-only view of the whole payload area (used and unused).
+    pub fn payload_area(&self) -> &[u8] {
+        &self.buf[PAGE_HEADER_LEN..]
+    }
+
+    /// Mutable view of the whole payload area. Callers must call
+    /// [`Page::set_payload_len`] (and the buffer layer re-checksums on
+    /// write-back).
+    pub fn payload_area_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[PAGE_HEADER_LEN..]
+    }
+
+    /// Declares how many payload bytes are meaningful.
+    pub fn set_payload_len(&mut self, len: usize) -> StorageResult<()> {
+        if len > self.size.payload() {
+            return Err(StorageError::PayloadTooLarge { len, max: self.size.payload() });
+        }
+        self.buf[12..16].copy_from_slice(&(len as u32).to_le_bytes());
+        Ok(())
+    }
+
+    /// Replaces the used payload wholesale.
+    pub fn write_payload(&mut self, data: &[u8]) -> StorageResult<()> {
+        self.set_payload_len(data.len())?;
+        self.buf[PAGE_HEADER_LEN..PAGE_HEADER_LEN + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Page-sequence linkage: header page number this page belongs to
+    /// (None if not in a sequence) and position within the sequence.
+    pub fn seq_link(&self) -> (Option<u32>, u32) {
+        let hdr = u32::from_le_bytes(self.buf[16..20].try_into().unwrap());
+        let pos = u32::from_le_bytes(self.buf[20..24].try_into().unwrap());
+        (if hdr == NO_LINK { None } else { Some(hdr) }, pos)
+    }
+
+    pub fn set_seq_link(&mut self, header: Option<u32>, pos: u32) {
+        self.buf[16..20].copy_from_slice(&header.unwrap_or(NO_LINK).to_le_bytes());
+        self.buf[20..24].copy_from_slice(&pos.to_le_bytes());
+    }
+
+    fn stored_checksum(&self) -> u32 {
+        u32::from_le_bytes(self.buf[24..28].try_into().unwrap())
+    }
+
+    fn compute_checksum(&self) -> u32 {
+        // FNV-1a over header-identity fields and used payload: cheap and
+        // adequate for catching torn/misdirected writes in the simulator.
+        let mut h: u32 = 0x811c9dc5;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u32;
+                h = h.wrapping_mul(0x0100_0193);
+            }
+        };
+        feed(&self.buf[0..16]);
+        feed(&self.buf[16..24]);
+        feed(self.payload());
+        h
+    }
+
+    /// Recomputes and stores the checksum; called by the buffer manager
+    /// before write-back.
+    pub fn update_checksum(&mut self) {
+        let c = self.compute_checksum();
+        self.buf[24..28].copy_from_slice(&c.to_le_bytes());
+    }
+
+    /// Raw bytes for transfer to the device.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        let bytes: Vec<usize> = PageSize::ALL.iter().map(|s| s.bytes()).collect();
+        assert_eq!(bytes, vec![512, 1024, 2048, 4096, 8192]);
+    }
+
+    #[test]
+    fn fitting_picks_smallest() {
+        assert_eq!(PageSize::fitting(10), Some(PageSize::Half));
+        assert_eq!(PageSize::fitting(512 - PAGE_HEADER_LEN), Some(PageSize::Half));
+        assert_eq!(PageSize::fitting(512), Some(PageSize::K1));
+        assert_eq!(PageSize::fitting(8192 - PAGE_HEADER_LEN), Some(PageSize::K8));
+        assert_eq!(PageSize::fitting(9000), None);
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let id = PageId::new(2, 17);
+        let mut p = Page::new(id, PageSize::K1, PageType::Data);
+        p.write_payload(b"engineering objects").unwrap();
+        p.set_seq_link(Some(5), 3);
+        p.update_checksum();
+        let q = Page::from_bytes(id, PageSize::K1, p.as_bytes()).unwrap();
+        assert_eq!(q.id(), id);
+        assert_eq!(q.page_type(), PageType::Data);
+        assert_eq!(q.payload(), b"engineering objects");
+        assert_eq!(q.seq_link(), (Some(5), 3));
+    }
+
+    #[test]
+    fn zero_block_reads_as_free_page() {
+        let id = PageId::new(0, 0);
+        let zeroes = vec![0u8; 512];
+        let p = Page::from_bytes(id, PageSize::Half, &zeroes).unwrap();
+        assert_eq!(p.page_type(), PageType::Free);
+        assert_eq!(p.payload_len(), 0);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let id = PageId::new(1, 1);
+        let mut p = Page::new(id, PageSize::Half, PageType::Data);
+        p.write_payload(b"abc").unwrap();
+        p.update_checksum();
+        let mut bytes = p.as_bytes().to_vec();
+        bytes[PAGE_HEADER_LEN] ^= 0xff;
+        assert!(matches!(
+            Page::from_bytes(id, PageSize::Half, &bytes),
+            Err(StorageError::ChecksumMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn misdirected_read_detected() {
+        let id = PageId::new(1, 1);
+        let mut p = Page::new(id, PageSize::Half, PageType::Data);
+        p.update_checksum();
+        // read the bytes back under a different identity
+        assert!(Page::from_bytes(PageId::new(1, 2), PageSize::Half, p.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut p = Page::new(PageId::new(0, 0), PageSize::Half, PageType::Data);
+        let too_big = vec![0u8; 513];
+        assert!(matches!(
+            p.write_payload(&too_big),
+            Err(StorageError::PayloadTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! # prima-workloads — synthetic engineering workloads for PRIMA
+//!
+//! The paper motivates PRIMA with three application areas investigated
+//! through sizable prototypes (Section 1): **VLSI circuit design**,
+//! **construction of solids in 3D modeling**, and **map handling in
+//! geographic information systems** \[HHLM87\]. The real CAD systems and
+//! data are not available; these generators produce synthetic databases
+//! with the same structural properties the paper calls out:
+//!
+//! * "a considerable share of meshed (non-hierarchical) structures due to
+//!   extensive occurrence of n:m relationships" — shared faces between
+//!   adjacent solids, nets touching many cells, map edges between two
+//!   faces;
+//! * recursion — assembly hierarchies of solids (`sub`/`super`);
+//! * non-uniform reference locality — queries touch subobjects
+//!   selectively.
+//!
+//! [`modeling`] additionally builds the *same* boundary-representation
+//! data under the three modeling disciplines of Fig. 2.1 (hierarchical
+//! with redundancy, network with relation records, direct/symmetric MAD)
+//! so experiment E-F2.1 can compare them.
+
+pub mod brep;
+pub mod map;
+pub mod modeling;
+pub mod vlsi;
+
+pub use brep::{BrepConfig, BrepStats};
+pub use modeling::{ModelingApproach, ModelingStats};

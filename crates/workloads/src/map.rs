@@ -1,0 +1,215 @@
+//! Geographic map workload.
+//!
+//! Map handling is the third application area of Section 1. The schema
+//! is a planar subdivision: map sheets contain regions bounded by border
+//! segments between junction nodes — a border separates (up to) two
+//! regions, the n:m/shared-subobject pattern again, plus coordinates for
+//! multi-dimensional access (the grid-file access path's natural
+//! customer).
+
+use prima::{Prima, PrimaResult, Value};
+use prima_mad::value::AtomId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// MAD-DDL for the map schema.
+pub const MAP_DDL: &str = r#"
+CREATE ATOM_TYPE sheet
+  ( sheet_id : IDENTIFIER,
+    sheet_no : INTEGER,
+    name     : CHAR_VAR,
+    regions  : SET_OF (REF_TO (region.sheet)) )
+KEYS_ARE (sheet_no);
+
+CREATE ATOM_TYPE region
+  ( region_id : IDENTIFIER,
+    region_no : INTEGER,
+    land_use  : CHAR_VAR,
+    area      : REAL,
+    sheet     : REF_TO (sheet.regions),
+    borders   : SET_OF (REF_TO (border.regions)) (3,VAR) )
+KEYS_ARE (region_no);
+
+CREATE ATOM_TYPE border
+  ( border_id : IDENTIFIER,
+    border_no : INTEGER,
+    length    : REAL,
+    regions   : SET_OF (REF_TO (region.borders)) (1,2),
+    ends      : SET_OF (REF_TO (node.borders)) (2,2) )
+KEYS_ARE (border_no);
+
+CREATE ATOM_TYPE node
+  ( node_id : IDENTIFIER,
+    node_no : INTEGER,
+    x       : REAL,
+    y       : REAL,
+    borders : SET_OF (REF_TO (border.ends)) (1,VAR) )
+KEYS_ARE (node_no);
+
+DEFINE MOLECULE TYPE sheet_map FROM sheet - region - border - node;
+"#;
+
+/// Workload parameters: a `grid × grid` mesh of square regions per sheet.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    pub sheets: usize,
+    /// Regions per sheet side (grid × grid regions).
+    pub grid: usize,
+    pub seed: u64,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig { sheets: 1, grid: 4, seed: 11 }
+    }
+}
+
+/// Generated ids.
+#[derive(Debug, Clone, Default)]
+pub struct MapStats {
+    pub sheet_ids: Vec<AtomId>,
+    pub region_ids: Vec<AtomId>,
+    pub border_ids: Vec<AtomId>,
+    pub node_ids: Vec<AtomId>,
+}
+
+/// Builds a PRIMA instance with the map schema.
+pub fn open_db(buffer_bytes: usize) -> PrimaResult<Prima> {
+    Prima::builder().buffer_bytes(buffer_bytes).build_with_ddl(MAP_DDL)
+}
+
+/// Populates `db` with meshes of square regions. Interior borders are
+/// *shared* between two regions (non-disjoint molecules).
+pub fn populate(db: &Prima, cfg: &MapConfig) -> PrimaResult<MapStats> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut s = MapStats::default();
+    let g = cfg.grid;
+    let mut next_region = 1i64;
+    let mut next_border = 1i64;
+    let mut next_node = 1i64;
+    for sheet_no in 1..=cfg.sheets {
+        let sheet = db.insert(
+            "sheet",
+            &[
+                ("sheet_no", Value::Int(sheet_no as i64)),
+                ("name", Value::Str(format!("sheet {sheet_no}"))),
+            ],
+        )?;
+        s.sheet_ids.push(sheet);
+        // Nodes at grid intersections.
+        let mut nodes = vec![vec![AtomId::new(0, 0); g + 1]; g + 1];
+        for (i, row) in nodes.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                let node = db.insert(
+                    "node",
+                    &[
+                        ("node_no", Value::Int(next_node)),
+                        ("x", Value::Real(i as f64 * 10.0 + rng.gen_range(-0.4..0.4))),
+                        ("y", Value::Real(j as f64 * 10.0 + rng.gen_range(-0.4..0.4))),
+                    ],
+                )?;
+                next_node += 1;
+                *slot = node;
+                s.node_ids.push(node);
+            }
+        }
+        // Horizontal and vertical borders.
+        let mut h_borders = vec![vec![AtomId::new(0, 0); g]; g + 1];
+        let mut v_borders = vec![vec![AtomId::new(0, 0); g + 1]; g];
+        for i in 0..=g {
+            for j in 0..g {
+                let b = db.insert(
+                    "border",
+                    &[
+                        ("border_no", Value::Int(next_border)),
+                        ("length", Value::Real(10.0)),
+                        ("ends", Value::ref_set(vec![nodes[i][j], nodes[i][j + 1]])),
+                    ],
+                )?;
+                next_border += 1;
+                h_borders[i][j] = b;
+                s.border_ids.push(b);
+            }
+        }
+        for i in 0..g {
+            for j in 0..=g {
+                let b = db.insert(
+                    "border",
+                    &[
+                        ("border_no", Value::Int(next_border)),
+                        ("length", Value::Real(10.0)),
+                        ("ends", Value::ref_set(vec![nodes[i][j], nodes[i + 1][j]])),
+                    ],
+                )?;
+                next_border += 1;
+                v_borders[i][j] = b;
+                s.border_ids.push(b);
+            }
+        }
+        // Regions referencing their four borders (interior borders end up
+        // referenced by two regions: shared subobjects).
+        for i in 0..g {
+            for j in 0..g {
+                let borders = vec![
+                    h_borders[i][j],
+                    h_borders[i + 1][j],
+                    v_borders[i][j],
+                    v_borders[i][j + 1],
+                ];
+                let land = ["forest", "water", "urban", "farm"][(i + j) % 4];
+                let region = db.insert(
+                    "region",
+                    &[
+                        ("region_no", Value::Int(next_region)),
+                        ("land_use", Value::Str(land.into())),
+                        ("area", Value::Real(100.0)),
+                        ("sheet", Value::Ref(Some(sheet))),
+                        ("borders", Value::ref_set(borders)),
+                    ],
+                )?;
+                next_region += 1;
+                s.region_ids.push(region);
+            }
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let db = open_db(8 << 20).unwrap();
+        let cfg = MapConfig { sheets: 1, grid: 3, seed: 1 };
+        let s = populate(&db, &cfg).unwrap();
+        assert_eq!(s.region_ids.len(), 9);
+        assert_eq!(s.node_ids.len(), 16);
+        assert_eq!(s.border_ids.len(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn interior_borders_are_shared() {
+        let db = open_db(8 << 20).unwrap();
+        populate(&db, &MapConfig { sheets: 1, grid: 2, seed: 1 }).unwrap();
+        // The border between region (0,0) and (0,1): referenced by both.
+        let set = db.query("SELECT ALL FROM region-border WHERE region_no = 1").unwrap();
+        assert_eq!(set.atoms_of("border").len(), 4);
+        // Count borders referenced by exactly two regions via the inverse
+        // direction.
+        let set = db.query("SELECT ALL FROM border-region WHERE border_no = 2").unwrap();
+        assert_eq!(set.len(), 1);
+        let n_regions = set.atoms_of("region").len();
+        assert!(n_regions <= 2, "a border separates at most two regions");
+    }
+
+    #[test]
+    fn whole_sheet_molecule() {
+        let db = open_db(8 << 20).unwrap();
+        populate(&db, &MapConfig { sheets: 2, grid: 2, seed: 1 }).unwrap();
+        let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 1").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.atoms_of("region").len(), 4);
+    }
+}

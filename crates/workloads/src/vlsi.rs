@@ -1,0 +1,200 @@
+//! VLSI circuit-design workload.
+//!
+//! Models the structure Section 1 motivates: cells connected by nets
+//! through pins. The net↔pin relationship is the archetypal **n:m**: a
+//! net touches many pins, a pin may join several nets (power rails).
+//! Cells nest recursively (macro cells contain sub-cells) just like the
+//! solid assembly of the 3D case.
+
+use prima::{Prima, PrimaResult, Value};
+use prima_mad::value::AtomId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// MAD-DDL for the circuit schema.
+pub const VLSI_DDL: &str = r#"
+CREATE ATOM_TYPE cell
+  ( cell_id  : IDENTIFIER,
+    cell_no  : INTEGER,
+    kind     : CHAR_VAR,
+    sub      : SET_OF (REF_TO (cell.super)),
+    super    : SET_OF (REF_TO (cell.sub)),
+    pins     : SET_OF (REF_TO (pin.cell)) )
+KEYS_ARE (cell_no);
+
+CREATE ATOM_TYPE pin
+  ( pin_id : IDENTIFIER,
+    pin_no : INTEGER,
+    x      : REAL,
+    y      : REAL,
+    cell   : REF_TO (cell.pins),
+    nets   : SET_OF (REF_TO (net.pins)) )
+KEYS_ARE (pin_no);
+
+CREATE ATOM_TYPE net
+  ( net_id : IDENTIFIER,
+    net_no : INTEGER,
+    signal : CHAR_VAR,
+    pins   : SET_OF (REF_TO (pin.nets)) (2,VAR) )
+KEYS_ARE (net_no);
+
+DEFINE MOLECULE TYPE cell_tree FROM cell.sub - cell (recursive);
+DEFINE MOLECULE TYPE netlist   FROM net - pin - cell;
+"#;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct VlsiConfig {
+    pub cells: usize,
+    /// Pins per cell.
+    pub pins_per_cell: usize,
+    pub nets: usize,
+    /// Pins per net (each net connects this many random pins).
+    pub fanout: usize,
+    /// Macro-cell hierarchy depth.
+    pub hierarchy_depth: usize,
+    pub seed: u64,
+}
+
+impl Default for VlsiConfig {
+    fn default() -> Self {
+        VlsiConfig { cells: 20, pins_per_cell: 4, nets: 10, fanout: 3, hierarchy_depth: 0, seed: 7 }
+    }
+}
+
+/// Generated ids.
+#[derive(Debug, Clone, Default)]
+pub struct VlsiStats {
+    pub cell_ids: Vec<AtomId>,
+    pub pin_ids: Vec<AtomId>,
+    pub net_ids: Vec<AtomId>,
+    pub root_cell_nos: Vec<i64>,
+}
+
+/// Builds a PRIMA instance with the circuit schema.
+pub fn open_db(buffer_bytes: usize) -> PrimaResult<Prima> {
+    Prima::builder().buffer_bytes(buffer_bytes).build_with_ddl(VLSI_DDL)
+}
+
+/// Populates the circuit.
+pub fn populate(db: &Prima, cfg: &VlsiConfig) -> PrimaResult<VlsiStats> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut s = VlsiStats::default();
+    let mut pin_no = 1i64;
+    for c in 0..cfg.cells {
+        let cell = db.insert(
+            "cell",
+            &[
+                ("cell_no", Value::Int(c as i64 + 1)),
+                ("kind", Value::Str(["nand", "nor", "inv", "dff"][c % 4].into())),
+            ],
+        )?;
+        s.cell_ids.push(cell);
+        for _ in 0..cfg.pins_per_cell {
+            let pin = db.insert(
+                "pin",
+                &[
+                    ("pin_no", Value::Int(pin_no)),
+                    ("x", Value::Real(rng.gen_range(0.0..1000.0))),
+                    ("y", Value::Real(rng.gen_range(0.0..1000.0))),
+                    ("cell", Value::Ref(Some(cell))),
+                ],
+            )?;
+            pin_no += 1;
+            s.pin_ids.push(pin);
+        }
+    }
+    for n in 0..cfg.nets {
+        // Choose distinct pins for the net.
+        let mut chosen = Vec::new();
+        while chosen.len() < cfg.fanout.min(s.pin_ids.len()) {
+            let p = s.pin_ids[rng.gen_range(0..s.pin_ids.len())];
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        let net = db.insert(
+            "net",
+            &[
+                ("net_no", Value::Int(n as i64 + 1)),
+                ("signal", Value::Str(format!("sig{n}"))),
+                ("pins", Value::ref_set(chosen)),
+            ],
+        )?;
+        s.net_ids.push(net);
+    }
+    // Macro hierarchy.
+    let mut level = s.cell_ids.clone();
+    let mut next_no = cfg.cells as i64 + 1;
+    for _ in 0..cfg.hierarchy_depth {
+        if level.len() <= 1 {
+            break;
+        }
+        let mut next = Vec::new();
+        for chunk in level.chunks(4) {
+            let c = db.insert(
+                "cell",
+                &[
+                    ("cell_no", Value::Int(next_no)),
+                    ("kind", Value::Str("macro".into())),
+                    ("sub", Value::ref_set(chunk.to_vec())),
+                ],
+            )?;
+            next_no += 1;
+            s.cell_ids.push(c);
+            next.push(c);
+        }
+        level = next;
+    }
+    s.root_cell_nos = if cfg.hierarchy_depth > 0 {
+        level
+            .iter()
+            .map(|id| db.read(*id).map(|a| a.values[1].as_int().unwrap_or(0)))
+            .collect::<PrimaResult<_>>()?
+    } else {
+        Vec::new()
+    };
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_molecule_crosses_nm_relationship() {
+        let db = open_db(8 << 20).unwrap();
+        let cfg = VlsiConfig::default();
+        populate(&db, &cfg).unwrap();
+        let set = db.query("SELECT ALL FROM net-pin-cell WHERE net_no = 1").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.atoms_of("pin").len(), cfg.fanout);
+        assert_eq!(set.atoms_of("cell").len(), cfg.fanout, "one cell per pin");
+    }
+
+    #[test]
+    fn symmetric_traversal_pin_to_nets() {
+        let db = open_db(8 << 20).unwrap();
+        populate(&db, &VlsiConfig::default()).unwrap();
+        // Inverse direction: from pins to the nets they join.
+        let set = db.query("SELECT ALL FROM pin-net WHERE pin_no = 1").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.atoms_of("pin").len(), 1);
+    }
+
+    #[test]
+    fn macro_hierarchy_queryable_recursively() {
+        let db = open_db(8 << 20).unwrap();
+        let cfg = VlsiConfig { cells: 8, hierarchy_depth: 2, ..Default::default() };
+        let s = populate(&db, &cfg).unwrap();
+        assert!(!s.root_cell_nos.is_empty());
+        let set = db
+            .query(&format!(
+                "SELECT ALL FROM cell_tree WHERE cell_tree (0).cell_no = {}",
+                s.root_cell_nos[0]
+            ))
+            .unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.molecules[0].atom_count() > 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! CAD-session example: workstation-style object handling on PRIMA.
+//!
+//! Recreates the usage sketched in Section 4: an application layer checks
+//! a molecule *out* into an object buffer, works on it locally, and
+//! checks the modifications back in at commit time — with LDL tuning
+//! (an atom cluster on the brep "main lanes") making the checkout fast,
+//! and a nested transaction protecting the checkin.
+//!
+//! ```sh
+//! cargo run --example brep_cad
+//! ```
+
+use prima::{Molecule, PrimaResult, Value};
+use prima_workloads::brep::{self, BrepConfig};
+
+/// A minimal "object buffer": the checked-out molecule plus pending
+/// attribute updates, applied wholesale at checkin.
+struct ObjectBuffer {
+    molecule: Molecule,
+    pending: Vec<(prima::AtomId, Vec<(String, Value)>)>,
+}
+
+impl ObjectBuffer {
+    fn checkout(db: &prima::Prima, brep_no: i64) -> PrimaResult<ObjectBuffer> {
+        let set = db.query(&format!(
+            "SELECT ALL FROM brep-face-edge-point WHERE brep_no = {brep_no}"
+        ))?;
+        Ok(ObjectBuffer {
+            molecule: set.molecules.into_iter().next().expect("brep exists"),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Local (buffered) edit — no DBMS call.
+    fn edit(&mut self, id: prima::AtomId, attr: &str, value: Value) {
+        self.pending.push((id, vec![(attr.to_string(), value)]));
+    }
+
+    /// Checkin: one nested transaction; any failure rolls back all edits.
+    fn checkin(self, db: &prima::Prima) -> PrimaResult<usize> {
+        let txn = db.begin()?;
+        let n = self.pending.len();
+        for (id, updates) in self.pending {
+            let at = db.schema().atom_type(id.atom_type).expect("known type");
+            let mut by_idx = Vec::with_capacity(updates.len());
+            for (name, v) in updates {
+                let idx = at.attribute_index(&name).ok_or_else(|| {
+                    prima::PrimaError::BadStatement(format!("unknown attribute '{name}'"))
+                })?;
+                by_idx.push((idx, v));
+            }
+            txn.modify_atom(id, &by_idx)?;
+        }
+        txn.commit()?;
+        Ok(n)
+    }
+}
+
+fn main() -> PrimaResult<()> {
+    let db = brep::open_db(16 << 20)?;
+    brep::populate(&db, &BrepConfig::with_solids(20))?;
+
+    // DBA tuning: cluster the brep main lanes so checkout is one chained
+    // read per molecule; keep redundancy maintenance deferred.
+    db.ldl(
+        "CREATE ATOM_CLUSTER cl_brep ON brep (faces, edges, points) PAGESIZE 2K;
+         CREATE ACCESS PATH ap_brep_no ON brep (brep_no);
+         SET UPDATE POLICY DEFERRED",
+    )?;
+
+    // Checkout brep 7 into the workstation's object buffer.
+    let (set, trace) = db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 7")?;
+    println!(
+        "checkout: {} atoms via {:?}, cluster used: {:?}",
+        set.molecules[0].atom_count(),
+        trace.root_access,
+        trace.cluster_used
+    );
+
+    let mut buffer = ObjectBuffer::checkout(&db, 7)?;
+
+    // Local engineering work: scale every face area (imagine a resize).
+    let face_node = 1; // brep-face-edge-point: node 1 = face
+    let edits: Vec<prima::AtomId> = buffer
+        .molecule
+        .atoms_of_node(face_node)
+        .iter()
+        .map(|a| a.id)
+        .collect();
+    let schema_face = db.schema().type_by_name("face").unwrap();
+    let sq = schema_face.attribute_index("square_dim").unwrap();
+    for id in edits {
+        let current = db.read(id)?;
+        let old = current.values[sq].as_real().unwrap_or(1.0);
+        buffer.edit(id, "square_dim", Value::Real(old * 2.0));
+    }
+    println!("buffered {} local edits (no DBMS calls)", buffer.pending.len());
+
+    // Checkin at commit time.
+    let n = buffer.checkin(&db)?;
+    println!("checkin committed {n} modifications atomically");
+
+    // Deferred maintenance is reconciled explicitly (e.g. at end of
+    // session).
+    let reconciled = db.reconcile()?;
+    println!("reconciled {reconciled} deferred structure updates");
+
+    // A failed checkin rolls everything back.
+    let mut buffer = ObjectBuffer::checkout(&db, 7)?;
+    let victim = buffer.molecule.atoms_of_node(face_node)[0].id;
+    buffer.edit(victim, "square_dim", Value::Real(-1.0));
+    buffer.edit(victim, "nonsense_attribute", Value::Int(0));
+    let result = buffer.checkin(&db);
+    println!(
+        "broken checkin rejected: {}",
+        if result.is_err() { "yes (rolled back)" } else { "no" }
+    );
+    let after = db.read(victim)?;
+    println!("face value survived the failed checkin: {}", after.values[sq]);
+    Ok(())
+}

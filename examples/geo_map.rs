@@ -1,0 +1,83 @@
+//! Map-handling example: horizontal access, partitions and sort orders
+//! on a geographic database.
+//!
+//! ```sh
+//! cargo run --example geo_map
+//! ```
+
+use prima::{PrimaResult, UpdatePolicy, Value};
+use prima_workloads::map::{self, MapConfig};
+
+fn main() -> PrimaResult<()> {
+    let db = map::open_db(16 << 20)?;
+    let stats = map::populate(&db, &MapConfig { sheets: 3, grid: 8, seed: 5 })?;
+    println!(
+        "map: {} sheets, {} regions, {} borders, {} nodes",
+        stats.sheet_ids.len(),
+        stats.region_ids.len(),
+        stats.border_ids.len(),
+        stats.node_ids.len()
+    );
+
+    // Horizontal access: all water regions (atom-type scan + SSA).
+    let (set, trace) =
+        db.query_traced("SELECT region_no, area FROM region WHERE land_use = 'water'")?;
+    println!("water regions: {} (root access {:?})", set.len(), trace.root_access);
+
+    // LDL tuning: partition the frequently projected attributes; sort
+    // order by area for range reporting.
+    db.ldl(
+        "CREATE PARTITION p_region_head ON region (region_no, land_use, area);
+         CREATE SORT ORDER so_area ON region (area);
+         CREATE ACCESS PATH ap_region ON region (region_no)",
+    )?;
+    println!("tuning structures installed (transparent to MQL)");
+
+    // Same query, same answer — but now the (denser) partition is
+    // scanned instead of the base file.
+    let (set2, trace) =
+        db.query_traced("SELECT region_no, area FROM region WHERE land_use = 'water'")?;
+    assert_eq!(set.len(), set2.len());
+    println!("re-run root access: {:?}", trace.root_access);
+
+    // Vertical access: one sheet's full map molecule.
+    let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 2")?;
+    println!(
+        "sheet 2 molecule: {} regions, {} border occurrences",
+        set.atoms_of("region").len(),
+        set.atoms_of("border").len()
+    );
+
+    // Update with deferred maintenance: re-classify a region.
+    db.set_update_policy(UpdatePolicy::Deferred);
+    db.execute("MODIFY region SET land_use = 'wetland' WHERE region_no = 1")?;
+    println!(
+        "after MODIFY: {} deferred structure updates pending",
+        db.access().deferred_queue().len()
+    );
+    db.reconcile()?;
+    println!("reconciled; queue now {}", db.access().deferred_queue().len());
+
+    // Shared borders: deleting a region must not delete shared borders'
+    // neighbours — DELETE ONLY the region component.
+    let n_regions_before = set.atoms_of("region").len();
+    db.execute("DELETE ONLY (region) FROM region WHERE region_no = 2")?;
+    let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 1")?;
+    println!(
+        "deleted region 2; sheet 1 now shows {} regions (was {})",
+        set.atoms_of("region").len(),
+        n_regions_before
+    );
+
+    // MQL CONNECT: move region 3 to sheet 3.
+    db.execute(
+        "MODIFY region SET sheet = CONNECT (SELECT ALL FROM sheet WHERE sheet_no = 3)
+         WHERE region_no = 3",
+    )?;
+    let a = db
+        .query("SELECT ALL FROM region-sheet WHERE region_no = 3")?;
+    let sheet_no = a.atoms_of("sheet")[0].values[1].clone();
+    println!("region 3 reconnected to sheet {sheet_no}");
+    assert_eq!(sheet_no, Value::Int(3));
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Loads the verbatim Fig. 2.3 schema, populates a small solid-modeling
+//! database, and runs the four queries of Table 2.1.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use prima::PrimaResult;
+use prima_workloads::brep::{self, BrepConfig};
+
+fn main() -> PrimaResult<()> {
+    // 1. Open a kernel with the Fig. 2.3 schema (MAD-DDL, verbatim).
+    let db = brep::open_db(8 << 20)?;
+    println!("schema loaded: {} atom types", db.schema().atom_types().len());
+
+    // 2. Populate: 5 base solids with boundary representations plus a
+    //    two-level assembly hierarchy.
+    let stats = brep::populate(&db, &BrepConfig::with_assembly(4, 2, 2))?;
+    println!(
+        "populated: {} solids, {} faces, {} edges, {} points",
+        stats.solid_ids.len(),
+        stats.faces,
+        stats.edges,
+        stats.points
+    );
+
+    // 3. Table 2.1a — vertical access to a network molecule.
+    let set = db.query(
+        "SELECT ALL
+         FROM brep-face-edge-point
+         WHERE brep_no = 1 (* qualification *)",
+    )?;
+    println!("\nTable 2.1a (vertical access): {} molecule(s)", set.len());
+    println!(
+        "  brep 1 molecule: {} faces, {} edge occurrences, {} point occurrences",
+        set.atoms_of("face").len(),
+        set.atoms_of("edge").len(),
+        set.atoms_of("point").len()
+    );
+
+    // 4. Table 2.1b — vertical access to a recursive molecule.
+    let root = stats.root_solid_nos[0];
+    let set = db.query(&format!(
+        "SELECT ALL
+         FROM piece_list (* pre-defined molecule type *)
+         WHERE piece_list (0).solid_no = {root} (* seed qualification *)"
+    ))?;
+    println!("\nTable 2.1b (recursive piece list of solid {root}):");
+    println!("  {} atoms, {} levels deep", set.molecules[0].atom_count(), set.molecules[0].depth());
+
+    // 5. Table 2.1c — horizontal access with unqualified projection.
+    let set = db.query(
+        "SELECT solid_no, description (* unqualified projection *)
+         FROM solid
+         WHERE sub = EMPTY",
+    )?;
+    println!("\nTable 2.1c (primitive solids): {} found", set.len());
+    for m in set.molecules.iter().take(3) {
+        println!("  {} {}", m.root.atom.values[1], m.root.atom.values[2]);
+    }
+
+    // 6. Table 2.1d — tree molecule, quantifier, qualified projection.
+    let set = db.query(
+        "SELECT edge, (point, (* unqualified projection p1 *)
+                face := SELECT face_id, square_dim
+                FROM face (* qualified projection q3, p2 *)
+                WHERE square_dim > 10.0)
+         FROM brep-edge (face, point)
+         WHERE brep_no = 1 (* qualification q1 *)
+         AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0
+         (* quantified restriction q2 *)",
+    )?;
+    println!("\nTable 2.1d (misc query): {} molecule(s)", set.len());
+    if let Some(m) = set.molecules.first() {
+        println!(
+            "  edges: {}, faces surviving qualified projection: {}",
+            set.atoms_of("edge").len(),
+            m.atoms_of_node(set.node_id("face").expect("face node")).len()
+        );
+    }
+
+    // 7. MQL manipulation.
+    db.execute("INSERT solid (solid_no: 999, description: 'adhoc part')")?;
+    let found = db.query("SELECT ALL FROM solid WHERE solid_no = 999")?;
+    println!("\ninserted solid 999 via MQL, retrieved {} molecule(s)", found.len());
+    db.execute("MODIFY solid SET description = 'renamed part' WHERE solid_no = 999")?;
+    db.execute("DELETE FROM solid WHERE solid_no = 999")?;
+    println!("modified and deleted it again");
+
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Molecule manipulation statements (Section 2.2): insert, delete
+//! (components and whole molecules), modify with connect/disconnect —
+//! all with system-enforced structural integrity.
+
+use prima::datasys::DmlResult;
+use prima::{Prima, Value};
+
+const DDL: &str = "
+CREATE ATOM_TYPE doc
+  ( id : IDENTIFIER, doc_no : INTEGER, title : CHAR_VAR,
+    chapters : SET_OF (REF_TO (chapter.doc)) )
+KEYS_ARE (doc_no);
+CREATE ATOM_TYPE chapter
+  ( id : IDENTIFIER, chap_no : INTEGER, pages : INTEGER,
+    doc : SET_OF (REF_TO (doc.chapters)) )
+KEYS_ARE (chap_no);
+";
+
+fn setup() -> Prima {
+    let db = Prima::builder().build_with_ddl(DDL).unwrap();
+    for d in 1..=2i64 {
+        let doc = db
+            .insert("doc", &[("doc_no", Value::Int(d)), ("title", Value::Str(format!("doc {d}")))])
+            .unwrap();
+        for c in 0..3i64 {
+            db.insert(
+                "chapter",
+                &[
+                    ("chap_no", Value::Int(d * 10 + c)),
+                    ("pages", Value::Int(10 + c)),
+                    ("doc", Value::ref_set(vec![doc])),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+#[test]
+fn insert_statement_generates_surrogate() {
+    let db = setup();
+    let r = db.execute("INSERT doc (doc_no: 3, title: 'fresh')").unwrap();
+    let DmlResult::Inserted(id) = r else { panic!("{r:?}") };
+    assert!(db.access().exists(id));
+    assert_eq!(db.query("SELECT ALL FROM doc WHERE doc_no = 3").unwrap().len(), 1);
+}
+
+#[test]
+fn delete_whole_molecule_disconnects() {
+    let db = setup();
+    let r = db.execute("DELETE FROM doc-chapter WHERE doc_no = 1").unwrap();
+    // doc + its 3 chapters
+    assert_eq!(r, DmlResult::Deleted(4));
+    assert!(db.query("SELECT ALL FROM doc WHERE doc_no = 1").unwrap().is_empty());
+    // Chapters of doc 2 untouched.
+    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
+    assert_eq!(set.atoms_of("chapter").len(), 3);
+}
+
+#[test]
+fn delete_only_component() {
+    let db = setup();
+    // Remove one chapter from doc 1's molecule; the doc stays.
+    let r = db
+        .execute("DELETE ONLY (chapter) FROM doc-chapter WHERE doc_no = 1 AND chapter.chap_no = 10")
+        .unwrap();
+    // Implicit-EXISTS semantics qualify the doc-1 molecule; chapter
+    // components of that molecule are deleted when they match? No: ONLY
+    // deletes all atoms of the named component in qualifying molecules.
+    // The residual predicate restricted the molecule, not the victims, so
+    // all 3 chapters of doc 1 disappear.
+    assert_eq!(r, DmlResult::Deleted(3));
+    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
+    assert_eq!(set.len(), 1, "doc survives");
+    assert_eq!(set.atoms_of("chapter").len(), 0);
+}
+
+#[test]
+fn modify_attribute_via_statement() {
+    let db = setup();
+    let r = db
+        .execute("MODIFY chapter SET pages = 99 WHERE chap_no = 11")
+        .unwrap();
+    assert_eq!(r, DmlResult::Modified(1));
+    let set = db.query("SELECT ALL FROM chapter WHERE chap_no = 11").unwrap();
+    assert_eq!(set.molecules[0].root.atom.values[2], Value::Int(99));
+}
+
+#[test]
+fn modify_connect_adds_association_both_ways() {
+    let db = setup();
+    // Chapter 20 currently belongs to doc 2; connect it to doc 1 as well
+    // (chapters may be shared — n:m).
+    db.execute(
+        "MODIFY chapter SET doc = CONNECT (SELECT ALL FROM doc WHERE doc_no = 1)
+         WHERE chap_no = 20",
+    )
+    .unwrap();
+    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
+    let nos: Vec<i64> = set
+        .atoms_of("chapter")
+        .iter()
+        .map(|a| a.values[1].as_int().unwrap())
+        .collect();
+    assert!(nos.contains(&20), "chapter 20 now reachable from doc 1: {nos:?}");
+    // Back-reference on the chapter side lists both docs.
+    let set = db.query("SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
+    assert_eq!(set.atoms_of("doc").len(), 2);
+}
+
+#[test]
+fn modify_disconnect_removes_association() {
+    let db = setup();
+    db.execute(
+        "MODIFY chapter SET doc = DISCONNECT (SELECT ALL FROM doc WHERE doc_no = 2)
+         WHERE chap_no = 20",
+    )
+    .unwrap();
+    let set = db.query("SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
+    assert_eq!(set.atoms_of("doc").len(), 0, "chapter 20 disconnected");
+    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
+    assert_eq!(set.atoms_of("chapter").len(), 2);
+}
+
+#[test]
+fn deleting_shared_component_disconnects_everywhere() {
+    let db = setup();
+    // Share chapter 20 between both docs, then delete it.
+    db.execute(
+        "MODIFY chapter SET doc = CONNECT (SELECT ALL FROM doc WHERE doc_no = 1)
+         WHERE chap_no = 20",
+    )
+    .unwrap();
+    db.execute("DELETE FROM chapter WHERE chap_no = 20").unwrap();
+    for d in [1, 2] {
+        let set = db.query(&format!("SELECT ALL FROM doc-chapter WHERE doc_no = {d}")).unwrap();
+        let nos: Vec<i64> = set
+            .atoms_of("chapter")
+            .iter()
+            .map(|a| a.values[1].as_int().unwrap())
+            .collect();
+        assert!(!nos.contains(&20), "doc {d} still references deleted chapter");
+    }
+}
+
+#[test]
+fn key_violation_through_mql_reported() {
+    let db = setup();
+    let err = db.execute("INSERT doc (doc_no: 1, title: 'dup')").unwrap_err();
+    assert!(err.to_string().contains("duplicate key"), "{err}");
+}

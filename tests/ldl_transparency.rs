@@ -1,0 +1,124 @@
+//! E-LDL: "Such measures only serve to improve performance — they are …
+//! not visible to the application referencing the MAD interface."
+//! Every tuning structure changes the physical trace but never the
+//! answer; structures can be created and dropped at any time.
+
+use prima::datasys::RootAccess;
+use prima_workloads::brep::{self, BrepConfig};
+use prima_workloads::map::{self, MapConfig};
+
+#[test]
+fn access_path_changes_trace_not_answer() {
+    let db = map::open_db(16 << 20).unwrap();
+    map::populate(&db, &MapConfig { sheets: 1, grid: 10, seed: 3 }).unwrap();
+    let q = "SELECT ALL FROM region WHERE area >= 100.0";
+    let (before, t_before) = db.query_traced(q).unwrap();
+    assert_eq!(t_before.root_access, RootAccess::TypeScan);
+    db.ldl("CREATE ACCESS PATH ap_area ON region (area)").unwrap();
+    let (after, t_after) = db.query_traced(q).unwrap();
+    assert!(
+        matches!(t_after.root_access, RootAccess::AccessPath { .. }),
+        "got {:?}",
+        t_after.root_access
+    );
+    assert_eq!(before.molecules, after.molecules);
+    // Drop it again: back to the scan, same answer.
+    db.ldl("DROP STRUCTURE ap_area").unwrap();
+    let (dropped, t_dropped) = db.query_traced(q).unwrap();
+    assert_eq!(t_dropped.root_access, RootAccess::TypeScan);
+    assert_eq!(before.molecules, dropped.molecules);
+}
+
+#[test]
+fn partition_changes_trace_not_answer() {
+    let db = map::open_db(16 << 20).unwrap();
+    map::populate(&db, &MapConfig { sheets: 1, grid: 8, seed: 3 }).unwrap();
+    let q = "SELECT region_no FROM region WHERE land_use = 'forest'";
+    let before = db.query(q).unwrap();
+    db.ldl("CREATE PARTITION p ON region (region_no, land_use)").unwrap();
+    let (after, trace) = db.query_traced(q).unwrap();
+    assert!(matches!(trace.root_access, RootAccess::PartitionScan { .. }));
+    assert_eq!(before.molecules, after.molecules);
+}
+
+#[test]
+fn cluster_changes_trace_not_answer() {
+    let db = brep::open_db(16 << 20).unwrap();
+    brep::populate(&db, &BrepConfig::with_solids(6)).unwrap();
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 4";
+    let before = db.query(q).unwrap();
+    db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 2K").unwrap();
+    let (after, trace) = db.query_traced(q).unwrap();
+    assert_eq!(trace.cluster_used.as_deref(), Some("cl"));
+    assert_eq!(before.molecules, after.molecules);
+}
+
+#[test]
+fn controlled_redundancy_two_sort_orders() {
+    // "e.g. two different sort orders for the same object".
+    let db = map::open_db(16 << 20).unwrap();
+    map::populate(&db, &MapConfig { sheets: 1, grid: 6, seed: 3 }).unwrap();
+    db.ldl(
+        "CREATE SORT ORDER so_area ON region (area);
+         CREATE SORT ORDER so_no ON region (region_no)",
+    )
+    .unwrap();
+    let so1 = db.access().sort_order("so_area").unwrap();
+    let so2 = db.access().sort_order("so_no").unwrap();
+    assert_eq!(so1.len(), 36);
+    assert_eq!(so2.len(), 36);
+    // Each atom now has 2 redundant copies + 1 primary record (the n:m
+    // atom↔record mapping of Section 3.2).
+    let t = db.schema().type_id("region").unwrap();
+    let some = db.access().all_ids(t).unwrap()[0];
+    // both copies fresh
+    let s1 = db.access().structure_id("so_area").unwrap();
+    let s2 = db.access().structure_id("so_no").unwrap();
+    assert!(!db.access().deferred_stale(some, s1));
+    assert!(!db.access().deferred_stale(some, s2));
+}
+
+#[test]
+fn structures_maintained_across_inserts_and_deletes() {
+    let db = map::open_db(16 << 20).unwrap();
+    map::populate(&db, &MapConfig { sheets: 1, grid: 4, seed: 3 }).unwrap();
+    db.ldl(
+        "CREATE ACCESS PATH ap ON region (region_no);
+         CREATE SORT ORDER so ON region (area);
+         CREATE PARTITION p ON region (region_no, land_use)",
+    )
+    .unwrap();
+    // New atom appears in every structure.
+    let sheet = db.query("SELECT ALL FROM sheet WHERE sheet_no = 1").unwrap().molecules[0]
+        .root
+        .atom
+        .id;
+    db.insert(
+        "region",
+        &[
+            ("region_no", prima::Value::Int(999)),
+            ("land_use", prima::Value::Str("park".into())),
+            ("area", prima::Value::Real(7.0)),
+            ("sheet", prima::Value::Ref(Some(sheet))),
+        ],
+    )
+    .unwrap();
+    let (set, trace) = db.query_traced("SELECT ALL FROM region WHERE region_no = 999").unwrap();
+    assert!(matches!(trace.root_access, RootAccess::AccessPath { .. } | RootAccess::KeyLookup { .. }));
+    assert_eq!(set.len(), 1);
+    assert_eq!(db.access().sort_order("so").unwrap().len(), 17);
+    // Delete removes it everywhere.
+    db.execute("DELETE FROM region WHERE region_no = 999").unwrap();
+    let set = db.query("SELECT ALL FROM region WHERE region_no = 999").unwrap();
+    assert!(set.is_empty());
+    assert_eq!(db.access().sort_order("so").unwrap().len(), 16);
+}
+
+#[test]
+fn duplicate_structure_name_rejected() {
+    let db = map::open_db(8 << 20).unwrap();
+    map::populate(&db, &MapConfig::default()).unwrap();
+    db.ldl("CREATE ACCESS PATH dup ON region (region_no)").unwrap();
+    assert!(db.ldl("CREATE SORT ORDER dup ON region (area)").is_err());
+    assert!(db.ldl("DROP STRUCTURE nonexistent").is_err());
+}

@@ -1,0 +1,64 @@
+//! E-PAR: semantic parallelism — parallel DU execution returns exactly
+//! the serial result, for every query shape and thread count.
+
+use prima_workloads::brep::{self, BrepConfig};
+use prima_workloads::vlsi::{self, VlsiConfig};
+
+#[test]
+fn parallel_equals_serial_on_vertical_access() {
+    let db = brep::open_db(32 << 20).unwrap();
+    brep::populate(&db, &BrepConfig::with_solids(24)).unwrap();
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
+    let serial = db.query(q).unwrap();
+    for threads in [1, 2, 4, 8] {
+        let parallel = db.query_parallel(q, threads).unwrap();
+        assert_eq!(serial.molecules, parallel.molecules, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_equals_serial_on_recursion() {
+    let db = brep::open_db(32 << 20).unwrap();
+    let stats = brep::populate(&db, &BrepConfig::with_assembly(8, 3, 2)).unwrap();
+    let root = stats.root_solid_nos[0];
+    let q = format!("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root}");
+    let serial = db.query(&q).unwrap();
+    let parallel = db.query_parallel(&q, 4).unwrap();
+    assert_eq!(serial.molecules, parallel.molecules);
+}
+
+#[test]
+fn parallel_equals_serial_with_quantifiers_and_projection() {
+    let db = vlsi::open_db(32 << 20).unwrap();
+    vlsi::populate(&db, &VlsiConfig { cells: 60, nets: 40, ..Default::default() }).unwrap();
+    let q = "SELECT net_no FROM net-pin WHERE EXISTS_AT_LEAST (2) pin: pin.x > 100.0";
+    let serial = db.query(q).unwrap();
+    let parallel = db.query_parallel(q, 4).unwrap();
+    assert_eq!(serial.molecules, parallel.molecules);
+}
+
+#[test]
+fn parallel_respects_cluster_prefetch() {
+    let db = brep::open_db(32 << 20).unwrap();
+    brep::populate(&db, &BrepConfig::with_solids(10)).unwrap();
+    db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 1K").unwrap();
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
+    let serial = db.query(q).unwrap();
+    let parallel = db.query_parallel(q, 4).unwrap();
+    assert_eq!(serial.molecules, parallel.molecules);
+}
+
+#[test]
+fn concurrent_du_reads_do_not_interfere() {
+    // Stress: many threads repeatedly constructing molecules while the
+    // buffer evicts (small pool) — results must stay stable.
+    let db = brep::open_db(256 * 1024).unwrap();
+    brep::populate(&db, &BrepConfig::with_solids(16)).unwrap();
+    let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
+    let expected = db.query(q).unwrap();
+    for _ in 0..5 {
+        let got = db.query_parallel(q, 8).unwrap();
+        assert_eq!(expected.molecules.len(), got.molecules.len());
+        assert_eq!(expected.molecules, got.molecules);
+    }
+}
