@@ -63,13 +63,20 @@ impl AccessStats {
     }
 }
 
+/// Uniqueness map of one `KEYS_ARE` attribute: encoded key -> atom.
+type KeyMap = RwLock<HashMap<Vec<u8>, AtomId>>;
+
+/// Primary-read requests of one batch that share a data page:
+/// `((atom type, page), [(position in the batch, slot)])`.
+type PageGroup = ((AtomTypeId, u32), Vec<(usize, u16)>);
+
 /// Per-atom-type base storage.
 struct TypeStore {
     file: RecordFile,
     next_seq: AtomicU64,
     /// One uniqueness map per `KEYS_ARE` attribute:
     /// encoded key value -> atom.
-    key_maps: Vec<(usize, RwLock<HashMap<Vec<u8>, AtomId>>)>,
+    key_maps: Vec<(usize, KeyMap)>,
     /// Live atom ids in insertion order (system-defined order of the
     /// atom-type scan is physical order; this is kept for statistics).
     count: AtomicU64,
@@ -427,6 +434,184 @@ impl AccessSystem {
             Some(proj) => atom.project(proj),
             None => atom,
         })
+    }
+
+    /// Batched read: semantically identical to `ids.iter().map(|id|
+    /// read_atom(id, projection))`, including result order, projection
+    /// choice and error behaviour (the error of the lowest-position
+    /// failing id wins, as it would sequentially) — but primary-record
+    /// fetches are **grouped by owning page**, so each data page is fixed
+    /// once per batch instead of once per atom. This amortises shard-lock
+    /// traffic and LRU touches across all atoms resident on the page (the
+    /// vertical molecule-assembly fast path; see Section 3.3 on fix/unfix
+    /// cost).
+    ///
+    /// Atoms whose projection is served by a fresh covering partition fall
+    /// back to the per-atom partition read, exactly as `read_atom` would.
+    pub fn read_atoms_batch(
+        &self,
+        ids: &[AtomId],
+        projection: Option<&[usize]>,
+    ) -> AccessResult<Vec<Atom>> {
+        let mut opt = Vec::new();
+        self.batch_read_inner(ids, projection, &mut opt, true)?;
+        // `strict` turned unknown atoms into position-ordered errors, so
+        // every remaining entry is present.
+        Ok(opt.into_iter().map(|a| a.expect("strict batch entry")).collect())
+    }
+
+    /// Missing-tolerant batched read: like [`AccessSystem::read_atoms_batch`]
+    /// but unknown atoms yield `None` instead of failing the whole batch
+    /// (molecule assembly skips dangling ids defensively). Storage-level
+    /// failures still propagate.
+    pub fn read_atoms_batch_opt(
+        &self,
+        ids: &[AtomId],
+        projection: Option<&[usize]>,
+    ) -> AccessResult<Vec<Option<Atom>>> {
+        let mut out = Vec::new();
+        self.read_atoms_batch_into(ids, projection, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`AccessSystem::read_atoms_batch_opt`] writing into a caller-owned
+    /// buffer (cleared first), so per-level callers can recycle it.
+    pub fn read_atoms_batch_into(
+        &self,
+        ids: &[AtomId],
+        projection: Option<&[usize]>,
+        out: &mut Vec<Option<Atom>>,
+    ) -> AccessResult<()> {
+        self.batch_read_inner(ids, projection, out, false)
+    }
+
+    /// Shared batch-read core. `strict` makes an unknown atom an error
+    /// (`NoSuchAtom`) competing position-wise with every other failure, so
+    /// the returned error is the one a sequential `read_atom` loop would
+    /// hit first; tolerant mode leaves unknown atoms as `None`.
+    fn batch_read_inner(
+        &self,
+        ids: &[AtomId],
+        projection: Option<&[usize]>,
+        out: &mut Vec<Option<Atom>>,
+        strict: bool,
+    ) -> AccessResult<()> {
+        out.clear();
+        // Degenerate batches skip the page-grouping machinery: one atom
+        // cannot amortise anything (molecule levels with fan-out 1 hit
+        // this constantly).
+        if ids.len() <= 1 {
+            for &id in ids {
+                out.push(match self.read_atom(id, projection) {
+                    Ok(a) => Some(a),
+                    Err(AccessError::NoSuchAtom(_)) if !strict => None,
+                    Err(e) => return Err(e),
+                });
+            }
+            return Ok(());
+        }
+        out.resize_with(ids.len(), || None);
+        // Lowest-position failure seen so far; reported once the whole
+        // batch has been walked (matching sequential error order).
+        let mut first_err: Option<(usize, AccessError)> = None;
+        let record_err = |err_slot: &mut Option<(usize, AccessError)>, i: usize, e| {
+            if err_slot.as_ref().map(|(p, _)| i < *p).unwrap_or(true) {
+                *err_slot = Some((i, e));
+            }
+        };
+        // (atom type, page) -> positions in `ids` + their slots, built in
+        // input order so per-page decode order is deterministic. Typical
+        // batches touch few distinct pages (linear probe); large scattered
+        // batches switch to a hashed index to stay linear overall.
+        let mut groups: Vec<PageGroup> = Vec::new();
+        let mut group_index: Option<HashMap<(AtomTypeId, u32), usize>> =
+            (ids.len() > 64).then(HashMap::new);
+        {
+            // One structure-registry lock for the whole grouping pre-pass
+            // (not one per id); released before any page is fixed, like
+            // read_atom.
+            let structures = projection.map(|_| self.structures.read());
+            'ids: for (i, &id) in ids.iter().enumerate() {
+                if let (Some(proj), Some(structures)) = (projection, structures.as_ref()) {
+                    // Cheapest fresh covering copy first, as read_atom does.
+                    for placement in self.addresses.placements(id) {
+                        if placement.stale {
+                            continue;
+                        }
+                        if let Some(p) = structures.partitions.get(&placement.structure) {
+                            if p.covers(proj) {
+                                match p.read(placement.ptr) {
+                                    Ok(a) => {
+                                        self.stats
+                                            .partition_reads
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        out[i] = Some(a.project(proj));
+                                    }
+                                    Err(e) => record_err(&mut first_err, i, e),
+                                }
+                                continue 'ids;
+                            }
+                        }
+                    }
+                }
+                let Some(ptr) = self.addresses.primary(id) else {
+                    // Unknown atom: an error in strict mode, a hole otherwise.
+                    if strict {
+                        record_err(&mut first_err, i, AccessError::NoSuchAtom(id));
+                    }
+                    continue;
+                };
+                let key = (id.atom_type, ptr.page);
+                let slot = match &mut group_index {
+                    Some(index) => index.get(&key).copied(),
+                    None => groups.iter().position(|(k, _)| *k == key),
+                };
+                match slot {
+                    Some(g) => groups[g].1.push((i, ptr.slot)),
+                    None => {
+                        if let Some(index) = &mut group_index {
+                            index.insert(key, groups.len());
+                        }
+                        groups.push((key, vec![(i, ptr.slot)]));
+                    }
+                }
+            }
+        }
+        for ((atom_type, page), entries) in groups {
+            let store = self.store_of(atom_type)?;
+            let slots: Vec<u16> = entries.iter().map(|(_, s)| *s).collect();
+            // Decode in place under the (single) page fix — no per-record
+            // byte-vector copy. Entries are position-ordered within the
+            // group, so the first failure here is the group's lowest.
+            let mut fail_pos = entries[0].0;
+            let read = store.file.read_batch_on_page_with(page, &slots, |k, bytes| {
+                fail_pos = entries[k].0;
+                let Some(bytes) = bytes else {
+                    // The address table points at a freed slot: surface the
+                    // same storage error a direct read would produce.
+                    return Err(AccessError::Storage(
+                        prima_storage::StorageError::PageNotAllocated {
+                            segment: store.file.segment(),
+                            page,
+                        },
+                    ));
+                };
+                let atom = Atom::decode(bytes)?;
+                self.stats.primary_reads.fetch_add(1, Ordering::Relaxed);
+                out[entries[k].0] = Some(match projection {
+                    Some(proj) => atom.project(proj),
+                    None => atom,
+                });
+                Ok(())
+            });
+            if let Err(e) = read {
+                record_err(&mut first_err, fail_pos, e);
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Reads the primary record directly.

@@ -319,9 +319,9 @@ impl BTree {
             let lb = entries.partition_point(|(k, _)| k.as_slice() < key);
             let ub = entries.partition_point(|(k, _)| k.as_slice() <= key);
             let mut removed = false;
-            for i in lb..ub {
-                if let Some(p) = entries[i].1.iter().position(|x| *x == id) {
-                    entries[i].1.remove(p);
+            for entry in entries[lb..ub].iter_mut() {
+                if let Some(p) = entry.1.iter().position(|x| *x == id) {
+                    entry.1.remove(p);
                     removed = true;
                     break;
                 }

@@ -209,6 +209,26 @@ impl RecordFile {
         Ok(())
     }
 
+    /// Reads several slots of one page under a **single** page fix — the
+    /// storage-level primitive of the batched atom-read path. Invokes
+    /// `f(slot_position, record_bytes)` for every requested slot while the
+    /// page is fixed once, letting the caller decode in place without an
+    /// intermediate byte-vector per record. A deleted or never-allocated
+    /// slot yields `None` (the caller decides whether that is an error).
+    pub fn read_batch_on_page_with(
+        &self,
+        page_no: u32,
+        slots: &[u16],
+        mut f: impl FnMut(usize, Option<&[u8]>) -> AccessResult<()>,
+    ) -> AccessResult<()> {
+        let g = self.storage.fix(PageId::new(self.segment, page_no))?;
+        let area = g.payload_area();
+        for (i, &slot) in slots.iter().enumerate() {
+            f(i, page_read(area, slot))?;
+        }
+        Ok(())
+    }
+
     /// Reads all records of one page (scan granularity): `(slot, bytes)`.
     pub fn read_page_records(&self, page_no: u32) -> AccessResult<Vec<(u16, Vec<u8>)>> {
         let g = self.storage.fix(PageId::new(self.segment, page_no))?;
@@ -503,7 +523,7 @@ mod tests {
         let mut kept = Vec::new();
         let mut dropped = Vec::new();
         for i in 0..8 {
-            let p = f.insert(&vec![i as u8; 50]).unwrap();
+            let p = f.insert(&[i as u8; 50]).unwrap();
             if i % 2 == 0 {
                 dropped.push(p);
             } else {

@@ -1,0 +1,139 @@
+//! BENCH-1 — batched vertical assembly.
+//!
+//! Compares `AssemblyMode::PerAtom` (one buffer fix per component atom,
+//! the historical path) against `AssemblyMode::Batched` (level-by-level
+//! frontier expansion, one page-grouped batch read per level) across
+//! molecule fan-outs of 1, 10 and 100 components per level and two
+//! buffer-pressure regimes (warm: everything resident; pressured: the
+//! buffer holds a fraction of the database, so assembly competes with
+//! eviction).
+//!
+//! Reported per configuration, machine-grepable:
+//! * `atoms_per_sec` — assembled component atoms per second of query time;
+//! * `fix_calls`, `pages_loaded` — from `BufferStats::detail`, proving
+//!   the batched path's guard-churn reduction (fix calls collapse towards
+//!   the page count while device loads stay identical).
+//!
+//! `scripts/perf_trajectory.sh` collects the `BENCHJSON` lines emitted on
+//! stderr into `BENCH_1.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima::{AssemblyMode, Prima, Value};
+use prima_bench::report;
+use prima_mad::value::AtomId;
+use std::time::Instant;
+
+const DDL: &str = "
+CREATE ATOM_TYPE pt
+  ( id : IDENTIFIER, n : INTEGER,
+    owner : SET_OF (REF_TO (part.pts)) );
+CREATE ATOM_TYPE part
+  ( id : IDENTIFIER, n : INTEGER, name : CHAR_VAR,
+    pts : SET_OF (REF_TO (pt.owner)),
+    parent : SET_OF (REF_TO (assembly.comps)) );
+CREATE ATOM_TYPE assembly
+  ( id : IDENTIFIER, n : INTEGER,
+    comps : SET_OF (REF_TO (part.parent)) );
+";
+
+/// Builds `roots` three-level molecules: assembly -> `fanout` parts -> 2
+/// points each.
+fn build_db(roots: usize, fanout: usize, buffer_bytes: usize) -> Prima {
+    let db = Prima::builder().buffer_bytes(buffer_bytes).build_with_ddl(DDL).unwrap();
+    let mut n = 0i64;
+    for a in 0..roots {
+        let mut comps = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            n += 1;
+            let pts: Vec<AtomId> = (0..2)
+                .map(|k| db.insert("pt", &[("n", Value::Int(n * 10 + k))]).unwrap())
+                .collect();
+            comps.push(
+                db.insert(
+                    "part",
+                    &[
+                        ("n", Value::Int(n)),
+                        ("name", Value::Str(format!("part {n} of assembly {a}"))),
+                        ("pts", Value::ref_set(pts)),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        db.insert("assembly", &[("n", Value::Int(a as i64)), ("comps", Value::ref_set(comps))])
+            .unwrap();
+    }
+    db
+}
+
+struct Measured {
+    atoms: usize,
+    elapsed_ns: u128,
+    fix_calls: u64,
+    pages_loaded: u64,
+}
+
+/// One counted query run (buffer warmed by a prior run of the same mode).
+fn measure(db: &Prima, q: &str, mode: AssemblyMode) -> Measured {
+    let _ = db.query_with_assembly(q, mode).unwrap();
+    db.storage().buffer_stats().reset();
+    let t0 = Instant::now();
+    let (set, _) = db.query_with_assembly(q, mode).unwrap();
+    let elapsed_ns = t0.elapsed().as_nanos();
+    let d = db.storage().buffer_stats().detail();
+    Measured {
+        atoms: set.atom_count(),
+        elapsed_ns,
+        fix_calls: d.fix_calls,
+        pages_loaded: d.pages_loaded,
+    }
+}
+
+fn mode_name(mode: AssemblyMode) -> &'static str {
+    match mode {
+        AssemblyMode::PerAtom => "per_atom",
+        AssemblyMode::Batched => "batched",
+    }
+}
+
+fn bench_batched_assembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_assembly");
+    g.sample_size(10);
+    // (fanout, molecule roots): roughly constant total atom volume.
+    for &(fanout, roots) in &[(1usize, 200usize), (10, 40), (100, 8)] {
+        // Warm regime: the whole database fits; pressured regime: the
+        // buffer holds only a slice of it, so each level competes with
+        // the modified-LRU eviction walk.
+        for (regime, buffer_bytes) in [("warm", 64 << 20), ("pressured", 192 * 1024)] {
+            let db = build_db(roots, fanout, buffer_bytes);
+            let q = "SELECT ALL FROM assembly-part-pt";
+            for mode in [AssemblyMode::PerAtom, AssemblyMode::Batched] {
+                let m = measure(&db, q, mode);
+                let atoms_per_sec = m.atoms as f64 / (m.elapsed_ns.max(1) as f64 / 1e9);
+                let label = format!("f{fanout}/{regime}/{}", mode_name(mode));
+                report("BENCH-1", &label, "atoms_per_sec", format!("{atoms_per_sec:.0}"));
+                report("BENCH-1", &label, "fix_calls", m.fix_calls);
+                report("BENCH-1", &label, "pages_loaded", m.pages_loaded);
+                eprintln!(
+                    "BENCHJSON {{\"bench\":\"batched_assembly\",\"fanout\":{fanout},\
+\"regime\":\"{regime}\",\"mode\":\"{}\",\"atoms\":{},\"elapsed_ns\":{},\
+\"atoms_per_sec\":{atoms_per_sec:.0},\"fix_calls\":{},\"pages_loaded\":{}}}",
+                    mode_name(mode),
+                    m.atoms,
+                    m.elapsed_ns,
+                    m.fix_calls,
+                    m.pages_loaded,
+                );
+                g.bench_with_input(
+                    BenchmarkId::new(format!("f{fanout}/{regime}"), mode_name(mode)),
+                    &mode,
+                    |b, &mode| b.iter(|| db.query_with_assembly(q, mode).unwrap()),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_assembly);
+criterion_main!(benches);

@@ -114,9 +114,8 @@ fn collect_preorder(node: &MoleculeNode, out: &mut Vec<String>) {
 
 /// Strips an inlining marker prefix, returning the clean component name.
 fn clean_name(component: &str) -> &str {
-    if component.starts_with('\u{1}') {
+    if let Some(rest) = component.strip_prefix('\u{1}') {
         // marker is "\u{1}name\u{1}depth" prefixed to the real name.
-        let rest = &component[1..];
         if let Some(p) = rest.find('\u{1}') {
             let tail = &rest[p + 1..];
             let digits = tail.chars().take_while(|c| c.is_ascii_digit()).count();

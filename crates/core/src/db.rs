@@ -108,6 +108,18 @@ impl Prima {
         datasys::execute(&self.access, &resolved)
     }
 
+    /// Runs a `SELECT` with an explicit vertical-assembly strategy
+    /// (benchmark/equivalence use; [`Prima::query`] always batches).
+    pub fn query_with_assembly(
+        &self,
+        mql: &str,
+        mode: datasys::AssemblyMode,
+    ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
+        let q = parse_query(mql)?;
+        let resolved = datasys::validate(self.access.schema(), &q)?;
+        datasys::execute_with_mode(&self.access, &resolved, mode)
+    }
+
     /// Runs a `SELECT` with molecule construction decomposed into DUs
     /// executed on `threads` workers (semantic parallelism, Section 4).
     pub fn query_parallel(&self, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {

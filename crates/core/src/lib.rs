@@ -50,6 +50,7 @@ pub mod txn;
 
 pub use db::{Prima, PrimaBuilder};
 pub use datasys::molecule::{MolAtom, Molecule, MoleculeSet};
+pub use datasys::AssemblyMode;
 pub use error::{PrimaError, PrimaResult};
 pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
 pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

@@ -26,7 +26,7 @@
 //! decomposability and speed-up shape, not about a particular
 //! interconnect.
 
-use crate::datasys::exec::{find_roots, node_infos, process_root};
+use crate::datasys::exec::{find_roots, node_infos, process_root, AssemblyCtx};
 use crate::datasys::molecule::MoleculeSet;
 use crate::datasys::plan::{ExecutionTrace, ResolvedQuery};
 use crate::error::PrimaResult;
@@ -155,7 +155,15 @@ pub fn execute_parallel(
     let roots = find_roots(sys, q, &mut trace)?;
     trace.roots_inspected = roots.len();
     let clusters = sys.cluster_types_of(q.nodes[0].atom_type);
-    let results = run_parallel(roots, threads, |root| process_root(sys, q, root, &clusters))?;
+    // Assembly scratch is recycled across DUs through a small pool, so the
+    // parallel path amortises per-molecule allocations like the serial one.
+    let ctx_pool: parking_lot::Mutex<Vec<AssemblyCtx>> = parking_lot::Mutex::new(Vec::new());
+    let results = run_parallel(roots, threads, |root| {
+        let mut ctx = ctx_pool.lock().pop().unwrap_or_else(|| AssemblyCtx::new(q));
+        let r = process_root(sys, q, root, &clusters, &mut ctx);
+        ctx_pool.lock().push(ctx);
+        r
+    })?;
     let molecules: Vec<_> = results.into_iter().flatten().collect();
     trace.molecules = molecules.len();
     Ok((MoleculeSet { nodes: node_infos(q), molecules }, trace))

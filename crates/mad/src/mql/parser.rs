@@ -195,6 +195,7 @@ impl Parser {
 
     /// Parses `a[.attr]-b (c, d)-…` chains with branches and the
     /// `(RECURSIVE)` marker.
+    #[allow(clippy::wrong_self_convention)] // parses a FROM clause, not a conversion
     pub(crate) fn from_structure(&mut self) -> Result<MoleculeGraph, ParseError> {
         let root = self.structure_chain()?;
         Ok(MoleculeGraph::new(root))

@@ -34,7 +34,10 @@ pub mod page_seq;
 pub mod segment;
 pub mod stats;
 
-pub use buffer::{BufferManager, BufferStats, PageGuard, PartitionedBuffer, ReplacementPolicy};
+pub use buffer::{
+    BufferManager, BufferStats, BufferStatsSnapshot, PageGuard, PartitionedBuffer,
+    ReplacementPolicy,
+};
 pub use disk::{BlockAddr, BlockDevice, CostModel, SimDisk};
 pub use error::{StorageError, StorageResult};
 pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};

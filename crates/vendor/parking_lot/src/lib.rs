@@ -1,0 +1,283 @@
+//! Minimal API-compatible stand-in for the `parking_lot` crate, backed by
+//! `std::sync`. The build environment has no crates.io access, so the
+//! workspace vendors the narrow surface the kernel uses:
+//!
+//! * [`Mutex`] / [`RwLock`] with panic-free (`lock()`/`read()`/`write()`)
+//!   guards — poisoning is swallowed, matching parking_lot semantics;
+//! * owning (`'static`) guards via [`RwLock::read_arc`]/[`RwLock::write_arc`],
+//!   used by the buffer manager to hand out page guards detached from the
+//!   pool borrow;
+//! * the [`lock_api`] guard type names the kernel imports.
+//!
+//! Performance is whatever `std::sync` provides; semantics are what the
+//! callers rely on.
+
+use std::sync::Arc;
+
+/// Raw lock marker type (type-level compatibility only).
+pub struct RawRwLock {
+    _private: (),
+}
+
+/// Raw mutex marker type (type-level compatibility only).
+pub struct RawMutex {
+    _private: (),
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, ignoring poison (parking_lot has no poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// RwLock whose state lives behind an `Arc` so owning (`'static`) guards can
+/// be produced without unsafe self-references in callers.
+pub struct RwLock<T> {
+    inner: Arc<std::sync::RwLock<T>>,
+}
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self {
+        RwLock { inner: Arc::new(std::sync::RwLock::new(t)) }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Shared guard that owns a reference to the lock (usable beyond the
+    /// borrow of `self`, as parking_lot's `arc_lock` feature provides).
+    pub fn read_arc(&self) -> lock_api::ArcRwLockReadGuard<RawRwLock, T>
+    where
+        T: 'static,
+    {
+        lock_api::ArcRwLockReadGuard::new(Arc::clone(&self.inner))
+    }
+
+    /// Exclusive owning guard; see [`RwLock::read_arc`].
+    pub fn write_arc(&self) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T>
+    where
+        T: 'static,
+    {
+        lock_api::ArcRwLockWriteGuard::new(Arc::clone(&self.inner))
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+pub mod lock_api {
+    //! Owning guard types compatible with `lock_api`'s `Arc*Guard` names.
+
+    use std::marker::PhantomData;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+
+    /// Shared guard owning its lock. The `'static` guard borrows data that
+    /// lives on the `Arc` heap allocation it also owns; the guard field is
+    /// declared before the Arc so it drops first.
+    pub struct ArcRwLockReadGuard<R, T: 'static> {
+        // SAFETY invariant: `guard` borrows from the RwLock inside `_lock`;
+        // declaration order guarantees the guard is released before the Arc.
+        guard: Option<std::sync::RwLockReadGuard<'static, T>>,
+        _lock: Arc<std::sync::RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<R, T: 'static> ArcRwLockReadGuard<R, T> {
+        pub(crate) fn new(lock: Arc<std::sync::RwLock<T>>) -> Self {
+            let g = match lock.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            // SAFETY: the referent lives on the Arc's heap allocation, which
+            // this struct keeps alive for at least as long as the guard; the
+            // guard never leaves the struct.
+            let g: std::sync::RwLockReadGuard<'static, T> =
+                unsafe { std::mem::transmute(g) };
+            ArcRwLockReadGuard { guard: Some(g), _lock: lock, _raw: PhantomData }
+        }
+    }
+
+    impl<R, T: 'static> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard alive")
+        }
+    }
+
+    impl<R, T: 'static> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+        }
+    }
+
+    /// Exclusive guard owning its lock; see [`ArcRwLockReadGuard`].
+    pub struct ArcRwLockWriteGuard<R, T: 'static> {
+        guard: Option<std::sync::RwLockWriteGuard<'static, T>>,
+        _lock: Arc<std::sync::RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<R, T: 'static> ArcRwLockWriteGuard<R, T> {
+        pub(crate) fn new(lock: Arc<std::sync::RwLock<T>>) -> Self {
+            let g = match lock.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            // SAFETY: as for ArcRwLockReadGuard.
+            let g: std::sync::RwLockWriteGuard<'static, T> =
+                unsafe { std::mem::transmute(g) };
+            ArcRwLockWriteGuard { guard: Some(g), _lock: lock, _raw: PhantomData }
+        }
+    }
+
+    impl<R, T: 'static> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard alive")
+        }
+    }
+
+    impl<R, T: 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard alive")
+        }
+    }
+
+    impl<R, T: 'static> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn arc_guards_outlive_borrow() {
+        let l = Arc::new(RwLock::new(5));
+        let g = {
+            let borrowed = Arc::clone(&l);
+            borrowed.read_arc()
+        };
+        assert_eq!(*g, 5);
+        drop(g);
+        *l.write_arc() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn write_arc_releases_on_drop() {
+        let l = RwLock::new(0u32);
+        {
+            let mut g = l.write_arc();
+            *g = 9;
+        }
+        assert_eq!(*l.read(), 9);
+    }
+}

@@ -1,0 +1,567 @@
+//! Minimal stand-in for the `proptest` crate. The build environment has no
+//! crates.io access; the kernel's property tests use a narrow strategy
+//! surface, reproduced here:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`
+//! * `any::<T>()` for primitives and `prop::sample::Index`
+//! * integer-range strategies, tuple strategies, `Just`
+//! * `prop_oneof!` (weighted and unweighted), `prop_map`, `prop_recursive`
+//! * `prop::collection::vec(strategy, size_range)`
+//! * simple `"[class]{m,n}"` regex string strategies
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Generation is deterministic: the RNG is seeded from the test's module
+//! path + case number, so failures reproduce across runs. There is **no
+//! shrinking** — a failing case reports its inputs via the panic message of
+//! the underlying assertion.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator seeded per test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test identity and case index (stable across runs).
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be positive.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type. Unlike real proptest there is no
+/// value tree / shrinking; `generate` draws one value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies, statically bounded to `depth` expansions: each
+    /// level draws either a base (leaf) value or one level of the expansion
+    /// `recurse` builds from the previous level's strategy.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let expanded = recurse(current).boxed();
+            current = Union::new(vec![(1, base.clone()), (2, expanded)]).boxed();
+        }
+        current
+    }
+}
+
+trait StrategyObj {
+    type Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObj for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T>(Rc<dyn StrategyObj<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum::<u32>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        self.arms.last().expect("non-empty").1.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Strategy of one primitive type's full domain (see [`Arbitrary`]).
+pub struct AnyOf<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyOf<T> {
+    AnyOf { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns, excluding NaN and infinities (matching
+    /// proptest's default finite `f64` domain).
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        for _ in 0..64 {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_finite() {
+                return f;
+            }
+        }
+        0.0
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        for _ in 0..64 {
+            let f = f32::from_bits(rng.next_u64() as u32);
+            if f.is_finite() {
+                return f;
+            }
+        }
+        0.0
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&'static str` acts as a pattern strategy for the `"[class]{m,n}"`
+/// subset (a single character class with a repetition count); any other
+/// pattern generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + rng.below(hi - lo + 1);
+                (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `[chars]{m}` / `[chars]{m,n}` / `[chars]` into (alphabet, m, n).
+fn parse_class_pattern(p: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = p.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+// ---------------------------------------------------------------------------
+// Collections and sampling
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + (rng.next_u64() % span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index drawn independently of the collection it later addresses.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps the draw onto `[0, size)`.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            self.0 % size
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and macros
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-harness macro: each embedded `#[test] fn` runs `cases` times
+/// with freshly generated inputs; generation is deterministic per
+/// (test name, case index).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::Strategy::generate(&$strat, &mut proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = crate::TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let v = (0usize..5).generate(&mut rng);
+            assert!(v < 5);
+            let (a, b) = ((-10i64..10), (0u16..3)).generate(&mut rng);
+            assert!((-10..10).contains(&a) && b < 3);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::TestRng::for_case("s", 0);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 _-]{0,24}".generate(&mut rng);
+            assert!(t.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_recursion() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        let strat = any::<i64>().prop_map(T::Leaf).prop_recursive(3, 8, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut rng = crate::TestRng::for_case("r", 1);
+        let mut nodes = 0;
+        for _ in 0..200 {
+            if matches!(strat.generate(&mut rng), T::Node(_)) {
+                nodes += 1;
+            }
+        }
+        assert!(nodes > 0, "recursion must expand sometimes");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), v in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in any::<u8>()) {
+            prop_assert_eq!(x as u64 & 0xff, x as u64);
+        }
+    }
+}

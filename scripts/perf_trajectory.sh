@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the batched-assembly bench and collects its BENCHJSON lines into
+# BENCH_1.json — one record per (fanout, buffer regime, assembly mode)
+# with atoms/sec and the fix_calls / pages_loaded counters that prove the
+# batched read path's guard-churn reduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+cargo bench --bench batched_assembly 2>&1 | tee "$log"
+
+grep '^BENCHJSON ' "$log" | sed 's/^BENCHJSON //' | awk '
+    { lines[NR] = $0 }
+    END {
+        print "["
+        for (i = 1; i <= NR; i++) printf "  %s%s\n", lines[i], (i < NR ? "," : "")
+        print "]"
+    }' > "$out"
+
+echo "wrote $out ($(grep -c '^BENCHJSON ' "$log") records)"

@@ -1,0 +1,8 @@
+//! Umbrella crate for the PRIMA reproduction workspace.
+//!
+//! The kernel lives in the `crates/` members (`prima-storage` →
+//! `prima-access` → `prima`); this package only anchors the repository's
+//! integration tests (`tests/`) and application-layer examples
+//! (`examples/`) and re-exports the facade for convenience.
+
+pub use prima::{Prima, PrimaBuilder};

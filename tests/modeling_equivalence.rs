@@ -27,7 +27,7 @@ fn network_modeling_avoids_redundancy_but_pays_connectors() {
 
 #[test]
 fn mad_modeling_is_non_redundant_and_connector_free() {
-    let (db, stats) = build(ModelingApproach::MadDirect, 3).unwrap();
+    let (_db, stats) = build(ModelingApproach::MadDirect, 3).unwrap();
     assert_eq!(stats.point_copies, 1.0);
     assert_eq!(stats.move_update_cost, 1);
     // 3 solids: 3 + 3 breps + 18 faces + 36 edges + 24 points.
