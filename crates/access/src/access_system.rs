@@ -353,12 +353,15 @@ impl AccessSystem {
         Ok(())
     }
 
-    /// Insert with named attributes (missing ones unset).
-    pub fn insert_atom_named(
+    /// Resolves named attribute assignments against a type name into the
+    /// positional value vector `insert_atom` expects (missing attributes
+    /// pre-filled with their type-appropriate null). Shared by the
+    /// named-insert path here and the MQL `INSERT` statement upstairs.
+    pub fn resolve_named_values(
         &self,
         type_name: &str,
         attrs: &[(&str, Value)],
-    ) -> AccessResult<AtomId> {
+    ) -> AccessResult<(AtomTypeId, Vec<Value>)> {
         let at = self
             .schema
             .type_by_name(type_name)
@@ -375,7 +378,17 @@ impl AccessSystem {
             })?;
             values[idx] = v.clone();
         }
-        self.insert_atom(at.id, values)
+        Ok((at.id, values))
+    }
+
+    /// Insert with named attributes (missing ones unset).
+    pub fn insert_atom_named(
+        &self,
+        type_name: &str,
+        attrs: &[(&str, Value)],
+    ) -> AccessResult<AtomId> {
+        let (t, values) = self.resolve_named_values(type_name, attrs)?;
+        self.insert_atom(t, values)
     }
 
     fn check_references(

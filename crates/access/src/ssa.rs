@@ -67,6 +67,11 @@ pub enum Ssa {
     True,
     /// `attr op constant`.
     Cmp { attr: usize, op: CmpOp, value: Value },
+    /// `attr op ?slot` — a prepared-statement parameter that has not been
+    /// bound yet. [`Ssa::bind`] turns it into [`Ssa::Cmp`]; evaluating an
+    /// unbound parameter matches nothing (prepared execution always binds
+    /// before running).
+    CmpParam { attr: usize, op: CmpOp, slot: u16 },
     /// `attr = EMPTY` — null / unset reference / empty set (Table 2.1c).
     IsEmpty { attr: usize },
     /// `attr <> EMPTY`.
@@ -93,6 +98,7 @@ impl Ssa {
                 None | Some(Value::Null) => false,
                 Some(v) => op.eval(v.total_cmp(value)),
             },
+            Ssa::CmpParam { .. } => false,
             Ssa::IsEmpty { attr } => {
                 values.get(*attr).map(|v| v.is_empty_like()).unwrap_or(false)
             }
@@ -137,6 +143,32 @@ impl Ssa {
         }
     }
 
+    /// A copy with every [`Ssa::CmpParam`] replaced by a concrete
+    /// [`Ssa::Cmp`] against the bound parameter values (prepared-statement
+    /// execution; slots out of range stay unbound).
+    pub fn bind(&self, params: &[Value]) -> Ssa {
+        match self {
+            Ssa::CmpParam { attr, op, slot } => match params.get(*slot as usize) {
+                Some(v) => Ssa::Cmp { attr: *attr, op: *op, value: v.clone() },
+                None => self.clone(),
+            },
+            Ssa::And(ts) => Ssa::And(ts.iter().map(|t| t.bind(params)).collect()),
+            Ssa::Or(ts) => Ssa::Or(ts.iter().map(|t| t.bind(params)).collect()),
+            Ssa::Not(t) => Ssa::Not(Box::new(t.bind(params))),
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// Whether any unbound parameter placeholder remains.
+    pub fn has_params(&self) -> bool {
+        match self {
+            Ssa::CmpParam { .. } => true,
+            Ssa::And(ts) | Ssa::Or(ts) => ts.iter().any(|t| t.has_params()),
+            Ssa::Not(t) => t.has_params(),
+            _ => false,
+        }
+    }
+
     /// Attribute indices the SSA touches (used for partition routing: a
     /// partition can decide an SSA only if it stores all touched
     /// attributes).
@@ -152,6 +184,7 @@ impl Ssa {
         match self {
             Ssa::True => {}
             Ssa::Cmp { attr, .. }
+            | Ssa::CmpParam { attr, .. }
             | Ssa::IsEmpty { attr }
             | Ssa::NotEmpty { attr }
             | Ssa::Contains { attr, .. } => out.push(*attr),
@@ -234,6 +267,25 @@ mod tests {
             Ssa::Or(vec![Ssa::IsEmpty { attr: 0 }, Ssa::eq(2, Value::Int(9))]),
         ]);
         assert_eq!(t.attrs(), vec![0, 2]);
+    }
+
+    #[test]
+    fn param_binding() {
+        let a = atom(vec![Value::Int(10)]);
+        let p = Ssa::And(vec![
+            Ssa::CmpParam { attr: 0, op: CmpOp::Eq, slot: 0 },
+            Ssa::True,
+        ]);
+        assert!(p.has_params());
+        assert!(!p.eval(&a), "unbound parameters match nothing");
+        let bound = p.bind(&[Value::Int(10)]);
+        assert!(!bound.has_params());
+        assert!(bound.eval(&a));
+        assert!(!p.bind(&[Value::Int(11)]).eval(&a));
+        // Out-of-range slots stay unbound.
+        assert!(Ssa::CmpParam { attr: 0, op: CmpOp::Eq, slot: 3 }
+            .bind(&[Value::Int(1)])
+            .has_params());
     }
 
     #[test]

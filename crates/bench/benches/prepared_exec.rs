@@ -1,0 +1,94 @@
+//! BENCH-2 — prepared execution vs. re-parsing.
+//!
+//! The session API's contract is parse/plan once, bind + execute many.
+//! This harness measures the same Table-2.1a-style key query three ways:
+//!
+//! * `one_shot` — `Prima::query` re-lexes, re-parses and re-validates the
+//!   MQL text on every call;
+//! * `prepared` — `Prepared::bind` + `execute` per call (plan reuse, only
+//!   the parameter value changes);
+//! * `cursor_first` — prepared + streaming cursor, pulling only the first
+//!   molecule of an unbounded scan (piecewise delivery: cost scales with
+//!   what is consumed, not with the result size).
+//!
+//! Alongside wall-clock, the `ApiStats` plan counters are reported: the
+//! prepared series must show zero additional parses/plans across its
+//! executions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima::{QueryOptions, Value};
+use prima_bench::{brep_db, report};
+
+fn bench_prepared_exec(c: &mut Criterion) {
+    let db = brep_db(24);
+    let mut g = c.benchmark_group("prepared_exec");
+    g.sample_size(200);
+
+    let keyed = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 7";
+
+    // Baseline: full parse + validate + plan + execute per call.
+    let before = db.api_stats().snapshot();
+    let mut runs = 0u64;
+    g.bench_function("one_shot_reparse", |b| {
+        b.iter(|| {
+            runs += 1;
+            db.query(keyed).unwrap()
+        })
+    });
+    let one_shot_delta = db.api_stats().snapshot();
+    report(
+        "BENCH-2",
+        "one_shot/parses_per_exec",
+        "ratio",
+        format!(
+            "{:.2}",
+            (one_shot_delta.statements_parsed - before.statements_parsed) as f64
+                / runs.max(1) as f64
+        ),
+    );
+
+    // Prepared: bind + execute per call against the cached plan.
+    let session = db.session();
+    let mut stmt = session
+        .prepare("SELECT ALL FROM brep-face-edge-point WHERE brep_no = ?")
+        .unwrap();
+    let opts = QueryOptions::default();
+    let before = db.api_stats().snapshot();
+    let mut execs = 0u64;
+    g.bench_function("prepared_bind_execute", |b| {
+        b.iter(|| {
+            execs += 1;
+            stmt.bind(&[Value::Int(7)]).unwrap();
+            stmt.query(&opts).unwrap()
+        })
+    });
+    let after = db.api_stats().snapshot();
+    assert_eq!(
+        after.statements_parsed, before.statements_parsed,
+        "prepared executions must not parse"
+    );
+    assert_eq!(after.plans_built, before.plans_built, "prepared executions must not re-plan");
+    report("BENCH-2", "prepared/parses_per_exec", "ratio", "0.00");
+    report("BENCH-2", "prepared/plan_reuses", "count", after.plan_reuses - before.plan_reuses);
+    let _ = execs;
+
+    // Streaming: pull one molecule of an unbounded result.
+    let mut wide = session
+        .prepare("SELECT ALL FROM brep-face-edge-point WHERE brep_no > ?")
+        .unwrap();
+    wide.bind(&[Value::Int(0)]).unwrap();
+    g.bench_function("cursor_first_of_24", |b| {
+        b.iter(|| {
+            let mut cur = wide.cursor(&opts).unwrap();
+            cur.fetch(1).unwrap()
+        })
+    });
+    g.bench_function("materialize_all_24", |b| {
+        b.iter(|| wide.query(&opts).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_prepared_exec);
+criterion_main!(benches);

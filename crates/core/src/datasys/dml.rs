@@ -15,9 +15,10 @@
 use super::exec::execute;
 use super::validate::{resolve_ref, validate};
 use crate::error::{PrimaError, PrimaResult};
+use crate::txn::Transaction;
 use prima_access::AccessSystem;
-use prima_mad::mql::{Delete, Insert, Modify, Query, SelectList, SetExpr, Statement};
-use prima_mad::value::{AtomId, Value};
+use prima_mad::mql::{Delete, Insert, Modify, Query, SelectList, SetExpr, Statement, ValueExpr};
+use prima_mad::value::{AtomId, AtomTypeId, Value};
 use prima_mad::AttrType;
 
 /// Result of a manipulation statement.
@@ -31,26 +32,90 @@ pub enum DmlResult {
     Modified(usize),
 }
 
-/// Executes a non-SELECT statement.
+/// Write-side of the DML path. Statement semantics (qualification,
+/// connect/disconnect, ONLY-component selection) are identical whether
+/// the writes go directly to the access system (auto-commit facade) or
+/// through a [`Transaction`] (session path — undo-logged, lock-protected,
+/// rolled back by [`crate::db::Session::rollback`]).
+pub trait AtomWriter {
+    fn write_insert(&self, t: AtomTypeId, values: Vec<Value>) -> PrimaResult<AtomId>;
+    fn write_modify(&self, id: AtomId, updates: &[(usize, Value)]) -> PrimaResult<()>;
+    fn write_delete(&self, id: AtomId) -> PrimaResult<()>;
+}
+
+impl AtomWriter for AccessSystem {
+    fn write_insert(&self, t: AtomTypeId, values: Vec<Value>) -> PrimaResult<AtomId> {
+        Ok(self.insert_atom(t, values)?)
+    }
+
+    fn write_modify(&self, id: AtomId, updates: &[(usize, Value)]) -> PrimaResult<()> {
+        Ok(self.modify_atom(id, updates)?)
+    }
+
+    fn write_delete(&self, id: AtomId) -> PrimaResult<()> {
+        Ok(self.delete_atom(id)?)
+    }
+}
+
+impl AtomWriter for Transaction {
+    fn write_insert(&self, t: AtomTypeId, values: Vec<Value>) -> PrimaResult<AtomId> {
+        Ok(self.insert_atom(t, values)?)
+    }
+
+    fn write_modify(&self, id: AtomId, updates: &[(usize, Value)]) -> PrimaResult<()> {
+        Ok(self.modify_atom(id, updates)?)
+    }
+
+    fn write_delete(&self, id: AtomId) -> PrimaResult<()> {
+        Ok(self.delete_atom(id)?)
+    }
+}
+
+/// Executes a non-SELECT statement with direct (auto-commit) writes.
 pub fn execute_statement(sys: &AccessSystem, stmt: &Statement) -> PrimaResult<DmlResult> {
+    execute_statement_with(sys, sys, stmt)
+}
+
+/// Executes a non-SELECT statement, routing all writes through `w`.
+pub fn execute_statement_with(
+    sys: &AccessSystem,
+    w: &dyn AtomWriter,
+    stmt: &Statement,
+) -> PrimaResult<DmlResult> {
     match stmt {
         Statement::Select(_) => Err(PrimaError::BadStatement(
             "SELECT must go through the query interface".into(),
         )),
-        Statement::Insert(i) => insert(sys, i),
-        Statement::Delete(d) => delete(sys, d),
-        Statement::Modify(m) => modify(sys, m),
+        Statement::Insert(i) => insert(sys, w, i),
+        Statement::Delete(d) => delete(sys, w, d),
+        Statement::Modify(m) => modify(sys, w, m),
     }
 }
 
-fn insert(sys: &AccessSystem, stmt: &Insert) -> PrimaResult<DmlResult> {
-    let pairs: Vec<(&str, Value)> =
-        stmt.assignments.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-    let id = sys.insert_atom_named(&stmt.atom_type, &pairs)?;
+/// Concrete value of a DML value expression; placeholders must have been
+/// substituted by the prepared-statement layer before execution.
+fn lit(ve: &ValueExpr) -> PrimaResult<&Value> {
+    match ve {
+        ValueExpr::Lit(v) => Ok(v),
+        ValueExpr::Param(slot) => Err(PrimaError::UnboundParameter {
+            slot: *slot,
+            detail: "prepare the statement and bind values before executing".into(),
+        }),
+    }
+}
+
+fn insert(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Insert) -> PrimaResult<DmlResult> {
+    let pairs: Vec<(&str, Value)> = stmt
+        .assignments
+        .iter()
+        .map(|(n, ve)| Ok((n.as_str(), lit(ve)?.clone())))
+        .collect::<PrimaResult<_>>()?;
+    let (t, values) = sys.resolve_named_values(&stmt.atom_type, &pairs)?;
+    let id = w.write_insert(t, values)?;
     Ok(DmlResult::Inserted(id))
 }
 
-fn delete(sys: &AccessSystem, stmt: &Delete) -> PrimaResult<DmlResult> {
+fn delete(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Delete) -> PrimaResult<DmlResult> {
     // Find the qualifying molecules with a SELECT ALL over the same FROM.
     let query = Query {
         select: SelectList::All,
@@ -82,7 +147,7 @@ fn delete(sys: &AccessSystem, stmt: &Delete) -> PrimaResult<DmlResult> {
                 // Molecules may overlap (non-disjoint); an atom can
                 // already be gone.
                 if sys.exists(atom.id) {
-                    sys.delete_atom(atom.id)?;
+                    w.write_delete(atom.id)?;
                     deleted += 1;
                 }
             }
@@ -91,7 +156,7 @@ fn delete(sys: &AccessSystem, stmt: &Delete) -> PrimaResult<DmlResult> {
     Ok(DmlResult::Deleted(deleted))
 }
 
-fn modify(sys: &AccessSystem, stmt: &Modify) -> PrimaResult<DmlResult> {
+fn modify(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Modify) -> PrimaResult<DmlResult> {
     let query = Query {
         select: SelectList::All,
         from: stmt.from.clone(),
@@ -114,7 +179,7 @@ fn modify(sys: &AccessSystem, stmt: &Modify) -> PrimaResult<DmlResult> {
                 }
                 match expr {
                     SetExpr::Value(v) => {
-                        sys.modify_atom(id, &[(attr, v.clone())])?;
+                        w.write_modify(id, &[(attr, lit(v)?.clone())])?;
                         modified += 1;
                     }
                     SetExpr::Connect(sub) => {
@@ -132,7 +197,7 @@ fn modify(sys: &AccessSystem, stmt: &Modify) -> PrimaResult<DmlResult> {
                                 at.attributes[attr].name
                             )));
                         };
-                        sys.modify_atom(id, &[(attr, new_value)])?;
+                        w.write_modify(id, &[(attr, new_value)])?;
                         modified += 1;
                     }
                     SetExpr::Disconnect(sub) => {
@@ -156,7 +221,7 @@ fn modify(sys: &AccessSystem, stmt: &Modify) -> PrimaResult<DmlResult> {
                                 at.attributes[attr].name
                             )));
                         };
-                        sys.modify_atom(id, &[(attr, new_value)])?;
+                        w.write_modify(id, &[(attr, new_value)])?;
                         modified += 1;
                     }
                 }

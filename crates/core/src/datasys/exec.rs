@@ -147,7 +147,7 @@ pub(crate) fn process_root(
 ) -> PrimaResult<Option<Molecule>> {
     let mut trace = ExecutionTrace::default();
     let mut fetched = 0usize;
-    let molecule = assemble_molecule(
+    process_root_traced(
         sys,
         q,
         root,
@@ -156,7 +156,25 @@ pub(crate) fn process_root(
         ctx,
         &mut trace,
         &mut fetched,
-    )?;
+    )
+}
+
+/// [`process_root`] variant with an explicit assembly mode that
+/// accumulates into a caller-held trace — the unit of work of the
+/// streaming [`crate::db::MoleculeCursor`], which assembles lazily and
+/// needs per-chunk accounting.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_root_traced(
+    sys: &AccessSystem,
+    q: &ResolvedQuery,
+    root: Atom,
+    clusters: &[Arc<AtomClusterType>],
+    mode: AssemblyMode,
+    ctx: &mut AssemblyCtx,
+    trace: &mut ExecutionTrace,
+    fetched: &mut usize,
+) -> PrimaResult<Option<Molecule>> {
+    let molecule = assemble_molecule(sys, q, root, clusters, mode, ctx, trace, fetched)?;
     if let Some(res) = &q.residual {
         if !eval_residual(sys, q, &molecule, res)? {
             return Ok(None);
@@ -618,6 +636,16 @@ fn eval_residual(
         Predicate::Compare { left, op, right } => {
             let op = convert_op(*op);
             match (left, right) {
+                (Operand::Param(slot), _) | (_, Operand::Param(slot)) => {
+                    // Prepared execution substitutes bound values before
+                    // evaluation; reaching a placeholder means the
+                    // statement was run without binding.
+                    return Err(PrimaError::UnboundParameter {
+                        slot: *slot,
+                        detail: "prepare the statement and bind values before executing"
+                            .into(),
+                    });
+                }
                 (Operand::Ref(r), Operand::Literal(v)) => {
                     exists_atom(sys, q, m, r, |val| op.eval(val.total_cmp(v)))?
                 }

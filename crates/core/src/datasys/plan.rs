@@ -90,6 +90,26 @@ impl ResolvedQuery {
     pub fn is_recursive(&self) -> bool {
         self.nodes.iter().any(|n| n.recursive)
     }
+
+    /// A copy of the plan with every parameter placeholder replaced by
+    /// its bound value — the cheap per-execution step of a prepared
+    /// statement (structure resolution, pushdown split and projection
+    /// descriptors are reused verbatim; only predicate values change).
+    pub fn bind_params(&self, params: &[prima_mad::value::Value]) -> ResolvedQuery {
+        let mut bound = self.clone();
+        bound.root_ssa = self.root_ssa.bind(params);
+        bound.residual = self.residual.as_ref().map(|p| p.bind_params(params));
+        bound
+    }
+
+    /// Whether the plan still contains unbound parameter placeholders.
+    pub fn has_params(&self) -> bool {
+        self.root_ssa.has_params()
+            || self
+                .residual
+                .as_ref()
+                .is_some_and(|p| !p.param_slots().is_empty())
+    }
 }
 
 /// How qualifying root atoms are obtained.

@@ -290,6 +290,21 @@ fn to_root_ssa(q: &ResolvedQuery, pred: &Predicate) -> Option<Ssa> {
             let attr = q.root_attr_index(&r.attr)?;
             Some(Ssa::Cmp { attr, op: convert_op(*op).flip(), value: v.clone() })
         }
+        // Parameter placeholders push down like literals: the plan keeps
+        // an unbound comparison that `Ssa::bind` makes concrete per
+        // execution (prepare once, bind + execute many).
+        Predicate::Compare { left: Operand::Ref(r), op, right: Operand::Param(slot) }
+            if is_root_ref(r) =>
+        {
+            let attr = q.root_attr_index(&r.attr)?;
+            Some(Ssa::CmpParam { attr, op: convert_op(*op), slot: *slot })
+        }
+        Predicate::Compare { left: Operand::Param(slot), op, right: Operand::Ref(r) }
+            if is_root_ref(r) =>
+        {
+            let attr = q.root_attr_index(&r.attr)?;
+            Some(Ssa::CmpParam { attr, op: convert_op(*op).flip(), slot: *slot })
+        }
         Predicate::IsEmpty(r) if is_root_ref(r) => {
             Some(Ssa::IsEmpty { attr: q.root_attr_index(&r.attr)? })
         }
@@ -368,12 +383,23 @@ fn resolve_select(
                     let at = schema.atom_type(q.nodes[node].atom_type).expect("resolved");
                     let ssa = match &query.predicate {
                         None => Ssa::True,
-                        Some(p) => predicate_to_atom_ssa(p, |attr| at.attribute_index(attr))
-                            .ok_or_else(|| {
-                                PrimaError::BadStatement(format!(
-                                    "qualified projection predicate for '{component}' must be decidable on single atoms"
-                                ))
-                            })?,
+                        Some(p) => {
+                            // The projection SSA is baked into the plan at
+                            // validation time, before any binding — name
+                            // the actual limitation instead of blaming
+                            // decidability.
+                            if !p.param_slots().is_empty() {
+                                return Err(PrimaError::BadStatement(format!(
+                                    "parameters are not supported in the qualified projection for '{component}' (use them in the WHERE clause instead)"
+                                )));
+                            }
+                            predicate_to_atom_ssa(p, |attr| at.attribute_index(attr))
+                                .ok_or_else(|| {
+                                    PrimaError::BadStatement(format!(
+                                        "qualified projection predicate for '{component}' must be decidable on single atoms"
+                                    ))
+                                })?
+                        }
                     };
                     let attrs = match &query.select {
                         SelectList::All => None,

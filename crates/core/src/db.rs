@@ -2,15 +2,51 @@
 //! using PRIMA without additional components as a 'complete' DBMS. The
 //! services at the MAD interface are directly made available to its
 //! users." (Section 4.)
+//!
+//! # The session-centric surface
+//!
+//! Applications talk to the kernel through three objects (module
+//! [`crate::session`]):
+//!
+//! ```text
+//!   Prima ──session()──▶ Session ──prepare()──▶ Prepared
+//!     │                    │  │                   │ bind(&[Value])
+//!     │                    │  └─ execute(DML)     │ execute()/query()
+//!     │                    │     commit/rollback  │ cursor()
+//!     │                    └─ query(mql, &QueryOptions)
+//!     │                       query_cursor(…) ──▶ MoleculeCursor (streaming)
+//!     └─ direct atom interface (insert/read/modify/delete)
+//! ```
+//!
+//! * [`Session`] owns the transaction context: manipulation statements
+//!   run under one [`Transaction`] with explicit [`Session::commit`] /
+//!   [`Session::rollback`] (dropping the session rolls back).
+//! * [`crate::session::Prepared`] parses and plans once; `?` / `:name` placeholders are
+//!   bound per execution with type-checked values — the classic
+//!   parse-once / execute-many server shape.
+//! * [`MoleculeCursor`] streams result molecules piecewise instead of
+//!   materialising the whole set, assembling each chunk lazily through
+//!   the level-batched read path.
+//! * [`QueryOptions`] selects assembly strategy, semantic parallelism
+//!   (`threads ≥ 1`; `0` is rejected, not clamped) and tracing for any
+//!   of these entry points.
+//!
+//! # Legacy one-shot methods (deprecation path)
+//!
+//! [`Prima::query`], [`Prima::query_traced`], [`Prima::query_with_assembly`],
+//! [`Prima::query_parallel`] and [`Prima::execute`] predate the session
+//! API. They remain as thin auto-commit wrappers — each is exactly
+//! "open a session, run with the equivalent [`QueryOptions`], commit" —
+//! and new code should use [`Prima::session`] directly. See ROADMAP.md
+//! for the removal schedule.
 
 use crate::datasys::{self, DmlResult, ExecutionTrace, MoleculeSet};
 use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
-use crate::parallel;
+use crate::session::{ApiStats, MoleculeCursor, QueryOptions, Session};
 use crate::txn::{Transaction, TxnManager};
 use prima_access::{AccessSystem, Atom, UpdatePolicy};
 use prima_mad::ddl;
-use prima_mad::mql::{parse_query, parse_statement, Statement};
 use prima_mad::value::{AtomId, Value};
 use prima_mad::Schema;
 use prima_storage::{CostModel, SimDisk, StorageSystem};
@@ -49,7 +85,7 @@ impl PrimaBuilder {
         ));
         let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
         let txn = TxnManager::new(Arc::clone(&access));
-        Ok(Prima { storage, access, txn })
+        Ok(Prima { storage, access, txn, stats: Arc::new(ApiStats::default()) })
     }
 
     /// Builds a kernel from a MAD-DDL script.
@@ -68,6 +104,7 @@ pub struct Prima {
     storage: Arc<StorageSystem>,
     access: Arc<AccessSystem>,
     txn: Arc<TxnManager>,
+    stats: Arc<ApiStats>,
 }
 
 impl Prima {
@@ -91,53 +128,73 @@ impl Prima {
         self.access.schema()
     }
 
-    // -----------------------------------------------------------------
-    // MQL
-    // -----------------------------------------------------------------
-
-    /// Runs an MQL `SELECT`, returning the molecule set.
-    pub fn query(&self, mql: &str) -> PrimaResult<MoleculeSet> {
-        Ok(self.query_traced(mql)?.0)
+    /// Parse / plan / plan-reuse counters — the instrument proving that
+    /// prepared statements skip re-parse and re-plan on re-execution.
+    pub fn api_stats(&self) -> &Arc<ApiStats> {
+        &self.stats
     }
 
-    /// Runs a `SELECT` and also returns the execution trace (root access
-    /// choice, cluster use, counts).
+    // -----------------------------------------------------------------
+    // Sessions (the primary interface)
+    // -----------------------------------------------------------------
+
+    /// Opens a session: the transaction-owning conversation through
+    /// which queries, prepared statements and manipulation run.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.access), Arc::clone(&self.txn), Arc::clone(&self.stats))
+    }
+
+    // -----------------------------------------------------------------
+    // Legacy one-shot MQL wrappers (auto-commit; prefer `session()`)
+    // -----------------------------------------------------------------
+
+    /// Runs an MQL `SELECT`, returning the materialised molecule set.
+    /// Thin wrapper: `session().query(mql, &QueryOptions::default())`.
+    pub fn query(&self, mql: &str) -> PrimaResult<MoleculeSet> {
+        Ok(self.session().query(mql, &QueryOptions::default())?.set)
+    }
+
+    /// Runs a `SELECT` and also returns the execution trace. Thin
+    /// wrapper over [`QueryOptions::traced`].
     pub fn query_traced(&self, mql: &str) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
-        let q = parse_query(mql)?;
-        let resolved = datasys::validate(self.access.schema(), &q)?;
-        datasys::execute(&self.access, &resolved)
+        let r = self.session().query(mql, &QueryOptions::new().traced())?;
+        Ok((r.set, r.trace.expect("trace requested")))
     }
 
     /// Runs a `SELECT` with an explicit vertical-assembly strategy
-    /// (benchmark/equivalence use; [`Prima::query`] always batches).
+    /// (benchmark/equivalence use). Thin wrapper over
+    /// [`QueryOptions::assembly`].
     pub fn query_with_assembly(
         &self,
         mql: &str,
         mode: datasys::AssemblyMode,
     ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
-        let q = parse_query(mql)?;
-        let resolved = datasys::validate(self.access.schema(), &q)?;
-        datasys::execute_with_mode(&self.access, &resolved, mode)
+        let r = self.session().query(mql, &QueryOptions::new().assembly(mode).traced())?;
+        Ok((r.set, r.trace.expect("trace requested")))
     }
 
-    /// Runs a `SELECT` with molecule construction decomposed into DUs
-    /// executed on `threads` workers (semantic parallelism, Section 4).
+    /// Runs a `SELECT` with molecule construction decomposed into DUs on
+    /// `threads` workers (semantic parallelism, Section 4). Thin wrapper
+    /// over [`QueryOptions::threads`]; `threads == 0` is rejected at the
+    /// boundary (it was historically clamped to 1 deep in the pool).
     pub fn query_parallel(&self, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {
-        let q = parse_query(mql)?;
-        let resolved = datasys::validate(self.access.schema(), &q)?;
-        Ok(parallel::execute_parallel(&self.access, &resolved, threads)?.0)
+        Ok(self.session().query(mql, &QueryOptions::new().threads(threads))?.set)
+    }
+
+    /// Opens a streaming [`MoleculeCursor`] over a `SELECT` without an
+    /// explicit session.
+    pub fn query_cursor(&self, mql: &str) -> PrimaResult<MoleculeCursor> {
+        self.session().query_cursor(mql, &QueryOptions::default())
     }
 
     /// Executes an MQL manipulation statement (`INSERT`/`DELETE`/
-    /// `MODIFY`).
+    /// `MODIFY`) in its own immediately-committed transaction. Thin
+    /// wrapper: `session().execute(mql)` + commit.
     pub fn execute(&self, mql: &str) -> PrimaResult<DmlResult> {
-        let stmt = parse_statement(mql)?;
-        match stmt {
-            Statement::Select(_) => Err(PrimaError::BadStatement(
-                "use query() for SELECT".into(),
-            )),
-            other => datasys::execute_statement(&self.access, &other),
-        }
+        let s = self.session();
+        let r = s.execute(mql)?;
+        s.commit()?;
+        Ok(r)
     }
 
     // -----------------------------------------------------------------
@@ -189,7 +246,8 @@ impl Prima {
     // Transactions
     // -----------------------------------------------------------------
 
-    /// Begins a top-level transaction.
+    /// Begins a top-level transaction (atom-level interface; MQL-level
+    /// work units are better served by [`Prima::session`]).
     pub fn begin(&self) -> PrimaResult<Transaction> {
         Ok(self.txn.begin(None)?)
     }
@@ -256,6 +314,30 @@ mod tests {
         let d = db();
         let err = d.query("SELECT FROM").unwrap_err();
         assert!(matches!(err, PrimaError::Parse(_)));
+    }
+
+    #[test]
+    fn zero_threads_rejected_at_the_boundary() {
+        let d = db();
+        assert!(matches!(
+            d.query_parallel("SELECT ALL FROM thing", 0),
+            Err(PrimaError::BadStatement(_))
+        ));
+        // 1 = serial is valid.
+        assert!(d.query_parallel("SELECT ALL FROM thing", 1).is_ok());
+    }
+
+    #[test]
+    fn one_shot_rejects_parameter_placeholders() {
+        let d = db();
+        assert!(matches!(
+            d.query("SELECT ALL FROM thing WHERE n = ?"),
+            Err(PrimaError::UnboundParameter { .. })
+        ));
+        assert!(matches!(
+            d.execute("INSERT thing (n: :v)"),
+            Err(PrimaError::UnboundParameter { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum PrimaError {
     MissingSeed(String),
     /// DML statement invalid (e.g. assignment to unknown attribute).
     BadStatement(String),
+    /// A statement with parameter placeholders was executed without (or
+    /// with too few) bound values — prepare and `bind` it first.
+    UnboundParameter { slot: u16, detail: String },
+    /// A bound parameter value does not fit the attribute it is compared
+    /// with / assigned to.
+    ParamTypeMismatch { slot: u16, expected: String, got: String },
     /// Transaction-level conflict or misuse.
     Txn(crate::txn::TxnError),
 }
@@ -55,6 +61,16 @@ impl fmt::Display for PrimaError {
                 write!(f, "recursive molecule '{n}' needs a seed qualification")
             }
             PrimaError::BadStatement(d) => write!(f, "bad statement: {d}"),
+            PrimaError::UnboundParameter { slot, detail } => {
+                write!(f, "parameter {} is not bound: {detail}", slot + 1)
+            }
+            PrimaError::ParamTypeMismatch { slot, expected, got } => {
+                write!(
+                    f,
+                    "parameter {} type mismatch: expected {expected}, got {got}",
+                    slot + 1
+                )
+            }
             PrimaError::Txn(e) => write!(f, "transaction error: {e}"),
         }
     }

@@ -18,10 +18,12 @@
 //! ```
 //!
 //! The entry point is [`Prima`]: open an in-memory kernel, load a schema
-//! with MAD-DDL, tune it with LDL, and run MQL:
+//! with MAD-DDL, tune it with LDL, and talk MQL through a [`Session`] —
+//! one-shot, prepared (parse/plan once, bind + execute many), or
+//! streaming through a [`MoleculeCursor`]:
 //!
 //! ```
-//! use prima::Prima;
+//! use prima::{Prima, QueryOptions, Value};
 //!
 //! let db = Prima::builder().build_with_ddl("
 //!     CREATE ATOM_TYPE solid (
@@ -31,26 +33,39 @@
 //!         super    : SET_OF (REF_TO (solid.sub)) )
 //!     KEYS_ARE (solid_no);
 //! ").unwrap();
-//! db.execute("INSERT solid (solid_no: 4711)").unwrap();
-//! let result = db.query("SELECT ALL FROM solid WHERE solid_no = 4711").unwrap();
-//! assert_eq!(result.molecules.len(), 1);
+//!
+//! let session = db.session();
+//! session.execute("INSERT solid (solid_no: 4711)").unwrap();
+//! session.commit().unwrap();
+//!
+//! // Prepared: the plan is built once, each execution only binds values.
+//! let mut stmt = session.prepare("SELECT ALL FROM solid WHERE solid_no = ?").unwrap();
+//! stmt.bind(&[Value::Int(4711)]).unwrap();
+//! let result = stmt.query(&QueryOptions::default()).unwrap();
+//! assert_eq!(result.set.molecules.len(), 1);
 //! ```
 //!
 //! Beyond the query path, the crate provides the PRIMA processing model:
 //! nested transactions ([`txn`], refining \[Mo81\] as announced in Section
 //! 4) and *semantic parallelism* — decomposition of single user
-//! operations into concurrently executable units of work ([`parallel`]).
+//! operations into concurrently executable units of work ([`parallel`]),
+//! selected per query via [`QueryOptions::threads`].
 
 pub mod db;
 pub mod datasys;
 pub mod error;
 pub mod ldl_exec;
 pub mod parallel;
+pub mod session;
 pub mod txn;
 
 pub use db::{Prima, PrimaBuilder};
 pub use datasys::molecule::{MolAtom, Molecule, MoleculeSet};
 pub use datasys::AssemblyMode;
 pub use error::{PrimaError, PrimaResult};
+pub use session::{
+    ApiStats, ApiStatsSnapshot, MoleculeCursor, ParamSlot, Prepared, QueryOptions, QueryResult,
+    Session, StatementOutcome,
+};
 pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
 pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

@@ -1,0 +1,803 @@
+//! Session-centric kernel API: sessions, prepared statements, streaming
+//! molecule cursors.
+//!
+//! PRIMA's MAD interface is set-oriented and transactional: molecule sets
+//! are "derived dynamically" per query and delivered to the application
+//! piecewise, not as one materialised blob (Sections 3–4). This module is
+//! that interface shape for the kernel facade:
+//!
+//! * [`Session`] — owns a transaction context. DML issued through
+//!   [`Session::execute`] is undo-logged and lock-protected; explicit
+//!   [`Session::commit`] / [`Session::rollback`] end the unit of work
+//!   (dropping the session rolls uncommitted work back).
+//! * [`Prepared`] — parse / validate / plan **once**, then
+//!   [`Prepared::bind`] + [`Prepared::execute`] many times. MQL carries
+//!   `?` (positional) and `:name` (named) placeholders; binding is
+//!   type-checked against the attribute each parameter is compared with
+//!   or assigned to.
+//! * [`MoleculeCursor`] — a pull-based iterator over result molecules.
+//!   Root atoms are located up front (they are the cheap part); component
+//!   assembly runs lazily per fetched chunk through the level-batched
+//!   read path, so a large result never materialises in full.
+//!
+//! [`QueryOptions`] collapses the historical `query` / `query_traced` /
+//! `query_with_assembly` / `query_parallel` facade variants into one
+//! execution descriptor accepted by both [`Session::query`] and
+//! [`Prepared`].
+//!
+//! ## Isolation note
+//!
+//! Molecule retrieval reads the current atom state without acquiring
+//! atom locks (the kernel applies changes in place; DML locking follows
+//! Moss's rules, see [`crate::txn`]). A session therefore reads its own
+//! uncommitted writes; full query-path lock coverage is an open item on
+//! the roadmap.
+
+use crate::datasys::exec::{find_roots, node_infos, process_root_traced, AssemblyCtx};
+use crate::datasys::{
+    self, AssemblyMode, DmlResult, ExecutionTrace, Molecule, MoleculeSet, NodeInfo,
+};
+use crate::datasys::plan::ResolvedQuery;
+use crate::datasys::validate::resolve_ref;
+use crate::error::{PrimaError, PrimaResult};
+use crate::parallel;
+use crate::txn::{Transaction, TxnId, TxnManager};
+use parking_lot::Mutex;
+use prima_access::cluster::AtomClusterType;
+use prima_access::{AccessSystem, Atom};
+use prima_mad::mql::{
+    parse_statement_params, CompRef, Operand, Predicate, Query, SelectList, SetExpr, Statement,
+    ValueExpr,
+};
+use prima_mad::value::Value;
+use prima_mad::{AttrType, Schema};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Options & outcomes
+// ---------------------------------------------------------------------
+
+/// Execution descriptor shared by every query entry point.
+///
+/// Replaces the former facade variants: `query` ⇒ defaults,
+/// `query_traced` ⇒ `trace: true`, `query_with_assembly` ⇒ `assembly`,
+/// `query_parallel` ⇒ `threads: n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Vertical-assembly strategy ([`AssemblyMode::Batched`] by default;
+    /// the per-atom baseline exists for benchmarks and equivalence tests).
+    pub assembly: AssemblyMode,
+    /// Worker threads for semantic parallelism (one DU per molecule).
+    /// **Must be ≥ 1**: `1` means serial execution, `n > 1` decomposes
+    /// molecule construction onto `n` workers. `0` is rejected by
+    /// [`QueryOptions::validate`] — it is not "auto" and is never clamped
+    /// silently.
+    pub threads: usize,
+    /// Return the [`ExecutionTrace`] (root access choice, cluster use,
+    /// counts) alongside the molecule set.
+    pub trace: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { assembly: AssemblyMode::Batched, threads: 1, trace: false }
+    }
+}
+
+impl QueryOptions {
+    /// Serial, batched, untraced — what `Prima::query` always did.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the vertical-assembly strategy.
+    pub fn assembly(mut self, mode: AssemblyMode) -> Self {
+        self.assembly = mode;
+        self
+    }
+
+    /// Sets the degree of semantic parallelism (`n ≥ 1`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Requests the execution trace.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Boundary validation: `threads == 0` is an error, not a silent
+    /// clamp (historically `query_parallel(mql, 0)` degraded to serial
+    /// deep inside the worker pool). Likewise, the per-atom assembly
+    /// baseline exists only on the serial path — combining it with
+    /// `threads > 1` is rejected rather than silently running batched.
+    pub fn validate(&self) -> PrimaResult<()> {
+        if self.threads == 0 {
+            return Err(PrimaError::BadStatement(
+                "QueryOptions.threads must be >= 1 (1 = serial; 0 is not 'auto')".into(),
+            ));
+        }
+        if self.threads > 1 && self.assembly == AssemblyMode::PerAtom {
+            return Err(PrimaError::BadStatement(
+                "AssemblyMode::PerAtom is a serial baseline; parallel DUs always batch"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a query execution: the molecule set plus, when requested via
+/// [`QueryOptions::trace`], the execution trace.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub set: MoleculeSet,
+    pub trace: Option<ExecutionTrace>,
+}
+
+/// Result of executing a prepared statement (SELECT or DML).
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    Molecules(QueryResult),
+    Dml(DmlResult),
+}
+
+impl StatementOutcome {
+    /// The molecule set of a SELECT outcome.
+    pub fn molecules(self) -> PrimaResult<QueryResult> {
+        match self {
+            StatementOutcome::Molecules(r) => Ok(r),
+            StatementOutcome::Dml(d) => Err(PrimaError::BadStatement(format!(
+                "statement produced a DML result ({d:?}), not molecules"
+            ))),
+        }
+    }
+
+    /// The DML result of a manipulation outcome.
+    pub fn dml(self) -> PrimaResult<DmlResult> {
+        match self {
+            StatementOutcome::Dml(d) => Ok(d),
+            StatementOutcome::Molecules(_) => Err(PrimaError::BadStatement(
+                "statement produced molecules, not a DML result".into(),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// API statistics (plan-cache accounting)
+// ---------------------------------------------------------------------
+
+/// Counters proving the prepare-once/execute-many contract: a prepared
+/// statement increments `statements_parsed` and `plans_built` once at
+/// [`Session::prepare`] time and `plan_reuses` on every subsequent
+/// SELECT execution. (Prepared DML skips re-parsing but re-validates
+/// its qualification sub-query per execution, so it counts towards
+/// neither; internal sub-query validations inside DELETE/MODIFY and
+/// `CONNECT`/`DISCONNECT` are likewise not facade-level plans and are
+/// not counted.)
+#[derive(Debug, Default)]
+pub struct ApiStats {
+    /// MQL texts run through the lexer+parser at the facade.
+    pub statements_parsed: AtomicU64,
+    /// Facade-level query validations / plan constructions
+    /// ([`datasys::validate`]).
+    pub plans_built: AtomicU64,
+    /// SELECT executions that reused an already-built plan (prepared
+    /// re-runs, including cursors).
+    pub plan_reuses: AtomicU64,
+}
+
+/// Point-in-time copy of [`ApiStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApiStatsSnapshot {
+    pub statements_parsed: u64,
+    pub plans_built: u64,
+    pub plan_reuses: u64,
+}
+
+impl ApiStats {
+    pub fn snapshot(&self) -> ApiStatsSnapshot {
+        ApiStatsSnapshot {
+            statements_parsed: self.statements_parsed.load(Ordering::Relaxed),
+            plans_built: self.plans_built.load(Ordering::Relaxed),
+            plan_reuses: self.plan_reuses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn parsed(&self) {
+        self.statements_parsed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn planned(&self) {
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reused(&self) {
+        self.plan_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// One application conversation with the kernel: a transaction context
+/// plus the prepare/execute machinery. Obtained from `Prima::session()`.
+///
+/// The transaction begins lazily with the first DML statement; `SELECT`s
+/// do not open one. [`Session::commit`] / [`Session::rollback`] end the
+/// current transaction; the next DML begins a fresh one, so a session
+/// chains units of work like a classic server connection. Dropping the
+/// session aborts whatever was not committed.
+pub struct Session {
+    access: Arc<AccessSystem>,
+    txn_mgr: Arc<TxnManager>,
+    stats: Arc<ApiStats>,
+    txn: Mutex<Option<Transaction>>,
+}
+
+impl Session {
+    pub(crate) fn new(
+        access: Arc<AccessSystem>,
+        txn_mgr: Arc<TxnManager>,
+        stats: Arc<ApiStats>,
+    ) -> Session {
+        Session { access, txn_mgr, stats, txn: Mutex::new(None) }
+    }
+
+    /// The schema (for application-side introspection).
+    pub fn schema(&self) -> &Schema {
+        self.access.schema()
+    }
+
+    /// Id of the transaction currently underway, if any.
+    pub fn txn_id(&self) -> Option<TxnId> {
+        self.txn.lock().as_ref().map(|t| t.id())
+    }
+
+    fn with_txn<R>(&self, f: impl FnOnce(&Transaction) -> PrimaResult<R>) -> PrimaResult<R> {
+        let mut guard = self.txn.lock();
+        if guard.is_none() {
+            *guard = Some(self.txn_mgr.begin(None)?);
+        }
+        f(guard.as_ref().expect("txn just ensured"))
+    }
+
+    /// Commits the session's current transaction (no-op when none is
+    /// open). The next manipulation statement begins a fresh one.
+    pub fn commit(&self) -> PrimaResult<()> {
+        match self.txn.lock().take() {
+            Some(t) => Ok(t.commit()?),
+            None => Ok(()),
+        }
+    }
+
+    /// Rolls the current transaction back, undoing every manipulation
+    /// issued through this session since the last commit.
+    pub fn rollback(&self) -> PrimaResult<()> {
+        match self.txn.lock().take() {
+            Some(t) => Ok(t.abort()?),
+            None => Ok(()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // One-shot statements
+    // -----------------------------------------------------------------
+
+    /// Parses, plans and runs one `SELECT`, materialising the full
+    /// molecule set. Parameterised statements must go through
+    /// [`Session::prepare`].
+    pub fn query(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<QueryResult> {
+        opts.validate()?;
+        let resolved = self.plan_select(mql)?;
+        self.run_plan(&resolved, opts)
+    }
+
+    /// Runs a `SELECT` as a streaming [`MoleculeCursor`]: roots are
+    /// located now, component assembly happens per [`MoleculeCursor::fetch`]
+    /// chunk.
+    pub fn query_cursor(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<MoleculeCursor> {
+        opts.validate()?;
+        let resolved = self.plan_select(mql)?;
+        MoleculeCursor::open(Arc::clone(&self.access), &resolved, opts)
+    }
+
+    /// Executes one manipulation statement (`INSERT`/`DELETE`/`MODIFY`)
+    /// under the session's transaction.
+    pub fn execute(&self, mql: &str) -> PrimaResult<DmlResult> {
+        self.stats.parsed();
+        let (stmt, slots) = parse_statement_params(mql)?;
+        if !slots.is_empty() {
+            return Err(PrimaError::UnboundParameter {
+                slot: 0,
+                detail: "one-shot execute cannot run parameterized statements — prepare it"
+                    .into(),
+            });
+        }
+        if matches!(stmt, Statement::Select(_)) {
+            return Err(PrimaError::BadStatement("use query() for SELECT".into()));
+        }
+        self.run_dml(&stmt)
+    }
+
+    /// Prepares a statement: parse + validate + plan now, bind and
+    /// execute as often as needed.
+    pub fn prepare(&self, mql: &str) -> PrimaResult<Prepared<'_>> {
+        Prepared::new(self, mql)
+    }
+
+    // -----------------------------------------------------------------
+    // Shared execution plumbing (also used by Prepared)
+    // -----------------------------------------------------------------
+
+    fn plan_select(&self, mql: &str) -> PrimaResult<ResolvedQuery> {
+        self.stats.parsed();
+        let (stmt, slots) = parse_statement_params(mql)?;
+        if !slots.is_empty() {
+            return Err(PrimaError::UnboundParameter {
+                slot: 0,
+                detail: "one-shot query cannot run parameterized statements — prepare it"
+                    .into(),
+            });
+        }
+        let Statement::Select(q) = stmt else {
+            return Err(PrimaError::BadStatement("use execute() for manipulation".into()));
+        };
+        self.stats.planned();
+        datasys::validate(self.access.schema(), &q)
+    }
+
+    fn run_plan(&self, resolved: &ResolvedQuery, opts: &QueryOptions) -> PrimaResult<QueryResult> {
+        let (set, trace) = if opts.threads > 1 {
+            parallel::execute_parallel(&self.access, resolved, opts.threads)?
+        } else {
+            datasys::execute_with_mode(&self.access, resolved, opts.assembly)?
+        };
+        Ok(QueryResult { set, trace: opts.trace.then_some(trace) })
+    }
+
+    fn run_dml(&self, stmt: &Statement) -> PrimaResult<DmlResult> {
+        self.with_txn(|t| datasys::dml::execute_statement_with(&self.access, t, stmt))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------
+
+/// One parameter slot of a prepared statement.
+#[derive(Debug, Clone)]
+pub struct ParamSlot {
+    /// `Some(name)` for `:name`, `None` for positional `?`.
+    pub name: Option<String>,
+    /// Declared type of the attribute this parameter is compared with or
+    /// assigned to, when inferable — bindings are checked against it.
+    pub expected: Option<AttrType>,
+}
+
+/// A prepared MQL statement: parsed, validated and (for `SELECT`s)
+/// planned once at [`Session::prepare`] time. Re-executions skip the
+/// lexer, parser and validator entirely — binding parameters only
+/// substitutes values into a copy of the cached plan.
+///
+/// DML statements cache the parsed AST and parameter typing; their
+/// qualification sub-query is re-planned per execution because it ranges
+/// over current data (the cache skips parse + type resolution).
+pub struct Prepared<'s> {
+    session: &'s Session,
+    stmt: Statement,
+    /// Cached plan (SELECT only).
+    plan: Option<ResolvedQuery>,
+    slots: Vec<ParamSlot>,
+    bound: Option<Vec<Value>>,
+}
+
+impl<'s> Prepared<'s> {
+    fn new(session: &'s Session, mql: &str) -> PrimaResult<Prepared<'s>> {
+        let stats = &session.stats;
+        stats.parsed();
+        let (stmt, names) = parse_statement_params(mql)?;
+        let schema = session.access.schema();
+        // Validate / plan once. DML statements validate through their
+        // SELECT-equivalent so structural errors surface at prepare time.
+        let (plan, typing_plan) = match &stmt {
+            Statement::Select(q) => {
+                stats.planned();
+                let p = datasys::validate(schema, q)?;
+                (Some(p), None)
+            }
+            Statement::Delete(d) => {
+                stats.planned();
+                let q = Query {
+                    select: SelectList::All,
+                    from: d.from.clone(),
+                    predicate: d.predicate.clone(),
+                };
+                (None, Some(datasys::validate(schema, &q)?))
+            }
+            Statement::Modify(m) => {
+                stats.planned();
+                let q = Query {
+                    select: SelectList::All,
+                    from: m.from.clone(),
+                    predicate: m.predicate.clone(),
+                };
+                (None, Some(datasys::validate(schema, &q)?))
+            }
+            Statement::Insert(_) => (None, None),
+        };
+        let mut slots: Vec<ParamSlot> =
+            names.into_iter().map(|name| ParamSlot { name, expected: None }).collect();
+        infer_param_types(schema, &stmt, plan.as_ref().or(typing_plan.as_ref()), &mut slots)?;
+        Ok(Prepared { session, stmt, plan, slots, bound: None })
+    }
+
+    /// The statement's parameter slots, in positional order.
+    pub fn params(&self) -> &[ParamSlot] {
+        &self.slots
+    }
+
+    /// Binds positional values: exactly one per slot, type-checked
+    /// against the attribute each parameter is used with.
+    pub fn bind(&mut self, values: &[Value]) -> PrimaResult<&mut Self> {
+        if values.len() != self.slots.len() {
+            return Err(PrimaError::BadStatement(format!(
+                "bind arity mismatch: statement has {} parameter(s), got {} value(s)",
+                self.slots.len(),
+                values.len()
+            )));
+        }
+        for (i, (slot, v)) in self.slots.iter().zip(values).enumerate() {
+            if let Some(expected) = &slot.expected {
+                expected.check_value(v).map_err(|_| PrimaError::ParamTypeMismatch {
+                    slot: i as u16,
+                    expected: expected.to_string(),
+                    got: format!("{:?}", v.kind()),
+                })?;
+            }
+        }
+        self.bound = Some(values.to_vec());
+        Ok(self)
+    }
+
+    /// Binds by name (`:name` parameters; positional slots are addressed
+    /// as `?1`, `?2`, …).
+    pub fn bind_named(&mut self, pairs: &[(&str, Value)]) -> PrimaResult<&mut Self> {
+        let mut values: Vec<Option<Value>> = vec![None; self.slots.len()];
+        for (name, v) in pairs {
+            let idx = self
+                .slots
+                .iter()
+                .position(|s| s.name.as_deref() == Some(*name))
+                .or_else(|| {
+                    name.strip_prefix('?')
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .and_then(|n| n.checked_sub(1))
+                        .filter(|i| *i < self.slots.len())
+                })
+                .ok_or_else(|| {
+                    PrimaError::BadStatement(format!("no parameter named '{name}'"))
+                })?;
+            values[idx] = Some(v.clone());
+        }
+        let missing = values.iter().position(|v| v.is_none());
+        if let Some(i) = missing {
+            return Err(PrimaError::UnboundParameter {
+                slot: i as u16,
+                detail: match &self.slots[i].name {
+                    Some(n) => format!("':{n}' was not supplied"),
+                    None => "positional slot not supplied".into(),
+                },
+            });
+        }
+        let values: Vec<Value> = values.into_iter().map(|v| v.expect("checked")).collect();
+        self.bind(&values)
+    }
+
+    fn bound_values(&self) -> PrimaResult<&[Value]> {
+        if self.slots.is_empty() {
+            return Ok(&[]);
+        }
+        self.bound.as_deref().ok_or(PrimaError::UnboundParameter {
+            slot: 0,
+            detail: "call bind() before execute()".into(),
+        })
+    }
+
+    /// Executes with default options. SELECTs return
+    /// [`StatementOutcome::Molecules`], manipulations
+    /// [`StatementOutcome::Dml`]; re-execution reuses the cached plan.
+    pub fn execute(&self) -> PrimaResult<StatementOutcome> {
+        self.execute_with(&QueryOptions::default())
+    }
+
+    /// [`Prepared::execute`] with explicit [`QueryOptions`].
+    pub fn execute_with(&self, opts: &QueryOptions) -> PrimaResult<StatementOutcome> {
+        opts.validate()?;
+        let params = self.bound_values()?;
+        match &self.plan {
+            Some(plan) => {
+                self.session.stats.reused();
+                let bound;
+                let plan = if params.is_empty() {
+                    plan
+                } else {
+                    bound = plan.bind_params(params);
+                    &bound
+                };
+                Ok(StatementOutcome::Molecules(self.session.run_plan(plan, opts)?))
+            }
+            None => {
+                // Not counted as a plan reuse: DML re-runs its
+                // qualification sub-query validation per execution (it
+                // ranges over current data); only the parse and
+                // parameter typing are cached.
+                let bound;
+                let stmt = if params.is_empty() {
+                    &self.stmt
+                } else {
+                    bound = self.stmt.bind_params(params);
+                    &bound
+                };
+                Ok(StatementOutcome::Dml(self.session.run_dml(stmt)?))
+            }
+        }
+    }
+
+    /// Convenience for SELECTs: execute and unwrap the molecule set.
+    pub fn query(&self, opts: &QueryOptions) -> PrimaResult<QueryResult> {
+        self.execute_with(opts)?.molecules()
+    }
+
+    /// Opens a streaming cursor over this (bound) prepared SELECT.
+    pub fn cursor(&self, opts: &QueryOptions) -> PrimaResult<MoleculeCursor> {
+        opts.validate()?;
+        let params = self.bound_values()?;
+        let plan = self.plan.as_ref().ok_or_else(|| {
+            PrimaError::BadStatement("cursors require a SELECT statement".into())
+        })?;
+        self.session.stats.reused();
+        let bound;
+        let plan = if params.is_empty() {
+            plan
+        } else {
+            bound = plan.bind_params(params);
+            &bound
+        };
+        MoleculeCursor::open(Arc::clone(&self.session.access), plan, opts)
+    }
+}
+
+/// Infers the expected attribute type of each parameter slot from the
+/// position it occurs in: comparisons against a component attribute take
+/// that attribute's type; INSERT/MODIFY assignments take the assigned
+/// attribute's type.
+fn infer_param_types(
+    schema: &Schema,
+    stmt: &Statement,
+    plan: Option<&ResolvedQuery>,
+    slots: &mut [ParamSlot],
+) -> PrimaResult<()> {
+    let note = |slot: u16, ty: AttrType, slots: &mut [ParamSlot]| {
+        if let Some(s) = slots.get_mut(slot as usize) {
+            if s.expected.is_none() {
+                s.expected = Some(ty);
+            }
+        }
+    };
+    // Comparison positions (WHERE clauses).
+    if let (Some(plan), Some(pred)) = (plan, statement_predicate(stmt)) {
+        let mut pairs = Vec::new();
+        collect_param_comparisons(pred, &mut pairs);
+        for (r, slot) in pairs {
+            if let Ok((node, attr)) = resolve_ref(plan, r, schema) {
+                let at = schema.atom_type(plan.nodes[node].atom_type).expect("resolved");
+                note(slot, at.attributes[attr].ty.clone(), slots);
+            }
+        }
+    }
+    // Assignment positions.
+    match stmt {
+        Statement::Insert(i) => {
+            let at = schema.type_by_name(&i.atom_type).ok_or_else(|| {
+                PrimaError::Schema(prima_mad::SchemaError::UnknownAtomType(i.atom_type.clone()))
+            })?;
+            for (name, ve) in &i.assignments {
+                let idx = at.attribute_index(name).ok_or_else(|| {
+                    PrimaError::Schema(prima_mad::SchemaError::UnknownAttribute {
+                        atom_type: at.name.clone(),
+                        attr: name.clone(),
+                    })
+                })?;
+                if let ValueExpr::Param(slot) = ve {
+                    note(*slot, at.attributes[idx].ty.clone(), slots);
+                }
+            }
+        }
+        Statement::Modify(m) => {
+            if let Some(plan) = plan {
+                for (target, expr) in &m.assignments {
+                    if let SetExpr::Value(ValueExpr::Param(slot)) = expr {
+                        if let Ok((node, attr)) = resolve_ref(plan, target, schema) {
+                            let at = schema
+                                .atom_type(plan.nodes[node].atom_type)
+                                .expect("resolved");
+                            note(*slot, at.attributes[attr].ty.clone(), slots);
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn statement_predicate(stmt: &Statement) -> Option<&Predicate> {
+    match stmt {
+        Statement::Select(q) => q.predicate.as_ref(),
+        Statement::Delete(d) => d.predicate.as_ref(),
+        Statement::Modify(m) => m.predicate.as_ref(),
+        Statement::Insert(_) => None,
+    }
+}
+
+/// Collects `(attribute reference, parameter slot)` pairs from
+/// comparisons of the form `ref op ?` / `? op ref`.
+fn collect_param_comparisons<'p>(pred: &'p Predicate, out: &mut Vec<(&'p CompRef, u16)>) {
+    match pred {
+        Predicate::Compare { left, right, .. } => match (left, right) {
+            (Operand::Ref(r), Operand::Param(s)) | (Operand::Param(s), Operand::Ref(r)) => {
+                out.push((r, *s));
+            }
+            _ => {}
+        },
+        Predicate::And(ts) | Predicate::Or(ts) => {
+            ts.iter().for_each(|t| collect_param_comparisons(t, out))
+        }
+        Predicate::Not(t) => collect_param_comparisons(t, out),
+        Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
+            collect_param_comparisons(inner, out)
+        }
+        Predicate::IsEmpty(_) | Predicate::NotEmpty(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming molecule cursor
+// ---------------------------------------------------------------------
+
+/// A pull-based cursor over the molecules of one query — the paper's
+/// "one-molecule-at-a-time interface" surfaced at the facade.
+///
+/// Opening the cursor performs root access only (key lookup / access
+/// path / scan); the component atoms of each molecule are fetched lazily
+/// through the level-batched read path when the molecule is pulled via
+/// [`MoleculeCursor::fetch`] or iteration. The cursor never buffers
+/// assembled molecules between calls, so at most one fetched chunk is
+/// alive at a time; dropping it mid-stream simply abandons the remaining
+/// (unread) roots without having fixed their pages.
+pub struct MoleculeCursor {
+    access: Arc<AccessSystem>,
+    plan: ResolvedQuery,
+    clusters: Vec<Arc<AtomClusterType>>,
+    roots: VecDeque<Atom>,
+    mode: AssemblyMode,
+    ctx: AssemblyCtx,
+    nodes: Vec<NodeInfo>,
+    trace: ExecutionTrace,
+}
+
+impl MoleculeCursor {
+    fn open(
+        access: Arc<AccessSystem>,
+        plan: &ResolvedQuery,
+        opts: &QueryOptions,
+    ) -> PrimaResult<MoleculeCursor> {
+        if opts.threads > 1 {
+            return Err(PrimaError::BadStatement(
+                "cursor delivery is piecewise and serial; use query() for parallel execution"
+                    .into(),
+            ));
+        }
+        if plan.has_params() {
+            return Err(PrimaError::UnboundParameter {
+                slot: 0,
+                detail: "bind all parameters before opening a cursor".into(),
+            });
+        }
+        let mut trace = ExecutionTrace::default();
+        let roots = find_roots(&access, plan, &mut trace)?;
+        trace.roots_inspected = roots.len();
+        let clusters = access.cluster_types_of(plan.nodes[0].atom_type);
+        Ok(MoleculeCursor {
+            ctx: AssemblyCtx::new(plan),
+            nodes: node_infos(plan),
+            plan: plan.clone(),
+            clusters,
+            roots: roots.into(),
+            mode: opts.assembly,
+            access,
+            trace,
+        })
+    }
+
+    /// Structure description of the delivered molecules (same indices as
+    /// [`crate::datasys::MolAtom::node`]).
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Number of root candidates not yet pulled.
+    pub fn remaining_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Execution trace so far (root access decision up front; molecule /
+    /// atom counts grow as the stream is consumed).
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// Pulls and assembles up to `n` molecules — the paper's piecewise
+    /// molecule-set delivery. Returns an empty vector when the stream is
+    /// exhausted. (Roots whose molecule fails residual qualification are
+    /// skipped and do not count towards `n`.)
+    pub fn fetch(&mut self, n: usize) -> PrimaResult<Vec<Molecule>> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            match self.next_molecule()? {
+                Some(m) => out.push(m),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pulls the molecule set description plus every remaining molecule
+    /// (equivalent to what a materialising query would have returned for
+    /// the unread tail).
+    pub fn fetch_all(&mut self) -> PrimaResult<MoleculeSet> {
+        let mut molecules = Vec::new();
+        while let Some(m) = self.next_molecule()? {
+            molecules.push(m);
+        }
+        Ok(MoleculeSet { nodes: self.nodes.clone(), molecules })
+    }
+
+    fn next_molecule(&mut self) -> PrimaResult<Option<Molecule>> {
+        while let Some(root) = self.roots.pop_front() {
+            let mut fetched = 0usize;
+            let produced = process_root_traced(
+                &self.access,
+                &self.plan,
+                root,
+                &self.clusters,
+                self.mode,
+                &mut self.ctx,
+                &mut self.trace,
+                &mut fetched,
+            )?;
+            self.trace.atoms_fetched += fetched;
+            if let Some(m) = produced {
+                self.trace.molecules += 1;
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Iterator for MoleculeCursor {
+    type Item = PrimaResult<Molecule>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_molecule().transpose()
+    }
+}

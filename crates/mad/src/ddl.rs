@@ -32,27 +32,33 @@ pub enum DdlStatement {
 
 /// Parses a single DDL statement.
 pub fn parse_ddl(src: &str) -> Result<DdlStatement, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = DdlParser { p: Parser { tokens, pos: 0 } };
-    let stmt = p.statement()?;
-    p.p.expect_eof()?;
-    Ok(stmt)
+    let run = || -> Result<DdlStatement, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = DdlParser { p: Parser { tokens, pos: 0, params: Vec::new() } };
+        let stmt = p.statement()?;
+        p.p.expect_eof()?;
+        Ok(stmt)
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 /// Parses a whole DDL script (statements separated by semicolons or just
 /// juxtaposed) and applies it to a schema.
 pub fn parse_script(src: &str) -> Result<Vec<DdlStatement>, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = DdlParser { p: Parser { tokens, pos: 0 } };
-    let mut out = Vec::new();
-    loop {
-        while p.p.eat(&TokenKind::Semicolon) {}
-        if p.p.peek() == &TokenKind::Eof {
-            break;
+    let run = || -> Result<Vec<DdlStatement>, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = DdlParser { p: Parser { tokens, pos: 0, params: Vec::new() } };
+        let mut out = Vec::new();
+        loop {
+            while p.p.eat(&TokenKind::Semicolon) {}
+            if p.p.peek() == &TokenKind::Eof {
+                break;
+            }
+            out.push(p.statement()?);
         }
-        out.push(p.statement()?);
-    }
-    Ok(out)
+        Ok(out)
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 /// Parses a script and loads it into `schema` (types first, then molecule

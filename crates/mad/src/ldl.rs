@@ -61,26 +61,32 @@ pub enum LdlStatement {
 
 /// Parses one LDL statement.
 pub fn parse_ldl(src: &str) -> Result<LdlStatement, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = LdlParser { p: Parser { tokens, pos: 0 } };
-    let s = p.statement()?;
-    p.p.expect_eof()?;
-    Ok(s)
+    let run = || -> Result<LdlStatement, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = LdlParser { p: Parser { tokens, pos: 0, params: Vec::new() } };
+        let s = p.statement()?;
+        p.p.expect_eof()?;
+        Ok(s)
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 /// Parses a script of LDL statements.
 pub fn parse_ldl_script(src: &str) -> Result<Vec<LdlStatement>, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = LdlParser { p: Parser { tokens, pos: 0 } };
-    let mut out = Vec::new();
-    loop {
-        while p.p.eat(&TokenKind::Semicolon) {}
-        if p.p.peek() == &TokenKind::Eof {
-            break;
+    let run = || -> Result<Vec<LdlStatement>, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = LdlParser { p: Parser { tokens, pos: 0, params: Vec::new() } };
+        let mut out = Vec::new();
+        loop {
+            while p.p.eat(&TokenKind::Semicolon) {}
+            if p.p.peek() == &TokenKind::Eof {
+                break;
+            }
+            out.push(p.statement()?);
         }
-        out.push(p.statement()?);
-    }
-    Ok(out)
+        Ok(out)
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 struct LdlParser {

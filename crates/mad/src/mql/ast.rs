@@ -136,6 +136,44 @@ pub enum Predicate {
 pub enum Operand {
     Ref(CompRef),
     Literal(Value),
+    /// A parameter placeholder (`?` or `:name`) by slot index; the slot
+    /// table lives with the prepared statement
+    /// ([`crate::mql::parse_statement_params`]).
+    Param(u16),
+}
+
+/// A literal-or-parameter in value positions of DML statements
+/// (`INSERT t (attr: ?)`, `MODIFY … SET attr = :v`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueExpr {
+    Lit(Value),
+    Param(u16),
+}
+
+impl ValueExpr {
+    /// The concrete value, substituting bound parameters. `None` when the
+    /// slot is out of range.
+    pub fn resolve(&self, params: &[Value]) -> Option<Value> {
+        match self {
+            ValueExpr::Lit(v) => Some(v.clone()),
+            ValueExpr::Param(slot) => params.get(*slot as usize).cloned(),
+        }
+    }
+
+    /// The literal value, erroring on unbound parameters (direct one-shot
+    /// execution path).
+    pub fn literal(&self) -> Option<&Value> {
+        match self {
+            ValueExpr::Lit(v) => Some(v),
+            ValueExpr::Param(_) => None,
+        }
+    }
+}
+
+impl From<Value> for ValueExpr {
+    fn from(v: Value) -> Self {
+        ValueExpr::Lit(v)
+    }
 }
 
 /// `INSERT <atom type> (attr: value, …) [INTO <component ref of parent>]`
@@ -145,7 +183,7 @@ pub enum Operand {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Insert {
     pub atom_type: String,
-    pub assignments: Vec<(String, Value)>,
+    pub assignments: Vec<(String, ValueExpr)>,
 }
 
 /// `DELETE FROM <structure> WHERE …` — removes the qualifying molecules
@@ -174,7 +212,7 @@ pub struct Modify {
 /// Right-hand side of a MODIFY assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SetExpr {
-    Value(Value),
+    Value(ValueExpr),
     /// `CONNECT TO (<query>)`: add references to the atoms selected by a
     /// sub-query (component connection).
     Connect(Box<Query>),
@@ -224,6 +262,152 @@ impl Predicate {
             Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
                 inner.collect_refs(out)
             }
+        }
+    }
+
+    /// A copy with every parameter placeholder replaced by its bound
+    /// value. Slots out of range are left in place (binding arity is
+    /// checked by the prepared-statement layer before substitution).
+    pub fn bind_params(&self, params: &[Value]) -> Predicate {
+        let bind_op = |o: &Operand| match o {
+            Operand::Param(slot) => match params.get(*slot as usize) {
+                Some(v) => Operand::Literal(v.clone()),
+                None => Operand::Param(*slot),
+            },
+            other => other.clone(),
+        };
+        match self {
+            Predicate::Compare { left, op, right } => Predicate::Compare {
+                left: bind_op(left),
+                op: *op,
+                right: bind_op(right),
+            },
+            Predicate::And(ts) => {
+                Predicate::And(ts.iter().map(|t| t.bind_params(params)).collect())
+            }
+            Predicate::Or(ts) => {
+                Predicate::Or(ts.iter().map(|t| t.bind_params(params)).collect())
+            }
+            Predicate::Not(t) => Predicate::Not(Box::new(t.bind_params(params))),
+            Predicate::ExistsAtLeast { n, component, inner } => Predicate::ExistsAtLeast {
+                n: *n,
+                component: component.clone(),
+                inner: Box::new(inner.bind_params(params)),
+            },
+            Predicate::ForAll { component, inner } => Predicate::ForAll {
+                component: component.clone(),
+                inner: Box::new(inner.bind_params(params)),
+            },
+            leaf @ (Predicate::IsEmpty(_) | Predicate::NotEmpty(_)) => leaf.clone(),
+        }
+    }
+
+    /// Parameter slots referenced by this predicate.
+    pub fn param_slots(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<u16>) {
+        match self {
+            Predicate::Compare { left, right, .. } => {
+                for o in [left, right] {
+                    if let Operand::Param(slot) = o {
+                        out.push(*slot);
+                    }
+                }
+            }
+            Predicate::IsEmpty(_) | Predicate::NotEmpty(_) => {}
+            Predicate::And(ts) | Predicate::Or(ts) => {
+                ts.iter().for_each(|t| t.collect_params(out))
+            }
+            Predicate::Not(t) => t.collect_params(out),
+            Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
+                inner.collect_params(out)
+            }
+        }
+    }
+}
+
+impl Query {
+    /// A copy with every parameter placeholder replaced by its bound
+    /// value, recursing into qualified-projection sub-queries.
+    pub fn bind_params(&self, params: &[Value]) -> Query {
+        fn bind_item(item: &SelectItem, params: &[Value]) -> SelectItem {
+            match item {
+                SelectItem::Qualified { component, query } => SelectItem::Qualified {
+                    component: component.clone(),
+                    query: Box::new(query.bind_params(params)),
+                },
+                SelectItem::Group(items) => {
+                    SelectItem::Group(items.iter().map(|i| bind_item(i, params)).collect())
+                }
+                leaf => leaf.clone(),
+            }
+        }
+        let select = match &self.select {
+            SelectList::All => SelectList::All,
+            SelectList::Items(items) => {
+                SelectList::Items(items.iter().map(|i| bind_item(i, params)).collect())
+            }
+        };
+        Query {
+            select,
+            from: self.from.clone(),
+            predicate: self.predicate.as_ref().map(|p| p.bind_params(params)),
+        }
+    }
+}
+
+impl Statement {
+    /// A copy with every parameter placeholder replaced by its bound
+    /// value (prepared-statement execution substitutes before running the
+    /// ordinary DML path). Substitution recurses into nested queries —
+    /// qualified projections and `CONNECT`/`DISCONNECT` sub-queries.
+    pub fn bind_params(&self, params: &[Value]) -> Statement {
+        let bind_ve = |ve: &ValueExpr| match ve {
+            ValueExpr::Param(slot) => match params.get(*slot as usize) {
+                Some(v) => ValueExpr::Lit(v.clone()),
+                None => ValueExpr::Param(*slot),
+            },
+            lit => lit.clone(),
+        };
+        match self {
+            Statement::Select(q) => Statement::Select(q.bind_params(params)),
+            Statement::Insert(i) => Statement::Insert(Insert {
+                atom_type: i.atom_type.clone(),
+                assignments: i
+                    .assignments
+                    .iter()
+                    .map(|(n, v)| (n.clone(), bind_ve(v)))
+                    .collect(),
+            }),
+            Statement::Delete(d) => Statement::Delete(Delete {
+                from: d.from.clone(),
+                predicate: d.predicate.as_ref().map(|p| p.bind_params(params)),
+                only_components: d.only_components.clone(),
+            }),
+            Statement::Modify(m) => Statement::Modify(Modify {
+                from: m.from.clone(),
+                predicate: m.predicate.as_ref().map(|p| p.bind_params(params)),
+                assignments: m
+                    .assignments
+                    .iter()
+                    .map(|(t, e)| {
+                        let e = match e {
+                            SetExpr::Value(ve) => SetExpr::Value(bind_ve(ve)),
+                            SetExpr::Connect(q) => {
+                                SetExpr::Connect(Box::new(q.bind_params(params)))
+                            }
+                            SetExpr::Disconnect(q) => {
+                                SetExpr::Disconnect(Box::new(q.bind_params(params)))
+                            }
+                        };
+                        (t.clone(), e)
+                    })
+                    .collect(),
+            }),
         }
     }
 }

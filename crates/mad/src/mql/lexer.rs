@@ -41,6 +41,8 @@ pub enum TokenKind {
     Le,
     Gt,
     Ge,
+    /// `?` — positional parameter placeholder (prepared statements).
+    Question,
     Eof,
 }
 
@@ -81,27 +83,55 @@ impl fmt::Display for TokenKind {
             TokenKind::Le => write!(f, "<="),
             TokenKind::Gt => write!(f, ">"),
             TokenKind::Ge => write!(f, ">="),
+            TokenKind::Question => write!(f, "?"),
             TokenKind::Eof => write!(f, "<eof>"),
         }
     }
 }
 
-/// Lexing / parsing error with byte offset.
+/// Lexing / parsing error with byte offset and, once located against the
+/// source text, a 1-based line:column position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub message: String,
     pub offset: usize,
+    /// 1-based line, or 0 when the error has not been located yet.
+    pub line: u32,
+    /// 1-based column (byte-counted within the line), or 0 when unknown.
+    pub column: u32,
 }
 
 impl ParseError {
     pub fn new(message: impl Into<String>, offset: usize) -> Self {
-        ParseError { message: message.into(), offset }
+        ParseError { message: message.into(), offset, line: 0, column: 0 }
+    }
+
+    /// Fills `line`/`column` from the source the error's offset refers to.
+    /// Entry points that hold the source call this so multi-line MQL/DDL
+    /// scripts report actionable positions instead of raw byte offsets.
+    pub fn locate(mut self, src: &str) -> Self {
+        let upto = self.offset.min(src.len());
+        let mut line = 1u32;
+        let mut line_start = 0usize;
+        for (i, b) in src.as_bytes()[..upto].iter().enumerate() {
+            if *b == b'\n' {
+                line += 1;
+                line_start = i + 1;
+            }
+        }
+        self.line = line;
+        self.column = (upto - line_start) as u32 + 1;
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (at offset {})", self.message, self.offset)
+        if self.line > 0 {
+            write!(f, "{} (at line {}, column {})", self.message, self.line, self.column)
+        } else {
+            write!(f, "{} (at offset {})", self.message, self.offset)
+        }
     }
 }
 
@@ -247,6 +277,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             '=' => (TokenKind::Eq, 1),
+            '?' => (TokenKind::Question, 1),
             '<' => match bytes.get(i + 1) {
                 Some(&b'>') => (TokenKind::Ne, 2),
                 Some(&b'=') => (TokenKind::Le, 2),
@@ -326,6 +357,25 @@ mod tests {
     fn unexpected_character_reported_with_offset() {
         let err = lex("abc $").unwrap_err();
         assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn question_mark_parameter_token() {
+        let k = kinds("WHERE brep_no = ?");
+        assert!(k.contains(&TokenKind::Question));
+    }
+
+    #[test]
+    fn locate_renders_line_and_column() {
+        let src = "SELECT ALL\nFROM s\nWHERE x $ 1";
+        let err = lex(src).unwrap_err().locate(src);
+        assert_eq!((err.line, err.column), (3, 9));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3"), "got: {shown}");
+        assert!(shown.contains("column 9"), "got: {shown}");
+        // Unlocated errors still fall back to the byte offset.
+        let raw = ParseError::new("boom", 7);
+        assert!(raw.to_string().contains("offset 7"));
     }
 
     #[test]

@@ -13,7 +13,9 @@ pub mod parser;
 
 pub use ast::{
     CompRef, CompareOp, Delete, FromClause, Insert, Modify, Operand, Predicate, Query,
-    SelectItem, SelectList, SetExpr, Statement,
+    SelectItem, SelectList, SetExpr, Statement, ValueExpr,
 };
 pub use lexer::{lex, ParseError, Token, TokenKind};
-pub use parser::{parse_query, parse_statement, parse_structure};
+pub use parser::{
+    parse_query, parse_statement, parse_statement_params, parse_structure, ParamSlots,
+};

@@ -9,13 +9,28 @@ use super::lexer::{lex, ParseError, Token, TokenKind};
 use crate::schema::{MoleculeGraph, MoleculeNode};
 use crate::value::Value;
 
+/// Names of a statement's parameter slots, in slot order: `None` for a
+/// positional `?`, `Some(name)` for `:name` (each distinct name owns one
+/// slot no matter how often it occurs).
+pub type ParamSlots = Vec<Option<String>>;
+
 /// Parses one MQL statement.
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let stmt = p.statement()?;
-    p.expect_eof()?;
-    Ok(stmt)
+    Ok(parse_statement_params(src)?.0)
+}
+
+/// Parses one MQL statement together with its parameter-slot table
+/// (prepared statements; `?` allocates slots in order of appearance,
+/// `:name` unifies repeated occurrences of the same name).
+pub fn parse_statement_params(src: &str) -> Result<(Statement, ParamSlots), ParseError> {
+    let run = || -> Result<(Statement, ParamSlots), ParseError> {
+        let tokens = lex(src)?;
+        let mut p = Parser { tokens, pos: 0, params: Vec::new() };
+        let stmt = p.statement()?;
+        p.expect_eof()?;
+        Ok((stmt, p.params))
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 /// Parses a SELECT query.
@@ -25,23 +40,30 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
         other => Err(ParseError::new(
             format!("expected a SELECT query, found {other:?}"),
             0,
-        )),
+        )
+        .locate(src)),
     }
 }
 
 /// Parses a FROM-clause structure expression on its own (used by the DDL
 /// for `DEFINE MOLECULE TYPE … FROM …`).
 pub fn parse_structure(src: &str) -> Result<MoleculeGraph, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let g = p.from_structure()?;
-    p.expect_eof()?;
-    Ok(g)
+    let run = || -> Result<MoleculeGraph, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = Parser { tokens, pos: 0, params: Vec::new() };
+        let g = p.from_structure()?;
+        p.expect_eof()?;
+        Ok(g)
+    };
+    run().map_err(|e| e.locate(src))
 }
 
 pub(crate) struct Parser {
     pub tokens: Vec<Token>,
     pub pos: usize,
+    /// Parameter slot table: `None` = positional `?`, `Some(name)` =
+    /// named `:name` (repeated names share their slot).
+    pub params: ParamSlots,
 }
 
 impl Parser {
@@ -329,7 +351,7 @@ impl Parser {
             self.bump();
             let r = match left {
                 Operand::Ref(r) => r,
-                Operand::Literal(_) => {
+                Operand::Literal(_) | Operand::Param(_) => {
                     return Err(ParseError::new(
                         "EMPTY test requires an attribute reference".to_string(),
                         self.offset(),
@@ -351,7 +373,53 @@ impl Parser {
         Ok(Predicate::Compare { left, op, right })
     }
 
+    /// Allocates (or reuses, for repeated `:name`s) a parameter slot.
+    fn param_slot(&mut self, name: Option<String>) -> Result<u16, ParseError> {
+        if let Some(n) = &name {
+            if let Some(i) =
+                self.params.iter().position(|p| p.as_deref() == Some(n.as_str()))
+            {
+                return Ok(i as u16);
+            }
+        }
+        let i = self.params.len();
+        if i > u16::MAX as usize {
+            return Err(ParseError::new("too many parameters", self.offset()));
+        }
+        self.params.push(name);
+        Ok(i as u16)
+    }
+
+    /// Parses a parameter placeholder if one starts here: `?` or `:name`
+    /// (the colon form is only meaningful in value positions, where a bare
+    /// colon is otherwise invalid).
+    fn try_param(&mut self) -> Result<Option<u16>, ParseError> {
+        match self.peek() {
+            TokenKind::Question => {
+                self.bump();
+                Ok(Some(self.param_slot(None)?))
+            }
+            TokenKind::Colon => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Some(self.param_slot(Some(name))?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// A literal or a parameter placeholder (DML value positions).
+    fn value_expr(&mut self) -> Result<ValueExpr, ParseError> {
+        if let Some(slot) = self.try_param()? {
+            return Ok(ValueExpr::Param(slot));
+        }
+        Ok(ValueExpr::Lit(self.literal()?))
+    }
+
     fn operand(&mut self) -> Result<Operand, ParseError> {
+        if let Some(slot) = self.try_param()? {
+            return Ok(Operand::Param(slot));
+        }
         match self.peek().clone() {
             TokenKind::Int(_) | TokenKind::Real(_) | TokenKind::Str(_) | TokenKind::Minus => {
                 Ok(Operand::Literal(self.literal()?))
@@ -423,7 +491,7 @@ impl Parser {
         loop {
             let attr = self.ident()?;
             self.expect(TokenKind::Colon)?;
-            let v = self.literal()?;
+            let v = self.value_expr()?;
             assignments.push((attr, v));
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -477,7 +545,7 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 SetExpr::Disconnect(Box::new(q))
             } else {
-                SetExpr::Value(self.literal()?)
+                SetExpr::Value(self.value_expr()?)
             };
             assignments.push((target, expr));
             if !self.eat(&TokenKind::Comma) {
@@ -669,7 +737,79 @@ mod tests {
         let s = parse_statement("INSERT solid (solid_no: 4711, description: 'cube')").unwrap();
         let Statement::Insert(i) = s else { panic!() };
         assert_eq!(i.atom_type, "solid");
-        assert_eq!(i.assignments[0], ("solid_no".into(), Value::Int(4711)));
+        assert_eq!(i.assignments[0], ("solid_no".into(), ValueExpr::Lit(Value::Int(4711))));
+    }
+
+    // -----------------------------------------------------------------
+    // Parameter placeholders (prepared statements)
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn positional_parameters_allocate_slots_in_order() {
+        let (s, slots) = parse_statement_params(
+            "SELECT ALL FROM brep-face WHERE brep_no = ? AND face.square_dim > ?",
+        )
+        .unwrap();
+        assert_eq!(slots, vec![None, None]);
+        let Statement::Select(q) = s else { panic!() };
+        let Predicate::And(terms) = q.predicate.unwrap() else { panic!() };
+        assert!(matches!(
+            &terms[0],
+            Predicate::Compare { right: Operand::Param(0), .. }
+        ));
+        assert!(matches!(
+            &terms[1],
+            Predicate::Compare { right: Operand::Param(1), .. }
+        ));
+    }
+
+    #[test]
+    fn named_parameters_share_slots() {
+        let (_, slots) = parse_statement_params(
+            "SELECT ALL FROM s WHERE a = :v OR b = :v AND c = :w",
+        )
+        .unwrap();
+        assert_eq!(slots, vec![Some("v".into()), Some("w".into())]);
+    }
+
+    #[test]
+    fn parameters_in_dml_value_positions() {
+        let (s, slots) =
+            parse_statement_params("INSERT solid (solid_no: ?, description: :d)").unwrap();
+        assert_eq!(slots.len(), 2);
+        let Statement::Insert(i) = s else { panic!() };
+        assert_eq!(i.assignments[0].1, ValueExpr::Param(0));
+        assert_eq!(i.assignments[1].1, ValueExpr::Param(1));
+        let (s, slots) =
+            parse_statement_params("MODIFY solid SET description = ? WHERE solid_no = ?").unwrap();
+        assert_eq!(slots.len(), 2);
+        let Statement::Modify(m) = s else { panic!() };
+        assert_eq!(m.assignments[0].1, SetExpr::Value(ValueExpr::Param(0)));
+    }
+
+    #[test]
+    fn bind_params_substitutes_everywhere() {
+        let (s, _) = parse_statement_params(
+            "MODIFY solid SET description = :d WHERE solid_no = :n",
+        )
+        .unwrap();
+        let bound = s.bind_params(&[Value::Str("renamed".into()), Value::Int(7)]);
+        let Statement::Modify(m) = bound else { panic!() };
+        assert_eq!(
+            m.assignments[0].1,
+            SetExpr::Value(ValueExpr::Lit(Value::Str("renamed".into())))
+        );
+        assert!(matches!(
+            m.predicate.unwrap(),
+            Predicate::Compare { right: Operand::Literal(Value::Int(7)), .. }
+        ));
+    }
+
+    #[test]
+    fn parser_errors_carry_line_and_column() {
+        let err = parse_query("SELECT ALL\nFROM s\nWHERE = 1").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! groups, `Bencher::iter`) with a simple wall-clock measurement loop:
 //! warm-up iteration, then up to `sample_size` timed iterations bounded by
 //! a per-benchmark time budget. Results are printed as
-//! `bench: <group>/<id> ... <mean> ns/iter` lines; the experiment *shapes*
-//! (who wins, by what factor) remain comparable even though confidence
-//! intervals are not computed.
+//! `bench: <group>/<id> ... mean ± stddev [min .. max]` lines, and each
+//! benchmark additionally emits a machine-readable
+//! `BENCHJSON {"bench":"criterion", …}` record (collected by
+//! `scripts/perf_trajectory.sh` into `BENCH_*.json`). Stddev/min/max
+//! make small (<10%) deltas judgeable: a delta inside one stddev of
+//! either side is noise, not a regression.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -42,28 +45,60 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleStats {
+    pub samples: u64,
+    pub mean_ns: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for a single
+    /// sample).
+    pub stddev_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+impl SampleStats {
+    fn from_samples(ns: &[f64]) -> SampleStats {
+        if ns.is_empty() {
+            return SampleStats::default();
+        }
+        let n = ns.len() as f64;
+        let mean = ns.iter().sum::<f64>() / n;
+        let var = if ns.len() > 1 {
+            ns.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        SampleStats {
+            samples: ns.len() as u64,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            min_ns: ns.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
 /// Measurement driver handed to the bench closure.
 pub struct Bencher {
     samples: usize,
-    /// Mean ns/iter of the most recent `iter` call.
-    last_mean_ns: f64,
+    /// Statistics of the most recent `iter` call.
+    last_stats: SampleStats,
 }
 
 impl Bencher {
-    /// Runs `f` once to warm up, then samples it under the time budget and
-    /// records the mean iteration time.
+    /// Runs `f` once to warm up, then samples it under the time budget
+    /// and records per-sample timings (mean, stddev, min, max).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         let started = Instant::now();
-        let mut timed = Duration::ZERO;
-        let mut iters = 0u64;
-        while iters < self.samples as u64 && started.elapsed() < TIME_BUDGET {
+        let mut ns: Vec<f64> = Vec::with_capacity(self.samples);
+        while ns.len() < self.samples && started.elapsed() < TIME_BUDGET {
             let t0 = Instant::now();
             black_box(f());
-            timed += t0.elapsed();
-            iters += 1;
+            ns.push(t0.elapsed().as_nanos() as f64);
         }
-        self.last_mean_ns = timed.as_nanos() as f64 / iters.max(1) as f64;
+        self.last_stats = SampleStats::from_samples(&ns);
     }
 }
 
@@ -89,9 +124,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: self.sample_size, last_mean_ns: 0.0 };
+        let mut b = Bencher { samples: self.sample_size, last_stats: SampleStats::default() };
         f(&mut b);
-        self.criterion.record(&self.name, &id.name, b.last_mean_ns);
+        self.criterion.record(&self.name, &id.name, &b.last_stats);
         self
     }
 
@@ -104,9 +139,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.sample_size, last_mean_ns: 0.0 };
+        let mut b = Bencher { samples: self.sample_size, last_stats: SampleStats::default() };
         f(&mut b, input);
-        self.criterion.record(&self.name, &id.name, b.last_mean_ns);
+        self.criterion.record(&self.name, &id.name, &b.last_stats);
         self
     }
 
@@ -126,24 +161,55 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: 20, last_mean_ns: 0.0 };
+        let mut b = Bencher { samples: 20, last_stats: SampleStats::default() };
         f(&mut b);
-        self.record("bench", name, b.last_mean_ns);
+        self.record("bench", name, &b.last_stats);
         self
     }
 
-    fn record(&self, group: &str, id: &str, mean_ns: f64) {
-        let pretty = if mean_ns >= 1e9 {
-            format!("{:.3} s", mean_ns / 1e9)
-        } else if mean_ns >= 1e6 {
-            format!("{:.3} ms", mean_ns / 1e6)
-        } else if mean_ns >= 1e3 {
-            format!("{:.3} µs", mean_ns / 1e3)
-        } else {
-            format!("{mean_ns:.0} ns")
+    fn record(&self, group: &str, id: &str, stats: &SampleStats) {
+        let pretty = |ns: f64| {
+            if ns >= 1e9 {
+                format!("{:.3} s", ns / 1e9)
+            } else if ns >= 1e6 {
+                format!("{:.3} ms", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.3} µs", ns / 1e3)
+            } else {
+                format!("{ns:.0} ns")
+            }
         };
-        println!("bench: {group}/{id:<50} {pretty}/iter ({mean_ns:.0} ns)");
+        println!(
+            "bench: {group}/{id:<50} {}/iter ± {} [{} .. {}] ({} samples)",
+            pretty(stats.mean_ns),
+            pretty(stats.stddev_ns),
+            pretty(stats.min_ns),
+            pretty(stats.max_ns),
+            stats.samples,
+        );
+        // Machine-readable record, collected by scripts/perf_trajectory.sh.
+        println!(
+            "BENCHJSON {{\"bench\":\"criterion\",\"group\":\"{}\",\"id\":\"{}\",\
+\"samples\":{},\"mean_ns\":{:.0},\"stddev_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0}}}",
+            json_escape(group),
+            json_escape(id),
+            stats.samples, stats.mean_ns, stats.stddev_ns, stats.min_ns, stats.max_ns,
+        );
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Identity function opaque to the optimizer.
@@ -193,5 +259,19 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("fwd", 10).name, "fwd/10");
         assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+
+    #[test]
+    fn sample_stats_mean_stddev_min_max() {
+        let s = SampleStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.samples, 8);
+        assert!((s.mean_ns - 5.0).abs() < 1e-9);
+        // Bessel-corrected stddev of this classic set is ~2.138.
+        assert!((s.stddev_ns - 2.1380899352993947).abs() < 1e-9, "got {}", s.stddev_ns);
+        assert_eq!(s.min_ns, 2.0);
+        assert_eq!(s.max_ns, 9.0);
+        // Degenerate cases.
+        assert_eq!(SampleStats::from_samples(&[3.0]).stddev_ns, 0.0);
+        assert_eq!(SampleStats::from_samples(&[]).samples, 0);
     }
 }

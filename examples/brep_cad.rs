@@ -10,7 +10,7 @@
 //! cargo run --example brep_cad
 //! ```
 
-use prima::{Molecule, PrimaResult, Value};
+use prima::{Molecule, PrimaResult, QueryOptions, Value};
 use prima_workloads::brep::{self, BrepConfig};
 
 /// A minimal "object buffer": the checked-out molecule plus pending
@@ -21,14 +21,18 @@ struct ObjectBuffer {
 }
 
 impl ObjectBuffer {
-    fn checkout(db: &prima::Prima, brep_no: i64) -> PrimaResult<ObjectBuffer> {
-        let set = db.query(&format!(
-            "SELECT ALL FROM brep-face-edge-point WHERE brep_no = {brep_no}"
-        ))?;
-        Ok(ObjectBuffer {
-            molecule: set.molecules.into_iter().next().expect("brep exists"),
-            pending: Vec::new(),
-        })
+    /// Checkout through a prepared statement the caller built once: each
+    /// checkout only binds the brep number and pulls one molecule from a
+    /// streaming cursor — no re-parse, no re-plan.
+    fn checkout(stmt: &mut prima::Prepared<'_>, brep_no: i64) -> PrimaResult<ObjectBuffer> {
+        stmt.bind(&[Value::Int(brep_no)])?;
+        let mut cursor = stmt.cursor(&QueryOptions::default())?;
+        let molecule = cursor
+            .fetch(1)?
+            .into_iter()
+            .next()
+            .expect("brep exists");
+        Ok(ObjectBuffer { molecule, pending: Vec::new() })
     }
 
     /// Local (buffered) edit — no DBMS call.
@@ -69,15 +73,24 @@ fn main() -> PrimaResult<()> {
     )?;
 
     // Checkout brep 7 into the workstation's object buffer.
-    let (set, trace) = db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 7")?;
+    let session = db.session();
+    let r = session.query(
+        "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 7",
+        &QueryOptions::new().traced(),
+    )?;
+    let trace = r.trace.expect("traced");
     println!(
         "checkout: {} atoms via {:?}, cluster used: {:?}",
-        set.molecules[0].atom_count(),
+        r.set.molecules[0].atom_count(),
         trace.root_access,
         trace.cluster_used
     );
 
-    let mut buffer = ObjectBuffer::checkout(&db, 7)?;
+    // The checkout statement is prepared once per session; every
+    // checkout below only binds a brep number.
+    let mut checkout_stmt =
+        session.prepare("SELECT ALL FROM brep-face-edge-point WHERE brep_no = ?")?;
+    let mut buffer = ObjectBuffer::checkout(&mut checkout_stmt, 7)?;
 
     // Local engineering work: scale every face area (imagine a resize).
     let face_node = 1; // brep-face-edge-point: node 1 = face
@@ -106,7 +119,7 @@ fn main() -> PrimaResult<()> {
     println!("reconciled {reconciled} deferred structure updates");
 
     // A failed checkin rolls everything back.
-    let mut buffer = ObjectBuffer::checkout(&db, 7)?;
+    let mut buffer = ObjectBuffer::checkout(&mut checkout_stmt, 7)?;
     let victim = buffer.molecule.atoms_of_node(face_node)[0].id;
     buffer.edit(victim, "square_dim", Value::Real(-1.0));
     buffer.edit(victim, "nonsense_attribute", Value::Int(0));

@@ -5,7 +5,7 @@
 //! cargo run --example geo_map
 //! ```
 
-use prima::{PrimaResult, UpdatePolicy, Value};
+use prima::{PrimaResult, QueryOptions, UpdatePolicy, Value};
 use prima_workloads::map::{self, MapConfig};
 
 fn main() -> PrimaResult<()> {
@@ -19,10 +19,21 @@ fn main() -> PrimaResult<()> {
         stats.node_ids.len()
     );
 
-    // Horizontal access: all water regions (atom-type scan + SSA).
-    let (set, trace) =
-        db.query_traced("SELECT region_no, area FROM region WHERE land_use = 'water'")?;
-    println!("water regions: {} (root access {:?})", set.len(), trace.root_access);
+    // Horizontal access: all water regions (atom-type scan + SSA). The
+    // query is prepared once; the land-use classification is a named
+    // parameter re-bound per run.
+    let session = db.session();
+    let traced = QueryOptions::new().traced();
+    let mut by_use =
+        session.prepare("SELECT region_no, area FROM region WHERE land_use = :use")?;
+    by_use.bind_named(&[("use", Value::Str("water".into()))])?;
+    let r = by_use.query(&traced)?;
+    let set = r.set;
+    println!(
+        "water regions: {} (root access {:?})",
+        set.len(),
+        r.trace.expect("traced").root_access
+    );
 
     // LDL tuning: partition the frequently projected attributes; sort
     // order by area for range reporting.
@@ -33,12 +44,12 @@ fn main() -> PrimaResult<()> {
     )?;
     println!("tuning structures installed (transparent to MQL)");
 
-    // Same query, same answer — but now the (denser) partition is
-    // scanned instead of the base file.
-    let (set2, trace) =
-        db.query_traced("SELECT region_no, area FROM region WHERE land_use = 'water'")?;
-    assert_eq!(set.len(), set2.len());
-    println!("re-run root access: {:?}", trace.root_access);
+    // Same prepared statement, same answer — but now the (denser)
+    // partition is scanned instead of the base file. (Root access is
+    // chosen per execution, so tuning applies without re-preparing.)
+    let r = by_use.query(&traced)?;
+    assert_eq!(set.len(), r.set.len());
+    println!("re-run root access: {:?}", r.trace.expect("traced").root_access);
 
     // Vertical access: one sheet's full map molecule.
     let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 2")?;
@@ -48,9 +59,11 @@ fn main() -> PrimaResult<()> {
         set.atoms_of("border").len()
     );
 
-    // Update with deferred maintenance: re-classify a region.
+    // Update with deferred maintenance: re-classify a region. The MODIFY
+    // runs under the session's transaction and is committed explicitly.
     db.set_update_policy(UpdatePolicy::Deferred);
-    db.execute("MODIFY region SET land_use = 'wetland' WHERE region_no = 1")?;
+    session.execute("MODIFY region SET land_use = 'wetland' WHERE region_no = 1")?;
+    session.commit()?;
     println!(
         "after MODIFY: {} deferred structure updates pending",
         db.access().deferred_queue().len()

@@ -5,7 +5,7 @@
 //! cargo run --example vlsi_design
 //! ```
 
-use prima::PrimaResult;
+use prima::{PrimaResult, QueryOptions, Value as PValue};
 use prima_access::multidim::DimRange;
 use prima_access::scan::{MultidimScan, Scan};
 use prima_access::Ssa;
@@ -31,8 +31,13 @@ fn main() -> PrimaResult<()> {
         stats.net_ids.len()
     );
 
-    // Netlist molecule: net -> pins -> cells (vertical access over n:m).
-    let set = db.query("SELECT ALL FROM netlist WHERE net_no = 42")?;
+    // Netlist molecule: net -> pins -> cells (vertical access over n:m),
+    // prepared once and bound per net — the shape an interactive design
+    // tool uses against the kernel.
+    let session = db.session();
+    let mut net_q = session.prepare("SELECT ALL FROM netlist WHERE net_no = ?")?;
+    net_q.bind(&[PValue::Int(42)])?;
+    let set = net_q.query(&QueryOptions::default())?.set;
     println!(
         "net 42 connects {} pins on {} cells",
         set.atoms_of("pin").len(),
@@ -73,13 +78,13 @@ fn main() -> PrimaResult<()> {
     );
 
     // Semantic parallelism: construct all netlist molecules, serially vs
-    // with 4 workers; results must agree.
+    // with 4 workers (QueryOptions::threads); results must agree.
     let q = "SELECT ALL FROM netlist WHERE net_no > 0";
     let t0 = std::time::Instant::now();
-    let serial = db.query(q)?;
+    let serial = session.query(q, &QueryOptions::default())?.set;
     let t_serial = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let parallel = db.query_parallel(q, 4)?;
+    let parallel = session.query(q, &QueryOptions::new().threads(4))?.set;
     let t_par = t0.elapsed();
     assert_eq!(serial.len(), parallel.len());
     println!(

@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
-# Runs the batched-assembly bench and collects its BENCHJSON lines into
-# BENCH_1.json — one record per (fanout, buffer regime, assembly mode)
-# with atoms/sec and the fix_calls / pages_loaded counters that prove the
-# batched read path's guard-churn reduction.
+# Runs the perf-trajectory benches and collects their BENCHJSON lines
+# into one JSON array:
+#   * batched_assembly — per (fanout, buffer regime, assembly mode)
+#     records with atoms/sec and fix_calls / pages_loaded counters;
+#   * prepared_exec — prepared-vs-reparse timings and plan-reuse proof;
+#   * every criterion-shim benchmark additionally emits a
+#     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
+#     small (<10%) deltas can be judged against run-to-run noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
+shift || true
+benches=("${@:-}")
+if [ -z "${benches[0]:-}" ]; then
+    benches=(batched_assembly prepared_exec)
+fi
+
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
-cargo bench --bench batched_assembly 2>&1 | tee "$log"
+for b in "${benches[@]}"; do
+    cargo bench --bench "$b" 2>&1 | tee -a "$log"
+done
 
 grep '^BENCHJSON ' "$log" | sed 's/^BENCHJSON //' | awk '
     { lines[NR] = $0 }

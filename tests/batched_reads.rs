@@ -10,7 +10,7 @@
 //! * the batched path issues measurably fewer buffer fix calls at
 //!   fan-out >= 10 (counter-verified via `BufferStats::detail`).
 
-use prima::{AssemblyMode, Prima, Value};
+use prima::{AssemblyMode, Prima, QueryOptions, Value};
 use prima_access::AccessError;
 use prima_mad::value::AtomId;
 use prima_workloads::brep::{self, BrepConfig};
@@ -140,10 +140,19 @@ fn assembly_modes_agree_on_flat_and_deep_molecules() {
         "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0",
         "SELECT ALL FROM solid-brep",
     ] {
-        let (per_atom, t1) = db.query_with_assembly(q, AssemblyMode::PerAtom).unwrap();
-        let (batched, t2) = db.query_with_assembly(q, AssemblyMode::Batched).unwrap();
-        assert_eq!(per_atom, batched, "molecule sets diverge for {q}");
-        assert_eq!(t1.atoms_fetched, t2.atoms_fetched, "fetch accounting diverges for {q}");
+        let session = db.session();
+        let per_atom = session
+            .query(q, &QueryOptions::new().assembly(AssemblyMode::PerAtom).traced())
+            .unwrap();
+        let batched = session
+            .query(q, &QueryOptions::new().assembly(AssemblyMode::Batched).traced())
+            .unwrap();
+        assert_eq!(per_atom.set, batched.set, "molecule sets diverge for {q}");
+        assert_eq!(
+            per_atom.trace.unwrap().atoms_fetched,
+            batched.trace.unwrap().atoms_fetched,
+            "fetch accounting diverges for {q}"
+        );
     }
 }
 
@@ -153,11 +162,16 @@ fn assembly_modes_agree_on_recursive_molecules() {
     let stats = brep::populate(&db, &BrepConfig::with_assembly(8, 3, 2)).unwrap();
     let root = stats.root_solid_nos[0];
     let q = format!("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root}");
-    let (per_atom, t1) = db.query_with_assembly(&q, AssemblyMode::PerAtom).unwrap();
-    let (batched, t2) = db.query_with_assembly(&q, AssemblyMode::Batched).unwrap();
-    assert_eq!(per_atom, batched);
-    assert_eq!(t1.atoms_fetched, t2.atoms_fetched);
-    assert!(batched.molecules[0].depth() >= 2, "recursion actually expanded");
+    let session = db.session();
+    let per_atom = session
+        .query(&q, &QueryOptions::new().assembly(AssemblyMode::PerAtom).traced())
+        .unwrap();
+    let batched = session
+        .query(&q, &QueryOptions::new().assembly(AssemblyMode::Batched).traced())
+        .unwrap();
+    assert_eq!(per_atom.set, batched.set);
+    assert_eq!(per_atom.trace.unwrap().atoms_fetched, batched.trace.unwrap().atoms_fetched);
+    assert!(batched.set.molecules[0].depth() >= 2, "recursion actually expanded");
 }
 
 #[test]

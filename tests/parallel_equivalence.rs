@@ -1,6 +1,8 @@
-//! E-PAR: semantic parallelism — parallel DU execution returns exactly
-//! the serial result, for every query shape and thread count.
+//! E-PAR: semantic parallelism — parallel DU execution (selected per
+//! query via `QueryOptions::threads`) returns exactly the serial result,
+//! for every query shape and thread count.
 
+use prima::QueryOptions;
 use prima_workloads::brep::{self, BrepConfig};
 use prima_workloads::vlsi::{self, VlsiConfig};
 
@@ -9,9 +11,11 @@ fn parallel_equals_serial_on_vertical_access() {
     let db = brep::open_db(32 << 20).unwrap();
     brep::populate(&db, &BrepConfig::with_solids(24)).unwrap();
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
-    let serial = db.query(q).unwrap();
+    let session = db.session();
+    let serial = session.query(q, &QueryOptions::default()).unwrap().set;
     for threads in [1, 2, 4, 8] {
-        let parallel = db.query_parallel(q, threads).unwrap();
+        let parallel =
+            session.query(q, &QueryOptions::new().threads(threads)).unwrap().set;
         assert_eq!(serial.molecules, parallel.molecules, "threads = {threads}");
     }
 }
@@ -22,8 +26,9 @@ fn parallel_equals_serial_on_recursion() {
     let stats = brep::populate(&db, &BrepConfig::with_assembly(8, 3, 2)).unwrap();
     let root = stats.root_solid_nos[0];
     let q = format!("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root}");
-    let serial = db.query(&q).unwrap();
-    let parallel = db.query_parallel(&q, 4).unwrap();
+    let session = db.session();
+    let serial = session.query(&q, &QueryOptions::default()).unwrap().set;
+    let parallel = session.query(&q, &QueryOptions::new().threads(4)).unwrap().set;
     assert_eq!(serial.molecules, parallel.molecules);
 }
 
@@ -32,8 +37,9 @@ fn parallel_equals_serial_with_quantifiers_and_projection() {
     let db = vlsi::open_db(32 << 20).unwrap();
     vlsi::populate(&db, &VlsiConfig { cells: 60, nets: 40, ..Default::default() }).unwrap();
     let q = "SELECT net_no FROM net-pin WHERE EXISTS_AT_LEAST (2) pin: pin.x > 100.0";
-    let serial = db.query(q).unwrap();
-    let parallel = db.query_parallel(q, 4).unwrap();
+    let session = db.session();
+    let serial = session.query(q, &QueryOptions::default()).unwrap().set;
+    let parallel = session.query(q, &QueryOptions::new().threads(4)).unwrap().set;
     assert_eq!(serial.molecules, parallel.molecules);
 }
 
@@ -43,8 +49,9 @@ fn parallel_respects_cluster_prefetch() {
     brep::populate(&db, &BrepConfig::with_solids(10)).unwrap();
     db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 1K").unwrap();
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
-    let serial = db.query(q).unwrap();
-    let parallel = db.query_parallel(q, 4).unwrap();
+    let session = db.session();
+    let serial = session.query(q, &QueryOptions::default()).unwrap().set;
+    let parallel = session.query(q, &QueryOptions::new().threads(4)).unwrap().set;
     assert_eq!(serial.molecules, parallel.molecules);
 }
 
@@ -55,9 +62,10 @@ fn concurrent_du_reads_do_not_interfere() {
     let db = brep::open_db(256 * 1024).unwrap();
     brep::populate(&db, &BrepConfig::with_solids(16)).unwrap();
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
-    let expected = db.query(q).unwrap();
+    let session = db.session();
+    let expected = session.query(q, &QueryOptions::default()).unwrap().set;
     for _ in 0..5 {
-        let got = db.query_parallel(q, 8).unwrap();
+        let got = session.query(q, &QueryOptions::new().threads(8)).unwrap().set;
         assert_eq!(expected.molecules.len(), got.molecules.len());
         assert_eq!(expected.molecules, got.molecules);
     }

@@ -1,0 +1,394 @@
+//! The session-centric kernel API: prepared statements (parse/plan once,
+//! bind + execute many), streaming molecule cursors (piecewise delivery),
+//! and transactional sessions with explicit commit/rollback.
+
+use prima::datasys::RootAccess;
+use prima::{AssemblyMode, Prima, PrimaError, QueryOptions, Value};
+use prima_workloads::brep::{self, BrepConfig};
+
+fn brep_db(n: usize) -> Prima {
+    let db = brep::open_db(16 << 20).expect("open");
+    brep::populate(&db, &BrepConfig::with_solids(n)).expect("populate");
+    db
+}
+
+// ---------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------
+
+#[test]
+fn prepared_reexecution_matches_one_shot_query() {
+    let db = brep_db(4);
+    let session = db.session();
+    let mut stmt = session
+        .prepare("SELECT ALL FROM brep-face-edge-point WHERE brep_no = ?")
+        .unwrap();
+    for n in 1..=4i64 {
+        stmt.bind(&[Value::Int(n)]).unwrap();
+        let prepared = stmt.query(&QueryOptions::new().traced()).unwrap();
+        let one_shot = db
+            .query(&format!("SELECT ALL FROM brep-face-edge-point WHERE brep_no = {n}"))
+            .unwrap();
+        assert_eq!(prepared.set.molecules, one_shot.molecules, "brep_no = {n}");
+        // Binding must not demote the plan: brep_no is KEYS_ARE, so the
+        // bound comparison still routes to the direct key lookup.
+        assert!(
+            matches!(
+                prepared.trace.as_ref().unwrap().root_access,
+                RootAccess::KeyLookup { .. }
+            ),
+            "expected key lookup, got {:?}",
+            prepared.trace.unwrap().root_access
+        );
+    }
+}
+
+#[test]
+fn prepared_skips_parse_and_plan_on_reexecution() {
+    let db = brep_db(3);
+    let session = db.session();
+    let before = db.api_stats().snapshot();
+    let mut stmt = session
+        .prepare("SELECT ALL FROM brep-face WHERE brep_no = ?")
+        .unwrap();
+    let after_prepare = db.api_stats().snapshot();
+    assert_eq!(after_prepare.statements_parsed, before.statements_parsed + 1);
+    assert_eq!(after_prepare.plans_built, before.plans_built + 1);
+
+    stmt.bind(&[Value::Int(1)]).unwrap();
+    for n in 1..=5i64 {
+        stmt.bind(&[Value::Int(n % 3 + 1)]).unwrap();
+        stmt.execute().unwrap();
+    }
+    let after_runs = db.api_stats().snapshot();
+    assert_eq!(
+        after_runs.statements_parsed,
+        after_prepare.statements_parsed,
+        "re-execution must not re-parse"
+    );
+    assert_eq!(
+        after_runs.plans_built, after_prepare.plans_built,
+        "re-execution must not re-plan"
+    );
+    assert_eq!(after_runs.plan_reuses, after_prepare.plan_reuses + 5);
+}
+
+#[test]
+fn binding_arity_and_type_mismatches_error_cleanly() {
+    let db = brep_db(2);
+    let session = db.session();
+    let mut stmt = session
+        .prepare("SELECT ALL FROM brep-face WHERE brep_no = ? AND face.square_dim > ?")
+        .unwrap();
+    // Too few / too many values.
+    assert!(matches!(
+        stmt.bind(&[Value::Int(1)]),
+        Err(PrimaError::BadStatement(_))
+    ));
+    assert!(matches!(
+        stmt.bind(&[Value::Int(1), Value::Real(1.0), Value::Int(9)]),
+        Err(PrimaError::BadStatement(_))
+    ));
+    // Wrong type for an INTEGER attribute.
+    let err = stmt.bind(&[Value::Str("box".into()), Value::Real(1.0)]).err().unwrap();
+    assert!(
+        matches!(err, PrimaError::ParamTypeMismatch { slot: 0, .. }),
+        "got {err:?}"
+    );
+    // Executing without a successful bind reports the unbound slot.
+    assert!(matches!(
+        stmt.execute(),
+        Err(PrimaError::UnboundParameter { .. })
+    ));
+    // A correct binding then works.
+    stmt.bind(&[Value::Int(1), Value::Real(0.0)]).unwrap();
+    assert!(stmt.execute().is_ok());
+}
+
+#[test]
+fn named_parameters_bind_by_name() {
+    let db = brep_db(3);
+    let session = db.session();
+    let mut stmt = session
+        .prepare("SELECT ALL FROM brep WHERE brep_no >= :lo AND brep_no <= :hi")
+        .unwrap();
+    assert_eq!(stmt.params().len(), 2);
+    stmt.bind_named(&[("hi", Value::Int(2)), ("lo", Value::Int(1))]).unwrap();
+    let r = stmt.query(&QueryOptions::default()).unwrap();
+    assert_eq!(r.set.len(), 2);
+    // Unknown names are rejected.
+    assert!(matches!(
+        stmt.bind_named(&[("nope", Value::Int(1)), ("hi", Value::Int(2))]),
+        Err(PrimaError::BadStatement(_))
+    ));
+    // Missing names are reported as unbound.
+    assert!(matches!(
+        stmt.bind_named(&[("lo", Value::Int(1))]),
+        Err(PrimaError::UnboundParameter { .. })
+    ));
+}
+
+#[test]
+fn prepared_dml_insert_with_parameters() {
+    let db = brep_db(1);
+    let session = db.session();
+    let mut ins = session
+        .prepare("INSERT solid (solid_no: ?, description: :d)")
+        .unwrap();
+    for (n, d) in [(9001i64, "first"), (9002, "second")] {
+        ins.bind(&[Value::Int(n), Value::Str(d.into())]).unwrap();
+        ins.execute().unwrap().dml().unwrap();
+    }
+    session.commit().unwrap();
+    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no >= 9001").unwrap().len(), 2);
+    // Type checking covers DML assignment positions too.
+    assert!(matches!(
+        ins.bind(&[Value::Str("oops".into()), Value::Str("d".into())]),
+        Err(PrimaError::ParamTypeMismatch { slot: 0, .. })
+    ));
+}
+
+#[test]
+fn prepared_modify_binds_params_inside_connect_subqueries() {
+    let db = brep_db(1);
+    let session = db.session();
+    db.execute("INSERT solid (solid_no: 500, description: 'parent')").unwrap();
+    db.execute("INSERT solid (solid_no: 501, description: 'child')").unwrap();
+    let mut conn = session
+        .prepare(
+            "MODIFY solid SET sub = CONNECT (SELECT ALL FROM solid WHERE solid_no = ?)
+             WHERE solid_no = :t",
+        )
+        .unwrap();
+    conn.bind_named(&[("?1", Value::Int(501)), ("t", Value::Int(500))]).unwrap();
+    conn.execute().unwrap().dml().unwrap();
+    session.commit().unwrap();
+    let set = db.query("SELECT ALL FROM solid.sub-solid WHERE solid_no = 500").unwrap();
+    assert_eq!(
+        set.molecules[0].atom_count(),
+        2,
+        "the CONNECT sub-query parameter must be substituted, actually connecting 501"
+    );
+}
+
+#[test]
+fn prepared_options_collapse_the_query_variants() {
+    let db = brep_db(4);
+    let session = db.session();
+    let mut stmt =
+        session.prepare("SELECT ALL FROM brep-face-edge WHERE brep_no >= ?").unwrap();
+    stmt.bind(&[Value::Int(1)]).unwrap();
+    let serial = stmt.query(&QueryOptions::default()).unwrap();
+    let per_atom = stmt
+        .query(&QueryOptions::new().assembly(AssemblyMode::PerAtom).traced())
+        .unwrap();
+    let parallel = stmt.query(&QueryOptions::new().threads(4)).unwrap();
+    assert_eq!(serial.set.molecules, per_atom.set.molecules);
+    assert_eq!(serial.set.molecules, parallel.set.molecules);
+    assert!(per_atom.trace.is_some() && serial.trace.is_none());
+    // threads: 0 is invalid everywhere, prepared included — and the
+    // per-atom baseline cannot be combined with parallel DUs (which
+    // always batch): rejected rather than silently running batched.
+    assert!(matches!(
+        stmt.query(&QueryOptions::new().threads(0)),
+        Err(PrimaError::BadStatement(_))
+    ));
+    assert!(matches!(
+        stmt.query(&QueryOptions::new().assembly(AssemblyMode::PerAtom).threads(4)),
+        Err(PrimaError::BadStatement(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Sessions & transactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn session_rollback_undoes_dml() {
+    let db = brep_db(2);
+    let session = db.session();
+    session.execute("INSERT solid (solid_no: 7777, description: 'doomed')").unwrap();
+    // Read-your-own-writes before commit.
+    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().len(), 1);
+    session.rollback().unwrap();
+    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().is_empty());
+
+    // Rollback also restores modified and deleted atoms.
+    db.execute("INSERT solid (solid_no: 8888, description: 'keeper')").unwrap();
+    session.execute("MODIFY solid SET description = 'scribbled' WHERE solid_no = 8888").unwrap();
+    session.execute("DELETE FROM solid WHERE solid_no = 8888").unwrap();
+    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 8888").unwrap().is_empty());
+    session.rollback().unwrap();
+    let survived = db.query("SELECT ALL FROM solid WHERE solid_no = 8888").unwrap();
+    assert_eq!(survived.len(), 1);
+    assert_eq!(
+        survived.molecules[0].root.atom.values[2],
+        Value::Str("keeper".into()),
+        "modification rolled back alongside the delete"
+    );
+}
+
+#[test]
+fn session_commit_chains_transactions() {
+    let db = brep_db(1);
+    let session = db.session();
+    session.execute("INSERT solid (solid_no: 100, description: 'a')").unwrap();
+    session.commit().unwrap();
+    // A fresh transaction begins lazily; rolling it back must not touch
+    // the committed work.
+    session.execute("INSERT solid (solid_no: 101, description: 'b')").unwrap();
+    session.rollback().unwrap();
+    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no = 100").unwrap().len(), 1);
+    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 101").unwrap().is_empty());
+    assert_eq!(db.txn_manager().active_count(), 0, "commit/rollback leave nothing behind");
+}
+
+#[test]
+fn dropping_an_uncommitted_session_rolls_back() {
+    let db = brep_db(1);
+    {
+        let session = db.session();
+        session.execute("INSERT solid (solid_no: 4242, description: 'ghost')").unwrap();
+    } // dropped without commit
+    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 4242").unwrap().is_empty());
+    assert_eq!(db.txn_manager().active_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Streaming molecule cursors
+// ---------------------------------------------------------------------
+
+const STREAM_DDL: &str = "
+CREATE ATOM_TYPE pt
+  ( id : IDENTIFIER, n : INTEGER,
+    owner : SET_OF (REF_TO (part.pts)) );
+CREATE ATOM_TYPE part
+  ( id : IDENTIFIER, n : INTEGER,
+    pts : SET_OF (REF_TO (pt.owner)),
+    parent : SET_OF (REF_TO (assembly.comps)) );
+CREATE ATOM_TYPE assembly
+  ( id : IDENTIFIER, n : INTEGER,
+    comps : SET_OF (REF_TO (part.parent)) );
+";
+
+/// `roots` three-level molecules: assembly -> 2 parts -> 2 points each.
+fn stream_db(roots: usize) -> Prima {
+    let db = Prima::builder().buffer_bytes(4 << 20).build_with_ddl(STREAM_DDL).unwrap();
+    let mut n = 0i64;
+    for a in 0..roots {
+        let mut comps = Vec::new();
+        for _ in 0..2 {
+            n += 1;
+            let pts: Vec<prima::AtomId> = (0..2)
+                .map(|k| db.insert("pt", &[("n", Value::Int(n * 10 + k))]).unwrap())
+                .collect();
+            comps.push(
+                db.insert("part", &[("n", Value::Int(n)), ("pts", Value::ref_set(pts))])
+                    .unwrap(),
+            );
+        }
+        db.insert(
+            "assembly",
+            &[("n", Value::Int(a as i64)), ("comps", Value::ref_set(comps))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+const STREAM_Q: &str = "SELECT ALL FROM assembly-part-pt WHERE n >= 0";
+
+#[test]
+fn cursor_streams_piecewise_and_matches_materialized_query() {
+    let db = stream_db(1000);
+    let materialized = db.query(STREAM_Q).unwrap();
+    assert_eq!(materialized.len(), 1000);
+
+    let mut cursor = db.query_cursor(STREAM_Q).unwrap();
+    assert_eq!(cursor.remaining_roots(), 1000, "roots located up front");
+    assert_eq!(cursor.nodes().len(), 3);
+    let mut streamed = Vec::new();
+    loop {
+        let chunk = cursor.fetch(64).unwrap();
+        if chunk.is_empty() {
+            break;
+        }
+        assert!(chunk.len() <= 64, "fetch(n) holds at most one chunk");
+        streamed.extend(chunk);
+    }
+    assert_eq!(streamed, materialized.molecules, "stream ≡ materialized set");
+    assert_eq!(cursor.trace().molecules, 1000);
+}
+
+#[test]
+fn cursor_assembles_lazily_and_drop_releases_the_tail() {
+    let db = stream_db(1000);
+    let stats = db.storage().buffer_stats();
+
+    // Cost of full materialisation (warm buffer).
+    let _ = db.query(STREAM_Q).unwrap();
+    stats.reset();
+    let _ = db.query(STREAM_Q).unwrap();
+    let full_fixes = stats.detail().fix_calls;
+
+    // One chunk of 64 out of 1000 roots: component assembly for the
+    // unread tail must not have happened.
+    stats.reset();
+    let mut cursor = db.query_cursor(STREAM_Q).unwrap();
+    let chunk = cursor.fetch(64).unwrap();
+    assert_eq!(chunk.len(), 64);
+    let chunk_fixes = stats.detail().fix_calls;
+    assert!(
+        chunk_fixes * 2 < full_fixes,
+        "one chunk must fix far fewer pages than materialising all \
+         ({chunk_fixes} vs {full_fixes})"
+    );
+
+    // Dropping mid-stream abandons the remaining roots without touching
+    // the buffer again...
+    drop(cursor);
+    assert_eq!(stats.detail().fix_calls, chunk_fixes, "drop fixes nothing further");
+    // ...and leaves no page fixed: a full query over the same data still
+    // succeeds against the small buffer.
+    let again = db.query(STREAM_Q).unwrap();
+    assert_eq!(again.len(), 1000);
+}
+
+#[test]
+fn prepared_cursor_streams_per_binding() {
+    let db = stream_db(20);
+    let session = db.session();
+    let mut stmt = session.prepare("SELECT ALL FROM assembly-part-pt WHERE n < ?").unwrap();
+    for limit in [5i64, 10] {
+        stmt.bind(&[Value::Int(limit)]).unwrap();
+        let mut cursor = stmt.cursor(&QueryOptions::default()).unwrap();
+        let set = cursor.fetch_all().unwrap();
+        assert_eq!(set.len(), limit as usize);
+    }
+    // Cursors are serial by construction.
+    assert!(matches!(
+        stmt.cursor(&QueryOptions::new().threads(4)),
+        Err(PrimaError::BadStatement(_))
+    ));
+}
+
+#[test]
+fn cursor_iterator_interface() {
+    let db = stream_db(10);
+    let cursor = db.query_cursor(STREAM_Q).unwrap();
+    let molecules: Result<Vec<_>, _> = cursor.collect();
+    assert_eq!(molecules.unwrap().len(), 10);
+}
+
+#[test]
+fn cursor_respects_residual_qualification() {
+    // A residual (non-root) predicate filters during streaming exactly
+    // like in materialised execution.
+    let db = stream_db(30);
+    let q = "SELECT ALL FROM assembly-part-pt WHERE part.n > 40";
+    let materialized = db.query(q).unwrap();
+    let mut cursor = db.query_cursor(q).unwrap();
+    let streamed = cursor.fetch_all().unwrap();
+    assert_eq!(streamed.molecules, materialized.molecules);
+    assert!(streamed.len() < 30, "some molecules filtered");
+}
