@@ -163,18 +163,20 @@ impl AccessSystem {
         let stores = schema
             .atom_types()
             .iter()
-            .map(|at| TypeStore {
-                file: RecordFile::create(Arc::clone(&storage), PageSize::K4),
-                next_seq: AtomicU64::new(1),
-                key_maps: at
-                    .keys
-                    .iter()
-                    .filter_map(|k| at.attribute_index(k))
-                    .map(|i| (i, RwLock::new(HashMap::new())))
-                    .collect(),
-                count: AtomicU64::new(0),
+            .map(|at| {
+                Ok(TypeStore {
+                    file: RecordFile::create(Arc::clone(&storage), PageSize::K4)?,
+                    next_seq: AtomicU64::new(1),
+                    key_maps: at
+                        .keys
+                        .iter()
+                        .filter_map(|k| at.attribute_index(k))
+                        .map(|i| (i, RwLock::new(HashMap::new())))
+                        .collect(),
+                    count: AtomicU64::new(0),
+                })
             })
-            .collect();
+            .collect::<AccessResult<Vec<_>>>()?;
         Ok(AccessSystem {
             storage,
             schema,
@@ -186,6 +188,106 @@ impl AccessSystem {
             policy: RwLock::new(UpdatePolicy::Deferred),
             stats: AccessStats::default(),
         })
+    }
+
+    /// The base-record-file segment of every atom type, in type order —
+    /// the access-layer half of the checkpoint's catalog snapshot.
+    pub fn type_segments(&self) -> Vec<prima_storage::SegmentId> {
+        self.stores.iter().map(|s| s.file.segment()).collect()
+    }
+
+    /// The surrogate counter of every atom type, in type order. Snapshot
+    /// alongside [`AccessSystem::type_segments`]: surrogates are never
+    /// reused, and a rescan alone cannot see the ids of atoms deleted
+    /// before the crash.
+    pub fn type_next_seqs(&self) -> Vec<u64> {
+        self.stores.iter().map(|s| s.next_seq.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Ensures the surrogate counter of `t` stays beyond `seq` — restart
+    /// recovery feeds it every atom id found in the WAL tail (insert /
+    /// modify / delete undo records), covering atoms allocated after the
+    /// snapshot even when they no longer exist to be rescanned.
+    pub fn note_allocated_seq(&self, t: AtomTypeId, seq: u64) -> AccessResult<()> {
+        self.store_of(t)?.next_seq.fetch_max(seq + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Re-attaches an access system to existing storage after restart:
+    /// each atom type's record file is re-attached to its snapshotted
+    /// segment (`type_segments`, in type order), then scanned once to
+    /// rebuild everything the access layer keeps in memory — the address
+    /// table, `KEYS_ARE` uniqueness maps and live-atom counts. Surrogate
+    /// counters resume from the *snapshot* (`type_next_seq`, same order;
+    /// missing entries fall back to the scan) rather than the scan
+    /// alone, so ids of atoms deleted before the crash are not handed
+    /// out again; the caller additionally feeds WAL-tail allocations via
+    /// [`AccessSystem::note_allocated_seq`]. Tuning structures are *not*
+    /// recovered: they are redundant by definition and are re-created by
+    /// re-running LDL.
+    pub fn reopen(
+        storage: Arc<StorageSystem>,
+        schema: Schema,
+        type_segments: &[prima_storage::SegmentId],
+        type_next_seq: &[u64],
+    ) -> AccessResult<AccessSystem> {
+        schema.validate()?;
+        let atom_types = schema.atom_types();
+        if type_segments.len() != atom_types.len() {
+            return Err(AccessError::RecoveryMismatch(format!(
+                "snapshot has {} type segments but the schema declares {} atom types",
+                type_segments.len(),
+                atom_types.len()
+            )));
+        }
+        let mut stores = Vec::with_capacity(atom_types.len());
+        for (at, &segment) in atom_types.iter().zip(type_segments) {
+            let file = RecordFile::attach(Arc::clone(&storage), segment)?;
+            stores.push(TypeStore {
+                file,
+                next_seq: AtomicU64::new(1),
+                key_maps: at
+                    .keys
+                    .iter()
+                    .filter_map(|k| at.attribute_index(k))
+                    .map(|i| (i, RwLock::new(HashMap::new())))
+                    .collect(),
+                count: AtomicU64::new(0),
+            });
+        }
+        let sys = AccessSystem {
+            storage,
+            schema,
+            stores,
+            addresses: AddressTable::new(),
+            structures: RwLock::new(Structures::default()),
+            cluster_membership: RwLock::new(HashMap::new()),
+            deferred: DeferredQueue::new(),
+            policy: RwLock::new(UpdatePolicy::Deferred),
+            stats: AccessStats::default(),
+        };
+        for (i, store) in sys.stores.iter().enumerate() {
+            let mut max_seq = 0u64;
+            let mut live = 0u64;
+            store.file.for_each(|ptr, bytes| {
+                let atom = Atom::decode(bytes)?;
+                sys.addresses.set_primary(atom.id, ptr);
+                max_seq = max_seq.max(atom.id.seq);
+                live += 1;
+                for (attr, map) in &store.key_maps {
+                    let v = &atom.values[*attr];
+                    if !matches!(v, Value::Null) {
+                        map.write()
+                            .insert(encode_composite_key(std::slice::from_ref(v)), atom.id);
+                    }
+                }
+                Ok(())
+            })?;
+            let snapshot_seq = type_next_seq.get(i).copied().unwrap_or(1);
+            store.next_seq.store((max_seq + 1).max(snapshot_seq), Ordering::Relaxed);
+            store.count.store(live, Ordering::Relaxed);
+        }
+        Ok(sys)
     }
 
     pub fn schema(&self) -> &Schema {
@@ -235,7 +337,22 @@ impl AccessSystem {
     /// `Null`; the generated surrogate is placed there. Values may be
     /// shorter than the declared arity — missing attributes are unset
     /// ("values are assigned to all or only selected attributes").
-    pub fn insert_atom(&self, t: AtomTypeId, mut values: Vec<Value>) -> AccessResult<AtomId> {
+    pub fn insert_atom(&self, t: AtomTypeId, values: Vec<Value>) -> AccessResult<AtomId> {
+        self.insert_atom_with_hook(t, values, |_| Ok(()))
+    }
+
+    /// [`AccessSystem::insert_atom`] with a *pre-write hook*: `hook` runs
+    /// after the surrogate is generated and the values validated, but
+    /// **before any page is modified**. The transaction layer uses it to
+    /// append the insert's undo record to the WAL ahead of the page
+    /// images it causes — the forced log prefix then never contains a
+    /// redo without its matching undo.
+    pub fn insert_atom_with_hook(
+        &self,
+        t: AtomTypeId,
+        mut values: Vec<Value>,
+        hook: impl FnOnce(AtomId) -> AccessResult<()>,
+    ) -> AccessResult<AtomId> {
         let at = self.schema.atom_type(t).ok_or(AccessError::NoSuchAtomType(t))?.clone();
         // Pad with type-appropriate null values.
         while values.len() < at.attributes.len() {
@@ -249,6 +366,7 @@ impl AccessSystem {
         values[id_idx] = Value::Id(id);
         self.schema.check_atom_values(t, &values)?;
         self.check_references(&at, id, &values)?;
+        hook(id)?;
         // Key uniqueness.
         for (attr, map) in &store.key_maps {
             let v = &values[*attr];
@@ -854,7 +972,7 @@ impl AccessSystem {
             t,
             attrs,
             id_idx,
-        ));
+        )?);
         // Populate.
         let ids = self.all_ids(t)?;
         for aid in ids {
@@ -880,7 +998,7 @@ impl AccessSystem {
             name,
             t,
             key_attrs,
-        ));
+        )?);
         for aid in self.all_ids(t)? {
             let atom = self.read_primary(aid)?;
             let ptr = so.insert(&atom)?;
@@ -972,7 +1090,7 @@ impl AccessSystem {
             char_type,
             member_attrs,
             page_size,
-        ));
+        )?);
         self.structures.write().clusters.insert(sid, Arc::clone(&ct));
         for ch in self.all_ids(char_type)? {
             self.materialize_cluster(&ct, ch)?;

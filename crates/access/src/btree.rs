@@ -163,7 +163,7 @@ impl BTree {
     /// Creates an empty tree in a fresh segment (4K pages: the classical
     /// index page size).
     pub fn create(storage: Arc<StorageSystem>) -> AccessResult<BTree> {
-        let segment = storage.create_segment(PageSize::K4);
+        let segment = storage.create_segment_with(PageSize::K4, false)?;
         let payload_cap = PageSize::K4.payload();
         let root_id = storage.allocate_page(segment)?;
         let tree = BTree { storage, segment, root: Mutex::new(root_id.page), payload_cap };

@@ -56,9 +56,9 @@ impl AtomClusterType {
         char_type: AtomTypeId,
         member_attrs: Vec<usize>,
         page_size: PageSize,
-    ) -> AtomClusterType {
-        let segment = storage.create_segment(page_size);
-        AtomClusterType {
+    ) -> AccessResult<AtomClusterType> {
+        let segment = storage.create_segment_with(page_size, false)?;
+        Ok(AtomClusterType {
             id,
             name: name.into(),
             char_type,
@@ -66,7 +66,7 @@ impl AtomClusterType {
             storage,
             segment,
             clusters: RwLock::new(HashMap::new()),
-        }
+        })
     }
 
     /// Serialises members into the cluster record: directory first, atom
@@ -243,6 +243,7 @@ mod tests {
             vec![1, 2, 3],
             PageSize::K1,
         )
+        .unwrap()
     }
 
     #[test]

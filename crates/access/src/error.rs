@@ -50,6 +50,9 @@ pub enum AccessError {
     ScanClosed,
     /// The characteristic atom type of a cluster operation is wrong.
     NotACharacteristicAtom(AtomId),
+    /// Restart recovery found persistent state inconsistent with the
+    /// checkpoint snapshot (e.g. schema/segment count drift).
+    RecoveryMismatch(String),
 }
 
 impl fmt::Display for AccessError {
@@ -89,6 +92,9 @@ impl fmt::Display for AccessError {
             AccessError::ScanClosed => write!(f, "scan is closed or exhausted"),
             AccessError::NotACharacteristicAtom(id) => {
                 write!(f, "{id} is not a characteristic atom of a cluster type")
+            }
+            AccessError::RecoveryMismatch(detail) => {
+                write!(f, "restart recovery mismatch: {detail}")
             }
         }
     }

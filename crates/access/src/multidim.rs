@@ -133,7 +133,7 @@ impl GridFile {
     /// segment.
     pub fn create(storage: Arc<StorageSystem>, dims: usize) -> AccessResult<GridFile> {
         assert!(dims >= 1, "grid file needs at least one dimension");
-        let file = RecordFile::create(storage, PageSize::K2);
+        let file = RecordFile::create_with(storage, PageSize::K2, false)?;
         let mut g = GridFile {
             dims,
             scales: vec![Vec::new(); dims],

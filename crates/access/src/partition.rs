@@ -38,19 +38,19 @@ impl Partition {
         atom_type: AtomTypeId,
         mut attrs: Vec<usize>,
         identifier_idx: usize,
-    ) -> Partition {
+    ) -> AccessResult<Partition> {
         if !attrs.contains(&identifier_idx) {
             attrs.push(identifier_idx);
         }
         attrs.sort_unstable();
         attrs.dedup();
-        Partition {
+        Ok(Partition {
             id,
             name: name.into(),
             atom_type,
             attrs,
-            file: RecordFile::create(storage, PageSize::K1),
-        }
+            file: RecordFile::create_with(storage, PageSize::K1, false)?,
+        })
     }
 
     /// True if every attribute in `needed` is stored here — then a read
@@ -115,7 +115,7 @@ mod tests {
     fn part() -> Partition {
         let storage = Arc::new(StorageSystem::in_memory(1 << 20));
         // Store attrs {1}; identifier (0) is added automatically.
-        Partition::create(storage, 7, "p_no", 0, vec![1], 0)
+        Partition::create(storage, 7, "p_no", 0, vec![1], 0).unwrap()
     }
 
     #[test]
@@ -142,8 +142,8 @@ mod tests {
     #[test]
     fn partition_is_denser_than_base() {
         let storage = Arc::new(StorageSystem::in_memory(4 << 20));
-        let base = RecordFile::create(Arc::clone(&storage), PageSize::K1);
-        let p = Partition::create(Arc::clone(&storage), 1, "narrow", 0, vec![1], 0);
+        let base = RecordFile::create(Arc::clone(&storage), PageSize::K1).unwrap();
+        let p = Partition::create(Arc::clone(&storage), 1, "narrow", 0, vec![1], 0).unwrap();
         for i in 0..500 {
             let a = wide_atom(i);
             base.insert(&a.encode()).unwrap();

@@ -58,16 +58,61 @@ pub struct RecordFile {
 impl RecordFile {
     /// Creates a record file over a fresh segment with the given page
     /// size.
-    pub fn create(storage: Arc<StorageSystem>, page_size: prima_storage::PageSize) -> Self {
-        let segment = storage.create_segment(page_size);
+    pub fn create(
+        storage: Arc<StorageSystem>,
+        page_size: prima_storage::PageSize,
+    ) -> AccessResult<Self> {
+        Self::create_with(storage, page_size, true)
+    }
+
+    /// Creates a record file, choosing whether its segment is WAL-logged.
+    /// Transient structures pass `logged = false` (they are regenerated
+    /// after restart, not recovered).
+    pub fn create_with(
+        storage: Arc<StorageSystem>,
+        page_size: prima_storage::PageSize,
+        logged: bool,
+    ) -> AccessResult<Self> {
+        let segment = storage.create_segment_with(page_size, logged)?;
         let payload_cap = page_size.payload();
-        RecordFile {
+        Ok(RecordFile {
             storage,
             segment,
             pages: Mutex::new(Vec::new()),
             free_space: Mutex::new(Vec::new()),
             payload_cap,
+        })
+    }
+
+    /// Re-attaches to an existing segment after restart: every allocated
+    /// page of `segment` whose header marks it a data page re-enters the
+    /// file, in page-number order — which *is* allocation order, because
+    /// a record file allocates from its private segment and never frees
+    /// individual pages. Free space is recomputed from the slotted-page
+    /// headers.
+    pub fn attach(storage: Arc<StorageSystem>, segment: SegmentId) -> AccessResult<Self> {
+        let (page_size, extent) =
+            storage.with_segment(segment, |s| (s.page_size, s.extent()))?;
+        let file = RecordFile {
+            storage: Arc::clone(&storage),
+            segment,
+            pages: Mutex::new(Vec::new()),
+            free_space: Mutex::new(Vec::new()),
+            payload_cap: page_size.payload(),
+        };
+        let mut pages = Vec::new();
+        let mut free = Vec::new();
+        for page_no in 0..extent {
+            let g = storage.fix(PageId::new(segment, page_no))?;
+            if g.page_type() != PageType::Data {
+                continue;
+            }
+            free.push(page_free_space(g.payload_area()));
+            pages.push(page_no);
         }
+        *file.pages.lock() = pages;
+        *file.free_space.lock() = free;
+        Ok(file)
     }
 
     pub fn segment(&self) -> SegmentId {
@@ -419,7 +464,7 @@ mod tests {
 
     fn file() -> RecordFile {
         let storage = Arc::new(StorageSystem::in_memory(1 << 20));
-        RecordFile::create(storage, PageSize::Half)
+        RecordFile::create(storage, PageSize::Half).unwrap()
     }
 
     #[test]

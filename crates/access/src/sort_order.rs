@@ -49,15 +49,15 @@ impl SortOrder {
         name: impl Into<String>,
         atom_type: AtomTypeId,
         key_attrs: Vec<usize>,
-    ) -> SortOrder {
-        SortOrder {
+    ) -> AccessResult<SortOrder> {
+        Ok(SortOrder {
             id,
             name: name.into(),
             atom_type,
             key_attrs,
-            file: RecordFile::create(storage, PageSize::K4),
+            file: RecordFile::create_with(storage, PageSize::K4, false)?,
             index: RwLock::new(BTreeMap::new()),
-        }
+        })
     }
 
     /// The sort key of an atom under this order.
@@ -188,7 +188,7 @@ mod tests {
 
     fn order(attrs: Vec<usize>) -> SortOrder {
         let storage = Arc::new(StorageSystem::in_memory(4 << 20));
-        SortOrder::create(storage, 3, "by_no", 0, attrs)
+        SortOrder::create(storage, 3, "by_no", 0, attrs).unwrap()
     }
 
     #[test]

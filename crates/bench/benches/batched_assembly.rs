@@ -18,6 +18,7 @@
 //! stderr into `BENCH_1.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_workloads::exec;
 use prima::{AssemblyMode, Prima, Value};
 use prima_bench::report;
 use prima_mad::value::AtomId;
@@ -75,10 +76,10 @@ struct Measured {
 
 /// One counted query run (buffer warmed by a prior run of the same mode).
 fn measure(db: &Prima, q: &str, mode: AssemblyMode) -> Measured {
-    let _ = db.query_with_assembly(q, mode).unwrap();
+    let _ = exec::query_with_assembly(db, q, mode).unwrap();
     db.storage().buffer_stats().reset();
     let t0 = Instant::now();
-    let (set, _) = db.query_with_assembly(q, mode).unwrap();
+    let (set, _) = exec::query_with_assembly(db, q, mode).unwrap();
     let elapsed_ns = t0.elapsed().as_nanos();
     let d = db.storage().buffer_stats().detail();
     Measured {
@@ -127,7 +128,7 @@ fn bench_batched_assembly(c: &mut Criterion) {
                 g.bench_with_input(
                     BenchmarkId::new(format!("f{fanout}/{regime}"), mode_name(mode)),
                     &mode,
-                    |b, &mode| b.iter(|| db.query_with_assembly(q, mode).unwrap()),
+                    |b, &mode| b.iter(|| exec::query_with_assembly(&db, q, mode).unwrap()),
                 );
             }
         }

@@ -8,6 +8,7 @@
 //! needs a scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_workloads::exec;
 use prima::{Prima, Value};
 use prima_bench::report;
 
@@ -50,8 +51,8 @@ fn bench_symmetry(c: &mut Criterion) {
         let fwd_q = "SELECT ALL FROM a-b WHERE a_no = 17";
         let bwd_q = "SELECT ALL FROM b-a WHERE b_no = 17";
         // Shape: derived set sizes are comparable in both directions.
-        let fwd = db.query(fwd_q).unwrap();
-        let bwd = db.query(bwd_q).unwrap();
+        let fwd = exec::query(&db, fwd_q).unwrap();
+        let bwd = exec::query(&db, bwd_q).unwrap();
         report(
             "F2.2",
             &format!("fanout={fanout} forward a->b"),
@@ -65,10 +66,10 @@ fn bench_symmetry(c: &mut Criterion) {
             bwd.atoms_of("a").len(),
         );
         g.bench_with_input(BenchmarkId::new("forward", fanout), &fanout, |bch, _| {
-            bch.iter(|| db.query(fwd_q).unwrap())
+            bch.iter(|| exec::query(&db, fwd_q).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("backward", fanout), &fanout, |bch, _| {
-            bch.iter(|| db.query(bwd_q).unwrap())
+            bch.iter(|| exec::query(&db, bwd_q).unwrap())
         });
     }
     g.finish();

@@ -5,6 +5,7 @@
 //! warm (upper layers only).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prima_workloads::exec;
 use prima_bench::{brep_db, report};
 use std::sync::atomic::Ordering;
 
@@ -15,7 +16,7 @@ fn layer_trace() {
     db.storage().buffer_stats().reset();
     db.access().stats().reset();
     let (set, trace) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 25").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 25").unwrap();
     report("F3.1", "data system   (molecule sets)", "molecules", set.len());
     report("F3.1", "data system   (atoms in molecule)", "atoms", set.molecules[0].atom_count());
     report("F3.1", "data system   (root access)", "path", format!("{:?}", trace.root_access));
@@ -43,11 +44,11 @@ fn bench_layers(c: &mut Criterion) {
     g.bench_function("cold_all_layers", |b| {
         b.iter(|| {
             db.storage().drop_cache().unwrap();
-            db.query(q).unwrap()
+            exec::query(&db, q).unwrap()
         })
     });
-    let _ = db.query(q).unwrap(); // warm the buffer
-    g.bench_function("warm_upper_layers", |b| b.iter(|| db.query(q).unwrap()));
+    let _ = exec::query(&db, q).unwrap(); // warm the buffer
+    g.bench_function("warm_upper_layers", |b| b.iter(|| exec::query(&db, q).unwrap()));
     g.finish();
 }
 

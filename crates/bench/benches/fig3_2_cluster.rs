@@ -4,6 +4,7 @@
 //! addressing for single-atom access.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_workloads::exec;
 use prima::{Prima, Value};
 use prima_bench::report;
 
@@ -58,7 +59,7 @@ fn shape_report() {
             db.storage().drop_cache().unwrap();
             db.storage().io_stats().reset();
             let q = "SELECT ALL FROM hub-sat WHERE hub_no = 4";
-            let set = db.query(q).unwrap();
+            let set = exec::query(&db, q).unwrap();
             assert_eq!(set.molecules[0].atom_count(), k + 1);
             let io = db.storage().io_stats().snapshot();
             let series = format!(
@@ -85,7 +86,7 @@ fn bench_cluster(c: &mut Criterion) {
             g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
                 b.iter(|| {
                     db.storage().drop_cache().unwrap();
-                    db.query(q).unwrap()
+                    exec::query(&db, q).unwrap()
                 })
             });
         }

@@ -3,6 +3,7 @@
 //! available to speed up molecule processing."
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prima_workloads::exec;
 use prima_bench::{brep_db, report};
 
 fn bench_ablation(c: &mut Criterion) {
@@ -13,26 +14,26 @@ fn bench_ablation(c: &mut Criterion) {
     {
         let db = brep_db(500);
         let q = "SELECT ALL FROM face WHERE square_dim > 80.0";
-        let (set, t0) = db.query_traced(q).unwrap();
-        g.bench_function("range_query/no_access_path", |b| b.iter(|| db.query(q).unwrap()));
+        let (set, t0) = exec::query_traced(&db, q).unwrap();
+        g.bench_function("range_query/no_access_path", |b| b.iter(|| exec::query(&db, q).unwrap()));
         db.ldl("CREATE ACCESS PATH ap_sq ON face (square_dim)").unwrap();
-        let (set2, t1) = db.query_traced(q).unwrap();
+        let (set2, t1) = exec::query_traced(&db, q).unwrap();
         assert_eq!(set.len(), set2.len());
         report("LDL", "range query before", "access", format!("{:?}", t0.root_access));
         report("LDL", "range query after CREATE ACCESS PATH", "access", format!("{:?}", t1.root_access));
         report("LDL", "range query", "hits", set.len());
-        g.bench_function("range_query/with_access_path", |b| b.iter(|| db.query(q).unwrap()));
+        g.bench_function("range_query/with_access_path", |b| b.iter(|| exec::query(&db, q).unwrap()));
     }
 
     // Partition: projection-only horizontal access.
     {
         let db = brep_db(500);
         let q = "SELECT solid_no, description FROM solid WHERE sub = EMPTY";
-        g.bench_function("projection/no_partition", |b| b.iter(|| db.query(q).unwrap()));
+        g.bench_function("projection/no_partition", |b| b.iter(|| exec::query(&db, q).unwrap()));
         db.ldl("CREATE PARTITION p ON solid (solid_no, description, sub)").unwrap();
-        let (_, t) = db.query_traced(q).unwrap();
+        let (_, t) = exec::query_traced(&db, q).unwrap();
         report("LDL", "projection after CREATE PARTITION", "access", format!("{:?}", t.root_access));
-        g.bench_function("projection/with_partition", |b| b.iter(|| db.query(q).unwrap()));
+        g.bench_function("projection/with_partition", |b| b.iter(|| exec::query(&db, q).unwrap()));
     }
 
     // Cluster: molecule materialisation.
@@ -42,16 +43,16 @@ fn bench_ablation(c: &mut Criterion) {
         g.bench_function("molecule/no_cluster", |b| {
             b.iter(|| {
                 db.storage().drop_cache().unwrap();
-                db.query(q).unwrap()
+                exec::query(&db, q).unwrap()
             })
         });
         db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 1K").unwrap();
-        let (_, t) = db.query_traced(q).unwrap();
+        let (_, t) = exec::query_traced(&db, q).unwrap();
         report("LDL", "molecule after CREATE ATOM_CLUSTER", "cluster", format!("{:?}", t.cluster_used));
         g.bench_function("molecule/with_cluster", |b| {
             b.iter(|| {
                 db.storage().drop_cache().unwrap();
-                db.query(q).unwrap()
+                exec::query(&db, q).unwrap()
             })
         });
     }

@@ -4,6 +4,7 @@
 //! (the "inherent parallelism" of sizable engineering operations).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_workloads::exec;
 use prima_bench::{brep_db, report};
 use std::time::Instant;
 
@@ -21,15 +22,15 @@ fn speedup_report() {
     let db = brep_db(300);
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
     // Warm the buffer so the measurement isolates CPU-side assembly.
-    let baseline = db.query(q).unwrap();
+    let baseline = exec::query(&db, q).unwrap();
     let t0 = Instant::now();
-    let serial = db.query(q).unwrap();
+    let serial = exec::query(&db, q).unwrap();
     let serial_time = t0.elapsed();
     assert_eq!(baseline.len(), serial.len());
     report("PAR", "serial", "time_ms", serial_time.as_millis());
     for threads in [2usize, 4, 8] {
         let t0 = Instant::now();
-        let par = db.query_parallel(q, threads).unwrap();
+        let par = exec::query_parallel(&db, q, threads).unwrap();
         let elapsed = t0.elapsed();
         assert_eq!(par.len(), serial.len());
         let speedup = serial_time.as_secs_f64() / elapsed.as_secs_f64();
@@ -46,12 +47,12 @@ fn bench_parallelism(c: &mut Criterion) {
     speedup_report();
     let db = brep_db(200);
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0";
-    let _ = db.query(q).unwrap();
+    let _ = exec::query(&db, q).unwrap();
     let mut g = c.benchmark_group("parallelism");
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| db.query_parallel(q, t).unwrap())
+            b.iter(|| exec::query_parallel(&db, q, t).unwrap())
         });
     }
     g.finish();

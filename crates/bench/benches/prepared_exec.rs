@@ -16,6 +16,7 @@
 //! executions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use prima_workloads::exec;
 use prima::{QueryOptions, Value};
 use prima_bench::{brep_db, report};
 
@@ -32,7 +33,7 @@ fn bench_prepared_exec(c: &mut Criterion) {
     g.bench_function("one_shot_reparse", |b| {
         b.iter(|| {
             runs += 1;
-            db.query(keyed).unwrap()
+            exec::query(&db, keyed).unwrap()
         })
     });
     let one_shot_delta = db.api_stats().snapshot();

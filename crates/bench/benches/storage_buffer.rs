@@ -20,7 +20,7 @@ impl Store {
     fn new() -> Arc<Self> {
         let disk = SimDisk::new();
         for (i, s) in PageSize::ALL.iter().enumerate() {
-            disk.create_file(i as u32, s.bytes());
+            disk.create_file(i as u32, s.bytes()).unwrap();
         }
         Arc::new(Store { disk })
     }

@@ -4,6 +4,7 @@
 //! projection).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prima_workloads::exec;
 use prima_bench::{brep_db, brep_db_assembly, report};
 
 fn bench_queries(c: &mut Criterion) {
@@ -14,10 +15,10 @@ fn bench_queries(c: &mut Criterion) {
     for n in [10usize, 100, 1000] {
         let db = brep_db(n);
         let q = format!("SELECT ALL FROM brep-face-edge-point WHERE brep_no = {}", n / 2);
-        let set = db.query(&q).unwrap();
+        let set = exec::query(&db, &q).unwrap();
         report("T2.1a", &format!("solids={n}"), "molecule_atoms", set.molecules[0].atom_count());
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| db.query(&q).unwrap())
+            b.iter(|| exec::query(&db, &q).unwrap())
         });
     }
     g.finish();
@@ -28,7 +29,7 @@ fn bench_queries(c: &mut Criterion) {
     for depth in [2usize, 4, 6] {
         let (db, root) = brep_db_assembly(1 << depth, depth, 2);
         let q = format!("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root}");
-        let set = db.query(&q).unwrap();
+        let set = exec::query(&db, &q).unwrap();
         report(
             "T2.1b",
             &format!("depth={depth}"),
@@ -36,7 +37,7 @@ fn bench_queries(c: &mut Criterion) {
             set.molecules[0].atom_count(),
         );
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| db.query(&q).unwrap())
+            b.iter(|| exec::query(&db, &q).unwrap())
         });
     }
     g.finish();
@@ -49,14 +50,14 @@ fn bench_queries(c: &mut Criterion) {
         let q = "SELECT solid_no, description FROM solid WHERE sub = EMPTY";
         let db = brep_db(n);
         g.bench_with_input(BenchmarkId::new("base_scan", n), &n, |b, _| {
-            b.iter(|| db.query(q).unwrap())
+            b.iter(|| exec::query(&db, q).unwrap())
         });
         db.ldl("CREATE PARTITION p_head ON solid (solid_no, description, sub)").unwrap();
-        let (set, trace) = db.query_traced(q).unwrap();
+        let (set, trace) = exec::query_traced(&db, q).unwrap();
         report("T2.1c", &format!("solids={n} partition"), "root_access", format!("{:?}", trace.root_access));
         report("T2.1c", &format!("solids={n}"), "primitive_solids", set.len());
         g.bench_with_input(BenchmarkId::new("partition_scan", n), &n, |b, _| {
-            b.iter(|| db.query(q).unwrap())
+            b.iter(|| exec::query(&db, q).unwrap())
         });
     }
     g.finish();
@@ -69,10 +70,10 @@ fn bench_queries(c: &mut Criterion) {
         let q = "SELECT edge, (point, face := SELECT face_id, square_dim FROM face WHERE square_dim > 10.0)
                  FROM brep-edge (face, point)
                  WHERE brep_no = 1 AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0";
-        let set = db.query(q).unwrap();
+        let set = exec::query(&db, q).unwrap();
         report("T2.1d", &format!("solids={n}"), "molecules", set.len());
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| db.query(q).unwrap())
+            b.iter(|| exec::query(&db, q).unwrap())
         });
     }
     g.finish();

@@ -1,0 +1,146 @@
+//! BENCH-3 — commit latency under the durability subsystem.
+//!
+//! Three regimes over the same INSERT workload (SimDisk device, so the
+//! numbers isolate kernel + log-protocol cost, and the simulated
+//! device-time axis shows what a real arm would pay):
+//!
+//! * `no_wal` — volatile kernel: commit releases locks, nothing else;
+//! * `wal_force_each` — durable kernel, one statement per transaction:
+//!   every commit appends its records and forces the log (one
+//!   sequential device append per commit);
+//! * `wal_group_N` — durable kernel, N statements per transaction: the
+//!   group buffer amortises one force over N statements' records — the
+//!   "group-sized batches" point of the WAL design.
+//!
+//! Reported alongside wall-clock: WAL forces and bytes per committed
+//! statement, and the simulated device time per statement — the axis on
+//! which one sequential log append beats the scattered page write-back
+//! it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima::{Prima, PrimaBuilder};
+use prima_bench::report;
+use prima_storage::{BlockDevice, SimDisk};
+use std::sync::Arc;
+
+const DDL: &str = "
+    CREATE ATOM_TYPE rec (
+        rec_id : IDENTIFIER,
+        n      : INTEGER,
+        body   : CHAR_VAR );
+";
+
+fn volatile_db() -> Prima {
+    Prima::builder().buffer_bytes(16 << 20).build_with_ddl(DDL).unwrap()
+}
+
+fn durable_db() -> (Prima, Arc<SimDisk>) {
+    let disk = Arc::new(SimDisk::new());
+    let db = PrimaBuilder::default()
+        .buffer_bytes(16 << 20)
+        .device(Arc::clone(&disk) as Arc<dyn BlockDevice>)
+        .durable()
+        .build_with_ddl(DDL)
+        .unwrap();
+    (db, disk)
+}
+
+/// Runs `total` INSERTs, committing every `per_commit` statements.
+/// Returns the number of commits.
+fn run_inserts(db: &Prima, next_no: &mut i64, total: usize, per_commit: usize) -> u64 {
+    let session = db.session();
+    let mut commits = 0u64;
+    for i in 0..total {
+        let n = *next_no;
+        *next_no += 1;
+        session
+            .execute(&format!("INSERT rec (n: {n}, body: 'payload row {n}')"))
+            .unwrap();
+        if (i + 1) % per_commit == 0 {
+            session.commit().unwrap();
+            commits += 1;
+        }
+    }
+    session.commit().unwrap();
+    commits
+}
+
+fn bench_wal_commit(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut g = c.benchmark_group("wal_commit");
+    g.sample_size(30);
+
+    // Regime 1: no WAL at all.
+    {
+        let db = volatile_db();
+        let mut no = 0i64;
+        g.bench_function("no_wal_commit_each", |b| {
+            b.iter(|| run_inserts(&db, &mut no, BATCH, 1))
+        });
+    }
+
+    // Regime 2: durable, force per statement-commit.
+    {
+        let (db, disk) = durable_db();
+        let mut no = 0i64;
+        let before = disk.stats().snapshot();
+        let mut stmts = 0u64;
+        g.bench_function("wal_force_each_commit", |b| {
+            b.iter(|| {
+                stmts += BATCH as u64;
+                run_inserts(&db, &mut no, BATCH, 1)
+            })
+        });
+        let d = disk.stats().snapshot().since(&before);
+        report(
+            "BENCH-3",
+            "force_each/forces_per_stmt",
+            "ratio",
+            format!("{:.2}", d.wal_forces as f64 / stmts.max(1) as f64),
+        );
+        report(
+            "BENCH-3",
+            "force_each/wal_bytes_per_stmt",
+            "bytes",
+            d.wal_bytes / stmts.max(1),
+        );
+        report(
+            "BENCH-3",
+            "force_each/device_us_per_stmt",
+            "sim-us",
+            d.sim_time_ns / 1000 / stmts.max(1),
+        );
+    }
+
+    // Regime 3: durable, one force per group of statements.
+    for group in [8usize, 32] {
+        let (db, disk) = durable_db();
+        let mut no = 0i64;
+        let before = disk.stats().snapshot();
+        let mut stmts = 0u64;
+        g.bench_function(format!("wal_group_{group}"), |b| {
+            b.iter(|| {
+                stmts += BATCH as u64;
+                run_inserts(&db, &mut no, BATCH, group)
+            })
+        });
+        let d = disk.stats().snapshot().since(&before);
+        report(
+            "BENCH-3",
+            &format!("group_{group}/forces_per_stmt"),
+            "ratio",
+            format!("{:.2}", d.wal_forces as f64 / stmts.max(1) as f64),
+        );
+        report(
+            "BENCH-3",
+            &format!("group_{group}/device_us_per_stmt"),
+            "sim-us",
+            d.sim_time_ns / 1000 / stmts.max(1),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wal_commit);
+criterion_main!(benches);

@@ -43,24 +43,35 @@
 use crate::datasys::{self, DmlResult, ExecutionTrace, MoleculeSet};
 use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
+use crate::recovery::{self, KernelMeta};
 use crate::session::{ApiStats, MoleculeCursor, QueryOptions, Session};
 use crate::txn::{Transaction, TxnManager};
 use prima_access::{AccessSystem, Atom, UpdatePolicy};
 use prima_mad::ddl;
 use prima_mad::value::{AtomId, Value};
 use prima_mad::Schema;
-use prima_storage::{CostModel, SimDisk, StorageSystem};
+use prima_storage::{
+    BlockDevice, CostModel, FileDisk, SimDisk, StorageSystem, Wal, WalRecord,
+};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Configuration for a PRIMA instance.
 pub struct PrimaBuilder {
     buffer_bytes: usize,
     cost_model: CostModel,
+    device: Option<Arc<dyn BlockDevice>>,
+    durable: bool,
 }
 
 impl Default for PrimaBuilder {
     fn default() -> Self {
-        PrimaBuilder { buffer_bytes: 8 << 20, cost_model: CostModel::default() }
+        PrimaBuilder {
+            buffer_bytes: 8 << 20,
+            cost_model: CostModel::default(),
+            device: None,
+            durable: false,
+        }
     }
 }
 
@@ -77,15 +88,40 @@ impl PrimaBuilder {
         self
     }
 
-    /// Builds a kernel over an already-constructed schema.
+    /// Backs the kernel with a **fresh** file-based database at `dir`
+    /// (any previous database there is cleared) and turns durability on.
+    /// Re-open a surviving database with [`Prima::open`] instead.
+    pub fn path(self, dir: impl AsRef<Path>) -> PrimaResult<Self> {
+        let disk = FileDisk::create(dir)?;
+        Ok(self.device(Arc::new(disk)).durable())
+    }
+
+    /// Supplies a custom block device (e.g. a shared [`SimDisk`] in crash
+    /// tests). Volatile unless [`PrimaBuilder::durable`] is also set.
+    pub fn device(mut self, device: Arc<dyn BlockDevice>) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Enables the durability subsystem: a write-ahead log on the
+    /// device's log area, WAL-before-data in the buffer, force-on-commit
+    /// and an initial checkpoint at build time. Requires a DDL-built
+    /// schema (the checkpoint snapshot stores the DDL source).
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+
+    /// Builds a kernel over an already-constructed schema. Durable
+    /// kernels must be built from DDL ([`PrimaBuilder::build_with_ddl`]):
+    /// the checkpoint snapshot persists the schema as its DDL source.
     pub fn build_with_schema(self, schema: Schema) -> PrimaResult<Prima> {
-        let storage = Arc::new(StorageSystem::new(
-            Arc::new(SimDisk::with_cost(self.cost_model)),
-            self.buffer_bytes,
-        ));
-        let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
-        let txn = TxnManager::new(Arc::clone(&access));
-        Ok(Prima { storage, access, txn, stats: Arc::new(ApiStats::default()) })
+        if self.durable {
+            return Err(PrimaError::Recovery(
+                "a durable kernel needs the schema's DDL source; use build_with_ddl".into(),
+            ));
+        }
+        self.assemble(schema, None)
     }
 
     /// Builds a kernel from a MAD-DDL script.
@@ -95,7 +131,38 @@ impl PrimaBuilder {
             ddl::DdlError::Parse(p) => PrimaError::Parse(p),
             ddl::DdlError::Schema(s) => PrimaError::Schema(s),
         })?;
-        self.build_with_schema(schema)
+        let durable = self.durable;
+        let db = self.assemble(schema, Some(ddl_src.to_string()))?;
+        if durable {
+            // Initial checkpoint: the catalog snapshot (with the freshly
+            // created type segments) becomes the recovery base, so a
+            // crash at *any* later point finds a valid snapshot.
+            db.checkpoint()?;
+        }
+        Ok(db)
+    }
+
+    fn assemble(self, schema: Schema, ddl_src: Option<String>) -> PrimaResult<Prima> {
+        let device: Arc<dyn BlockDevice> = match self.device {
+            Some(d) => d,
+            None => Arc::new(SimDisk::with_cost(self.cost_model)),
+        };
+        let storage = if self.durable {
+            let wal = Wal::new(Arc::clone(&device));
+            Arc::new(StorageSystem::with_wal(device, self.buffer_bytes, wal))
+        } else {
+            Arc::new(StorageSystem::new(device, self.buffer_bytes))
+        };
+        let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
+        let txn = TxnManager::new(Arc::clone(&access));
+        Ok(Prima {
+            storage,
+            access,
+            txn,
+            stats: Arc::new(ApiStats::default()),
+            ddl: ddl_src,
+            buffer_bytes: self.buffer_bytes,
+        })
     }
 }
 
@@ -105,12 +172,142 @@ pub struct Prima {
     access: Arc<AccessSystem>,
     txn: Arc<TxnManager>,
     stats: Arc<ApiStats>,
+    /// DDL source of the schema, kept for the checkpoint snapshot
+    /// (`None` on schema-built, necessarily volatile kernels).
+    ddl: Option<String>,
+    buffer_bytes: usize,
 }
 
 impl Prima {
     /// Starts configuring a new instance.
     pub fn builder() -> PrimaBuilder {
         PrimaBuilder::default()
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: open (restart recovery) and checkpoint
+    // -----------------------------------------------------------------
+
+    /// Opens an existing file-backed database: runs restart recovery over
+    /// the write-ahead-log tail (redo committed work, roll back losers)
+    /// and returns a kernel in exactly the last committed state. See
+    /// [`crate::recovery`] for the pass structure.
+    pub fn open(dir: impl AsRef<Path>) -> PrimaResult<Prima> {
+        Self::open_device(Arc::new(FileDisk::open(dir)?))
+    }
+
+    /// [`Prima::open`] over an already-constructed device — crash tests
+    /// reopen from a shared [`SimDisk`] `Arc`, where only flushed pages
+    /// and the forced log prefix survived the "crash" (instance drop).
+    pub fn open_device(device: Arc<dyn BlockDevice>) -> PrimaResult<Prima> {
+        let meta_bytes = device.read_meta()?.ok_or_else(|| {
+            PrimaError::Recovery("device carries no checkpoint metadata".into())
+        })?;
+        let meta = KernelMeta::decode(&meta_bytes)?;
+
+        // Pass 1: analysis + redo. The resumed log allocates LSNs past
+        // everything replayed, so recovery's own page images stay ordered.
+        let records = Wal::replay(&device)?;
+        let analysis = recovery::analyze(&records);
+        let wal = Wal::starting_at(Arc::clone(&device), analysis.max_lsn + 1);
+        let storage = Arc::new(StorageSystem::with_wal(
+            Arc::clone(&device),
+            meta.buffer_bytes as usize,
+            wal,
+        ));
+        storage.restore_segments(meta.next_segment, &meta.segments);
+        for rec in &records {
+            if let WalRecord::PageImage { page, bytes, .. } = rec {
+                storage.apply_page_image(*page, bytes)?;
+            }
+        }
+        device.sync()?;
+
+        // Pass 2: rebuild the access layer by scanning the base segments.
+        let mut schema = Schema::new();
+        ddl::load_script(&mut schema, &meta.ddl).map_err(|e| {
+            PrimaError::Recovery(format!("checkpointed DDL no longer loads: {e:?}"))
+        })?;
+        let access = Arc::new(AccessSystem::reopen(
+            Arc::clone(&storage),
+            schema,
+            &meta.type_segments,
+            &meta.type_next_seq,
+        )?);
+        // Decode every undo record once: all of them feed the surrogate
+        // counters (ids are never reused, and the WAL tail is the only
+        // witness of inserted-then-deleted atoms); the losers' ops are
+        // kept for rollback.
+        let mut loser_ops = Vec::new();
+        for rec in &records {
+            if let WalRecord::Undo { txn, payload, .. } = rec {
+                let op = recovery::decode_undo(payload)?;
+                let id = op.atom_id();
+                access.note_allocated_seq(id.atom_type, id.seq)?;
+                if analysis.losers.contains(txn) {
+                    loser_ops.push(op);
+                }
+            }
+        }
+
+        // Pass 3: roll back losers, newest operation first.
+        for op in loser_ops.iter().rev() {
+            op.apply_recovery(&access)?;
+        }
+
+        // Pass 4: checkpoint the recovered state (truncates the log; a
+        // crash in the middle of recovery just recovers again).
+        let txn = TxnManager::new(Arc::clone(&access));
+        let db = Prima {
+            storage,
+            access,
+            txn,
+            stats: Arc::new(ApiStats::default()),
+            ddl: Some(meta.ddl),
+            buffer_bytes: meta.buffer_bytes as usize,
+        };
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Whether this kernel runs the durability subsystem.
+    pub fn is_durable(&self) -> bool {
+        self.storage.wal().is_some()
+    }
+
+    /// Checkpoint: flushes every dirty page (WAL forced first), snapshots
+    /// the catalog (segment directory, atom-type base segments, surrogate
+    /// counters, schema DDL) into the device's metadata blob and
+    /// truncates the log. Restart work is bounded by the log tail written
+    /// since the last checkpoint. Runs under the transaction manager's
+    /// quiesce gate — it fails if transactions are active and blocks new
+    /// begins for its duration, because flushed pages must not carry
+    /// changes whose undo records the truncation would discard. (The
+    /// non-transactional direct atom interface is not gated; do not race
+    /// it against checkpoints.)
+    pub fn checkpoint(&self) -> PrimaResult<()> {
+        if self.storage.wal().is_none() {
+            return Err(PrimaError::Recovery(
+                "checkpoint on a volatile kernel (build with .path()/.durable())".into(),
+            ));
+        }
+        let Some(ddl) = &self.ddl else {
+            return Err(PrimaError::Recovery(
+                "durable checkpoint requires a DDL-built schema".into(),
+            ));
+        };
+        self.txn.quiesced(|| {
+            let (next_segment, segments) = self.storage.segments_snapshot();
+            let meta = KernelMeta {
+                buffer_bytes: self.buffer_bytes as u64,
+                ddl: ddl.clone(),
+                next_segment,
+                segments,
+                type_segments: self.access.type_segments(),
+                type_next_seq: self.access.type_next_seqs(),
+            };
+            Ok(self.storage.checkpoint(&meta.encode())?)
+        })
     }
 
     /// The underlying access system (atom-oriented interface).
@@ -150,12 +347,21 @@ impl Prima {
 
     /// Runs an MQL `SELECT`, returning the materialised molecule set.
     /// Thin wrapper: `session().query(mql, &QueryOptions::default())`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use session().query(mql, &QueryOptions::default()) — the one-shot facade is \
+                scheduled for removal (see ROADMAP)"
+    )]
     pub fn query(&self, mql: &str) -> PrimaResult<MoleculeSet> {
         Ok(self.session().query(mql, &QueryOptions::default())?.set)
     }
 
     /// Runs a `SELECT` and also returns the execution trace. Thin
     /// wrapper over [`QueryOptions::traced`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use session().query(mql, &QueryOptions::new().traced())"
+    )]
     pub fn query_traced(&self, mql: &str) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
         let r = self.session().query(mql, &QueryOptions::new().traced())?;
         Ok((r.set, r.trace.expect("trace requested")))
@@ -164,6 +370,10 @@ impl Prima {
     /// Runs a `SELECT` with an explicit vertical-assembly strategy
     /// (benchmark/equivalence use). Thin wrapper over
     /// [`QueryOptions::assembly`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use session().query(mql, &QueryOptions::new().assembly(mode).traced())"
+    )]
     pub fn query_with_assembly(
         &self,
         mql: &str,
@@ -177,6 +387,10 @@ impl Prima {
     /// `threads` workers (semantic parallelism, Section 4). Thin wrapper
     /// over [`QueryOptions::threads`]; `threads == 0` is rejected at the
     /// boundary (it was historically clamped to 1 deep in the pool).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use session().query(mql, &QueryOptions::new().threads(n))"
+    )]
     pub fn query_parallel(&self, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {
         Ok(self.session().query(mql, &QueryOptions::new().threads(threads))?.set)
     }
@@ -190,6 +404,11 @@ impl Prima {
     /// Executes an MQL manipulation statement (`INSERT`/`DELETE`/
     /// `MODIFY`) in its own immediately-committed transaction. Thin
     /// wrapper: `session().execute(mql)` + commit.
+    #[deprecated(
+        since = "0.1.0",
+        note = "open a Session: session().execute(mql) + session.commit() makes the \
+                transaction boundary explicit"
+    )]
     pub fn execute(&self, mql: &str) -> PrimaResult<DmlResult> {
         let s = self.session();
         let r = s.execute(mql)?;
@@ -219,6 +438,12 @@ impl Prima {
     // -----------------------------------------------------------------
     // Direct atom interface (application-layer style access)
     // -----------------------------------------------------------------
+    //
+    // Durability note: these calls bypass the transaction manager, so on
+    // a durable kernel they carry no undo records and no commit force.
+    // Their page images still enter the WAL buffer and become durable at
+    // the next force (any commit, flush or checkpoint) — bulk loads
+    // should end with `Prima::checkpoint`.
 
     /// Inserts an atom by type name with named attribute values, returning
     /// its logical address. (The programmatic path applications use to
@@ -259,6 +484,10 @@ impl Prima {
 }
 
 #[cfg(test)]
+// These unit tests deliberately exercise the deprecated one-shot facade:
+// they pin the wrappers' behaviour (auto-commit, error routing) until the
+// scheduled removal. Everything else has migrated to `Session`.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::datasys::DmlResult;

@@ -39,6 +39,10 @@ pub enum PrimaError {
     ParamTypeMismatch { slot: u16, expected: String, got: String },
     /// Transaction-level conflict or misuse.
     Txn(crate::txn::TxnError),
+    /// Durability / restart-recovery failure (missing or corrupt
+    /// checkpoint metadata, undecodable log payloads, misconfiguration
+    /// of a durable kernel).
+    Recovery(String),
 }
 
 impl fmt::Display for PrimaError {
@@ -72,6 +76,7 @@ impl fmt::Display for PrimaError {
                 )
             }
             PrimaError::Txn(e) => write!(f, "transaction error: {e}"),
+            PrimaError::Recovery(d) => write!(f, "recovery error: {d}"),
         }
     }
 }

@@ -56,10 +56,12 @@ pub mod datasys;
 pub mod error;
 pub mod ldl_exec;
 pub mod parallel;
+pub mod recovery;
 pub mod session;
 pub mod txn;
 
 pub use db::{Prima, PrimaBuilder};
+pub use recovery::KernelMeta;
 pub use datasys::molecule::{MolAtom, Molecule, MoleculeSet};
 pub use datasys::AssemblyMode;
 pub use error::{PrimaError, PrimaResult};

@@ -28,9 +28,10 @@ pub use lock::{LockMode, LockTable};
 pub use undo::UndoOp;
 
 use crate::error::PrimaResult;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use prima_access::{AccessSystem, Atom};
 use prima_mad::value::{AtomId, AtomTypeId, Value};
+use prima_storage::{Wal, WalPayload};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,25 +82,43 @@ struct TxnState {
 }
 
 /// The transaction manager: lock table plus transaction tree.
+///
+/// On a durable kernel (storage with a [`Wal`]) the manager additionally
+/// write-ahead-logs transaction brackets and undo records: a top-level
+/// begin/commit/abort appends the matching record, commit *forces* the
+/// log (that is the durability point of `Session::commit`), and every
+/// manipulation appends its serialised [`UndoOp`] **before** the
+/// operation touches a page — so a forced log prefix never contains a
+/// page image without the undo that can reverse it.
 pub struct TxnManager {
     sys: Arc<AccessSystem>,
     locks: LockTable,
     active: Mutex<HashMap<TxnId, TxnState>>,
     next: AtomicU64,
+    wal: Option<Arc<Wal>>,
+    /// Checkpoint gate: [`TxnManager::begin`] holds it shared,
+    /// [`TxnManager::quiesced`] exclusively — so "no active
+    /// transactions" can be checked without racing new begins.
+    gate: RwLock<()>,
 }
 
 impl TxnManager {
     pub fn new(sys: Arc<AccessSystem>) -> Arc<TxnManager> {
+        let wal = sys.storage().wal().cloned();
         Arc::new(TxnManager {
             sys,
             locks: LockTable::new(),
             active: Mutex::new(HashMap::new()),
             next: AtomicU64::new(1),
+            wal,
+            gate: RwLock::new(()),
         })
     }
 
     /// Starts a (sub)transaction.
     pub fn begin(self: &Arc<Self>, parent: Option<TxnId>) -> Result<Transaction, TxnError> {
+        // Blocks while a checkpoint holds the gate exclusively.
+        let _gate = self.gate.read();
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
         let mut active = self.active.lock();
         if let Some(p) = parent {
@@ -107,6 +126,12 @@ impl TxnManager {
             pstate.children.push(id);
         }
         active.insert(id, TxnState { parent, children: Vec::new(), undo: Vec::new() });
+        drop(active);
+        if parent.is_none() {
+            if let Some(wal) = &self.wal {
+                wal.append(WalPayload::TxnBegin { txn: id.0 });
+            }
+        }
         Ok(Transaction { id, mgr: Arc::clone(self), finished: false })
     }
 
@@ -132,6 +157,16 @@ impl TxnManager {
         let state = active.get_mut(&t).ok_or(TxnError::NotActive(t))?;
         state.undo.push(op);
         Ok(())
+    }
+
+    /// Appends `op` to the WAL, tagged with `t`'s *top-level* ancestor
+    /// (restart recovery knows only top-level winners and losers). Must
+    /// run before the operation dirties any page — see the struct docs.
+    fn log_undo(&self, t: TxnId, op: &UndoOp) {
+        if let Some(wal) = &self.wal {
+            let top = *self.ancestors(t).last().expect("ancestors include self");
+            wal.append(WalPayload::Undo { txn: top.0, payload: &op.encode() });
+        }
     }
 
     fn lock(&self, t: TxnId, atom: AtomId, mode: LockMode) -> Result<(), TxnError> {
@@ -161,9 +196,14 @@ impl TxnManager {
                 self.lock(t, target, LockMode::Exclusive)?;
             }
         }
+        // The pre-write hook appends the undo record once the surrogate
+        // exists but before the first page image of this insert.
         let id = self
             .sys
-            .insert_atom(atom_type, values)
+            .insert_atom_with_hook(atom_type, values, |id| {
+                self.log_undo(t, &UndoOp::UndoInsert { id });
+                Ok(())
+            })
             .map_err(|e| TxnError::Access(e.to_string()))?;
         self.lock(t, id, LockMode::Exclusive)?;
         self.push_undo(t, UndoOp::UndoInsert { id })?;
@@ -192,8 +232,11 @@ impl TxnManager {
             .iter()
             .map(|(i, _)| (*i, before.values.get(*i).cloned().unwrap_or(Value::Null)))
             .collect();
+        // Undo before do: the WAL record precedes every page image.
+        let undo = UndoOp::UndoModify { id, old };
+        self.log_undo(t, &undo);
         self.sys.modify_atom(id, updates).map_err(|e| TxnError::Access(e.to_string()))?;
-        self.push_undo(t, UndoOp::UndoModify { id, old })?;
+        self.push_undo(t, undo)?;
         Ok(())
     }
 
@@ -205,8 +248,11 @@ impl TxnManager {
                 self.lock(t, target, LockMode::Exclusive)?;
             }
         }
+        // Undo before do, as for modify.
+        let undo = UndoOp::UndoDelete { atom: before };
+        self.log_undo(t, &undo);
         self.sys.delete_atom(id).map_err(|e| TxnError::Access(e.to_string()))?;
-        self.push_undo(t, UndoOp::UndoDelete { atom: before })?;
+        self.push_undo(t, undo)?;
         Ok(())
     }
 
@@ -215,19 +261,37 @@ impl TxnManager {
     // -----------------------------------------------------------------
 
     fn commit(&self, t: TxnId) -> Result<(), TxnError> {
-        let (parent, undo) = {
-            let mut active = self.active.lock();
+        let parent = {
+            let active = self.active.lock();
             let state = active.get(&t).ok_or(TxnError::NotActive(t))?;
             if !state.children.is_empty() {
                 return Err(TxnError::ChildrenActive(t));
             }
-            let state = active.remove(&t).unwrap();
+            state.parent
+        };
+        if parent.is_none() {
+            // Top-level durability point, reached while the transaction
+            // still counts as active (a quiescing checkpoint cannot slip
+            // between the force and the bookkeeping below). On a durable
+            // kernel the commit record is appended and the log *forced* —
+            // the group-commit point ("group-appended and forced on
+            // commit"): everything buffered since the last force,
+            // possibly several statements' records, goes to the device
+            // in one sequential append.
+            if let Some(wal) = &self.wal {
+                wal.append(WalPayload::TxnCommit { txn: t.0 });
+                wal.force().map_err(|e| TxnError::Access(e.to_string()))?;
+            }
+        }
+        let undo = {
+            let mut active = self.active.lock();
+            let state = active.remove(&t).expect("validated above");
             if let Some(p) = state.parent {
                 if let Some(ps) = active.get_mut(&p) {
                     ps.children.retain(|c| *c != t);
                 }
             }
-            (state.parent, state.undo)
+            state.undo
         };
         match parent {
             Some(p) => {
@@ -237,15 +301,10 @@ impl TxnManager {
                 if let Some(ps) = active.get_mut(&p) {
                     ps.undo.extend(undo);
                 }
-                Ok(())
             }
-            None => {
-                // Top-level commit: work is permanent; deferred structure
-                // maintenance may now be reconciled.
-                self.locks.release_all(t);
-                Ok(())
-            }
+            None => self.locks.release_all(t),
         }
+        Ok(())
     }
 
     fn abort(&self, t: TxnId) -> Result<(), TxnError> {
@@ -260,20 +319,36 @@ impl TxnManager {
         for c in children {
             self.abort(c)?;
         }
+        // Selective in-transaction recovery: apply undo in reverse,
+        // *before* the transaction leaves the active set — a quiescing
+        // checkpoint must never observe a half-rolled-back kernel as
+        // idle (it would flush the partial state and truncate the undo
+        // records that could finish the job after a crash).
         let (parent, undo) = {
+            let active = self.active.lock();
+            let state = active.get(&t).ok_or(TxnError::NotActive(t))?;
+            (state.parent, state.undo.clone())
+        };
+        for op in undo.iter().rev() {
+            op.apply(&self.sys).map_err(|e| TxnError::Access(e.to_string()))?;
+        }
+        // A durable top-level abort records that its undo has been
+        // applied. Unforced: if the record is lost in a crash, restart
+        // simply replays the (idempotent) undo again.
+        if parent.is_none() {
+            if let Some(wal) = &self.wal {
+                wal.append(WalPayload::TxnAbort { txn: t.0 });
+            }
+        }
+        {
             let mut active = self.active.lock();
-            let state = active.remove(&t).ok_or(TxnError::NotActive(t))?;
-            if let Some(p) = state.parent {
-                if let Some(ps) = active.get_mut(&p) {
-                    ps.children.retain(|c| *c != t);
+            if let Some(state) = active.remove(&t) {
+                if let Some(p) = state.parent {
+                    if let Some(ps) = active.get_mut(&p) {
+                        ps.children.retain(|c| *c != t);
+                    }
                 }
             }
-            (state.parent, state.undo)
-        };
-        let _ = parent;
-        // Selective in-transaction recovery: apply undo in reverse.
-        for op in undo.into_iter().rev() {
-            op.apply(&self.sys).map_err(|e| TxnError::Access(e.to_string()))?;
         }
         self.locks.release_all(t);
         Ok(())
@@ -282,6 +357,22 @@ impl TxnManager {
     /// Number of active transactions (diagnostics).
     pub fn active_count(&self) -> usize {
         self.active.lock().len()
+    }
+
+    /// Runs `f` with the kernel transactionally quiesced: the checkpoint
+    /// gate is held exclusively (new [`TxnManager::begin`]s block) and
+    /// the active set is verified empty under it, so `f` observes no
+    /// in-flight transactional work. Errors with the active count when
+    /// transactions are open.
+    pub fn quiesced<R>(&self, f: impl FnOnce() -> PrimaResult<R>) -> PrimaResult<R> {
+        let _gate = self.gate.write();
+        let active = self.active.lock().len();
+        if active > 0 {
+            return Err(crate::error::PrimaError::Recovery(format!(
+                "checkpoint requires a quiesced kernel; {active} transaction(s) active"
+            )));
+        }
+        f()
     }
 }
 

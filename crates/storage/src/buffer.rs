@@ -44,6 +44,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PageSize, PageType};
+use crate::wal::{Lsn, Wal, WalPayload};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
@@ -59,6 +60,11 @@ pub trait PageStore: Send + Sync {
     fn store(&self, page: &mut Page) -> StorageResult<()>;
     /// Page size of the given segment.
     fn page_size_of(&self, segment: u32) -> StorageResult<PageSize>;
+    /// Whether updates to this segment's pages are WAL-logged (transient
+    /// structures opt out; they are rebuilt, not recovered).
+    fn wal_logged(&self, _segment: u32) -> bool {
+        true
+    }
 }
 
 /// Replacement policy identifier, reported in benchmark output.
@@ -180,6 +186,10 @@ struct FrameMeta {
     fix_count: u32,
     dirty: bool,
     size: PageSize,
+    /// LSN of the newest WAL page image of this frame. The write-ahead
+    /// invariant: the frame must not be stored while
+    /// `recovery_lsn > wal.flushed_lsn()`.
+    recovery_lsn: Lsn,
     /// Intrusive LRU links: arena indices of the neighbouring frames
     /// (towards LRU / towards MRU); `NIL` at the list ends.
     lru_prev: usize,
@@ -282,6 +292,7 @@ impl PoolInner {
             fix_count: 1,
             dirty,
             size,
+            recovery_lsn: 0,
             lru_prev: NIL,
             lru_next: NIL,
         };
@@ -376,6 +387,10 @@ pub struct BufferManager {
     shards: Vec<Arc<Mutex<PoolInner>>>,
     shard_capacity: usize,
     stats: Arc<BufferStats>,
+    /// When present, updates are WAL-logged: every unfix of an update
+    /// guard appends a page image, and flush/eviction enforce
+    /// write-ahead (force before store).
+    wal: Option<Arc<Wal>>,
 }
 
 impl BufferManager {
@@ -402,7 +417,15 @@ impl BufferManager {
             shards: (0..shards).map(|_| Arc::new(Mutex::new(PoolInner::new()))).collect(),
             shard_capacity,
             stats: Arc::new(BufferStats::default()),
+            wal: None,
         }
+    }
+
+    /// Attaches a write-ahead log: from now on the pool logs page images
+    /// on update-unfix and enforces WAL-before-data on flush/eviction.
+    pub fn attach_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
     }
 
     fn shard(&self, id: PageId) -> &Arc<Mutex<PoolInner>> {
@@ -452,7 +475,17 @@ impl BufferManager {
         self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
         let frame = self.fix_frame(id, true)?;
         let lock = frame.write_arc();
-        Ok(PageGuardMut { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+        Ok(PageGuardMut {
+            lock: Some(lock),
+            pool: Arc::clone(self.shard(id)),
+            id,
+            wal: self.guard_wal(id),
+        })
+    }
+
+    /// The WAL handle an update guard on `id` should log to, if any.
+    fn guard_wal(&self, id: PageId) -> Option<Arc<Wal>> {
+        self.wal.as_ref().filter(|_| self.store.wal_logged(id.segment)).cloned()
     }
 
     /// Installs a brand-new page (after allocation) without reading the
@@ -480,7 +513,12 @@ impl BufferManager {
             }
         };
         let lock = frame.write_arc();
-        Ok(PageGuardMut { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+        Ok(PageGuardMut {
+            lock: Some(lock),
+            pool: Arc::clone(self.shard(id)),
+            id,
+            wal: self.guard_wal(id),
+        })
     }
 
     /// Drops a page from the buffer without write-back (used when the page
@@ -517,6 +555,15 @@ impl BufferManager {
             };
             for frame in &dirty {
                 let mut page = frame.write();
+                // WAL before data, checked *under* the frame's write
+                // lock: a concurrent updater either finished before we
+                // acquired it (its page image is already appended, the
+                // force below covers it) or is blocked until after the
+                // store. Forcing to the buffered tail is cheap when
+                // nothing is pending.
+                if let Some(wal) = &self.wal {
+                    wal.force()?;
+                }
                 self.store.store(&mut page)?;
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
             }
@@ -590,6 +637,13 @@ impl BufferManager {
             let meta = inner.remove_frame(vid).expect("victim resident");
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             if meta.dirty {
+                // WAL before data (steal policy: uncommitted changes may
+                // be evicted, their undo records are already logged).
+                if let Some(wal) = &self.wal {
+                    if meta.recovery_lsn > wal.flushed_lsn() {
+                        wal.force()?;
+                    }
+                }
                 let mut page = meta.frame.write();
                 self.store.store(&mut page)?;
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -610,11 +664,14 @@ pub struct PageGuard {
     id: PageId,
 }
 
-/// Exclusive write access to a fixed page. Dropping the guard unfixes it.
+/// Exclusive write access to a fixed page. Dropping the guard unfixes it;
+/// on a WAL-attached pool the drop also logs the page's after-image and
+/// stamps the frame's `recovery_lsn`.
 pub struct PageGuardMut {
     lock: Option<ArcRwLockWriteGuard<RawRwLock, Page>>,
     pool: Arc<Mutex<PoolInner>>,
     id: PageId,
+    wal: Option<Arc<Wal>>,
 }
 
 impl std::fmt::Debug for PageGuard {
@@ -661,25 +718,36 @@ impl PageGuardMut {
     }
 }
 
-fn unfix(pool: &Mutex<PoolInner>, id: PageId) {
+fn unfix(pool: &Mutex<PoolInner>, id: PageId, recovery_lsn: Lsn) {
     let mut inner = pool.lock();
     if let Some(m) = inner.get_mut(id) {
         debug_assert!(m.fix_count > 0, "unfix without fix on {id}");
         m.fix_count = m.fix_count.saturating_sub(1);
+        if recovery_lsn > m.recovery_lsn {
+            m.recovery_lsn = recovery_lsn;
+        }
     }
 }
 
 impl Drop for PageGuard {
     fn drop(&mut self) {
         self.lock.take();
-        unfix(&self.pool, self.id);
+        unfix(&self.pool, self.id, 0);
     }
 }
 
 impl Drop for PageGuardMut {
     fn drop(&mut self) {
+        // Physical redo: log the page's after-image while we still hold
+        // the frame exclusively, then record the LSN on the frame so
+        // flush/eviction can enforce write-ahead.
+        let mut lsn: Lsn = 0;
+        if let (Some(wal), Some(page)) = (&self.wal, self.lock.as_deref_mut()) {
+            page.update_checksum();
+            lsn = wal.append(WalPayload::PageImage { page: self.id, bytes: page.as_bytes() });
+        }
         self.lock.take();
-        unfix(&self.pool, self.id);
+        unfix(&self.pool, self.id, lsn);
     }
 }
 
@@ -774,7 +842,7 @@ mod tests {
         fn new(sizes: &[PageSize]) -> Arc<Self> {
             let disk = SimDisk::new();
             for (i, s) in sizes.iter().enumerate() {
-                disk.create_file(i as u32, s.bytes());
+                disk.create_file(i as u32, s.bytes()).unwrap();
             }
             Arc::new(TestStore { disk, sizes: sizes.to_vec() })
         }

@@ -79,8 +79,9 @@ impl CostModel {
 /// sparse: reading a never-written block yields zeroes, like a fresh file.
 pub trait BlockDevice: Send + Sync {
     /// Creates file `file` with the given block length in bytes.
-    /// Re-creating an existing file truncates it.
-    fn create_file(&self, file: u32, block_len: usize);
+    /// Re-creating an existing file truncates it. Fallible: a real
+    /// backend can hit ENOSPC / EMFILE / permissions here.
+    fn create_file(&self, file: u32, block_len: usize) -> StorageResult<()>;
 
     /// Block length of `file`.
     fn block_len(&self, file: u32) -> StorageResult<usize>;
@@ -102,6 +103,61 @@ pub trait BlockDevice: Send + Sync {
 
     /// Shared I/O statistics of this device.
     fn stats(&self) -> Arc<IoStats>;
+
+    // -- durability hooks --------------------------------------------------
+    //
+    // A durable device additionally offers a metadata blob (the checkpoint
+    // snapshot), an append-only log area (the WAL's backing store) and a
+    // `sync` barrier. The defaults make a device *volatile*: every hook
+    // errors, so a kernel configured for durability fails fast rather than
+    // silently losing data. [`SimDisk`] implements them in memory (its Arc
+    // plays the role of the surviving medium in crash tests); `FileDisk`
+    // implements them over real files.
+
+    /// Makes all previous writes durable (fsync-equivalent).
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    /// Atomically replaces the device's metadata blob (checkpoint
+    /// snapshot).
+    fn write_meta(&self, _bytes: &[u8]) -> StorageResult<()> {
+        Err(StorageError::DeviceError("device has no durable metadata area".into()))
+    }
+
+    /// Reads the metadata blob, `None` if never written.
+    fn read_meta(&self) -> StorageResult<Option<Vec<u8>>> {
+        Err(StorageError::DeviceError("device has no durable metadata area".into()))
+    }
+
+    /// Durably appends one already-encoded batch to the log area (called
+    /// by [`crate::wal::Wal::force`] — one call per group commit).
+    fn wal_append(&self, _bytes: &[u8]) -> StorageResult<()> {
+        Err(StorageError::DeviceError("device has no log area".into()))
+    }
+
+    /// The entire log-area contents (recovery replay).
+    fn wal_contents(&self) -> StorageResult<Vec<u8>> {
+        Err(StorageError::DeviceError("device has no log area".into()))
+    }
+
+    /// Truncates the log area to empty (checkpoint).
+    fn wal_reset(&self) -> StorageResult<()> {
+        Err(StorageError::DeviceError("device has no log area".into()))
+    }
+}
+
+/// Accounts one WAL group append as a single sequential transfer to the
+/// log area: one positioning operation, then streaming bytes. Shared by
+/// every backend so the benchmark axes stay comparable — N records per
+/// force pay one seek, not N, which is what makes group commit visible
+/// on the device-time axis.
+pub(crate) fn account_wal_append(stats: &IoStats, cost: &CostModel, len: usize) {
+    stats.add(&stats.seeks, 1);
+    stats.add(&stats.wal_forces, 1);
+    stats.add(&stats.wal_bytes, len as u64);
+    stats.add(&stats.bytes_written, len as u64);
+    stats.add(&stats.sim_time_ns, cost.transfer_ns(true, 1, len as u64));
 }
 
 /// File state inside the simulator.
@@ -130,6 +186,11 @@ pub struct SimDisk {
     arm: Mutex<ArmState>,
     cost: CostModel,
     stats: Arc<IoStats>,
+    /// Durable metadata blob (checkpoint snapshot) — in-memory stand-in.
+    meta: Mutex<Option<Vec<u8>>>,
+    /// Log area: only what was explicitly appended (i.e. *forced*) lives
+    /// here, so dropping a kernel without forcing models a crash exactly.
+    wal: Mutex<Vec<u8>>,
 }
 
 impl std::fmt::Debug for SimDisk {
@@ -152,6 +213,8 @@ impl SimDisk {
             arm: Mutex::new(ArmState::default()),
             cost,
             stats: IoStats::new_shared(),
+            meta: Mutex::new(None),
+            wal: Mutex::new(Vec::new()),
         }
     }
 
@@ -220,13 +283,14 @@ impl Default for SimDisk {
 }
 
 impl BlockDevice for SimDisk {
-    fn create_file(&self, file: u32, block_len: usize) {
+    fn create_file(&self, file: u32, block_len: usize) -> StorageResult<()> {
         let mut files = self.files.write();
         if files.len() <= file as usize {
             files.resize_with(file as usize + 1, || None);
         }
         files[file as usize] =
             Some(Arc::new(RwLock::new(SimFile { block_len, blocks: Vec::new() })));
+        Ok(())
     }
 
     fn block_len(&self, file: u32) -> StorageResult<usize> {
@@ -297,6 +361,36 @@ impl BlockDevice for SimDisk {
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
+
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn write_meta(&self, bytes: &[u8]) -> StorageResult<()> {
+        *self.meta.lock() = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_meta(&self) -> StorageResult<Option<Vec<u8>>> {
+        Ok(self.meta.lock().clone())
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> StorageResult<()> {
+        self.wal.lock().extend_from_slice(bytes);
+        account_wal_append(&self.stats, &self.cost, bytes.len());
+        // The arm moved to the log area: the next data transfer seeks.
+        self.arm.lock().last = None;
+        Ok(())
+    }
+
+    fn wal_contents(&self) -> StorageResult<Vec<u8>> {
+        Ok(self.wal.lock().clone())
+    }
+
+    fn wal_reset(&self) -> StorageResult<()> {
+        self.wal.lock().clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -306,7 +400,7 @@ mod tests {
     #[test]
     fn read_back_what_was_written() {
         let d = SimDisk::new();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         let data = vec![0xabu8; 512];
         d.write_block(BlockAddr::new(0, 3), &data).unwrap();
         let mut out = vec![0u8; 512];
@@ -317,7 +411,7 @@ mod tests {
     #[test]
     fn unwritten_blocks_read_zero() {
         let d = SimDisk::new();
-        d.create_file(1, 1024);
+        d.create_file(1, 1024).unwrap();
         let mut out = vec![0xffu8; 1024];
         d.read_block(BlockAddr::new(1, 100), &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
@@ -336,7 +430,7 @@ mod tests {
     #[test]
     fn chained_io_round_trips_and_counts_one_run() {
         let d = SimDisk::new();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         let mut data = vec![0u8; 4 * 512];
         for (i, b) in data.iter_mut().enumerate() {
             *b = (i % 251) as u8;
@@ -355,7 +449,7 @@ mod tests {
     #[test]
     fn sequential_access_avoids_seeks() {
         let d = SimDisk::new();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         let buf = vec![0u8; 512];
         for b in 0..10 {
             d.write_block(BlockAddr::new(0, b), &buf).unwrap();
@@ -373,7 +467,7 @@ mod tests {
     #[test]
     fn scattered_access_pays_seeks() {
         let d = SimDisk::new();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         let mut r = vec![0u8; 512];
         for b in [5u32, 50, 7, 99, 2] {
             d.read_block(BlockAddr::new(0, b), &mut r).unwrap();
@@ -392,9 +486,9 @@ mod tests {
     #[test]
     fn recreate_truncates() {
         let d = SimDisk::new();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         d.write_block(BlockAddr::new(0, 0), &[1u8; 512]).unwrap();
-        d.create_file(0, 512);
+        d.create_file(0, 512).unwrap();
         let mut out = [0xffu8; 512];
         d.read_block(BlockAddr::new(0, 0), &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));

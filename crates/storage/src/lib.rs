@@ -21,18 +21,55 @@
 //!   header page plus component pages, supported by a cluster mechanism of
 //!   the file manager enabling optimal (chained) I/O ([`page_seq`]).
 //!
-//! The disk itself is simulated ([`disk::SimDisk`]): the paper ran on 1987
-//! hardware via the INCAS file manager \[Ne87\]; what its performance claims
-//! depend on are *I/O counts, block sizes and contiguity*, all of which the
-//! simulator measures faithfully (see `DESIGN.md`, substitution table).
+//! The disk can be simulated ([`disk::SimDisk`]) or real
+//! ([`file_disk::FileDisk`]): the paper ran on 1987 hardware via the INCAS
+//! file manager \[Ne87\]; what its performance claims depend on are *I/O
+//! counts, block sizes and contiguity*, all of which both backends measure
+//! faithfully (see `DESIGN.md`, substitution table).
+//!
+//! ## Durability: where WAL and checkpoint sit in Fig. 3.1
+//!
+//! The paper's Fig. 3.1 layering ends at "files and blocks of the
+//! (INCAS) file manager" and defers crash recovery to a later report.
+//! The durability subsystem slots into that picture without moving any
+//! interface:
+//!
+//! ```text
+//!   access system            physical records          (prima-access)
+//!   ─────────────────────── pages / page sequences ───────────────────
+//!   storage system           segments · buffer · WAL   (this crate)
+//!       │  fix/unfix          │ update-unfix appends a page image
+//!       │  flush/evict        │ force-before-store (WAL-before-data)
+//!       │  checkpoint()       │ flush + catalog snapshot + log truncate
+//!   ─────────────────────── blocks · log area · meta blob ────────────
+//!   file manager             [`BlockDevice`]: SimDisk | FileDisk
+//! ```
+//!
+//! * The **log** ([`wal::Wal`]) is an append-only companion to the block
+//!   files: LSN-stamped records (page after-images for physical redo,
+//!   transaction brackets and logical-undo payloads from the layer
+//!   above), group-appended and forced on commit.
+//! * The **buffer** keeps a `recovery_lsn` per frame and enforces
+//!   write-ahead on every flush and eviction (steal policy, no-force:
+//!   commit forces only the log, never data pages).
+//! * **Checkpoint** ([`segment::StorageSystem::checkpoint`]) flushes all
+//!   dirty pages, snapshots the segment directory plus the caller's
+//!   catalog into the device's metadata blob, and truncates the log —
+//!   bounding restart work to the log tail.
+//! * **Restart** is orchestrated one layer up (`Prima::open`): restore
+//!   the directory from the snapshot, redo the log tail's page images,
+//!   rebuild access-layer state by scanning, then roll back losers with
+//!   the logged undo payloads.
 
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod file_disk;
 pub mod page;
 pub mod page_seq;
 pub mod segment;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{
     BufferManager, BufferStats, BufferStatsSnapshot, PageGuard, PartitionedBuffer,
@@ -40,7 +77,9 @@ pub use buffer::{
 };
 pub use disk::{BlockAddr, BlockDevice, CostModel, SimDisk};
 pub use error::{StorageError, StorageResult};
+pub use file_disk::FileDisk;
 pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};
 pub use page_seq::{PageSeqHandle, PageSequence};
-pub use segment::{Segment, SegmentId, StorageSystem};
+pub use segment::{Segment, SegmentId, SegmentMeta, StorageSystem};
 pub use stats::IoStats;
+pub use wal::{Lsn, Wal, WalPayload, WalRecord};

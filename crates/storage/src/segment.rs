@@ -17,6 +17,7 @@ use crate::disk::{BlockAddr, BlockDevice};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PageSize, PageType};
 use crate::stats::IoStats;
+use crate::wal::Wal;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,9 +25,10 @@ use std::sync::Arc;
 /// Identifier of a segment (also the file number on the device).
 pub type SegmentId = u32;
 
-/// Per-segment allocation state. Allocation metadata is kept in memory:
-/// the paper defers media recovery to a later paper, and the reproduction
-/// follows it (DESIGN.md, non-goals).
+/// Per-segment allocation state. Kept in memory during operation and
+/// snapshotted into the device's metadata blob at checkpoint
+/// ([`StorageSystem::segments_snapshot`]), so a durable kernel can
+/// restore the directory on restart.
 #[derive(Debug)]
 pub struct Segment {
     pub id: SegmentId,
@@ -34,11 +36,14 @@ pub struct Segment {
     next_page: u32,
     free: Vec<u32>,
     allocated: u64,
+    /// Whether updates to this segment's pages are WAL-logged. Transient
+    /// tuning structures opt out: they are regenerated, not recovered.
+    logged: bool,
 }
 
 impl Segment {
-    fn new(id: SegmentId, page_size: PageSize) -> Self {
-        Segment { id, page_size, next_page: 0, free: Vec::new(), allocated: 0 }
+    fn new(id: SegmentId, page_size: PageSize, logged: bool) -> Self {
+        Segment { id, page_size, next_page: 0, free: Vec::new(), allocated: 0, logged }
     }
 
     /// Number of currently allocated pages.
@@ -50,6 +55,22 @@ impl Segment {
     pub fn extent(&self) -> u32 {
         self.next_page
     }
+
+    /// Whether this segment participates in WAL logging.
+    pub fn is_logged(&self) -> bool {
+        self.logged
+    }
+}
+
+/// Point-in-time copy of one segment directory entry — the unit of the
+/// checkpoint's catalog snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    pub id: SegmentId,
+    pub page_size: PageSize,
+    pub next_page: u32,
+    pub free: Vec<u32>,
+    pub logged: bool,
 }
 
 /// Shared state implementing [`PageStore`] for the buffer: the device plus
@@ -80,6 +101,10 @@ impl PageStore for DiskStore {
             .map(|s| s.page_size)
             .ok_or(StorageError::UnknownSegment(segment))
     }
+
+    fn wal_logged(&self, segment: u32) -> bool {
+        self.segments.read().get(&segment).map(|s| s.logged).unwrap_or(true)
+    }
 }
 
 /// The storage system: segments, buffered pages, page sequences.
@@ -87,23 +112,37 @@ pub struct StorageSystem {
     store: Arc<DiskStore>,
     buffer: BufferManager,
     next_segment: RwLock<SegmentId>,
+    wal: Option<Arc<Wal>>,
 }
 
 impl StorageSystem {
     /// Builds a storage system over `device` with a buffer of
-    /// `buffer_bytes`.
+    /// `buffer_bytes` (volatile: no write-ahead log).
     pub fn new(device: Arc<dyn BlockDevice>, buffer_bytes: usize) -> Self {
+        Self::build(device, buffer_bytes, None)
+    }
+
+    /// Builds a *durable* storage system: page updates are logged to
+    /// `wal`, and flush/eviction enforce write-ahead.
+    pub fn with_wal(device: Arc<dyn BlockDevice>, buffer_bytes: usize, wal: Arc<Wal>) -> Self {
+        Self::build(device, buffer_bytes, Some(wal))
+    }
+
+    fn build(device: Arc<dyn BlockDevice>, buffer_bytes: usize, wal: Option<Arc<Wal>>) -> Self {
         let store =
             Arc::new(DiskStore { device, segments: RwLock::new(HashMap::new()) });
         // Latch-shard the pool for parallel DUs; semantics per shard are
         // the paper's modified LRU.
         let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-        let buffer = BufferManager::with_shards(
+        let mut buffer = BufferManager::with_shards(
             Arc::clone(&store) as Arc<dyn PageStore>,
             buffer_bytes,
             shards,
         );
-        StorageSystem { store, buffer, next_segment: RwLock::new(0) }
+        if let Some(wal) = &wal {
+            buffer = buffer.attach_wal(Arc::clone(wal));
+        }
+        StorageSystem { store, buffer, next_segment: RwLock::new(0), wal }
     }
 
     /// Convenience: storage system over a fresh simulated disk.
@@ -113,13 +152,26 @@ impl StorageSystem {
 
     /// Creates a segment with the chosen page size; its file is created on
     /// the device with the matching block length.
-    pub fn create_segment(&self, page_size: PageSize) -> SegmentId {
+    pub fn create_segment(&self, page_size: PageSize) -> StorageResult<SegmentId> {
+        self.create_segment_with(page_size, true)
+    }
+
+    /// Creates a segment, choosing whether its page updates are
+    /// WAL-logged. Transient structures (partitions, sort orders,
+    /// clusters, access paths) pass `logged = false`: they are redundant
+    /// by definition and are regenerated after restart, so logging their
+    /// pages would only bloat the log.
+    pub fn create_segment_with(
+        &self,
+        page_size: PageSize,
+        logged: bool,
+    ) -> StorageResult<SegmentId> {
         let mut next = self.next_segment.write();
         let id = *next;
         *next += 1;
-        self.store.device.create_file(id, page_size.bytes());
-        self.store.segments.write().insert(id, Segment::new(id, page_size));
-        id
+        self.store.device.create_file(id, page_size.bytes())?;
+        self.store.segments.write().insert(id, Segment::new(id, page_size, logged));
+        Ok(id)
     }
 
     /// Page size of a segment.
@@ -189,6 +241,104 @@ impl StorageSystem {
         self.buffer.flush_all()
     }
 
+    // -----------------------------------------------------------------
+    // Durability: checkpoint, restart, redo
+    // -----------------------------------------------------------------
+
+    /// The write-ahead log, when this system is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// The underlying block device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.store.device
+    }
+
+    /// Storage-level checkpoint: flushes every dirty page (forcing the
+    /// WAL first — write-ahead), makes the device state durable, replaces
+    /// the device's metadata blob with `meta` (the caller's catalog
+    /// snapshot, which should embed [`StorageSystem::segments_snapshot`])
+    /// and truncates the log. After this, restart recovery starts from
+    /// `meta` with an empty log tail.
+    pub fn checkpoint(&self, meta: &[u8]) -> StorageResult<()> {
+        self.buffer.flush_all()?;
+        self.store.device.sync()?;
+        self.store.device.write_meta(meta)?;
+        if let Some(wal) = &self.wal {
+            // The marker rides through reset (which re-appends pending
+            // records), so the fresh log starts with a checkpoint record
+            // naming its recovery base — diagnostic only; replay treats
+            // it as a no-op.
+            wal.append(crate::wal::WalPayload::Checkpoint);
+            wal.reset()?;
+        }
+        self.store.device.sync()
+    }
+
+    /// The device's metadata blob (checkpoint snapshot), if any.
+    pub fn read_meta(&self) -> StorageResult<Option<Vec<u8>>> {
+        self.store.device.read_meta()
+    }
+
+    /// Point-in-time copy of the segment directory, for the checkpoint's
+    /// catalog snapshot.
+    pub fn segments_snapshot(&self) -> (SegmentId, Vec<SegmentMeta>) {
+        let segs = self.store.segments.read();
+        let mut metas: Vec<SegmentMeta> = segs
+            .values()
+            .map(|s| SegmentMeta {
+                id: s.id,
+                page_size: s.page_size,
+                next_page: s.next_page,
+                free: s.free.clone(),
+                logged: s.logged,
+            })
+            .collect();
+        metas.sort_by_key(|m| m.id);
+        (*self.next_segment.read(), metas)
+    }
+
+    /// Restores the segment directory from a checkpoint snapshot. The
+    /// device files already exist (they survived with the device); only
+    /// the in-memory directory is rebuilt, so this must run on a freshly
+    /// constructed system before any allocation.
+    pub fn restore_segments(&self, next_segment: SegmentId, metas: &[SegmentMeta]) {
+        let mut segs = self.store.segments.write();
+        for m in metas {
+            let mut seg = Segment::new(m.id, m.page_size, m.logged);
+            seg.next_page = m.next_page;
+            seg.free = m.free.clone();
+            seg.allocated = (m.next_page as u64).saturating_sub(m.free.len() as u64);
+            segs.insert(m.id, seg);
+        }
+        *self.next_segment.write() = next_segment;
+    }
+
+    /// Redo: installs a logged page after-image directly on the device
+    /// (bypassing the buffer — recovery runs before any page is fixed)
+    /// and extends the owning segment's extent to cover pages allocated
+    /// after the snapshot was taken. Idempotent.
+    pub fn apply_page_image(&self, id: PageId, bytes: &[u8]) -> StorageResult<()> {
+        {
+            let mut segs = self.store.segments.write();
+            let seg =
+                segs.get_mut(&id.segment).ok_or(StorageError::UnknownSegment(id.segment))?;
+            if bytes.len() != seg.page_size.bytes() {
+                return Err(StorageError::DeviceError(format!(
+                    "redo image for {id} has {} bytes, segment page size is {}",
+                    bytes.len(),
+                    seg.page_size.bytes()
+                )));
+            }
+            if id.page >= seg.next_page {
+                seg.allocated += (id.page + 1 - seg.next_page) as u64;
+                seg.next_page = id.page + 1;
+            }
+        }
+        self.store.device.write_block(BlockAddr::new(id.segment, id.page), bytes)
+    }
+
     /// Reads `count` contiguous pages starting at `first` in one chained
     /// run, bypassing the buffer (the page-sequence fast path; the caller
     /// gets owned page images). Pages currently dirty in the buffer are
@@ -249,7 +399,7 @@ mod tests {
     fn create_segments_with_all_page_sizes() {
         let s = sys();
         for size in PageSize::ALL {
-            let seg = s.create_segment(size);
+            let seg = s.create_segment(size).unwrap();
             assert_eq!(s.page_size(seg).unwrap(), size);
         }
     }
@@ -257,7 +407,7 @@ mod tests {
     #[test]
     fn allocate_write_read() {
         let s = sys();
-        let seg = s.create_segment(PageSize::K1);
+        let seg = s.create_segment(PageSize::K1).unwrap();
         let id = s.allocate_page(seg).unwrap();
         {
             let mut g = s.fix_new(id, PageType::Data).unwrap();
@@ -271,7 +421,7 @@ mod tests {
     #[test]
     fn freed_pages_are_reused() {
         let s = sys();
-        let seg = s.create_segment(PageSize::Half);
+        let seg = s.create_segment(PageSize::Half).unwrap();
         let a = s.allocate_page(seg).unwrap();
         let b = s.allocate_page(seg).unwrap();
         assert_ne!(a, b);
@@ -284,7 +434,7 @@ mod tests {
     #[test]
     fn allocate_run_is_contiguous() {
         let s = sys();
-        let seg = s.create_segment(PageSize::Half);
+        let seg = s.create_segment(PageSize::Half).unwrap();
         let _ = s.allocate_page(seg).unwrap();
         let first = s.allocate_run(seg, 5).unwrap();
         for i in 0..5 {
@@ -299,7 +449,7 @@ mod tests {
     #[test]
     fn chained_run_read_returns_current_contents() {
         let s = sys();
-        let seg = s.create_segment(PageSize::Half);
+        let seg = s.create_segment(PageSize::Half).unwrap();
         let first = s.allocate_run(seg, 3).unwrap();
         for i in 0..3u32 {
             let id = PageId::new(seg, first.page + i);
@@ -324,7 +474,7 @@ mod tests {
     #[test]
     fn free_page_out_of_range_errors() {
         let s = sys();
-        let seg = s.create_segment(PageSize::Half);
+        let seg = s.create_segment(PageSize::Half).unwrap();
         assert!(matches!(
             s.free_page(PageId::new(seg, 10)),
             Err(StorageError::PageOutOfRange { .. })

@@ -31,6 +31,11 @@ pub struct IoStats {
     pub chained_runs: AtomicU64,
     /// Blocks moved inside chained runs (also counted in `block_reads`).
     pub chained_blocks: AtomicU64,
+    /// Write-ahead-log forces: each is one sequential append transfer to
+    /// the log area (the device-level unit of group commit).
+    pub wal_forces: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: AtomicU64,
     /// Accumulated simulated service time in nanoseconds (cost model).
     pub sim_time_ns: AtomicU64,
 }
@@ -50,6 +55,8 @@ impl IoStats {
         self.seeks.store(0, Ordering::Relaxed);
         self.chained_runs.store(0, Ordering::Relaxed);
         self.chained_blocks.store(0, Ordering::Relaxed);
+        self.wal_forces.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
         self.sim_time_ns.store(0, Ordering::Relaxed);
     }
 
@@ -64,6 +71,8 @@ impl IoStats {
             seeks: self.seeks.load(Ordering::Relaxed),
             chained_runs: self.chained_runs.load(Ordering::Relaxed),
             chained_blocks: self.chained_blocks.load(Ordering::Relaxed),
+            wal_forces: self.wal_forces.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed),
         }
     }
@@ -83,6 +92,8 @@ pub struct IoSnapshot {
     pub seeks: u64,
     pub chained_runs: u64,
     pub chained_blocks: u64,
+    pub wal_forces: u64,
+    pub wal_bytes: u64,
     pub sim_time_ns: u64,
 }
 
@@ -98,6 +109,8 @@ impl IoSnapshot {
             seeks: self.seeks.saturating_sub(earlier.seeks),
             chained_runs: self.chained_runs.saturating_sub(earlier.chained_runs),
             chained_blocks: self.chained_blocks.saturating_sub(earlier.chained_blocks),
+            wal_forces: self.wal_forces.saturating_sub(earlier.wal_forces),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             sim_time_ns: self.sim_time_ns.saturating_sub(earlier.sim_time_ns),
         }
     }

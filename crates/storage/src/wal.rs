@@ -1,0 +1,443 @@
+//! Write-ahead log.
+//!
+//! The paper defers media and crash recovery to a later report; this
+//! module supplies the piece every kernel since the systems of the 1970s
+//! has carried between Fig. 3.1's storage system and the devices: an
+//! append-only, LSN-stamped log with
+//!
+//! * **physical redo** — full page images captured when an updater unfixes
+//!   a dirty page ([`crate::buffer::BufferManager`] stamps the frame's
+//!   `recovery_lsn`);
+//! * **logical undo** — opaque payloads the transaction layer serialises
+//!   (inverse atom operations), tagged with their top-level transaction;
+//! * **transaction brackets** — begin / commit / abort records; commit
+//!   *forces* the log, which is what makes `Session::commit` durable;
+//! * **group append** — records accumulate in an in-process buffer and
+//!   reach the device only on [`Wal::force`], one sequential
+//!   [`BlockDevice::wal_append`] per force. Everything not yet forced is
+//!   lost in a crash — exactly the contract recovery assumes.
+//!
+//! The write-ahead invariant is enforced at the buffer: no dirty page
+//! reaches the device while its `recovery_lsn` exceeds
+//! [`Wal::flushed_lsn`]. The transaction layer keeps the companion
+//! invariant that a statement's undo record is appended *before* any of
+//! its page images, so a forced prefix never contains a redo without the
+//! matching undo.
+//!
+//! On-device format: a sequence of `[u32 body_len][u32 crc][body]`
+//! records; `body = [u8 kind][u64 lsn][fields]`. Replay stops at the
+//! first truncated or corrupt record — the torn tail of a crash.
+
+use crate::disk::BlockDevice;
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Log sequence number. `0` means "none"; real records start at 1.
+pub type Lsn = u64;
+
+const KIND_PAGE_IMAGE: u8 = 1;
+const KIND_TXN_BEGIN: u8 = 2;
+const KIND_TXN_COMMIT: u8 = 3;
+const KIND_TXN_ABORT: u8 = 4;
+const KIND_UNDO: u8 = 5;
+const KIND_CHECKPOINT: u8 = 6;
+
+/// A record as appended (borrowed payloads; the LSN is assigned by
+/// [`Wal::append`]).
+#[derive(Debug)]
+pub enum WalPayload<'a> {
+    /// Full after-image of one page (physical redo).
+    PageImage { page: PageId, bytes: &'a [u8] },
+    /// Top-level transaction started.
+    TxnBegin { txn: u64 },
+    /// Top-level transaction committed (the append is followed by a
+    /// force).
+    TxnCommit { txn: u64 },
+    /// Top-level transaction rolled back in-process (its undo has been
+    /// applied; recovery must not undo it again *if* this record made it
+    /// to the device).
+    TxnAbort { txn: u64 },
+    /// Logical undo payload, opaque to the storage layer.
+    Undo { txn: u64, payload: &'a [u8] },
+    /// Checkpoint marker (diagnostic; the log is truncated right after).
+    Checkpoint,
+}
+
+/// A decoded record from replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    PageImage { lsn: Lsn, page: PageId, bytes: Vec<u8> },
+    TxnBegin { lsn: Lsn, txn: u64 },
+    TxnCommit { lsn: Lsn, txn: u64 },
+    TxnAbort { lsn: Lsn, txn: u64 },
+    Undo { lsn: Lsn, txn: u64, payload: Vec<u8> },
+    Checkpoint { lsn: Lsn },
+}
+
+impl WalRecord {
+    /// The record's LSN.
+    pub fn lsn(&self) -> Lsn {
+        match self {
+            WalRecord::PageImage { lsn, .. }
+            | WalRecord::TxnBegin { lsn, .. }
+            | WalRecord::TxnCommit { lsn, .. }
+            | WalRecord::TxnAbort { lsn, .. }
+            | WalRecord::Undo { lsn, .. }
+            | WalRecord::Checkpoint { lsn } => *lsn,
+        }
+    }
+}
+
+struct WalBuf {
+    /// Encoded records not yet forced to the device.
+    pending: Vec<u8>,
+    /// LSN of the newest buffered record.
+    buffered: Lsn,
+}
+
+/// The write-ahead log over a device's log area. See module docs.
+pub struct Wal {
+    device: Arc<dyn BlockDevice>,
+    inner: Mutex<WalBuf>,
+    next_lsn: AtomicU64,
+    flushed: AtomicU64,
+    /// Set when a device append failed mid-batch: the log may carry a
+    /// durable torn fragment, and appending *past* it would put records
+    /// where replay (which stops at the first corrupt record) can never
+    /// see them — later commits would return Ok yet be unrecoverable.
+    /// A poisoned log refuses all further forces (commits fail loudly);
+    /// truncation — reopening the database, or a successful checkpoint
+    /// reset — clears the condition.
+    poisoned: AtomicBool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("flushed", &self.flushed.load(Ordering::Relaxed))
+            .field("next_lsn", &self.next_lsn.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — a real CRC, not a hash:
+/// torn tails are exactly the burst errors CRCs guarantee to detect.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl Wal {
+    /// A log whose first record gets LSN 1 (fresh database).
+    pub fn new(device: Arc<dyn BlockDevice>) -> Arc<Wal> {
+        Self::starting_at(device, 1)
+    }
+
+    /// A log resuming after replay: `first_lsn` must exceed every LSN
+    /// already on the device so recovery-time appends stay monotone.
+    pub fn starting_at(device: Arc<dyn BlockDevice>, first_lsn: Lsn) -> Arc<Wal> {
+        Arc::new(Wal {
+            device,
+            inner: Mutex::new(WalBuf { pending: Vec::new(), buffered: first_lsn - 1 }),
+            next_lsn: AtomicU64::new(first_lsn),
+            flushed: AtomicU64::new(first_lsn - 1),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    fn check_poison(&self) -> StorageResult<()> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(StorageError::DeviceError(
+                "wal: a previous append failed mid-batch; the log tail is suspect — \
+                 reopen the database to recover"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends one record to the in-process group buffer and returns its
+    /// LSN. Not durable until [`Wal::force`].
+    pub fn append(&self, payload: WalPayload<'_>) -> Lsn {
+        let mut inner = self.inner.lock();
+        // LSN assignment under the buffer lock: file order == LSN order.
+        let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+        let mut body = Vec::with_capacity(16);
+        match payload {
+            WalPayload::PageImage { page, bytes } => {
+                body.push(KIND_PAGE_IMAGE);
+                body.extend_from_slice(&lsn.to_le_bytes());
+                body.extend_from_slice(&page.segment.to_le_bytes());
+                body.extend_from_slice(&page.page.to_le_bytes());
+                body.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                body.extend_from_slice(bytes);
+            }
+            WalPayload::TxnBegin { txn } => {
+                body.push(KIND_TXN_BEGIN);
+                body.extend_from_slice(&lsn.to_le_bytes());
+                body.extend_from_slice(&txn.to_le_bytes());
+            }
+            WalPayload::TxnCommit { txn } => {
+                body.push(KIND_TXN_COMMIT);
+                body.extend_from_slice(&lsn.to_le_bytes());
+                body.extend_from_slice(&txn.to_le_bytes());
+            }
+            WalPayload::TxnAbort { txn } => {
+                body.push(KIND_TXN_ABORT);
+                body.extend_from_slice(&lsn.to_le_bytes());
+                body.extend_from_slice(&txn.to_le_bytes());
+            }
+            WalPayload::Undo { txn, payload } => {
+                body.push(KIND_UNDO);
+                body.extend_from_slice(&lsn.to_le_bytes());
+                body.extend_from_slice(&txn.to_le_bytes());
+                body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                body.extend_from_slice(payload);
+            }
+            WalPayload::Checkpoint => {
+                body.push(KIND_CHECKPOINT);
+                body.extend_from_slice(&lsn.to_le_bytes());
+            }
+        }
+        inner.pending.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        inner.pending.extend_from_slice(&crc32(&body).to_le_bytes());
+        inner.pending.extend_from_slice(&body);
+        inner.buffered = lsn;
+        lsn
+    }
+
+    /// Forces every buffered record to the device in one sequential
+    /// append (group commit). Returns the newest durable LSN.
+    pub fn force(&self) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        self.check_poison()?;
+        if inner.pending.is_empty() {
+            return Ok(self.flushed.load(Ordering::Relaxed));
+        }
+        if let Err(e) = self.device.wal_append(&inner.pending) {
+            // The device may hold a torn fragment of this batch; see the
+            // `poisoned` field docs.
+            self.poisoned.store(true, Ordering::Relaxed);
+            return Err(e);
+        }
+        inner.pending.clear();
+        let lsn = inner.buffered;
+        self.flushed.store(lsn, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Newest LSN durably on the device.
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.flushed.load(Ordering::Relaxed)
+    }
+
+    /// Newest LSN appended (durable or buffered).
+    pub fn buffered_lsn(&self) -> Lsn {
+        self.inner.lock().buffered
+    }
+
+    /// Truncates the device's log area (checkpoint: everything
+    /// redo-relevant up to the force that preceded the flush is now in
+    /// the flushed pages and metadata snapshot). Records still *pending*
+    /// in the group buffer — e.g. page images of non-transactional
+    /// writers racing the checkpoint — are not discarded: they are
+    /// appended to the fresh log immediately, so `flushed == buffered`
+    /// stays truthful. The LSN counter keeps increasing.
+    pub fn reset(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        self.device.wal_reset()?;
+        // Truncation discards any torn fragment, so the log is clean
+        // again.
+        self.poisoned.store(false, Ordering::Relaxed);
+        if !inner.pending.is_empty() {
+            if let Err(e) = self.device.wal_append(&inner.pending) {
+                self.poisoned.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+            inner.pending.clear();
+        }
+        self.flushed.store(inner.buffered, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Decodes the device's entire log area. Replay stops silently at the
+    /// first truncated or checksum-failing record (a crash's torn tail);
+    /// corruption *before* valid records is reported as an error.
+    pub fn replay(device: &Arc<dyn BlockDevice>) -> StorageResult<Vec<WalRecord>> {
+        let bytes = device.wal_contents()?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let body_start = pos + 8;
+            if body_start + len > bytes.len() {
+                break; // torn tail
+            }
+            let body = &bytes[body_start..body_start + len];
+            if crc32(body) != crc {
+                break; // torn tail (partial overwrite)
+            }
+            match Self::decode_body(body) {
+                Some(rec) => out.push(rec),
+                None => {
+                    return Err(StorageError::DeviceError(format!(
+                        "wal: undecodable record at byte {pos}"
+                    )))
+                }
+            }
+            pos = body_start + len;
+        }
+        Ok(out)
+    }
+
+    fn decode_body(body: &[u8]) -> Option<WalRecord> {
+        if body.len() < 9 {
+            return None;
+        }
+        let kind = body[0];
+        let lsn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+        let rest = &body[9..];
+        Some(match kind {
+            KIND_PAGE_IMAGE => {
+                if rest.len() < 12 {
+                    return None;
+                }
+                let segment = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+                let page = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                if rest.len() < 12 + n {
+                    return None;
+                }
+                WalRecord::PageImage {
+                    lsn,
+                    page: PageId::new(segment, page),
+                    bytes: rest[12..12 + n].to_vec(),
+                }
+            }
+            KIND_TXN_BEGIN | KIND_TXN_COMMIT | KIND_TXN_ABORT => {
+                if rest.len() < 8 {
+                    return None;
+                }
+                let txn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                match kind {
+                    KIND_TXN_BEGIN => WalRecord::TxnBegin { lsn, txn },
+                    KIND_TXN_COMMIT => WalRecord::TxnCommit { lsn, txn },
+                    _ => WalRecord::TxnAbort { lsn, txn },
+                }
+            }
+            KIND_UNDO => {
+                if rest.len() < 12 {
+                    return None;
+                }
+                let txn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                if rest.len() < 12 + n {
+                    return None;
+                }
+                WalRecord::Undo { lsn, txn, payload: rest[12..12 + n].to_vec() }
+            }
+            KIND_CHECKPOINT => WalRecord::Checkpoint { lsn },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::SimDisk;
+
+    fn device() -> Arc<dyn BlockDevice> {
+        Arc::new(SimDisk::new())
+    }
+
+    #[test]
+    fn append_force_replay_round_trip() {
+        let dev = device();
+        let wal = Wal::new(Arc::clone(&dev));
+        let l1 = wal.append(WalPayload::TxnBegin { txn: 7 });
+        let l2 = wal.append(WalPayload::Undo { txn: 7, payload: b"undo-bytes" });
+        let l3 = wal.append(WalPayload::PageImage {
+            page: PageId::new(2, 9),
+            bytes: &[1, 2, 3, 4],
+        });
+        let l4 = wal.append(WalPayload::TxnCommit { txn: 7 });
+        assert_eq!((l1, l2, l3, l4), (1, 2, 3, 4));
+        assert_eq!(wal.flushed_lsn(), 0, "nothing durable before force");
+        assert_eq!(wal.force().unwrap(), 4);
+        assert_eq!(wal.flushed_lsn(), 4);
+        let recs = Wal::replay(&dev).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0], WalRecord::TxnBegin { lsn: 1, txn: 7 });
+        assert_eq!(
+            recs[1],
+            WalRecord::Undo { lsn: 2, txn: 7, payload: b"undo-bytes".to_vec() }
+        );
+        assert_eq!(
+            recs[2],
+            WalRecord::PageImage { lsn: 3, page: PageId::new(2, 9), bytes: vec![1, 2, 3, 4] }
+        );
+        assert_eq!(recs[3], WalRecord::TxnCommit { lsn: 4, txn: 7 });
+    }
+
+    #[test]
+    fn unforced_tail_is_lost() {
+        let dev = device();
+        let wal = Wal::new(Arc::clone(&dev));
+        wal.append(WalPayload::TxnBegin { txn: 1 });
+        wal.force().unwrap();
+        wal.append(WalPayload::TxnCommit { txn: 1 }); // never forced
+        drop(wal);
+        let recs = Wal::replay(&dev).unwrap();
+        assert_eq!(recs.len(), 1, "only the forced prefix survives");
+    }
+
+    #[test]
+    fn torn_tail_stops_replay() {
+        let dev = device();
+        let wal = Wal::new(Arc::clone(&dev));
+        wal.append(WalPayload::TxnBegin { txn: 1 });
+        wal.force().unwrap();
+        // Simulate a torn append: half a record at the end.
+        dev.wal_append(&[13, 0, 0, 0, 99, 99]).unwrap();
+        let recs = Wal::replay(&dev).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn reset_truncates_device_log() {
+        let dev = device();
+        let wal = Wal::new(Arc::clone(&dev));
+        wal.append(WalPayload::Checkpoint);
+        wal.force().unwrap();
+        wal.reset().unwrap();
+        assert!(Wal::replay(&dev).unwrap().is_empty());
+        // LSNs keep increasing after a reset.
+        let lsn = wal.append(WalPayload::TxnBegin { txn: 2 });
+        assert_eq!(lsn, 2);
+    }
+
+    #[test]
+    fn group_append_is_one_device_transfer() {
+        let dev = Arc::new(SimDisk::new());
+        let wal = Wal::new(Arc::clone(&dev) as Arc<dyn BlockDevice>);
+        for i in 0..10 {
+            wal.append(WalPayload::TxnBegin { txn: i });
+        }
+        wal.force().unwrap();
+        let s = dev.stats().snapshot();
+        assert_eq!(s.wal_forces, 1, "ten records, one sequential append");
+        assert!(s.wal_bytes > 0);
+    }
+}

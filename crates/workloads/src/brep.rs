@@ -289,8 +289,7 @@ mod tests {
     fn vertical_access_retrieves_whole_molecule() {
         let db = open_db(8 << 20).unwrap();
         populate(&db, &BrepConfig::with_solids(2)).unwrap();
-        let set = db
-            .query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1")
+        let set = crate::exec::query(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1")
             .unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.atoms_of("face").len(), 6);
@@ -305,8 +304,7 @@ mod tests {
         let stats = populate(&db, &BrepConfig::with_assembly(4, 2, 2)).unwrap();
         assert_eq!(stats.root_solid_nos.len(), 1);
         let root_no = stats.root_solid_nos[0];
-        let set = db
-            .query(&format!(
+        let set = crate::exec::query(&db, &format!(
                 "SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root_no}"
             ))
             .unwrap();

@@ -1,0 +1,46 @@
+//! One-shot MQL helpers over the session API.
+//!
+//! The kernel's one-shot facade (`Prima::query`, `query_traced`,
+//! `query_with_assembly`, `query_parallel`, `execute`) is deprecated in
+//! favour of [`prima::Session`] + [`QueryOptions`] and scheduled for
+//! removal (ROADMAP). Tests, benches and examples that genuinely want
+//! auto-commit one-shots use these free functions instead: the
+//! convenience stays, but it lives in the application layer and routes
+//! through the blessed surface, so the kernel keeps a single query path.
+
+use prima::datasys::{DmlResult, ExecutionTrace};
+use prima::{AssemblyMode, MoleculeSet, Prima, PrimaResult, QueryOptions};
+
+/// One-shot `SELECT` with default options, materialised.
+pub fn query(db: &Prima, mql: &str) -> PrimaResult<MoleculeSet> {
+    Ok(db.session().query(mql, &QueryOptions::default())?.set)
+}
+
+/// One-shot `SELECT` returning the execution trace as well.
+pub fn query_traced(db: &Prima, mql: &str) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
+    let r = db.session().query(mql, &QueryOptions::new().traced())?;
+    Ok((r.set, r.trace.expect("trace requested")))
+}
+
+/// One-shot `SELECT` under an explicit vertical-assembly strategy.
+pub fn query_with_assembly(
+    db: &Prima,
+    mql: &str,
+    mode: AssemblyMode,
+) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
+    let r = db.session().query(mql, &QueryOptions::new().assembly(mode).traced())?;
+    Ok((r.set, r.trace.expect("trace requested")))
+}
+
+/// One-shot `SELECT` with molecule construction on `threads` workers.
+pub fn query_parallel(db: &Prima, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {
+    Ok(db.session().query(mql, &QueryOptions::new().threads(threads))?.set)
+}
+
+/// One manipulation statement in its own committed transaction.
+pub fn execute(db: &Prima, mql: &str) -> PrimaResult<DmlResult> {
+    let s = db.session();
+    let r = s.execute(mql)?;
+    s.commit()?;
+    Ok(r)
+}

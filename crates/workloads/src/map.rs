@@ -194,11 +194,11 @@ mod tests {
         let db = open_db(8 << 20).unwrap();
         populate(&db, &MapConfig { sheets: 1, grid: 2, seed: 1 }).unwrap();
         // The border between region (0,0) and (0,1): referenced by both.
-        let set = db.query("SELECT ALL FROM region-border WHERE region_no = 1").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM region-border WHERE region_no = 1").unwrap();
         assert_eq!(set.atoms_of("border").len(), 4);
         // Count borders referenced by exactly two regions via the inverse
         // direction.
-        let set = db.query("SELECT ALL FROM border-region WHERE border_no = 2").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM border-region WHERE border_no = 2").unwrap();
         assert_eq!(set.len(), 1);
         let n_regions = set.atoms_of("region").len();
         assert!(n_regions <= 2, "a border separates at most two regions");
@@ -208,7 +208,7 @@ mod tests {
     fn whole_sheet_molecule() {
         let db = open_db(8 << 20).unwrap();
         populate(&db, &MapConfig { sheets: 2, grid: 2, seed: 1 }).unwrap();
-        let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 1").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM sheet_map WHERE sheet_no = 1").unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.atoms_of("region").len(), 4);
     }

@@ -379,11 +379,11 @@ mod tests {
         // schema has only owner links point->edge->face, so the MAD query
         // still works — but each point belongs to exactly ONE edge copy,
         // demonstrating the lost n:m semantics.
-        let set = db.query("SELECT ALL FROM hpoint-hedge WHERE point_no = 1").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM hpoint-hedge WHERE point_no = 1").unwrap();
         assert_eq!(set.atoms_of("hedge").len(), 1, "a copy knows only its owner");
         // In the MAD model the same question returns all incident edges.
         let (mdb, _) = build(ModelingApproach::MadDirect, 1).unwrap();
-        let set = mdb.query("SELECT ALL FROM point-edge WHERE point_id <> EMPTY").unwrap();
+        let set = crate::exec::query(&mdb, "SELECT ALL FROM point-edge WHERE point_id <> EMPTY").unwrap();
         let some = set
             .molecules
             .iter()

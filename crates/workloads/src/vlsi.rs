@@ -166,7 +166,7 @@ mod tests {
         let db = open_db(8 << 20).unwrap();
         let cfg = VlsiConfig::default();
         populate(&db, &cfg).unwrap();
-        let set = db.query("SELECT ALL FROM net-pin-cell WHERE net_no = 1").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM net-pin-cell WHERE net_no = 1").unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.atoms_of("pin").len(), cfg.fanout);
         assert_eq!(set.atoms_of("cell").len(), cfg.fanout, "one cell per pin");
@@ -177,7 +177,7 @@ mod tests {
         let db = open_db(8 << 20).unwrap();
         populate(&db, &VlsiConfig::default()).unwrap();
         // Inverse direction: from pins to the nets they join.
-        let set = db.query("SELECT ALL FROM pin-net WHERE pin_no = 1").unwrap();
+        let set = crate::exec::query(&db, "SELECT ALL FROM pin-net WHERE pin_no = 1").unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.atoms_of("pin").len(), 1);
     }
@@ -188,8 +188,7 @@ mod tests {
         let cfg = VlsiConfig { cells: 8, hierarchy_depth: 2, ..Default::default() };
         let s = populate(&db, &cfg).unwrap();
         assert!(!s.root_cell_nos.is_empty());
-        let set = db
-            .query(&format!(
+        let set = crate::exec::query(&db, &format!(
                 "SELECT ALL FROM cell_tree WHERE cell_tree (0).cell_no = {}",
                 s.root_cell_nos[0]
             ))

@@ -6,6 +6,7 @@
 //! ```
 
 use prima::{PrimaResult, QueryOptions, UpdatePolicy, Value};
+use prima_workloads::exec;
 use prima_workloads::map::{self, MapConfig};
 
 fn main() -> PrimaResult<()> {
@@ -52,7 +53,7 @@ fn main() -> PrimaResult<()> {
     println!("re-run root access: {:?}", r.trace.expect("traced").root_access);
 
     // Vertical access: one sheet's full map molecule.
-    let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 2")?;
+    let set = exec::query(&db, "SELECT ALL FROM sheet_map WHERE sheet_no = 2")?;
     println!(
         "sheet 2 molecule: {} regions, {} border occurrences",
         set.atoms_of("region").len(),
@@ -74,8 +75,8 @@ fn main() -> PrimaResult<()> {
     // Shared borders: deleting a region must not delete shared borders'
     // neighbours — DELETE ONLY the region component.
     let n_regions_before = set.atoms_of("region").len();
-    db.execute("DELETE ONLY (region) FROM region WHERE region_no = 2")?;
-    let set = db.query("SELECT ALL FROM sheet_map WHERE sheet_no = 1")?;
+    exec::execute(&db, "DELETE ONLY (region) FROM region WHERE region_no = 2")?;
+    let set = exec::query(&db, "SELECT ALL FROM sheet_map WHERE sheet_no = 1")?;
     println!(
         "deleted region 2; sheet 1 now shows {} regions (was {})",
         set.atoms_of("region").len(),
@@ -83,12 +84,11 @@ fn main() -> PrimaResult<()> {
     );
 
     // MQL CONNECT: move region 3 to sheet 3.
-    db.execute(
+    exec::execute(&db, 
         "MODIFY region SET sheet = CONNECT (SELECT ALL FROM sheet WHERE sheet_no = 3)
          WHERE region_no = 3",
     )?;
-    let a = db
-        .query("SELECT ALL FROM region-sheet WHERE region_no = 3")?;
+    let a = exec::query(&db, "SELECT ALL FROM region-sheet WHERE region_no = 3")?;
     let sheet_no = a.atoms_of("sheet")[0].values[1].clone();
     println!("region 3 reconnected to sheet {sheet_no}");
     assert_eq!(sheet_no, Value::Int(3));

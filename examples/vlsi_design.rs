@@ -6,6 +6,7 @@
 //! ```
 
 use prima::{PrimaResult, QueryOptions, Value as PValue};
+use prima_workloads::exec;
 use prima_access::multidim::DimRange;
 use prima_access::scan::{MultidimScan, Scan};
 use prima_access::Ssa;
@@ -45,7 +46,7 @@ fn main() -> PrimaResult<()> {
     );
 
     // Symmetric traversal: which nets does pin 17 join?
-    let set = db.query("SELECT ALL FROM pin-net WHERE pin_no = 17")?;
+    let set = exec::query(&db, "SELECT ALL FROM pin-net WHERE pin_no = 17")?;
     println!("pin 17 joins {} net(s) (symmetric direction)", set.atoms_of("net").len());
 
     // LDL: a multidimensional access path over pin coordinates.
@@ -68,7 +69,7 @@ fn main() -> PrimaResult<()> {
 
     // Recursive macro hierarchy.
     let root = stats.root_cell_nos[0];
-    let set = db.query(&format!(
+    let set = exec::query(&db, &format!(
         "SELECT ALL FROM cell_tree WHERE cell_tree (0).cell_no = {root}"
     ))?;
     println!(

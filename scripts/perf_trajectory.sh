@@ -4,17 +4,20 @@
 #   * batched_assembly — per (fanout, buffer regime, assembly mode)
 #     records with atoms/sec and fix_calls / pages_loaded counters;
 #   * prepared_exec — prepared-vs-reparse timings and plan-reuse proof;
+#   * wal_commit — commit latency no-WAL vs WAL-force vs group-sized
+#     batches, with WAL forces/bytes and simulated device time per
+#     statement;
 #   * every criterion-shim benchmark additionally emits a
 #     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
 #     small (<10%) deltas can be judged against run-to-run noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 shift || true
 benches=("${@:-}")
 if [ -z "${benches[0]:-}" ]; then
-    benches=(batched_assembly prepared_exec)
+    benches=(batched_assembly prepared_exec wal_commit)
 fi
 
 log="$(mktemp)"

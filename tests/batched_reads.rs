@@ -11,6 +11,7 @@
 //!   fan-out >= 10 (counter-verified via `BufferStats::detail`).
 
 use prima::{AssemblyMode, Prima, QueryOptions, Value};
+use prima_workloads::exec;
 use prima_access::AccessError;
 use prima_mad::value::AtomId;
 use prima_workloads::brep::{self, BrepConfig};
@@ -192,9 +193,9 @@ fn batched_assembly_issues_fewer_fix_calls_at_fanout_10() {
     }
     let q = "SELECT ALL FROM assembly-part";
     let fix_calls_of = |mode: AssemblyMode| {
-        let _ = db.query_with_assembly(q, mode).unwrap(); // warm the buffer
+        let _ = exec::query_with_assembly(&db, q, mode).unwrap(); // warm the buffer
         db.storage().buffer_stats().reset();
-        let (set, _) = db.query_with_assembly(q, mode).unwrap();
+        let (set, _) = exec::query_with_assembly(&db, q, mode).unwrap();
         assert_eq!(set.len(), 20);
         db.storage().buffer_stats().detail().fix_calls
     };

@@ -3,6 +3,7 @@
 //! whole cluster and relative addressing for single atoms.
 
 use prima_workloads::brep::{self, BrepConfig};
+use prima_workloads::exec;
 
 fn tuned_db(n: usize) -> prima::Prima {
     let db = brep::open_db(32 << 20).unwrap();
@@ -27,7 +28,7 @@ fn molecule_query_reads_cluster_chained() {
     db.storage().flush().unwrap();
     db.storage().io_stats().reset();
     let (set, trace) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 3").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 3").unwrap();
     assert_eq!(set.len(), 1);
     assert_eq!(trace.cluster_used.as_deref(), Some("cl_brep"));
     let io = db.storage().io_stats().snapshot();
@@ -53,8 +54,8 @@ fn cluster_beats_scattered_assembly_in_io() {
     let with = build(true);
     let without = build(false);
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 17";
-    let s1 = with.query(q).unwrap();
-    let s2 = without.query(q).unwrap();
+    let s1 = exec::query(&with, q).unwrap();
+    let s2 = exec::query(&without, q).unwrap();
     assert_eq!(s1.atoms_of("point").len(), s2.atoms_of("point").len(), "same answer");
     let io_with = with.storage().io_stats().snapshot();
     let io_without = without.storage().io_stats().snapshot();
@@ -77,7 +78,7 @@ fn modifying_member_refreshes_cluster_on_reconcile() {
     let db = tuned_db(2);
     db.set_update_policy(prima::UpdatePolicy::Deferred);
     // Modify a face's area.
-    let set = db.query("SELECT ALL FROM brep-face WHERE brep_no = 1").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM brep-face WHERE brep_no = 1").unwrap();
     let face_node = set.node_id("face").unwrap();
     let victim = set.molecules[0].atoms_of_node(face_node)[0].id;
     db.modify(victim, &[("square_dim", prima::Value::Real(123.456))]).unwrap();

@@ -3,6 +3,7 @@
 //! all with system-enforced structural integrity.
 
 use prima::datasys::DmlResult;
+use prima_workloads::exec;
 use prima::{Prima, Value};
 
 const DDL: &str = "
@@ -40,21 +41,21 @@ fn setup() -> Prima {
 #[test]
 fn insert_statement_generates_surrogate() {
     let db = setup();
-    let r = db.execute("INSERT doc (doc_no: 3, title: 'fresh')").unwrap();
+    let r = exec::execute(&db, "INSERT doc (doc_no: 3, title: 'fresh')").unwrap();
     let DmlResult::Inserted(id) = r else { panic!("{r:?}") };
     assert!(db.access().exists(id));
-    assert_eq!(db.query("SELECT ALL FROM doc WHERE doc_no = 3").unwrap().len(), 1);
+    assert_eq!(exec::query(&db, "SELECT ALL FROM doc WHERE doc_no = 3").unwrap().len(), 1);
 }
 
 #[test]
 fn delete_whole_molecule_disconnects() {
     let db = setup();
-    let r = db.execute("DELETE FROM doc-chapter WHERE doc_no = 1").unwrap();
+    let r = exec::execute(&db, "DELETE FROM doc-chapter WHERE doc_no = 1").unwrap();
     // doc + its 3 chapters
     assert_eq!(r, DmlResult::Deleted(4));
-    assert!(db.query("SELECT ALL FROM doc WHERE doc_no = 1").unwrap().is_empty());
+    assert!(exec::query(&db, "SELECT ALL FROM doc WHERE doc_no = 1").unwrap().is_empty());
     // Chapters of doc 2 untouched.
-    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
     assert_eq!(set.atoms_of("chapter").len(), 3);
 }
 
@@ -62,8 +63,7 @@ fn delete_whole_molecule_disconnects() {
 fn delete_only_component() {
     let db = setup();
     // Remove one chapter from doc 1's molecule; the doc stays.
-    let r = db
-        .execute("DELETE ONLY (chapter) FROM doc-chapter WHERE doc_no = 1 AND chapter.chap_no = 10")
+    let r = exec::execute(&db, "DELETE ONLY (chapter) FROM doc-chapter WHERE doc_no = 1 AND chapter.chap_no = 10")
         .unwrap();
     // Implicit-EXISTS semantics qualify the doc-1 molecule; chapter
     // components of that molecule are deleted when they match? No: ONLY
@@ -71,7 +71,7 @@ fn delete_only_component() {
     // The residual predicate restricted the molecule, not the victims, so
     // all 3 chapters of doc 1 disappear.
     assert_eq!(r, DmlResult::Deleted(3));
-    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
     assert_eq!(set.len(), 1, "doc survives");
     assert_eq!(set.atoms_of("chapter").len(), 0);
 }
@@ -79,11 +79,10 @@ fn delete_only_component() {
 #[test]
 fn modify_attribute_via_statement() {
     let db = setup();
-    let r = db
-        .execute("MODIFY chapter SET pages = 99 WHERE chap_no = 11")
+    let r = exec::execute(&db, "MODIFY chapter SET pages = 99 WHERE chap_no = 11")
         .unwrap();
     assert_eq!(r, DmlResult::Modified(1));
-    let set = db.query("SELECT ALL FROM chapter WHERE chap_no = 11").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM chapter WHERE chap_no = 11").unwrap();
     assert_eq!(set.molecules[0].root.atom.values[2], Value::Int(99));
 }
 
@@ -92,12 +91,12 @@ fn modify_connect_adds_association_both_ways() {
     let db = setup();
     // Chapter 20 currently belongs to doc 2; connect it to doc 1 as well
     // (chapters may be shared — n:m).
-    db.execute(
+    exec::execute(&db, 
         "MODIFY chapter SET doc = CONNECT (SELECT ALL FROM doc WHERE doc_no = 1)
          WHERE chap_no = 20",
     )
     .unwrap();
-    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM doc-chapter WHERE doc_no = 1").unwrap();
     let nos: Vec<i64> = set
         .atoms_of("chapter")
         .iter()
@@ -105,21 +104,21 @@ fn modify_connect_adds_association_both_ways() {
         .collect();
     assert!(nos.contains(&20), "chapter 20 now reachable from doc 1: {nos:?}");
     // Back-reference on the chapter side lists both docs.
-    let set = db.query("SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
     assert_eq!(set.atoms_of("doc").len(), 2);
 }
 
 #[test]
 fn modify_disconnect_removes_association() {
     let db = setup();
-    db.execute(
+    exec::execute(&db, 
         "MODIFY chapter SET doc = DISCONNECT (SELECT ALL FROM doc WHERE doc_no = 2)
          WHERE chap_no = 20",
     )
     .unwrap();
-    let set = db.query("SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM chapter-doc WHERE chap_no = 20").unwrap();
     assert_eq!(set.atoms_of("doc").len(), 0, "chapter 20 disconnected");
-    let set = db.query("SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM doc-chapter WHERE doc_no = 2").unwrap();
     assert_eq!(set.atoms_of("chapter").len(), 2);
 }
 
@@ -127,14 +126,14 @@ fn modify_disconnect_removes_association() {
 fn deleting_shared_component_disconnects_everywhere() {
     let db = setup();
     // Share chapter 20 between both docs, then delete it.
-    db.execute(
+    exec::execute(&db, 
         "MODIFY chapter SET doc = CONNECT (SELECT ALL FROM doc WHERE doc_no = 1)
          WHERE chap_no = 20",
     )
     .unwrap();
-    db.execute("DELETE FROM chapter WHERE chap_no = 20").unwrap();
+    exec::execute(&db, "DELETE FROM chapter WHERE chap_no = 20").unwrap();
     for d in [1, 2] {
-        let set = db.query(&format!("SELECT ALL FROM doc-chapter WHERE doc_no = {d}")).unwrap();
+        let set = exec::query(&db, &format!("SELECT ALL FROM doc-chapter WHERE doc_no = {d}")).unwrap();
         let nos: Vec<i64> = set
             .atoms_of("chapter")
             .iter()
@@ -147,6 +146,6 @@ fn deleting_shared_component_disconnects_everywhere() {
 #[test]
 fn key_violation_through_mql_reported() {
     let db = setup();
-    let err = db.execute("INSERT doc (doc_no: 1, title: 'dup')").unwrap_err();
+    let err = exec::execute(&db, "INSERT doc (doc_no: 1, title: 'dup')").unwrap_err();
     assert!(err.to_string().contains("duplicate key"), "{err}");
 }

@@ -3,6 +3,7 @@
 //! layer's accounting is observable and consistent.
 
 use prima_workloads::brep::{self, BrepConfig};
+use prima_workloads::exec;
 use std::sync::atomic::Ordering;
 
 #[test]
@@ -16,7 +17,7 @@ fn one_query_touches_every_layer() {
 
     // Data system: molecule-set in, atoms out.
     let (set, trace) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 5").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 5").unwrap();
 
     // Layer 1 — data system: one molecule of 79 atoms.
     assert_eq!(set.len(), 1);
@@ -47,9 +48,9 @@ fn warm_repeat_stays_in_upper_layers() {
     let db = brep::open_db(8 << 20).unwrap();
     brep::populate(&db, &BrepConfig::with_solids(5)).unwrap();
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2";
-    let _ = db.query(q).unwrap();
+    let _ = exec::query(&db, q).unwrap();
     db.storage().io_stats().reset();
-    let _ = db.query(q).unwrap();
+    let _ = exec::query(&db, q).unwrap();
     let io = db.storage().io_stats().snapshot();
     assert_eq!(io.block_reads, 0, "warm repeat must not touch the device");
 }
@@ -60,10 +61,10 @@ fn per_layer_counters_scale_with_molecule_count() {
     brep::populate(&db, &BrepConfig::with_solids(12)).unwrap();
     db.access().stats().reset();
     let (_, trace1) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1").unwrap();
     let one = trace1.atoms_fetched;
     let (_, trace_all) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0").unwrap();
     assert_eq!(trace_all.molecules, 12);
     assert!(
         trace_all.atoms_fetched >= 12 * one,

@@ -4,6 +4,7 @@
 //! answer; structures can be created and dropped at any time.
 
 use prima::datasys::RootAccess;
+use prima_workloads::exec;
 use prima_workloads::brep::{self, BrepConfig};
 use prima_workloads::map::{self, MapConfig};
 
@@ -12,10 +13,10 @@ fn access_path_changes_trace_not_answer() {
     let db = map::open_db(16 << 20).unwrap();
     map::populate(&db, &MapConfig { sheets: 1, grid: 10, seed: 3 }).unwrap();
     let q = "SELECT ALL FROM region WHERE area >= 100.0";
-    let (before, t_before) = db.query_traced(q).unwrap();
+    let (before, t_before) = exec::query_traced(&db, q).unwrap();
     assert_eq!(t_before.root_access, RootAccess::TypeScan);
     db.ldl("CREATE ACCESS PATH ap_area ON region (area)").unwrap();
-    let (after, t_after) = db.query_traced(q).unwrap();
+    let (after, t_after) = exec::query_traced(&db, q).unwrap();
     assert!(
         matches!(t_after.root_access, RootAccess::AccessPath { .. }),
         "got {:?}",
@@ -24,7 +25,7 @@ fn access_path_changes_trace_not_answer() {
     assert_eq!(before.molecules, after.molecules);
     // Drop it again: back to the scan, same answer.
     db.ldl("DROP STRUCTURE ap_area").unwrap();
-    let (dropped, t_dropped) = db.query_traced(q).unwrap();
+    let (dropped, t_dropped) = exec::query_traced(&db, q).unwrap();
     assert_eq!(t_dropped.root_access, RootAccess::TypeScan);
     assert_eq!(before.molecules, dropped.molecules);
 }
@@ -34,9 +35,9 @@ fn partition_changes_trace_not_answer() {
     let db = map::open_db(16 << 20).unwrap();
     map::populate(&db, &MapConfig { sheets: 1, grid: 8, seed: 3 }).unwrap();
     let q = "SELECT region_no FROM region WHERE land_use = 'forest'";
-    let before = db.query(q).unwrap();
+    let before = exec::query(&db, q).unwrap();
     db.ldl("CREATE PARTITION p ON region (region_no, land_use)").unwrap();
-    let (after, trace) = db.query_traced(q).unwrap();
+    let (after, trace) = exec::query_traced(&db, q).unwrap();
     assert!(matches!(trace.root_access, RootAccess::PartitionScan { .. }));
     assert_eq!(before.molecules, after.molecules);
 }
@@ -46,9 +47,9 @@ fn cluster_changes_trace_not_answer() {
     let db = brep::open_db(16 << 20).unwrap();
     brep::populate(&db, &BrepConfig::with_solids(6)).unwrap();
     let q = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 4";
-    let before = db.query(q).unwrap();
+    let before = exec::query(&db, q).unwrap();
     db.ldl("CREATE ATOM_CLUSTER cl ON brep (faces, edges, points) PAGESIZE 2K").unwrap();
-    let (after, trace) = db.query_traced(q).unwrap();
+    let (after, trace) = exec::query_traced(&db, q).unwrap();
     assert_eq!(trace.cluster_used.as_deref(), Some("cl"));
     assert_eq!(before.molecules, after.molecules);
 }
@@ -89,7 +90,7 @@ fn structures_maintained_across_inserts_and_deletes() {
     )
     .unwrap();
     // New atom appears in every structure.
-    let sheet = db.query("SELECT ALL FROM sheet WHERE sheet_no = 1").unwrap().molecules[0]
+    let sheet = exec::query(&db, "SELECT ALL FROM sheet WHERE sheet_no = 1").unwrap().molecules[0]
         .root
         .atom
         .id;
@@ -103,13 +104,13 @@ fn structures_maintained_across_inserts_and_deletes() {
         ],
     )
     .unwrap();
-    let (set, trace) = db.query_traced("SELECT ALL FROM region WHERE region_no = 999").unwrap();
+    let (set, trace) = exec::query_traced(&db, "SELECT ALL FROM region WHERE region_no = 999").unwrap();
     assert!(matches!(trace.root_access, RootAccess::AccessPath { .. } | RootAccess::KeyLookup { .. }));
     assert_eq!(set.len(), 1);
     assert_eq!(db.access().sort_order("so").unwrap().len(), 17);
     // Delete removes it everywhere.
-    db.execute("DELETE FROM region WHERE region_no = 999").unwrap();
-    let set = db.query("SELECT ALL FROM region WHERE region_no = 999").unwrap();
+    exec::execute(&db, "DELETE FROM region WHERE region_no = 999").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM region WHERE region_no = 999").unwrap();
     assert!(set.is_empty());
     assert_eq!(db.access().sort_order("so").unwrap().len(), 16);
 }

@@ -2,6 +2,7 @@
 //! redundancy, update cost and (a)symmetry behave as the paper describes.
 
 use prima_workloads::modeling::{build, ModelingApproach};
+use prima_workloads::exec;
 
 #[test]
 fn hierarchical_modeling_is_redundant() {
@@ -48,12 +49,12 @@ fn only_mad_answers_the_symmetric_query() {
     // "looking from points to all corresponding edges and faces is not
     // possible in the hierarchical example".
     let (mdb, _) = build(ModelingApproach::MadDirect, 1).unwrap();
-    let set = mdb.query("SELECT ALL FROM point-edge WHERE point_id <> EMPTY").unwrap();
+    let set = exec::query(&mdb, "SELECT ALL FROM point-edge WHERE point_id <> EMPTY").unwrap();
     assert_eq!(set.len(), 8);
     assert!(set.molecules.iter().all(|m| m.root.children.len() == 3));
 
     let (hdb, _) = build(ModelingApproach::HierarchicalRedundant, 1).unwrap();
-    let set = hdb.query("SELECT ALL FROM hpoint-hedge WHERE point_no = 1").unwrap();
+    let set = exec::query(&hdb, "SELECT ALL FROM hpoint-hedge WHERE point_no = 1").unwrap();
     // The copy sees only its owning edge.
     assert_eq!(set.molecules[0].root.children.len(), 1);
 }

@@ -3,6 +3,7 @@
 //! molecules), and error reporting.
 
 use prima::{Prima, Value};
+use prima_workloads::exec;
 
 const DDL: &str = "
 CREATE ATOM_TYPE team
@@ -54,16 +55,13 @@ fn setup() -> Prima {
 #[test]
 fn or_and_not_in_where() {
     let db = setup();
-    let set = db
-        .query("SELECT ALL FROM team WHERE team_no = 0 OR team_no = 3")
+    let set = exec::query(&db, "SELECT ALL FROM team WHERE team_no = 0 OR team_no = 3")
         .unwrap();
     assert_eq!(set.len(), 2);
-    let set = db
-        .query("SELECT ALL FROM team WHERE NOT city = 'brighton'")
+    let set = exec::query(&db, "SELECT ALL FROM team WHERE NOT city = 'brighton'")
         .unwrap();
     assert_eq!(set.len(), 2);
-    let set = db
-        .query("SELECT ALL FROM team WHERE city = 'brighton' AND NOT team_no = 1")
+    let set = exec::query(&db, "SELECT ALL FROM team WHERE city = 'brighton' AND NOT team_no = 1")
         .unwrap();
     assert_eq!(set.len(), 1);
     assert_eq!(set.molecules[0].root.atom.values[1], Value::Int(3));
@@ -73,9 +71,8 @@ fn or_and_not_in_where() {
 fn non_root_comparison_is_existential() {
     let db = setup();
     // Teams having at least one member older than 45.
-    let set = db.query("SELECT ALL FROM team-person WHERE person.age > 45").unwrap();
-    let expected: usize = db
-        .query("SELECT ALL FROM team-person WHERE team_no >= 0")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE person.age > 45").unwrap();
+    let expected: usize = exec::query(&db, "SELECT ALL FROM team-person WHERE team_no >= 0")
         .unwrap()
         .molecules
         .iter()
@@ -90,14 +87,12 @@ fn non_root_comparison_is_existential() {
 fn for_all_quantifier_semantics() {
     let db = setup();
     // ALL members at least 20 — true everywhere.
-    let set = db
-        .query("SELECT ALL FROM team-person WHERE ALL person: person.age >= 20")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE ALL person: person.age >= 20")
         .unwrap();
     assert_eq!(set.len(), 4);
     // ALL members younger than 40 — only teams whose member set avoids
     // the older people.
-    let set = db
-        .query("SELECT ALL FROM team-person WHERE ALL person: person.age < 40")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE ALL person: person.age < 40")
         .unwrap();
     for m in &set.molecules {
         for p in m.atoms_of_node(1) {
@@ -109,11 +104,10 @@ fn for_all_quantifier_semantics() {
 #[test]
 fn exists_at_least_counts_members() {
     let db = setup();
-    let set = db
-        .query("SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (4) person: person.age >= 20")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (4) person: person.age >= 20")
         .unwrap();
     // Teams with >= 4 members (all ages >= 20).
-    let all = db.query("SELECT ALL FROM team-person WHERE team_no >= 0").unwrap();
+    let all = exec::query(&db, "SELECT ALL FROM team-person WHERE team_no >= 0").unwrap();
     let expected =
         all.molecules.iter().filter(|m| m.atoms_of_node(1).len() >= 4).count();
     assert_eq!(set.len(), expected);
@@ -124,8 +118,7 @@ fn ref_to_ref_comparison() {
     let db = setup();
     // Teams where some member's age equals 3*p_no + 20 of another… keep
     // it simple: person.age > person.p_no always holds (age = 20 + 3p).
-    let set = db
-        .query("SELECT ALL FROM team-person WHERE person.age > person.p_no")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE person.age > person.p_no")
         .unwrap();
     assert_eq!(set.len(), 4);
 }
@@ -133,7 +126,7 @@ fn ref_to_ref_comparison() {
 #[test]
 fn overlapping_molecules_share_atoms() {
     let db = setup();
-    let set = db.query("SELECT ALL FROM team-person WHERE team_no >= 0").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE team_no >= 0").unwrap();
     let mut seen = std::collections::HashMap::new();
     for m in &set.molecules {
         for a in m.atoms_of_node(1) {
@@ -158,8 +151,7 @@ fn overlapping_molecules_share_atoms() {
 #[test]
 fn projection_of_component_attribute() {
     let db = setup();
-    let set = db
-        .query("SELECT team_no, person.name FROM team-person WHERE team_no = 1")
+    let set = exec::query(&db, "SELECT team_no, person.name FROM team-person WHERE team_no = 1")
         .unwrap();
     let m = &set.molecules[0];
     assert!(matches!(m.root.atom.values[1], Value::Int(1)));
@@ -173,10 +165,9 @@ fn projection_of_component_attribute() {
 #[test]
 fn empty_results_are_not_errors() {
     let db = setup();
-    let set = db.query("SELECT ALL FROM team WHERE team_no = 999").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM team WHERE team_no = 999").unwrap();
     assert!(set.is_empty());
-    let set = db
-        .query("SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (99) person: person.age > 0")
+    let set = exec::query(&db, "SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (99) person: person.age > 0")
         .unwrap();
     assert!(set.is_empty());
 }
@@ -184,12 +175,11 @@ fn empty_results_are_not_errors() {
 #[test]
 fn helpful_validation_errors() {
     let db = setup();
-    let err = db.query("SELECT ALL FROM team-widget").unwrap_err();
+    let err = exec::query(&db, "SELECT ALL FROM team-widget").unwrap_err();
     assert!(err.to_string().contains("widget"), "{err}");
-    let err = db.query("SELECT ALL FROM team WHERE colour = 1").unwrap_err();
+    let err = exec::query(&db, "SELECT ALL FROM team WHERE colour = 1").unwrap_err();
     assert!(err.to_string().contains("colour"), "{err}");
-    let err = db
-        .query("SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (1) nosuch: nosuch.age > 1")
+    let err = exec::query(&db, "SELECT ALL FROM team-person WHERE EXISTS_AT_LEAST (1) nosuch: nosuch.age > 1")
         .unwrap_err();
     assert!(err.to_string().contains("nosuch"), "{err}");
 }
@@ -213,15 +203,13 @@ fn seed_level_addressing_beyond_zero() {
     let _root = db
         .insert("n", &[("v", Value::Int(1)), ("kids", Value::ref_set(vec![mid]))])
         .unwrap();
-    let set = db.query("SELECT ALL FROM tree WHERE tree (0).v = 1").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM tree WHERE tree (0).v = 1").unwrap();
     assert_eq!(set.molecules[0].depth(), 2);
     // Residual on level 2: only molecules whose level-2 set contains v=3.
-    let set = db
-        .query("SELECT ALL FROM tree WHERE tree (0).v = 1 AND tree (2).v = 3")
+    let set = exec::query(&db, "SELECT ALL FROM tree WHERE tree (0).v = 1 AND tree (2).v = 3")
         .unwrap();
     assert_eq!(set.len(), 1);
-    let set = db
-        .query("SELECT ALL FROM tree WHERE tree (0).v = 1 AND tree (2).v = 99")
+    let set = exec::query(&db, "SELECT ALL FROM tree WHERE tree (0).v = 1 AND tree (2).v = 99")
         .unwrap();
     assert!(set.is_empty());
 }

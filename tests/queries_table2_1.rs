@@ -2,6 +2,7 @@
 //! against a generated BREP database (Fig. 2.3 schema, verbatim).
 
 use prima::datasys::RootAccess;
+use prima_workloads::exec;
 use prima::Value;
 use prima_workloads::brep::{self, BrepConfig};
 
@@ -14,8 +15,7 @@ fn db_with(n: usize) -> (prima::Prima, prima_workloads::BrepStats) {
 #[test]
 fn t2_1a_vertical_access_network_molecule() {
     let (db, _) = db_with(4);
-    let set = db
-        .query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2 (* qualification *)")
+    let set = exec::query(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2 (* qualification *)")
         .unwrap();
     assert_eq!(set.len(), 1, "key qualification yields one molecule");
     let m = &set.molecules[0];
@@ -35,7 +35,7 @@ fn t2_1a_vertical_access_network_molecule() {
 fn t2_1a_uses_key_lookup() {
     let (db, _) = db_with(2);
     let (_, trace) =
-        db.query_traced("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1").unwrap();
+        exec::query_traced(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1").unwrap();
     assert!(
         matches!(trace.root_access, RootAccess::KeyLookup { .. }),
         "brep_no is KEYS_ARE; got {:?}",
@@ -47,8 +47,7 @@ fn t2_1a_uses_key_lookup() {
 fn t2_1b_recursive_molecule_with_seed() {
     let (db, stats) = db_with(4);
     let root = stats.root_solid_nos[0];
-    let set = db
-        .query(&format!(
+    let set = exec::query(&db, &format!(
             "SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = {root} (* seed *)"
         ))
         .unwrap();
@@ -68,15 +67,14 @@ fn t2_1b_recursive_molecule_with_seed() {
 #[test]
 fn t2_1b_missing_seed_is_rejected() {
     let (db, _) = db_with(2);
-    let err = db.query("SELECT ALL FROM piece_list").unwrap_err();
+    let err = exec::query(&db, "SELECT ALL FROM piece_list").unwrap_err();
     assert!(err.to_string().contains("seed"), "got: {err}");
 }
 
 #[test]
 fn t2_1c_horizontal_access_with_projection() {
     let (db, stats) = db_with(4);
-    let set = db
-        .query("SELECT solid_no, description FROM solid WHERE sub = EMPTY")
+    let set = exec::query(&db, "SELECT solid_no, description FROM solid WHERE sub = EMPTY")
         .unwrap();
     // Only base solids have no sub-parts.
     assert_eq!(set.len(), stats.base_solid_nos.len());
@@ -94,8 +92,7 @@ fn t2_1d_quantifier_and_qualified_projection() {
     let (db, _) = db_with(3);
     // All edges of box 1 are longer than 1.0 (extents start at 1.0), so
     // the quantified restriction holds; faces are filtered by area.
-    let set = db
-        .query(
+    let set = exec::query(&db, 
             "SELECT edge, (point, face := SELECT face_id, square_dim FROM face WHERE square_dim > 10.0)
              FROM brep-edge (face, point)
              WHERE brep_no = 1 AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0",
@@ -119,8 +116,7 @@ fn t2_1d_quantifier_and_qualified_projection() {
 fn t2_1d_quantifier_can_reject() {
     let (db, _) = db_with(2);
     // No edge is longer than 1000: the quantified restriction fails.
-    let set = db
-        .query(
+    let set = exec::query(&db, 
             "SELECT ALL FROM brep-edge (face, point)
              WHERE brep_no = 1 AND EXISTS_AT_LEAST (2) edge: edge.length > 1000.0",
         )
@@ -133,7 +129,7 @@ fn symmetric_traversal_inverse_direction() {
     // "looking from points to all corresponding edges and faces is not
     // possible in the hierarchical example" — it is in MAD.
     let (db, _) = db_with(1);
-    let set = db.query("SELECT ALL FROM point-edge-face WHERE point_id <> EMPTY").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM point-edge-face WHERE point_id <> EMPTY").unwrap();
     assert_eq!(set.len(), 8, "eight corners");
     for m in &set.molecules {
         assert_eq!(m.root.children.len(), 3, "each corner joins 3 edges");
@@ -144,7 +140,7 @@ fn symmetric_traversal_inverse_direction() {
 fn scaling_molecule_sizes() {
     for n in [1usize, 4, 16] {
         let (db, _) = db_with(n);
-        let set = db.query("SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0").unwrap();
+        let set = exec::query(&db, "SELECT ALL FROM brep-face-edge-point WHERE brep_no > 0").unwrap();
         assert_eq!(set.len(), n);
         assert!(set.molecules.iter().all(|m| m.atom_count() == 79));
     }

@@ -1,0 +1,394 @@
+//! Crash-recovery kill-point harness.
+//!
+//! A "crash" is `std::mem::forget` of the kernel (no destructors: no
+//! rollback, no flush — exactly a process kill), after which the database
+//! is reopened from what survived on the device: flushed pages, the
+//! metadata snapshot and the *forced* WAL prefix. Both device backends
+//! are exercised: a shared [`SimDisk`] `Arc` plays the surviving medium
+//! in-memory, and [`FileDisk`] proves the same against real files.
+//!
+//! Kill points covered (ISSUE 3 acceptance):
+//!   * no checkpoint since build (redo from the initial snapshot),
+//!   * mid-transaction (loser rolled back),
+//!   * post-commit-pre-flush (redo makes the commit win),
+//!   * after in-process rollback (no resurrection),
+//!   * after checkpoint + more commits (bounded redo),
+//!   * a proptest-style randomized interleaving of INSERT / MODIFY /
+//!     DELETE with commits at random positions.
+
+use prima::{Prima, QueryOptions, Value};
+use prima_storage::{BlockDevice, SimDisk};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const DDL: &str = "
+    CREATE ATOM_TYPE part (
+        part_id : IDENTIFIER,
+        part_no : INTEGER,
+        name    : CHAR_VAR )
+    KEYS_ARE (part_no);
+";
+
+fn build_on(device: Arc<dyn BlockDevice>) -> Prima {
+    Prima::builder()
+        .buffer_bytes(1 << 20)
+        .device(device)
+        .durable()
+        .build_with_ddl(DDL)
+        .unwrap()
+}
+
+/// The kill switch: drop nothing, run no destructors.
+fn crash(db: Prima) {
+    std::mem::forget(db);
+}
+
+fn part_nos(db: &Prima) -> Vec<i64> {
+    let set = db
+        .session()
+        .query("SELECT ALL FROM part", &QueryOptions::default())
+        .unwrap()
+        .set;
+    let mut nos: Vec<i64> = set
+        .molecules
+        .iter()
+        .map(|m| match &m.root.atom.values[1] {
+            Value::Int(n) => *n,
+            v => panic!("part_no should be Int, got {v:?}"),
+        })
+        .collect();
+    nos.sort_unstable();
+    nos
+}
+
+fn names_by_no(db: &Prima) -> BTreeMap<i64, String> {
+    let set = db
+        .session()
+        .query("SELECT ALL FROM part", &QueryOptions::default())
+        .unwrap()
+        .set;
+    set.molecules
+        .iter()
+        .map(|m| {
+            let v = &m.root.atom.values;
+            let no = match &v[1] {
+                Value::Int(n) => *n,
+                other => panic!("part_no should be Int, got {other:?}"),
+            };
+            let name = match &v[2] {
+                Value::Str(s) => s.clone(),
+                other => panic!("name should be Str, got {other:?}"),
+            };
+            (no, name)
+        })
+        .collect()
+}
+
+fn insert_parts(db: &Prima, nos: std::ops::Range<i64>) {
+    let s = db.session();
+    for n in nos {
+        s.execute(&format!("INSERT part (part_no: {n}, name: 'p{n}')")).unwrap();
+    }
+    s.commit().unwrap();
+}
+
+#[test]
+fn committed_work_survives_crash_without_checkpoint() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..25);
+    // Kill point: nothing flushed since the initial (empty) checkpoint —
+    // every committed page lives only in WAL redo records.
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), (0..25).collect::<Vec<_>>());
+}
+
+#[test]
+fn mid_transaction_crash_rolls_the_loser_back() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..5);
+    // An open transaction: inserts, a modify and a delete — never
+    // committed. Forgetting the session skips even the in-process abort.
+    let s = db.session();
+    s.execute("INSERT part (part_no: 100, name: 'phantom')").unwrap();
+    s.execute("MODIFY part SET name = 'mutated' WHERE part_no = 2").unwrap();
+    s.execute("DELETE FROM part WHERE part_no = 4").unwrap();
+    // Force the txn's WAL records out as a flush would (steal): even a
+    // durable *prefix* of a loser must roll back cleanly.
+    db.storage().flush().unwrap();
+    std::mem::forget(s);
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), vec![0, 1, 2, 3, 4], "loser fully undone");
+    assert_eq!(names_by_no(&db)[&2], "p2", "modify rolled back");
+}
+
+#[test]
+fn commit_then_crash_before_any_flush() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    // Two committed transactions, one open one, then the kill point
+    // right after the second commit returns (pages still dirty).
+    insert_parts(&db, 0..10);
+    let s = db.session();
+    s.execute("MODIFY part SET name = 'renamed' WHERE part_no = 7").unwrap();
+    s.commit().unwrap();
+    s.execute("INSERT part (part_no: 999, name: 'uncommitted')").unwrap();
+    std::mem::forget(s);
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), (0..10).collect::<Vec<_>>());
+    assert_eq!(names_by_no(&db)[&7], "renamed", "committed modify redone");
+}
+
+#[test]
+fn rolled_back_work_stays_dead_after_crash() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..3);
+    let s = db.session();
+    s.execute("INSERT part (part_no: 50, name: 'ghost')").unwrap();
+    s.rollback().unwrap();
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), vec![0, 1, 2]);
+    // The key is free again after recovery.
+    let s = db.session();
+    s.execute("INSERT part (part_no: 50, name: 'reborn')").unwrap();
+    s.commit().unwrap();
+    assert_eq!(part_nos(&db), vec![0, 1, 2, 50]);
+}
+
+#[test]
+fn checkpoint_bounds_redo_and_preserves_later_commits() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..20);
+    db.checkpoint().unwrap();
+    insert_parts(&db, 20..30);
+    let s = db.session();
+    s.execute("DELETE FROM part WHERE part_no = 0").unwrap();
+    s.commit().unwrap();
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), (1..30).collect::<Vec<_>>());
+}
+
+#[test]
+fn checkpoint_requires_quiesced_kernel() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(device);
+    let s = db.session();
+    s.execute("INSERT part (part_no: 1, name: 'open')").unwrap();
+    assert!(db.checkpoint().is_err(), "active transaction blocks checkpoint");
+    s.commit().unwrap();
+    db.checkpoint().unwrap();
+}
+
+#[test]
+fn volatile_kernel_rejects_checkpoint() {
+    let db = Prima::builder().build_with_ddl(DDL).unwrap();
+    assert!(!db.is_durable());
+    assert!(db.checkpoint().is_err());
+}
+
+#[test]
+fn surrogates_of_deleted_atoms_are_not_reused_after_recovery() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..3);
+    // Capture the highest surrogate, then delete its atom and crash: a
+    // rescan alone cannot see the deleted atom's id any more.
+    let max_seq = |db: &Prima| {
+        db.session()
+            .query("SELECT ALL FROM part", &QueryOptions::default())
+            .unwrap()
+            .set
+            .molecules
+            .iter()
+            .map(|m| match &m.root.atom.values[0] {
+                Value::Id(id) => id.seq,
+                v => panic!("identifier expected, got {v:?}"),
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let before = max_seq(&db);
+    let s = db.session();
+    s.execute("DELETE FROM part WHERE part_no = 2").unwrap();
+    s.commit().unwrap();
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    let s = db.session();
+    s.execute("INSERT part (part_no: 9, name: 'after-crash')").unwrap();
+    s.commit().unwrap();
+    assert!(
+        max_seq(&db) > before,
+        "surrogates are never reused: new atom got seq {} <= pre-crash max {before}",
+        max_seq(&db)
+    );
+}
+
+#[test]
+fn reopened_kernel_accepts_new_work_and_recovers_again() {
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    insert_parts(&db, 0..5);
+    crash(db);
+    // First recovery, more committed work, second crash, second recovery:
+    // surrogate counters and page allocation must continue seamlessly.
+    let db = Prima::open_device(Arc::clone(&device)).unwrap();
+    insert_parts(&db, 5..10);
+    let before = names_by_no(&db);
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(part_nos(&db), (0..10).collect::<Vec<_>>());
+    assert_eq!(names_by_no(&db), before);
+}
+
+#[test]
+fn file_disk_database_survives_process_style_crash() {
+    let dir = std::env::temp_dir().join(format!("prima-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    struct Guard(std::path::PathBuf);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let guard = Guard(dir.clone());
+
+    let db = Prima::builder()
+        .buffer_bytes(1 << 20)
+        .path(&dir)
+        .unwrap()
+        .build_with_ddl(DDL)
+        .unwrap();
+    assert!(db.is_durable());
+    insert_parts(&db, 0..40);
+    let s = db.session();
+    s.execute("INSERT part (part_no: 777, name: 'loser')").unwrap();
+    std::mem::forget(s);
+    crash(db);
+
+    // Reopen purely from the directory — a genuinely new "process view".
+    let db = Prima::open(&dir).unwrap();
+    assert_eq!(part_nos(&db), (0..40).collect::<Vec<_>>());
+    // And the database keeps working durably after recovery.
+    insert_parts(&db, 40..45);
+    drop(db);
+    let db = Prima::open(&dir).unwrap();
+    assert_eq!(part_nos(&db), (0..45).collect::<Vec<_>>());
+    drop(db);
+    drop(guard);
+}
+
+// ---------------------------------------------------------------------
+// Randomized interleaving: a model-checked kill point
+// ---------------------------------------------------------------------
+
+/// One scripted step against both the kernel and an in-memory model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(i64),
+    Modify(i64),
+    Delete(i64),
+    Commit,
+}
+
+fn run_random_case(seed: u64, steps: usize) {
+    // Deterministic splitmix64 stream per seed.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+
+    let device: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let db = build_on(Arc::clone(&device));
+    // committed = model of the database at the last commit;
+    // pending = model including the open transaction.
+    let mut committed: BTreeMap<i64, String> = BTreeMap::new();
+    let mut pending = committed.clone();
+    let session = db.session();
+    let mut version = 0u64;
+
+    for step in 0..steps {
+        let roll = next() % 100;
+        let op = if roll < 40 {
+            Op::Insert((next() % 64) as i64)
+        } else if roll < 60 {
+            Op::Modify((next() % 64) as i64)
+        } else if roll < 75 {
+            Op::Delete((next() % 64) as i64)
+        } else {
+            Op::Commit
+        };
+        match op {
+            Op::Insert(no) => {
+                let r = session.execute(&format!(
+                    "INSERT part (part_no: {no}, name: 'v{version}')"
+                ));
+                match pending.entry(no) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        assert!(r.is_err(), "step {step}: duplicate key {no} must fail");
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        r.unwrap();
+                        e.insert(format!("v{version}"));
+                    }
+                }
+                version += 1;
+            }
+            Op::Modify(no) => {
+                if let Some(name) = pending.get_mut(&no) {
+                    session
+                        .execute(&format!(
+                            "MODIFY part SET name = 'm{version}' WHERE part_no = {no}"
+                        ))
+                        .unwrap();
+                    *name = format!("m{version}");
+                    version += 1;
+                }
+            }
+            Op::Delete(no) => {
+                if pending.contains_key(&no) {
+                    session
+                        .execute(&format!("DELETE FROM part WHERE part_no = {no}"))
+                        .unwrap();
+                    pending.remove(&no);
+                }
+            }
+            Op::Commit => {
+                session.commit().unwrap();
+                committed = pending.clone();
+                // Occasionally flush to exercise steal/WAL-before-data.
+                if next() % 4 == 0 {
+                    db.storage().flush().unwrap();
+                }
+            }
+        }
+    }
+
+    // Kill point: whatever was not committed must vanish.
+    std::mem::forget(session);
+    crash(db);
+    let db = Prima::open_device(device).unwrap();
+    assert_eq!(
+        names_by_no(&db),
+        committed,
+        "seed {seed}: recovered state must equal the committed prefix"
+    );
+}
+
+#[test]
+fn randomized_interleavings_recover_to_committed_prefix() {
+    for case in 0u64..12 {
+        run_random_case(0xc0ffee ^ (case * 0x9e37_79b9), 80);
+    }
+}

@@ -3,6 +3,7 @@
 //! and transactional sessions with explicit commit/rollback.
 
 use prima::datasys::RootAccess;
+use prima_workloads::exec;
 use prima::{AssemblyMode, Prima, PrimaError, QueryOptions, Value};
 use prima_workloads::brep::{self, BrepConfig};
 
@@ -26,8 +27,7 @@ fn prepared_reexecution_matches_one_shot_query() {
     for n in 1..=4i64 {
         stmt.bind(&[Value::Int(n)]).unwrap();
         let prepared = stmt.query(&QueryOptions::new().traced()).unwrap();
-        let one_shot = db
-            .query(&format!("SELECT ALL FROM brep-face-edge-point WHERE brep_no = {n}"))
+        let one_shot = exec::query(&db, &format!("SELECT ALL FROM brep-face-edge-point WHERE brep_no = {n}"))
             .unwrap();
         assert_eq!(prepared.set.molecules, one_shot.molecules, "brep_no = {n}");
         // Binding must not demote the plan: brep_no is KEYS_ARE, so the
@@ -140,7 +140,7 @@ fn prepared_dml_insert_with_parameters() {
         ins.execute().unwrap().dml().unwrap();
     }
     session.commit().unwrap();
-    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no >= 9001").unwrap().len(), 2);
+    assert_eq!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no >= 9001").unwrap().len(), 2);
     // Type checking covers DML assignment positions too.
     assert!(matches!(
         ins.bind(&[Value::Str("oops".into()), Value::Str("d".into())]),
@@ -152,8 +152,8 @@ fn prepared_dml_insert_with_parameters() {
 fn prepared_modify_binds_params_inside_connect_subqueries() {
     let db = brep_db(1);
     let session = db.session();
-    db.execute("INSERT solid (solid_no: 500, description: 'parent')").unwrap();
-    db.execute("INSERT solid (solid_no: 501, description: 'child')").unwrap();
+    exec::execute(&db, "INSERT solid (solid_no: 500, description: 'parent')").unwrap();
+    exec::execute(&db, "INSERT solid (solid_no: 501, description: 'child')").unwrap();
     let mut conn = session
         .prepare(
             "MODIFY solid SET sub = CONNECT (SELECT ALL FROM solid WHERE solid_no = ?)
@@ -163,7 +163,7 @@ fn prepared_modify_binds_params_inside_connect_subqueries() {
     conn.bind_named(&[("?1", Value::Int(501)), ("t", Value::Int(500))]).unwrap();
     conn.execute().unwrap().dml().unwrap();
     session.commit().unwrap();
-    let set = db.query("SELECT ALL FROM solid.sub-solid WHERE solid_no = 500").unwrap();
+    let set = exec::query(&db, "SELECT ALL FROM solid.sub-solid WHERE solid_no = 500").unwrap();
     assert_eq!(
         set.molecules[0].atom_count(),
         2,
@@ -209,17 +209,17 @@ fn session_rollback_undoes_dml() {
     let session = db.session();
     session.execute("INSERT solid (solid_no: 7777, description: 'doomed')").unwrap();
     // Read-your-own-writes before commit.
-    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().len(), 1);
+    assert_eq!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().len(), 1);
     session.rollback().unwrap();
-    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().is_empty());
+    assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().is_empty());
 
     // Rollback also restores modified and deleted atoms.
-    db.execute("INSERT solid (solid_no: 8888, description: 'keeper')").unwrap();
+    exec::execute(&db, "INSERT solid (solid_no: 8888, description: 'keeper')").unwrap();
     session.execute("MODIFY solid SET description = 'scribbled' WHERE solid_no = 8888").unwrap();
     session.execute("DELETE FROM solid WHERE solid_no = 8888").unwrap();
-    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 8888").unwrap().is_empty());
+    assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 8888").unwrap().is_empty());
     session.rollback().unwrap();
-    let survived = db.query("SELECT ALL FROM solid WHERE solid_no = 8888").unwrap();
+    let survived = exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 8888").unwrap();
     assert_eq!(survived.len(), 1);
     assert_eq!(
         survived.molecules[0].root.atom.values[2],
@@ -238,8 +238,8 @@ fn session_commit_chains_transactions() {
     // the committed work.
     session.execute("INSERT solid (solid_no: 101, description: 'b')").unwrap();
     session.rollback().unwrap();
-    assert_eq!(db.query("SELECT ALL FROM solid WHERE solid_no = 100").unwrap().len(), 1);
-    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 101").unwrap().is_empty());
+    assert_eq!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 100").unwrap().len(), 1);
+    assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 101").unwrap().is_empty());
     assert_eq!(db.txn_manager().active_count(), 0, "commit/rollback leave nothing behind");
 }
 
@@ -250,7 +250,7 @@ fn dropping_an_uncommitted_session_rolls_back() {
         let session = db.session();
         session.execute("INSERT solid (solid_no: 4242, description: 'ghost')").unwrap();
     } // dropped without commit
-    assert!(db.query("SELECT ALL FROM solid WHERE solid_no = 4242").unwrap().is_empty());
+    assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 4242").unwrap().is_empty());
     assert_eq!(db.txn_manager().active_count(), 0);
 }
 
@@ -301,7 +301,7 @@ const STREAM_Q: &str = "SELECT ALL FROM assembly-part-pt WHERE n >= 0";
 #[test]
 fn cursor_streams_piecewise_and_matches_materialized_query() {
     let db = stream_db(1000);
-    let materialized = db.query(STREAM_Q).unwrap();
+    let materialized = exec::query(&db, STREAM_Q).unwrap();
     assert_eq!(materialized.len(), 1000);
 
     let mut cursor = db.query_cursor(STREAM_Q).unwrap();
@@ -326,9 +326,9 @@ fn cursor_assembles_lazily_and_drop_releases_the_tail() {
     let stats = db.storage().buffer_stats();
 
     // Cost of full materialisation (warm buffer).
-    let _ = db.query(STREAM_Q).unwrap();
+    let _ = exec::query(&db, STREAM_Q).unwrap();
     stats.reset();
-    let _ = db.query(STREAM_Q).unwrap();
+    let _ = exec::query(&db, STREAM_Q).unwrap();
     let full_fixes = stats.detail().fix_calls;
 
     // One chunk of 64 out of 1000 roots: component assembly for the
@@ -350,7 +350,7 @@ fn cursor_assembles_lazily_and_drop_releases_the_tail() {
     assert_eq!(stats.detail().fix_calls, chunk_fixes, "drop fixes nothing further");
     // ...and leaves no page fixed: a full query over the same data still
     // succeeds against the small buffer.
-    let again = db.query(STREAM_Q).unwrap();
+    let again = exec::query(&db, STREAM_Q).unwrap();
     assert_eq!(again.len(), 1000);
 }
 
@@ -386,7 +386,7 @@ fn cursor_respects_residual_qualification() {
     // like in materialised execution.
     let db = stream_db(30);
     let q = "SELECT ALL FROM assembly-part-pt WHERE part.n > 40";
-    let materialized = db.query(q).unwrap();
+    let materialized = exec::query(&db, q).unwrap();
     let mut cursor = db.query_cursor(q).unwrap();
     let streamed = cursor.fetch_all().unwrap();
     assert_eq!(streamed.molecules, materialized.molecules);
