@@ -31,16 +31,12 @@
 //!   (`threads ≥ 1`; `0` is rejected, not clamped) and tracing for any
 //!   of these entry points.
 //!
-//! # Legacy one-shot methods (deprecation path)
-//!
-//! [`Prima::query`], [`Prima::query_traced`], [`Prima::query_with_assembly`],
-//! [`Prima::query_parallel`] and [`Prima::execute`] predate the session
-//! API. They remain as thin auto-commit wrappers — each is exactly
-//! "open a session, run with the equivalent [`QueryOptions`], commit" —
-//! and new code should use [`Prima::session`] directly. See ROADMAP.md
-//! for the removal schedule.
+//! The pre-session one-shot facade (`Prima::query`, `query_traced`,
+//! `query_with_assembly`, `query_parallel`, `execute`) went through a
+//! deprecation cycle and has been **removed**: [`Prima::session`] is the
+//! single query/manipulation path. Auto-commit one-shot convenience for
+//! tests and examples lives in `prima_workloads::exec`.
 
-use crate::datasys::{self, DmlResult, ExecutionTrace, MoleculeSet};
 use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
 use crate::recovery::{self, KernelMeta};
@@ -341,79 +337,10 @@ impl Prima {
         Session::new(Arc::clone(&self.access), Arc::clone(&self.txn), Arc::clone(&self.stats))
     }
 
-    // -----------------------------------------------------------------
-    // Legacy one-shot MQL wrappers (auto-commit; prefer `session()`)
-    // -----------------------------------------------------------------
-
-    /// Runs an MQL `SELECT`, returning the materialised molecule set.
-    /// Thin wrapper: `session().query(mql, &QueryOptions::default())`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use session().query(mql, &QueryOptions::default()) — the one-shot facade is \
-                scheduled for removal (see ROADMAP)"
-    )]
-    pub fn query(&self, mql: &str) -> PrimaResult<MoleculeSet> {
-        Ok(self.session().query(mql, &QueryOptions::default())?.set)
-    }
-
-    /// Runs a `SELECT` and also returns the execution trace. Thin
-    /// wrapper over [`QueryOptions::traced`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use session().query(mql, &QueryOptions::new().traced())"
-    )]
-    pub fn query_traced(&self, mql: &str) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
-        let r = self.session().query(mql, &QueryOptions::new().traced())?;
-        Ok((r.set, r.trace.expect("trace requested")))
-    }
-
-    /// Runs a `SELECT` with an explicit vertical-assembly strategy
-    /// (benchmark/equivalence use). Thin wrapper over
-    /// [`QueryOptions::assembly`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use session().query(mql, &QueryOptions::new().assembly(mode).traced())"
-    )]
-    pub fn query_with_assembly(
-        &self,
-        mql: &str,
-        mode: datasys::AssemblyMode,
-    ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
-        let r = self.session().query(mql, &QueryOptions::new().assembly(mode).traced())?;
-        Ok((r.set, r.trace.expect("trace requested")))
-    }
-
-    /// Runs a `SELECT` with molecule construction decomposed into DUs on
-    /// `threads` workers (semantic parallelism, Section 4). Thin wrapper
-    /// over [`QueryOptions::threads`]; `threads == 0` is rejected at the
-    /// boundary (it was historically clamped to 1 deep in the pool).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use session().query(mql, &QueryOptions::new().threads(n))"
-    )]
-    pub fn query_parallel(&self, mql: &str, threads: usize) -> PrimaResult<MoleculeSet> {
-        Ok(self.session().query(mql, &QueryOptions::new().threads(threads))?.set)
-    }
-
     /// Opens a streaming [`MoleculeCursor`] over a `SELECT` without an
     /// explicit session.
     pub fn query_cursor(&self, mql: &str) -> PrimaResult<MoleculeCursor> {
         self.session().query_cursor(mql, &QueryOptions::default())
-    }
-
-    /// Executes an MQL manipulation statement (`INSERT`/`DELETE`/
-    /// `MODIFY`) in its own immediately-committed transaction. Thin
-    /// wrapper: `session().execute(mql)` + commit.
-    #[deprecated(
-        since = "0.1.0",
-        note = "open a Session: session().execute(mql) + session.commit() makes the \
-                transaction boundary explicit"
-    )]
-    pub fn execute(&self, mql: &str) -> PrimaResult<DmlResult> {
-        let s = self.session();
-        let r = s.execute(mql)?;
-        s.commit()?;
-        Ok(r)
     }
 
     // -----------------------------------------------------------------
@@ -484,10 +411,6 @@ impl Prima {
 }
 
 #[cfg(test)]
-// These unit tests deliberately exercise the deprecated one-shot facade:
-// they pin the wrappers' behaviour (auto-commit, error routing) until the
-// scheduled removal. Everything else has migrated to `Session`.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::datasys::DmlResult;
@@ -518,13 +441,22 @@ mod tests {
     #[test]
     fn query_vs_execute_routing() {
         let d = db();
+        let s = d.session();
         assert!(matches!(
-            d.execute("SELECT ALL FROM thing"),
+            s.execute("SELECT ALL FROM thing"),
             Err(PrimaError::BadStatement(_))
         ));
-        let r = d.execute("INSERT thing (n: 1, s: 'one')").unwrap();
+        assert!(matches!(
+            s.query("INSERT thing (n: 9, s: 'x')", &QueryOptions::default()),
+            Err(PrimaError::BadStatement(_))
+        ));
+        let r = s.execute("INSERT thing (n: 1, s: 'one')").unwrap();
         assert!(matches!(r, DmlResult::Inserted(_)));
-        assert_eq!(d.query("SELECT ALL FROM thing").unwrap().len(), 1);
+        s.commit().unwrap();
+        assert_eq!(
+            d.session().query("SELECT ALL FROM thing", &QueryOptions::default()).unwrap().set.len(),
+            1
+        );
     }
 
     #[test]
@@ -541,30 +473,32 @@ mod tests {
     #[test]
     fn parse_errors_carry_position() {
         let d = db();
-        let err = d.query("SELECT FROM").unwrap_err();
+        let err = d.session().query("SELECT FROM", &QueryOptions::default()).unwrap_err();
         assert!(matches!(err, PrimaError::Parse(_)));
     }
 
     #[test]
     fn zero_threads_rejected_at_the_boundary() {
         let d = db();
+        let s = d.session();
         assert!(matches!(
-            d.query_parallel("SELECT ALL FROM thing", 0),
+            s.query("SELECT ALL FROM thing", &QueryOptions::new().threads(0)),
             Err(PrimaError::BadStatement(_))
         ));
         // 1 = serial is valid.
-        assert!(d.query_parallel("SELECT ALL FROM thing", 1).is_ok());
+        assert!(s.query("SELECT ALL FROM thing", &QueryOptions::new().threads(1)).is_ok());
     }
 
     #[test]
     fn one_shot_rejects_parameter_placeholders() {
         let d = db();
+        let s = d.session();
         assert!(matches!(
-            d.query("SELECT ALL FROM thing WHERE n = ?"),
+            s.query("SELECT ALL FROM thing WHERE n = ?", &QueryOptions::default()),
             Err(PrimaError::UnboundParameter { .. })
         ));
         assert!(matches!(
-            d.execute("INSERT thing (n: :v)"),
+            s.execute("INSERT thing (n: :v)"),
             Err(PrimaError::UnboundParameter { .. })
         ));
     }

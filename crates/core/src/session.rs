@@ -773,6 +773,21 @@ impl MoleculeCursor {
 
     fn next_molecule(&mut self) -> PrimaResult<Option<Molecule>> {
         while let Some(root) = self.roots.pop_front() {
+            // Roots were located at open time; the atom may have been
+            // deleted (e.g. the owning transaction rolled back) or
+            // modified since. Re-read it so the stream never delivers a
+            // stale molecule: vanished roots are skipped, surviving ones
+            // are re-checked against the root qualification.
+            let root = match self.access.read_atom(root.id, None) {
+                Ok(current) => {
+                    if !self.plan.root_ssa.eval(&current) {
+                        continue;
+                    }
+                    current
+                }
+                Err(prima_access::AccessError::NoSuchAtom(_)) => continue,
+                Err(e) => return Err(e.into()),
+            };
             let mut fetched = 0usize;
             let produced = process_root_traced(
                 &self.access,

@@ -456,6 +456,16 @@ impl BufferManager {
         self.shards.iter().map(|s| s.lock().resident()).sum()
     }
 
+    /// Number of frames currently fixed (guard alive). Zero whenever no
+    /// guards are held — tests use this to prove fix/unfix balance (e.g.
+    /// that a dropped cursor leaks no fixes).
+    pub fn fixed_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().frames().filter(|m| m.fix_count > 0).count())
+            .sum()
+    }
+
     /// True if the page is currently buffered (for tests/benches).
     pub fn is_resident(&self, id: PageId) -> bool {
         self.shard(id).lock().get(id).is_some()

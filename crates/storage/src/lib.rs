@@ -60,10 +60,37 @@
 //!   the directory from the snapshot, redo the log tail's page images,
 //!   rebuild access-layer state by scanning, then roll back losers with
 //!   the logged undo payloads.
+//!
+//! ## Fault model: acknowledged vs persisted image
+//!
+//! The durability claims above are *tested*, not asserted, against
+//! [`fault_disk::FaultDisk`] — a [`BlockDevice`] wrapper around either
+//! backend that distinguishes
+//!
+//! * the **acknowledged image** (what the kernel wrote and reads back
+//!   while running: block writes sit in a modelled drive cache) from
+//! * the **persisted image** (what survives a crash). Only a completed
+//!   `sync` drains the cached block writes to the inner device;
+//!   `wal_append` and `write_meta` are synchronous in the real backends
+//!   and persist *their own payload* on return, nothing else.
+//!
+//! A seed-replayable [`fault_disk::FaultSchedule`] picks the crash point
+//! (op count, Nth WAL force, Nth fsync) and the damage: at the crash,
+//! each cached block independently survives or vanishes, the in-flight
+//! operation persists a *prefix* (torn-write granularity: whole blocks
+//! of a chained transfer, leading bytes of a single block merged over
+//! the old contents, leading bytes of a WAL group append), and the torn
+//! log fragment may additionally suffer bit rot (the replay-CRC path).
+//! Completed barriers are honest — a lying fsync is unrecoverable for
+//! any WAL scheme and is out of scope. The crash-consistency harness
+//! (`tests/crash_consistency.rs`, `prima_workloads::crash`) drives
+//! randomized transaction workloads over this wrapper and checks the
+//! recovered database against a committed-prefix oracle.
 
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod fault_disk;
 pub mod file_disk;
 pub mod page;
 pub mod page_seq;
@@ -77,6 +104,7 @@ pub use buffer::{
 };
 pub use disk::{BlockAddr, BlockDevice, CostModel, SimDisk};
 pub use error::{StorageError, StorageResult};
+pub use fault_disk::{CrashPoint, FaultDisk, FaultSchedule};
 pub use file_disk::FileDisk;
 pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};
 pub use page_seq::{PageSeqHandle, PageSequence};

@@ -1,0 +1,417 @@
+//! Randomized crash-consistency workload and committed-prefix oracle.
+//!
+//! One *crash schedule* = one seed. The seed derives a
+//! [`FaultSchedule`] (when the simulated medium dies and how much of the
+//! acknowledged-but-unpersisted state survives — see
+//! `prima_storage::fault_disk`) **and** drives the Session workload that
+//! runs against it: a random interleaving of INSERT / MODIFY / DELETE,
+//! commits, rollbacks, buffer flushes (steal) and checkpoints, mirrored
+//! step by step in an in-memory model.
+//!
+//! When the crash fires (or [`run_crash_schedule`] pulls the plug at the
+//! end of the script), the kernel is discarded, the database is reopened
+//! from the **persisted image** with `Prima::open`-style restart
+//! recovery, and the recovered state is checked against the oracle:
+//!
+//! * **committed prefix** — the recovered database equals the model at
+//!   the last *acknowledged* commit. The only admissible alternative is
+//!   the model at the commit that was *in flight* when the crash hit its
+//!   WAL force (the force may have fully persisted before the medium
+//!   died — the classic "commit returned an error but actually became
+//!   durable" outcome); the recovered state must be exactly one of the
+//!   two, never a frankenstate in between.
+//! * **losers are gone** — uncommitted and rolled-back work is absent.
+//! * **surrogates are never reused** — atoms carry the exact ids the
+//!   model recorded for them, and a post-recovery insert allocates an id
+//!   above everything the durable state ever contained.
+//!
+//! Any violation panics with a one-line reproducer (`seed`, step count
+//! and the command to replay it); the whole run is deterministic from
+//! the seed.
+
+use prima::datasys::DmlResult;
+use prima::{Prima, QueryOptions, Value};
+use prima_storage::{BlockDevice, FaultDisk, FaultSchedule};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Schema of the crash workload: one keyed atom type, like the recovery
+/// kill-point suite — the oracle is about durability, not molecule
+/// semantics.
+pub const CRASH_DDL: &str = "
+    CREATE ATOM_TYPE part (
+        part_id : IDENTIFIER,
+        part_no : INTEGER,
+        name    : CHAR_VAR )
+    KEYS_ARE (part_no);
+";
+
+/// `part_no → (name, surrogate seq)` — one model state.
+type ModelState = BTreeMap<i64, (String, u64)>;
+
+/// What one executed schedule did (for harness-level reporting).
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    pub seed: u64,
+    /// Statements issued before the crash stopped the workload.
+    pub steps_run: usize,
+    /// Commits acknowledged (`commit()` returned `Ok`).
+    pub acked_commits: usize,
+    /// Whether the crash hit while `build_with_ddl` was still running
+    /// (no workload; recovery may legitimately find no database).
+    pub bootstrap_crash: bool,
+    /// Whether the matched state was the in-flight commit rather than
+    /// the last acknowledged one.
+    pub in_flight_won: bool,
+}
+
+fn repro(seed: u64, steps: usize, what: &str, detail: String) -> String {
+    format!(
+        "crash-consistency violation: {what}\n\
+         PRIMA_FUZZ_REPRO: PRIMA_FUZZ_SEED_BASE={seed} PRIMA_FUZZ_SEEDS=1 \
+         PRIMA_FUZZ_OPS={steps} cargo test --test crash_consistency -- --nocapture\n\
+         {detail}"
+    )
+}
+
+/// Reads the full `part` extension as a model state.
+fn observe(db: &Prima) -> ModelState {
+    let set = db
+        .session()
+        .query("SELECT ALL FROM part", &QueryOptions::default())
+        .expect("post-recovery query must work")
+        .set;
+    set.molecules
+        .iter()
+        .map(|m| {
+            let v = &m.root.atom.values;
+            let seq = match &v[0] {
+                Value::Id(id) => id.seq,
+                other => panic!("part_id should be an identifier, got {other:?}"),
+            };
+            let no = match &v[1] {
+                Value::Int(n) => *n,
+                other => panic!("part_no should be Int, got {other:?}"),
+            };
+            let name = match &v[2] {
+                Value::Str(s) => s.clone(),
+                other => panic!("name should be Str, got {other:?}"),
+            };
+            (no, (name, seq))
+        })
+        .collect()
+}
+
+/// Runs one seed-determined fault schedule over `inner` (a fresh
+/// `SimDisk` or `FileDisk`), crashes, recovers from the persisted image
+/// and checks the oracle. Panics with a seed-carrying reproducer on any
+/// violation; returns what happened otherwise.
+pub fn run_crash_schedule(inner: Arc<dyn BlockDevice>, seed: u64, steps: usize) -> CrashReport {
+    let schedule = FaultSchedule::from_seed(seed);
+    let fault = FaultDisk::new(inner, schedule);
+    let device: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+
+    // A small buffer keeps eviction (steal) in play: the workload's
+    // record pages outgrow it, so dirty pages of open transactions get
+    // stolen to the device mid-flight.
+    let built = Prima::builder()
+        .buffer_bytes(16 << 10)
+        .device(device)
+        .durable()
+        .build_with_ddl(CRASH_DDL);
+    let db = match built {
+        Ok(db) => db,
+        Err(e) => {
+            if !fault.has_crashed() {
+                panic!("{}", repro(seed, steps, "build failed without a crash", e.to_string()));
+            }
+            // Crash during bootstrap: either no durable database exists
+            // yet (open fails cleanly — it never came into existence) or
+            // the initial checkpoint made it and the database must come
+            // back empty.
+            if let Ok(db) = Prima::open_device(fault.persisted_device()) {
+                let state = observe(&db);
+                if !state.is_empty() {
+                    panic!(
+                        "{}",
+                        repro(
+                            seed,
+                            steps,
+                            "bootstrap crash recovered non-empty state",
+                            format!("{state:?}"),
+                        )
+                    );
+                }
+            }
+            return CrashReport {
+                seed,
+                steps_run: 0,
+                acked_commits: 0,
+                bootstrap_crash: true,
+                in_flight_won: false,
+            };
+        }
+    };
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3a3a_c0de_2026_0001);
+    let session = db.session();
+
+    // The model: committed snapshots (index = acknowledged commit count)
+    // plus the pending state of the open transaction.
+    let mut snapshots: Vec<ModelState> = vec![ModelState::new()];
+    let mut pending = ModelState::new();
+    // Set when a commit's force was in flight at the crash: the batch
+    // may have fully persisted, so this state is also admissible.
+    let mut in_flight: Option<ModelState> = None;
+    let mut version = 0u64;
+    let mut steps_run = 0usize;
+
+    'workload: for _ in 0..steps {
+        if fault.has_crashed() {
+            break;
+        }
+        steps_run += 1;
+        let roll = rng.gen_range(0u32..100);
+        if roll < 35 {
+            // A burst of INSERTs (duplicate keys possible; the model
+            // predicts them). Fat values spread the extension over many
+            // pages, keeping replacement (and therefore steal) in play.
+            for _ in 0..rng.gen_range(1usize..4) {
+                let no = rng.gen_range(0i64..300);
+                let name = format!("v{version}-{:0>400}", version);
+                version += 1;
+                match session.execute(&format!("INSERT part (part_no: {no}, name: '{name}')")) {
+                    Ok(DmlResult::Inserted(id)) => {
+                        let prev = pending.insert(no, (name, id.seq));
+                        if prev.is_some() {
+                            panic!(
+                                "{}",
+                                repro(seed, steps, "duplicate key accepted", format!("no={no}"))
+                            );
+                        }
+                    }
+                    Ok(other) => {
+                        panic!("{}", repro(seed, steps, "INSERT wrong result", format!("{other:?}")))
+                    }
+                    Err(_) if fault.has_crashed() => break 'workload,
+                    // The key-uniqueness rejection surfaces through the
+                    // txn layer as a stringly Access error; anything else
+                    // on an existing key is a real failure, not the
+                    // predicted duplicate.
+                    Err(e)
+                        if pending.contains_key(&no)
+                            && e.to_string().contains("duplicate key") => {}
+                    Err(e) => {
+                        panic!(
+                            "{}",
+                            repro(seed, steps, "unexpected INSERT error", e.to_string())
+                        );
+                    }
+                }
+            }
+        } else if roll < 55 {
+            // A burst of MODIFYs on scattered keys: re-dirties cold
+            // pages, so the following misses can steal them while their
+            // images are still unforced.
+            for _ in 0..rng.gen_range(1usize..4) {
+                let Some(&no) = pick_key(&pending, &mut rng) else { break };
+                let name = format!("m{version}-{:0>400}", version);
+                version += 1;
+                match session
+                    .execute(&format!("MODIFY part SET name = '{name}' WHERE part_no = {no}"))
+                {
+                    Ok(_) => pending.get_mut(&no).expect("picked from pending").0 = name,
+                    Err(_) if fault.has_crashed() => break 'workload,
+                    Err(e) => {
+                        panic!("{}", repro(seed, steps, "unexpected MODIFY error", e.to_string()))
+                    }
+                }
+            }
+        } else if roll < 65 {
+            // DELETE an existing key.
+            let Some(&no) = pick_key(&pending, &mut rng) else { continue };
+            match session.execute(&format!("DELETE FROM part WHERE part_no = {no}")) {
+                Ok(_) => {
+                    pending.remove(&no);
+                }
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected DELETE error", e.to_string()))
+                }
+            }
+        } else if roll < 75 {
+            // Point query on a random key: buffer misses that evict —
+            // stealing dirty pages of the open transaction.
+            let no = rng.gen_range(0i64..300);
+            match session
+                .query(&format!("SELECT ALL FROM part WHERE part_no = {no}"), &QueryOptions::default())
+            {
+                Ok(r) => {
+                    let got = r.set.molecules.first().map(|m| match &m.root.atom.values[2] {
+                        Value::Str(s) => s.clone(),
+                        other => panic!("name should be Str, got {other:?}"),
+                    });
+                    let want = pending.get(&no).map(|(name, _)| name.clone());
+                    if got != want {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "read-your-own-writes violated mid-workload",
+                                format!("key {no}: kernel {got:?} vs model {want:?}"),
+                            )
+                        );
+                    }
+                }
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected query error", e.to_string()))
+                }
+            }
+        } else if roll < 84 {
+            if !commit(&session, &fault, &mut snapshots, &mut pending, &mut in_flight, seed, steps)
+            {
+                break 'workload;
+            }
+        } else if roll < 89 {
+            // ROLLBACK: the open transaction's work vanishes.
+            match session.rollback() {
+                Ok(()) => pending = snapshots.last().expect("initial snapshot").clone(),
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected rollback error", e.to_string()))
+                }
+            }
+        } else if roll < 94 {
+            // Buffer flush: exercises steal / WAL-before-data mid-txn.
+            if db.storage().flush().is_err() {
+                if fault.has_crashed() {
+                    break 'workload;
+                }
+                panic!("{}", repro(seed, steps, "unexpected flush error", String::new()));
+            }
+        } else {
+            // CHECKPOINT (commit first: the gate wants a quiesced kernel).
+            if !commit(&session, &fault, &mut snapshots, &mut pending, &mut in_flight, seed, steps)
+            {
+                break 'workload;
+            }
+            match db.checkpoint() {
+                Ok(()) => {}
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected checkpoint error", e.to_string()))
+                }
+            }
+        }
+    }
+
+    // Pull the plug if the schedule never did: whatever is acknowledged
+    // but unpersisted drains partially, exactly like a real power cut.
+    fault.crash_now();
+
+    // The device refuses everything now, so running the destructors is
+    // equivalent to a process kill as far as the persisted image goes —
+    // and it releases file handles, which `mem::forget` would leak
+    // across hundreds of schedules.
+    drop(session);
+    drop(db);
+
+    // Restart recovery from the persisted image.
+    let db = match Prima::open_device(fault.persisted_device()) {
+        Ok(db) => db,
+        Err(e) => panic!("{}", repro(seed, steps, "recovery failed", e.to_string())),
+    };
+    let recovered = observe(&db);
+
+    let acked = snapshots.len() - 1;
+    let expected = snapshots.last().expect("initial snapshot");
+    let in_flight_won = match (&recovered == expected, &in_flight) {
+        (true, _) => false,
+        (false, Some(alt)) if &recovered == alt => true,
+        _ => panic!(
+            "{}",
+            repro(
+                seed,
+                steps,
+                "recovered state matches neither the last acknowledged commit \
+                 nor the in-flight one",
+                format!(
+                    "acked commits: {acked}\nexpected: {expected:?}\n\
+                     in-flight: {in_flight:?}\nrecovered: {recovered:?}"
+                ),
+            )
+        ),
+    };
+    // Surrogates are never reused: a fresh insert allocates above every
+    // id the durable *history* ever contained — including atoms that
+    // were inserted and later deleted across acknowledged commits (every
+    // acked commit's records are forced, so recovery can always see
+    // those ids in the WAL tail or the checkpointed counters).
+    let max_seq = snapshots
+        .iter()
+        .chain(in_flight_won.then(|| in_flight.as_ref().expect("matched state exists")))
+        .flat_map(|state| state.values().map(|(_, seq)| *seq))
+        .max()
+        .unwrap_or(0);
+    let s = db.session();
+    let post = s
+        .execute("INSERT part (part_no: 100000, name: 'post-recovery')")
+        .unwrap_or_else(|e| {
+            panic!("{}", repro(seed, steps, "post-recovery insert failed", e.to_string()))
+        });
+    s.commit().unwrap_or_else(|e| {
+        panic!("{}", repro(seed, steps, "post-recovery commit failed", e.to_string()))
+    });
+    if let DmlResult::Inserted(id) = post {
+        if id.seq <= max_seq {
+            panic!(
+                "{}",
+                repro(
+                    seed,
+                    steps,
+                    "surrogate id reused after recovery",
+                    format!("new seq {} <= durable max {max_seq}", id.seq),
+                )
+            );
+        }
+    }
+
+    CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
+}
+
+/// One commit step against kernel and model. Returns `false` when the
+/// crash stopped the workload.
+fn commit(
+    session: &prima::Session,
+    fault: &FaultDisk,
+    snapshots: &mut Vec<ModelState>,
+    pending: &mut ModelState,
+    in_flight: &mut Option<ModelState>,
+    seed: u64,
+    steps: usize,
+) -> bool {
+    match session.commit() {
+        Ok(()) => {
+            snapshots.push(pending.clone());
+            true
+        }
+        Err(_) if fault.has_crashed() => {
+            // The force carrying this commit was in flight: it may have
+            // fully persisted even though the call errored.
+            *in_flight = Some(pending.clone());
+            false
+        }
+        Err(e) => panic!("{}", repro(seed, steps, "unexpected commit error", e.to_string())),
+    }
+}
+
+fn pick_key<'m>(model: &'m ModelState, rng: &mut SmallRng) -> Option<&'m i64> {
+    if model.is_empty() {
+        return None;
+    }
+    let idx = rng.gen_range(0usize..model.len());
+    model.keys().nth(idx)
+}

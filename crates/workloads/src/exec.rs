@@ -1,12 +1,12 @@
 //! One-shot MQL helpers over the session API.
 //!
-//! The kernel's one-shot facade (`Prima::query`, `query_traced`,
-//! `query_with_assembly`, `query_parallel`, `execute`) is deprecated in
-//! favour of [`prima::Session`] + [`QueryOptions`] and scheduled for
-//! removal (ROADMAP). Tests, benches and examples that genuinely want
-//! auto-commit one-shots use these free functions instead: the
-//! convenience stays, but it lives in the application layer and routes
-//! through the blessed surface, so the kernel keeps a single query path.
+//! The kernel's pre-session one-shot facade (`Prima::query`,
+//! `query_traced`, `query_with_assembly`, `query_parallel`, `execute`)
+//! has been removed in favour of [`prima::Session`] + [`QueryOptions`].
+//! Tests, benches and examples that genuinely want auto-commit one-shots
+//! use these free functions instead: the convenience stays, but it lives
+//! in the application layer and routes through the blessed surface, so
+//! the kernel keeps a single query path.
 
 use prima::datasys::{DmlResult, ExecutionTrace};
 use prima::{AssemblyMode, MoleculeSet, Prima, PrimaResult, QueryOptions};

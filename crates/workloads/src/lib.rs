@@ -21,6 +21,7 @@
 //! so experiment E-F2.1 can compare them.
 
 pub mod brep;
+pub mod crash;
 pub mod exec;
 pub mod map;
 pub mod modeling;

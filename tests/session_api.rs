@@ -381,6 +381,90 @@ fn cursor_iterator_interface() {
 }
 
 #[test]
+fn cursor_drop_mid_iteration_leaks_no_buffer_fixes() {
+    let db = stream_db(200);
+    let buffer = db.storage().buffer();
+    let mut cursor = db.query_cursor(STREAM_Q).unwrap();
+    let chunk = cursor.fetch(10).unwrap();
+    assert_eq!(chunk.len(), 10);
+    // Between fetches the cursor holds materialised atoms, never guards.
+    assert_eq!(buffer.fixed_frames(), 0, "no page stays fixed between fetches");
+    drop(cursor);
+    assert_eq!(buffer.fixed_frames(), 0, "dropping mid-stream releases everything");
+    // The whole pool is still evictable: nothing is pinned behind our back.
+    db.storage().drop_cache().unwrap();
+    assert_eq!(db.storage().buffer().resident(), 0);
+}
+
+#[test]
+fn cursor_fetch_after_rollback_delivers_no_stale_molecules() {
+    // Roots are located at open time; if the inserting transaction rolls
+    // back before the cursor is drained, the stream must not resurrect
+    // the rolled-back atoms.
+    let db = stream_db(5);
+    let session = db.session();
+    for n in 0..4 {
+        session
+            .execute(&format!("INSERT assembly (n: {})", 1000 + n))
+            .unwrap();
+    }
+    let q = "SELECT ALL FROM assembly WHERE n >= 0";
+    let mut cursor = session.query_cursor(q, &QueryOptions::default()).unwrap();
+    assert_eq!(
+        cursor.remaining_roots(),
+        9,
+        "read-your-own-writes: uncommitted roots are located"
+    );
+    // Consume a little, then roll the inserting transaction back.
+    let first = cursor.fetch(2).unwrap();
+    assert_eq!(first.len(), 2);
+    session.rollback().unwrap();
+    // The unread tail still lists the stale roots, but fetching them must
+    // skip every atom the rollback removed.
+    let rest = cursor.fetch_all().unwrap();
+    for m in &rest.molecules {
+        let n = match &m.root.atom.values[1] {
+            Value::Int(n) => *n,
+            other => panic!("n should be Int, got {other:?}"),
+        };
+        assert!(n < 1000, "rolled-back assembly {n} must not stream out");
+    }
+    assert_eq!(
+        first.len() + rest.len(),
+        5,
+        "exactly the five committed assemblies stream out (2 before, 3 after rollback)"
+    );
+    assert_eq!(db.storage().buffer().fixed_frames(), 0, "no fixes leaked");
+}
+
+#[test]
+fn cursor_fetch_reflects_modifications_since_open() {
+    // The piecewise stream reads current atom state: a root modified
+    // after open streams with its new values, one that no longer
+    // qualifies is skipped.
+    let db = stream_db(6);
+    let session = db.session();
+    let q = "SELECT ALL FROM assembly WHERE n < 100";
+    let mut cursor = session.query_cursor(q, &QueryOptions::default()).unwrap();
+    assert_eq!(cursor.remaining_roots(), 6);
+    session.execute("MODIFY assembly SET n = 500 WHERE n = 3").unwrap();
+    session.execute("MODIFY assembly SET n = 7 WHERE n = 4").unwrap();
+    session.commit().unwrap();
+    let all = cursor.fetch_all().unwrap();
+    let ns: Vec<i64> = all
+        .molecules
+        .iter()
+        .map(|m| match &m.root.atom.values[1] {
+            Value::Int(n) => *n,
+            other => panic!("n should be Int, got {other:?}"),
+        })
+        .collect();
+    assert!(!ns.contains(&500), "disqualified root must be skipped");
+    assert!(ns.contains(&7), "modified-but-qualifying root streams fresh values");
+    assert_eq!(ns.len(), 5);
+}
+
+#[test]
 fn cursor_respects_residual_qualification() {
     // A residual (non-root) predicate filters during streaming exactly
     // like in materialised execution.
