@@ -843,8 +843,14 @@ impl AccessSystem {
         Ok(())
     }
 
-    /// Named-attribute modify.
-    pub fn modify_atom_named(&self, id: AtomId, updates: &[(&str, Value)]) -> AccessResult<()> {
+    /// Resolves named attribute updates against the atom's type into the
+    /// positional list [`AccessSystem::modify_atom`] expects. Shared by
+    /// the named-modify path here and the session's atom-level interface.
+    pub fn resolve_named_updates(
+        &self,
+        id: AtomId,
+        updates: &[(&str, Value)],
+    ) -> AccessResult<Vec<(usize, Value)>> {
         let at = self
             .schema
             .atom_type(id.atom_type)
@@ -859,6 +865,12 @@ impl AccessSystem {
             })?;
             by_idx.push((idx, v.clone()));
         }
+        Ok(by_idx)
+    }
+
+    /// Named-attribute modify.
+    pub fn modify_atom_named(&self, id: AtomId, updates: &[(&str, Value)]) -> AccessResult<()> {
+        let by_idx = self.resolve_named_updates(id, updates)?;
         self.modify_atom(id, &by_idx)
     }
 

@@ -15,7 +15,7 @@
 use super::exec::execute;
 use super::validate::{resolve_ref, validate};
 use crate::error::{PrimaError, PrimaResult};
-use crate::txn::Transaction;
+use crate::txn::{ReadGuard, Transaction};
 use prima_access::AccessSystem;
 use prima_mad::mql::{Delete, Insert, Modify, Query, SelectList, SetExpr, Statement, ValueExpr};
 use prima_mad::value::{AtomId, AtomTypeId, Value};
@@ -32,29 +32,17 @@ pub enum DmlResult {
     Modified(usize),
 }
 
-/// Write-side of the DML path. Statement semantics (qualification,
-/// connect/disconnect, ONLY-component selection) are identical whether
-/// the writes go directly to the access system (auto-commit facade) or
-/// through a [`Transaction`] (session path — undo-logged, lock-protected,
-/// rolled back by [`crate::db::Session::rollback`]).
+/// Write-side of the DML path: statement semantics (qualification,
+/// connect/disconnect, ONLY-component selection) are translated into atom
+/// operations on a [`Transaction`] — undo-logged, lock-protected, rolled
+/// back by [`crate::session::Session::rollback`]. There is deliberately
+/// no direct-to-access-system writer any more: every manipulation path,
+/// including the facade's atom-level convenience calls, is bracketed by
+/// the transaction layer (the recovery subsystem assumes exactly that).
 pub trait AtomWriter {
     fn write_insert(&self, t: AtomTypeId, values: Vec<Value>) -> PrimaResult<AtomId>;
     fn write_modify(&self, id: AtomId, updates: &[(usize, Value)]) -> PrimaResult<()>;
     fn write_delete(&self, id: AtomId) -> PrimaResult<()>;
-}
-
-impl AtomWriter for AccessSystem {
-    fn write_insert(&self, t: AtomTypeId, values: Vec<Value>) -> PrimaResult<AtomId> {
-        Ok(self.insert_atom(t, values)?)
-    }
-
-    fn write_modify(&self, id: AtomId, updates: &[(usize, Value)]) -> PrimaResult<()> {
-        Ok(self.modify_atom(id, updates)?)
-    }
-
-    fn write_delete(&self, id: AtomId) -> PrimaResult<()> {
-        Ok(self.delete_atom(id)?)
-    }
 }
 
 impl AtomWriter for Transaction {
@@ -71,24 +59,23 @@ impl AtomWriter for Transaction {
     }
 }
 
-/// Executes a non-SELECT statement with direct (auto-commit) writes.
-pub fn execute_statement(sys: &AccessSystem, stmt: &Statement) -> PrimaResult<DmlResult> {
-    execute_statement_with(sys, sys, stmt)
-}
-
 /// Executes a non-SELECT statement, routing all writes through `w`.
+/// `locks` covers the statement's *reads* (qualification sub-queries,
+/// current-value reads for CONNECT/DISCONNECT) with `Shared` locks under
+/// the same transaction, completing the two-phase bracket.
 pub fn execute_statement_with(
     sys: &AccessSystem,
     w: &dyn AtomWriter,
     stmt: &Statement,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<DmlResult> {
     match stmt {
         Statement::Select(_) => Err(PrimaError::BadStatement(
             "SELECT must go through the query interface".into(),
         )),
         Statement::Insert(i) => insert(sys, w, i),
-        Statement::Delete(d) => delete(sys, w, d),
-        Statement::Modify(m) => modify(sys, w, m),
+        Statement::Delete(d) => delete(sys, w, d, locks),
+        Statement::Modify(m) => modify(sys, w, m, locks),
     }
 }
 
@@ -115,7 +102,12 @@ fn insert(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Insert) -> PrimaResult<
     Ok(DmlResult::Inserted(id))
 }
 
-fn delete(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Delete) -> PrimaResult<DmlResult> {
+fn delete(
+    sys: &AccessSystem,
+    w: &dyn AtomWriter,
+    stmt: &Delete,
+    locks: Option<ReadGuard<'_>>,
+) -> PrimaResult<DmlResult> {
     // Find the qualifying molecules with a SELECT ALL over the same FROM.
     let query = Query {
         select: SelectList::All,
@@ -123,7 +115,7 @@ fn delete(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Delete) -> PrimaResult<
         predicate: stmt.predicate.clone(),
     };
     let resolved = validate(sys.schema(), &query)?;
-    let (set, _) = execute(sys, &resolved)?;
+    let (set, _) = execute(sys, &resolved, locks)?;
     // Which structure nodes are deleted?
     let victim_nodes: Vec<usize> = match &stmt.only_components {
         None => (0..resolved.nodes.len()).collect(),
@@ -156,14 +148,19 @@ fn delete(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Delete) -> PrimaResult<
     Ok(DmlResult::Deleted(deleted))
 }
 
-fn modify(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Modify) -> PrimaResult<DmlResult> {
+fn modify(
+    sys: &AccessSystem,
+    w: &dyn AtomWriter,
+    stmt: &Modify,
+    locks: Option<ReadGuard<'_>>,
+) -> PrimaResult<DmlResult> {
     let query = Query {
         select: SelectList::All,
         from: stmt.from.clone(),
         predicate: stmt.predicate.clone(),
     };
     let resolved = validate(sys.schema(), &query)?;
-    let (set, _) = execute(sys, &resolved)?;
+    let (set, _) = execute(sys, &resolved, locks)?;
     let mut modified = 0usize;
     for m in &set.molecules {
         for (target, expr) in &stmt.assignments {
@@ -183,7 +180,7 @@ fn modify(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Modify) -> PrimaResult<
                         modified += 1;
                     }
                     SetExpr::Connect(sub) => {
-                        let targets = root_ids(sys, sub)?;
+                        let targets = root_ids(sys, sub, locks)?;
                         let current = sys.read_atom(id, None)?;
                         let new_value = if is_set {
                             let mut ids = current.values[attr].referenced_ids();
@@ -201,7 +198,7 @@ fn modify(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Modify) -> PrimaResult<
                         modified += 1;
                     }
                     SetExpr::Disconnect(sub) => {
-                        let targets = root_ids(sys, sub)?;
+                        let targets = root_ids(sys, sub, locks)?;
                         let current = sys.read_atom(id, None)?;
                         let new_value = if is_set {
                             let ids: Vec<AtomId> = current.values[attr]
@@ -233,8 +230,12 @@ fn modify(sys: &AccessSystem, w: &dyn AtomWriter, stmt: &Modify) -> PrimaResult<
 
 /// Runs a sub-query and returns its molecules' root atom ids (the atoms a
 /// CONNECT/DISCONNECT refers to).
-fn root_ids(sys: &AccessSystem, q: &Query) -> PrimaResult<Vec<AtomId>> {
+fn root_ids(
+    sys: &AccessSystem,
+    q: &Query,
+    locks: Option<ReadGuard<'_>>,
+) -> PrimaResult<Vec<AtomId>> {
     let resolved = validate(sys.schema(), q)?;
-    let (set, _) = execute(sys, &resolved)?;
+    let (set, _) = execute(sys, &resolved, locks)?;
     Ok(set.molecules.iter().map(|m| m.root.atom.id).collect())
 }

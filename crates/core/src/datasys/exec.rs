@@ -53,6 +53,7 @@ use super::plan::{
 };
 use super::validate::{convert_op, predicate_to_atom_ssa, resolve_ref};
 use crate::error::{PrimaError, PrimaResult};
+use crate::txn::ReadGuard;
 use prima_access::cluster::AtomClusterType;
 use prima_access::scan::{AccessPathScan, AtomTypeScan, Scan};
 use prima_access::ssa::Ssa;
@@ -77,12 +78,18 @@ pub enum AssemblyMode {
 }
 
 /// Executes a resolved query, returning the molecule set and a trace of
-/// the physical decisions taken.
+/// the physical decisions taken. `locks` is the transaction's read-lock
+/// hook (`None` only for contexts outside the transaction layer, e.g.
+/// recovery-time scans): with a guard, root access takes a `Shared` lock
+/// on the root type's extension and every atom that flows into a result
+/// is `Shared`-locked before delivery, so an uncommitted concurrent write
+/// conflicts instead of being (in)visible.
 pub fn execute(
     sys: &AccessSystem,
     q: &ResolvedQuery,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
-    execute_with_mode(sys, q, AssemblyMode::Batched)
+    execute_with_mode(sys, q, AssemblyMode::Batched, locks)
 }
 
 /// [`execute`] with an explicit assembly strategy.
@@ -90,9 +97,10 @@ pub fn execute_with_mode(
     sys: &AccessSystem,
     q: &ResolvedQuery,
     mode: AssemblyMode,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
     let mut trace = ExecutionTrace::default();
-    let roots = find_roots(sys, q, &mut trace)?;
+    let roots = find_roots(sys, q, &mut trace, locks)?;
     trace.roots_inspected = roots.len();
     let clusters = sys.cluster_types_of(q.nodes[0].atom_type);
     // The per-atom baseline never touches the ctx; skip the edge-table
@@ -104,8 +112,9 @@ pub fn execute_with_mode(
     let mut molecules = Vec::new();
     for root in roots {
         let mut fetched = 0usize;
-        let molecule =
-            assemble_molecule(sys, q, root, &clusters, mode, &mut ctx, &mut trace, &mut fetched)?;
+        let molecule = assemble_molecule(
+            sys, q, root, &clusters, mode, &mut ctx, &mut trace, &mut fetched, locks,
+        )?;
         trace.atoms_fetched += fetched;
         if let Some(res) = &q.residual {
             if !eval_residual(sys, q, &molecule, res)? {
@@ -144,6 +153,7 @@ pub(crate) fn process_root(
     root: Atom,
     clusters: &[Arc<AtomClusterType>],
     ctx: &mut AssemblyCtx,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Option<Molecule>> {
     let mut trace = ExecutionTrace::default();
     let mut fetched = 0usize;
@@ -156,6 +166,7 @@ pub(crate) fn process_root(
         ctx,
         &mut trace,
         &mut fetched,
+        locks,
     )
 }
 
@@ -173,8 +184,9 @@ pub(crate) fn process_root_traced(
     ctx: &mut AssemblyCtx,
     trace: &mut ExecutionTrace,
     fetched: &mut usize,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Option<Molecule>> {
-    let molecule = assemble_molecule(sys, q, root, clusters, mode, ctx, trace, fetched)?;
+    let molecule = assemble_molecule(sys, q, root, clusters, mode, ctx, trace, fetched, locks)?;
     if let Some(res) = &q.residual {
         if !eval_residual(sys, q, &molecule, res)? {
             return Ok(None);
@@ -183,13 +195,35 @@ pub(crate) fn process_root_traced(
     Ok(apply_projection(sys, q, molecule))
 }
 
+/// `Shared`-locks every atom about to flow out of root access.
+fn lock_roots(locks: Option<ReadGuard<'_>>, roots: &[Atom]) -> PrimaResult<()> {
+    if let Some(g) = locks {
+        for a in roots {
+            g.lock_atom(a.id)?;
+        }
+    }
+    Ok(())
+}
+
 /// Root access selection ("molecule-type-specific optimization").
+///
+/// With a [`ReadGuard`], the root type's extension is `Shared`-locked
+/// *before* any atom is inspected: a scan's outcome depends on the whole
+/// extension (membership and attribute values), so a concurrent
+/// transaction with uncommitted DML on the type — which holds the
+/// extension `IntentExclusive` — conflicts here instead of leaking dirty
+/// state into (or out of) the result. Each returned root additionally
+/// gets a `Shared` atom lock.
 pub(crate) fn find_roots(
     sys: &AccessSystem,
     q: &ResolvedQuery,
     trace: &mut ExecutionTrace,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Vec<Atom>> {
     let root_type = q.nodes[0].atom_type;
+    if let Some(g) = locks {
+        g.lock_extension(root_type)?;
+    }
     let at = sys.schema().atom_type(root_type).expect("resolved").clone();
     let bounds = root_bounds(&q.root_ssa);
     // 1. KEYS_ARE equality -> direct lookup.
@@ -199,6 +233,9 @@ pub(crate) fn find_roots(
             let Some(id) = sys.lookup_by_key(root_type, b.attr, &b.value)? else {
                 return Ok(Vec::new());
             };
+            if let Some(g) = locks {
+                g.lock_atom(id)?;
+            }
             let atom = sys.read_atom(id, None)?;
             return Ok(if q.root_ssa.eval(&atom) { vec![atom] } else { Vec::new() });
         }
@@ -224,7 +261,9 @@ pub(crate) fn find_roots(
             };
             let mut scan =
                 AccessPathScan::open(sys, &ix, q.root_ssa.clone(), start, stop, false)?;
-            return Ok(scan.collect_remaining()?);
+            let roots = scan.collect_remaining()?;
+            lock_roots(locks, &roots)?;
+            return Ok(roots);
         }
     }
     // 3. Single-component queries whose SSA and projection are covered by
@@ -262,13 +301,16 @@ pub(crate) fn find_roots(
                 }
                 Ok(())
             })?;
+            lock_roots(locks, &out)?;
             return Ok(out);
         }
     }
     // 4. Atom-type scan with SSA pushdown.
     trace.root_access = RootAccess::TypeScan;
     let mut scan = AtomTypeScan::open(sys, root_type, q.root_ssa.clone(), None)?;
-    Ok(scan.collect_remaining()?)
+    let roots = scan.collect_remaining()?;
+    lock_roots(locks, &roots)?;
+    Ok(roots)
 }
 
 /// Per-query assembly state: the expansion-edge table plus scratch
@@ -320,7 +362,10 @@ impl AssemblyCtx {
     }
 }
 
-/// Assembles one molecule occurrence from its root atom.
+/// Assembles one molecule occurrence from its root atom. Every component
+/// atom materialised into the molecule is `Shared`-locked through `locks`
+/// first (prefetched cluster members at request time, exactly like
+/// individually fetched ones).
 #[allow(clippy::too_many_arguments)]
 fn assemble_molecule(
     sys: &AccessSystem,
@@ -331,23 +376,38 @@ fn assemble_molecule(
     ctx: &mut AssemblyCtx,
     trace: &mut ExecutionTrace,
     fetched: &mut usize,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Molecule> {
     // Cluster management: prefetch the whole cluster in one chained read
     // if one materialises this root's molecule.
     let mut prefetch: HashMap<AtomId, Atom> = HashMap::new();
     if let Some(ct) = clusters.iter().find(|ct| ct.contains(root.id)) {
-        for a in ct.read_all(root.id)? {
+        let mut members = ct.read_all(root.id)?;
+        if let Some(g) = locks {
+            // The first read discovered the membership but may have seen
+            // a concurrent writer's in-flight values. Lock every member,
+            // then re-read: an *active* writer conflicts here, and one
+            // that finished between the two reads has settled the values
+            // the second (buffer-hot) read now picks up — the prefetch
+            // map never serves a state our locks don't cover.
+            for a in &members {
+                g.lock_atom(a.id)?;
+            }
+            members = ct.read_all(root.id)?;
+        }
+        for a in members {
             prefetch.insert(a.id, a);
         }
         *fetched += prefetch.len();
         trace.cluster_used = Some(ct.name.clone());
     }
     match mode {
-        AssemblyMode::Batched => assemble_frontier(sys, root, &prefetch, ctx, fetched),
+        AssemblyMode::Batched => assemble_frontier(sys, root, &prefetch, ctx, fetched, locks),
         AssemblyMode::PerAtom => {
             let mut ancestors = HashSet::new();
             ancestors.insert(root.id);
-            let root_mol = expand(sys, q, 0, root, 0, &prefetch, &mut ancestors, fetched)?;
+            let root_mol =
+                expand(sys, q, 0, root, 0, &prefetch, &mut ancestors, fetched, locks)?;
             Ok(Molecule::new(root_mol))
         }
     }
@@ -421,6 +481,7 @@ fn assemble_frontier(
     prefetch: &HashMap<AtomId, Atom>,
     ctx: &mut AssemblyCtx,
     fetched: &mut usize,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Molecule> {
     // Ancestor chains are only needed when the structure recurses.
     let root_chain = ctx
@@ -471,6 +532,14 @@ fn assemble_frontier(
         }
         if ctx.requests.is_empty() {
             break;
+        }
+        // Shared-lock the whole level before reading it: a component with
+        // an uncommitted writer conflicts here, before any dirty value
+        // can enter the molecule.
+        if let Some(g) = locks {
+            for r in &ctx.requests {
+                g.lock_atom(r.id)?;
+            }
         }
         // One batched read per level. Duplicate ids are *not* merged: each
         // request decodes its own record (keeping per-layer accounting
@@ -567,6 +636,7 @@ fn expand(
     prefetch: &HashMap<AtomId, Atom>,
     ancestors: &mut HashSet<AtomId>,
     fetched: &mut usize,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<MolAtom> {
     let mut out = MolAtom::new(node_idx, level, atom);
     for (child_idx, assoc, recursive) in edges_of(q, node_idx) {
@@ -579,6 +649,9 @@ fn expand(
         for id in ids {
             if recursive && ancestors.contains(&id) {
                 continue;
+            }
+            if let Some(g) = locks {
+                g.lock_atom(id)?;
             }
             let child_atom = match prefetch.get(&id) {
                 Some(a) => a.clone(),
@@ -595,8 +668,9 @@ fn expand(
                 ancestors.insert(id);
             }
             let child_level = if recursive { level + 1 } else { level };
-            let child =
-                expand(sys, q, child_idx, child_atom, child_level, prefetch, ancestors, fetched)?;
+            let child = expand(
+                sys, q, child_idx, child_atom, child_level, prefetch, ancestors, fetched, locks,
+            )?;
             if recursive {
                 ancestors.remove(&id);
             }

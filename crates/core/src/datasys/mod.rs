@@ -26,7 +26,7 @@ pub mod molecule;
 pub mod plan;
 pub mod validate;
 
-pub use dml::{execute_statement, DmlResult};
+pub use dml::DmlResult;
 pub use exec::{execute, execute_with_mode, AssemblyMode};
 pub use molecule::{MolAtom, Molecule, MoleculeSet, NodeInfo};
 pub use plan::{ExecutionTrace, NodeProjection, ResolvedQuery, RootAccess};

@@ -15,7 +15,9 @@
 //!     │                    │     commit/rollback  │ cursor()
 //!     │                    └─ query(mql, &QueryOptions)
 //!     │                       query_cursor(…) ──▶ MoleculeCursor (streaming)
-//!     └─ direct atom interface (insert/read/modify/delete)
+//!     └─ direct atom interface (insert/read/modify/delete — each call
+//!        an internal auto-commit Session, so it is undo-logged and
+//!        commit-forced like statement DML)
 //! ```
 //!
 //! * [`Session`] owns the transaction context: manipulation statements
@@ -278,9 +280,9 @@ impl Prima {
     /// since the last checkpoint. Runs under the transaction manager's
     /// quiesce gate — it fails if transactions are active and blocks new
     /// begins for its duration, because flushed pages must not carry
-    /// changes whose undo records the truncation would discard. (The
-    /// non-transactional direct atom interface is not gated; do not race
-    /// it against checkpoints.)
+    /// changes whose undo records the truncation would discard. (Every
+    /// write path, including the direct atom interface, runs under the
+    /// transaction manager, so the gate covers all of them.)
     pub fn checkpoint(&self) -> PrimaResult<()> {
         if self.storage.wal().is_none() {
             return Err(PrimaError::Recovery(
@@ -338,9 +340,10 @@ impl Prima {
     }
 
     /// Opens a streaming [`MoleculeCursor`] over a `SELECT` without an
-    /// explicit session.
-    pub fn query_cursor(&self, mql: &str) -> PrimaResult<MoleculeCursor> {
-        self.session().query_cursor(mql, &QueryOptions::default())
+    /// explicit session: the cursor owns a private session whose
+    /// transaction (and read locks) live exactly as long as the cursor.
+    pub fn query_cursor(&self, mql: &str) -> PrimaResult<MoleculeCursor<'static>> {
+        self.session().into_cursor(mql, &QueryOptions::default())
     }
 
     // -----------------------------------------------------------------
@@ -366,32 +369,44 @@ impl Prima {
     // Direct atom interface (application-layer style access)
     // -----------------------------------------------------------------
     //
-    // Durability note: these calls bypass the transaction manager, so on
-    // a durable kernel they carry no undo records and no commit force.
-    // Their page images still enter the WAL buffer and become durable at
-    // the next force (any commit, flush or checkpoint) — bulk loads
-    // should end with `Prima::checkpoint`.
+    // Each call runs in a short-lived auto-commit session, so the write
+    // is undo-logged, lock-protected and — on a durable kernel — forced
+    // to the log at its internal commit, exactly like statement-level
+    // DML. A call that dies before that commit force is rolled back by
+    // restart recovery. Multi-call units of work belong in an explicit
+    // `Prima::session` (these convenience wrappers commit per call).
 
     /// Inserts an atom by type name with named attribute values, returning
     /// its logical address. (The programmatic path applications use to
     /// load data; reference values connect components directly.)
     pub fn insert(&self, type_name: &str, attrs: &[(&str, Value)]) -> PrimaResult<AtomId> {
-        Ok(self.access.insert_atom_named(type_name, attrs)?)
+        let s = self.session();
+        let id = s.insert_atom_named(type_name, attrs)?;
+        s.commit()?;
+        Ok(id)
     }
 
-    /// Reads one atom.
+    /// Reads one atom (under a momentary `Shared` lock: an atom a
+    /// concurrent transaction has uncommitted changes on conflicts).
     pub fn read(&self, id: AtomId) -> PrimaResult<Atom> {
-        Ok(self.access.read_atom(id, None)?)
+        let s = self.session();
+        let atom = s.read_atom(id)?;
+        s.commit()?;
+        Ok(atom)
     }
 
     /// Modifies named attributes of an atom.
     pub fn modify(&self, id: AtomId, attrs: &[(&str, Value)]) -> PrimaResult<()> {
-        Ok(self.access.modify_atom_named(id, attrs)?)
+        let s = self.session();
+        s.modify_atom_named(id, attrs)?;
+        s.commit()
     }
 
     /// Deletes an atom (disconnecting it everywhere).
     pub fn delete(&self, id: AtomId) -> PrimaResult<()> {
-        Ok(self.access.delete_atom(id)?)
+        let s = self.session();
+        s.delete_atom(id)?;
+        s.commit()
     }
 
     // -----------------------------------------------------------------

@@ -81,6 +81,16 @@ impl fmt::Display for PrimaError {
     }
 }
 
+impl PrimaError {
+    /// Whether this error is a transaction-layer lock conflict. The
+    /// kernel's conflict policy is immediate failure (no wait queue):
+    /// callers seeing `true` should commit or roll back their session
+    /// and retry the statement.
+    pub fn is_lock_conflict(&self) -> bool {
+        matches!(self, PrimaError::Txn(crate::txn::TxnError::LockConflict { .. }))
+    }
+}
+
 impl std::error::Error for PrimaError {}
 
 impl From<ParseError> for PrimaError {

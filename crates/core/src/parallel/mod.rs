@@ -30,6 +30,7 @@ use crate::datasys::exec::{find_roots, node_infos, process_root, AssemblyCtx};
 use crate::datasys::molecule::MoleculeSet;
 use crate::datasys::plan::{ExecutionTrace, ResolvedQuery};
 use crate::error::PrimaResult;
+use crate::txn::ReadGuard;
 use prima_access::AccessSystem;
 use prima_mad::value::AtomId;
 use std::collections::HashSet;
@@ -145,14 +146,18 @@ where
 }
 
 /// Parallel molecule-set construction: one read-only DU per qualifying
-/// root atom, scheduled over `threads` workers.
+/// root atom, scheduled over `threads` workers. All DUs share the
+/// caller's transaction: the [`ReadGuard`] charges every worker's shared
+/// locks to the same owner, so lock coverage is identical to serial
+/// execution (the lock table is thread-safe and `Shared` self-compatible).
 pub fn execute_parallel(
     sys: &AccessSystem,
     q: &ResolvedQuery,
     threads: usize,
+    locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<(MoleculeSet, ExecutionTrace)> {
     let mut trace = ExecutionTrace::default();
-    let roots = find_roots(sys, q, &mut trace)?;
+    let roots = find_roots(sys, q, &mut trace, locks)?;
     trace.roots_inspected = roots.len();
     let clusters = sys.cluster_types_of(q.nodes[0].atom_type);
     // Assembly scratch is recycled across DUs through a small pool, so the
@@ -160,7 +165,7 @@ pub fn execute_parallel(
     let ctx_pool: parking_lot::Mutex<Vec<AssemblyCtx>> = parking_lot::Mutex::new(Vec::new());
     let results = run_parallel(roots, threads, |root| {
         let mut ctx = ctx_pool.lock().pop().unwrap_or_else(|| AssemblyCtx::new(q));
-        let r = process_root(sys, q, root, &clusters, &mut ctx);
+        let r = process_root(sys, q, root, &clusters, &mut ctx, locks);
         ctx_pool.lock().push(ctx);
         r
     })?;

@@ -25,13 +25,20 @@
 //! execution descriptor accepted by both [`Session::query`] and
 //! [`Prepared`].
 //!
-//! ## Isolation note
+//! ## Isolation
 //!
-//! Molecule retrieval reads the current atom state without acquiring
-//! atom locks (the kernel applies changes in place; DML locking follows
-//! Moss's rules, see [`crate::txn`]). A session therefore reads its own
-//! uncommitted writes; full query-path lock coverage is an open item on
-//! the roadmap.
+//! Retrieval is bracketed by the same Moss lock table as manipulation
+//! (see [`crate::txn`]): a query — one-shot, prepared or cursor — runs
+//! under the session's transaction, takes a `Shared` lock on the root
+//! type's extension before root access and a `Shared` lock on every atom
+//! that flows into a result, all held to the top-level commit/rollback
+//! (strict two-phase). Writers hold their atoms `Exclusive` and announce
+//! `IntentExclusive` on the written types' extensions, so a concurrent
+//! session's uncommitted INSERT/MODIFY/DELETE is **never observable**:
+//! the reader's acquisition fails fast with a `LockConflict` instead —
+//! there is no wait queue; roll back (or commit) and retry. A session
+//! still reads its own uncommitted writes, and nested subtransactions
+//! tolerate their ancestors' locks (Moss's rule).
 
 use crate::datasys::exec::{find_roots, node_infos, process_root_traced, AssemblyCtx};
 use crate::datasys::{
@@ -49,7 +56,7 @@ use prima_mad::mql::{
     parse_statement_params, CompRef, Operand, Predicate, Query, SelectList, SetExpr, Statement,
     ValueExpr,
 };
-use prima_mad::value::Value;
+use prima_mad::value::{AtomId, Value};
 use prima_mad::{AttrType, Schema};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -291,21 +298,43 @@ impl Session {
     // -----------------------------------------------------------------
 
     /// Parses, plans and runs one `SELECT`, materialising the full
-    /// molecule set. Parameterised statements must go through
-    /// [`Session::prepare`].
+    /// molecule set. Runs under the session's transaction (begun lazily):
+    /// the retrieved atoms stay `Shared`-locked until
+    /// [`Session::commit`] / [`Session::rollback`]. Parameterised
+    /// statements must go through [`Session::prepare`].
     pub fn query(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<QueryResult> {
         opts.validate()?;
         let resolved = self.plan_select(mql)?;
-        self.run_plan(&resolved, opts)
+        self.with_txn(|t| self.run_plan(&resolved, opts, t))
     }
 
     /// Runs a `SELECT` as a streaming [`MoleculeCursor`]: roots are
-    /// located now, component assembly happens per [`MoleculeCursor::fetch`]
-    /// chunk.
-    pub fn query_cursor(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<MoleculeCursor> {
+    /// located (and `Shared`-locked) now, component assembly happens per
+    /// [`MoleculeCursor::fetch`] chunk under the session's transaction
+    /// current *at fetch time* — after a commit/rollback the next fetch
+    /// reacquires its locks under the fresh transaction.
+    pub fn query_cursor(
+        &self,
+        mql: &str,
+        opts: &QueryOptions,
+    ) -> PrimaResult<MoleculeCursor<'_>> {
         opts.validate()?;
         let resolved = self.plan_select(mql)?;
-        MoleculeCursor::open(Arc::clone(&self.access), &resolved, opts)
+        MoleculeCursor::open(SessionRef::Borrowed(self), &resolved, opts)
+    }
+
+    /// [`Session::query_cursor`] consuming the session: the cursor owns
+    /// it and keeps its transaction (and therefore its locks) alive for
+    /// the cursor's lifetime — dropping the cursor rolls the read
+    /// transaction back. Backs `Prima::query_cursor`.
+    pub fn into_cursor(
+        self,
+        mql: &str,
+        opts: &QueryOptions,
+    ) -> PrimaResult<MoleculeCursor<'static>> {
+        opts.validate()?;
+        let resolved = self.plan_select(mql)?;
+        MoleculeCursor::open(SessionRef::Owned(Box::new(self)), &resolved, opts)
     }
 
     /// Executes one manipulation statement (`INSERT`/`DELETE`/`MODIFY`)
@@ -353,17 +382,63 @@ impl Session {
         datasys::validate(self.access.schema(), &q)
     }
 
-    fn run_plan(&self, resolved: &ResolvedQuery, opts: &QueryOptions) -> PrimaResult<QueryResult> {
+    fn run_plan(
+        &self,
+        resolved: &ResolvedQuery,
+        opts: &QueryOptions,
+        txn: &Transaction,
+    ) -> PrimaResult<QueryResult> {
+        let locks = Some(txn.read_guard());
         let (set, trace) = if opts.threads > 1 {
-            parallel::execute_parallel(&self.access, resolved, opts.threads)?
+            parallel::execute_parallel(&self.access, resolved, opts.threads, locks)?
         } else {
-            datasys::execute_with_mode(&self.access, resolved, opts.assembly)?
+            datasys::execute_with_mode(&self.access, resolved, opts.assembly, locks)?
         };
         Ok(QueryResult { set, trace: opts.trace.then_some(trace) })
     }
 
     fn run_dml(&self, stmt: &Statement) -> PrimaResult<DmlResult> {
-        self.with_txn(|t| datasys::dml::execute_statement_with(&self.access, t, stmt))
+        self.with_txn(|t| {
+            datasys::dml::execute_statement_with(&self.access, t, stmt, Some(t.read_guard()))
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Atom-level interface (application-layer style access, under the
+    // session transaction)
+    // -----------------------------------------------------------------
+
+    /// Inserts an atom by type name with named attribute values under the
+    /// session's transaction (undo-logged, lock-protected; visible to
+    /// other sessions after [`Session::commit`]).
+    pub fn insert_atom_named(
+        &self,
+        type_name: &str,
+        attrs: &[(&str, Value)],
+    ) -> PrimaResult<AtomId> {
+        let (t, values) = self.access.resolve_named_values(type_name, attrs)?;
+        self.with_txn(|txn| Ok(txn.insert_atom(t, values)?))
+    }
+
+    /// Reads one atom under a `Shared` lock of the session's transaction.
+    pub fn read_atom(&self, id: AtomId) -> PrimaResult<Atom> {
+        self.with_txn(|txn| {
+            txn.read_guard().lock_atom(id)?;
+            Ok(self.access.read_atom(id, None)?)
+        })
+    }
+
+    /// Modifies named attributes of an atom under the session's
+    /// transaction.
+    pub fn modify_atom_named(&self, id: AtomId, attrs: &[(&str, Value)]) -> PrimaResult<()> {
+        let by_idx = self.access.resolve_named_updates(id, attrs)?;
+        self.with_txn(|txn| Ok(txn.modify_atom(id, &by_idx)?))
+    }
+
+    /// Deletes an atom (disconnecting it everywhere) under the session's
+    /// transaction.
+    pub fn delete_atom(&self, id: AtomId) -> PrimaResult<()> {
+        self.with_txn(|txn| Ok(txn.delete_atom(id)?))
     }
 }
 
@@ -531,7 +606,8 @@ impl<'s> Prepared<'s> {
                     bound = plan.bind_params(params);
                     &bound
                 };
-                Ok(StatementOutcome::Molecules(self.session.run_plan(plan, opts)?))
+                let result = self.session.with_txn(|t| self.session.run_plan(plan, opts, t))?;
+                Ok(StatementOutcome::Molecules(result))
             }
             None => {
                 // Not counted as a plan reuse: DML re-runs its
@@ -556,7 +632,7 @@ impl<'s> Prepared<'s> {
     }
 
     /// Opens a streaming cursor over this (bound) prepared SELECT.
-    pub fn cursor(&self, opts: &QueryOptions) -> PrimaResult<MoleculeCursor> {
+    pub fn cursor(&self, opts: &QueryOptions) -> PrimaResult<MoleculeCursor<'s>> {
         opts.validate()?;
         let params = self.bound_values()?;
         let plan = self.plan.as_ref().ok_or_else(|| {
@@ -570,7 +646,7 @@ impl<'s> Prepared<'s> {
             bound = plan.bind_params(params);
             &bound
         };
-        MoleculeCursor::open(Arc::clone(&self.session.access), plan, opts)
+        MoleculeCursor::open(SessionRef::Borrowed(self.session), plan, opts)
     }
 }
 
@@ -673,6 +749,23 @@ fn collect_param_comparisons<'p>(pred: &'p Predicate, out: &mut Vec<(&'p CompRef
 // Streaming molecule cursor
 // ---------------------------------------------------------------------
 
+/// The session a cursor streams through: borrowed from the caller
+/// (`Session::query_cursor`, `Prepared::cursor`) or owned outright
+/// (`Session::into_cursor`, backing `Prima::query_cursor`).
+enum SessionRef<'s> {
+    Borrowed(&'s Session),
+    Owned(Box<Session>),
+}
+
+impl SessionRef<'_> {
+    fn get(&self) -> &Session {
+        match self {
+            SessionRef::Borrowed(s) => s,
+            SessionRef::Owned(s) => s,
+        }
+    }
+}
+
 /// A pull-based cursor over the molecules of one query — the paper's
 /// "one-molecule-at-a-time interface" surfaced at the facade.
 ///
@@ -683,7 +776,16 @@ fn collect_param_comparisons<'p>(pred: &'p Predicate, out: &mut Vec<(&'p CompRef
 /// assembled molecules between calls, so at most one fetched chunk is
 /// alive at a time; dropping it mid-stream simply abandons the remaining
 /// (unread) roots without having fixed their pages.
-pub struct MoleculeCursor {
+///
+/// Lock-wise the cursor behaves like any other read: open and every
+/// fetch run under its session's transaction, `Shared`-locking the root
+/// extension and each delivered atom. If the session commits or rolls
+/// back mid-stream, those locks are released with the transaction and
+/// the next fetch reacquires them under the session's fresh transaction
+/// — revalidating each root, so rolled-back or deleted atoms never
+/// stream out.
+pub struct MoleculeCursor<'s> {
+    session: SessionRef<'s>,
     access: Arc<AccessSystem>,
     plan: ResolvedQuery,
     clusters: Vec<Arc<AtomClusterType>>,
@@ -694,12 +796,12 @@ pub struct MoleculeCursor {
     trace: ExecutionTrace,
 }
 
-impl MoleculeCursor {
+impl<'s> MoleculeCursor<'s> {
     fn open(
-        access: Arc<AccessSystem>,
+        session: SessionRef<'s>,
         plan: &ResolvedQuery,
         opts: &QueryOptions,
-    ) -> PrimaResult<MoleculeCursor> {
+    ) -> PrimaResult<MoleculeCursor<'s>> {
         if opts.threads > 1 {
             return Err(PrimaError::BadStatement(
                 "cursor delivery is piecewise and serial; use query() for parallel execution"
@@ -712,11 +814,15 @@ impl MoleculeCursor {
                 detail: "bind all parameters before opening a cursor".into(),
             });
         }
+        let access = Arc::clone(&session.get().access);
         let mut trace = ExecutionTrace::default();
-        let roots = find_roots(&access, plan, &mut trace)?;
+        let roots = session
+            .get()
+            .with_txn(|t| find_roots(&access, plan, &mut trace, Some(t.read_guard())))?;
         trace.roots_inspected = roots.len();
         let clusters = access.cluster_types_of(plan.nodes[0].atom_type);
         Ok(MoleculeCursor {
+            session,
             ctx: AssemblyCtx::new(plan),
             nodes: node_infos(plan),
             plan: plan.clone(),
@@ -772,44 +878,66 @@ impl MoleculeCursor {
     }
 
     fn next_molecule(&mut self) -> PrimaResult<Option<Molecule>> {
-        while let Some(root) = self.roots.pop_front() {
-            // Roots were located at open time; the atom may have been
-            // deleted (e.g. the owning transaction rolled back) or
-            // modified since. Re-read it so the stream never delivers a
-            // stale molecule: vanished roots are skipped, surviving ones
-            // are re-checked against the root qualification.
-            let root = match self.access.read_atom(root.id, None) {
-                Ok(current) => {
-                    if !self.plan.root_ssa.eval(&current) {
+        let Self { session, access, plan, clusters, roots, mode, ctx, trace, .. } = self;
+        session.get().with_txn(|txn| {
+            let guard = txn.read_guard();
+            // Idempotent within one transaction; after a mid-stream
+            // commit/rollback this pins the extension under the fresh
+            // transaction before any root is revalidated.
+            guard.lock_extension(plan.nodes[0].atom_type)?;
+            // The root stays at the front of the queue until it has been
+            // fully processed: a `LockConflict` mid-lock or mid-assembly
+            // leaves it queued, so the documented rollback-and-retry path
+            // resumes with the same root instead of silently dropping it
+            // from the stream.
+            while let Some(front) = roots.front() {
+                let id = front.id;
+                // Roots were located at open time; the atom may have been
+                // deleted (e.g. the owning transaction rolled back) or
+                // modified since. Lock and re-read it so the stream never
+                // delivers a stale molecule: vanished roots are skipped,
+                // surviving ones are re-checked against the root
+                // qualification.
+                guard.lock_atom(id)?;
+                let root = match access.read_atom(id, None) {
+                    Ok(current) => {
+                        if !plan.root_ssa.eval(&current) {
+                            roots.pop_front();
+                            continue;
+                        }
+                        current
+                    }
+                    Err(prima_access::AccessError::NoSuchAtom(_)) => {
+                        roots.pop_front();
                         continue;
                     }
-                    current
+                    Err(e) => return Err(e.into()),
+                };
+                let mut fetched = 0usize;
+                let produced = process_root_traced(
+                    access,
+                    plan,
+                    root,
+                    clusters,
+                    *mode,
+                    ctx,
+                    trace,
+                    &mut fetched,
+                    Some(guard),
+                )?;
+                roots.pop_front();
+                trace.atoms_fetched += fetched;
+                if let Some(m) = produced {
+                    trace.molecules += 1;
+                    return Ok(Some(m));
                 }
-                Err(prima_access::AccessError::NoSuchAtom(_)) => continue,
-                Err(e) => return Err(e.into()),
-            };
-            let mut fetched = 0usize;
-            let produced = process_root_traced(
-                &self.access,
-                &self.plan,
-                root,
-                &self.clusters,
-                self.mode,
-                &mut self.ctx,
-                &mut self.trace,
-                &mut fetched,
-            )?;
-            self.trace.atoms_fetched += fetched;
-            if let Some(m) = produced {
-                self.trace.molecules += 1;
-                return Ok(Some(m));
             }
-        }
-        Ok(None)
+            Ok(None)
+        })
     }
 }
 
-impl Iterator for MoleculeCursor {
+impl Iterator for MoleculeCursor<'_> {
     type Item = PrimaResult<Molecule>;
 
     fn next(&mut self) -> Option<Self::Item> {

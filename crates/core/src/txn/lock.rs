@@ -1,28 +1,116 @@
-//! Atom-granularity lock table with Moss's nested-transaction rules.
+//! Granular lock table with Moss's nested-transaction rules.
+//!
+//! Two granules exist (Gray-style hierarchical locking, cut down to what
+//! the kernel needs):
+//!
+//! * **atoms** — the unit DML and molecule assembly operate on;
+//! * **type extensions** — "all atoms of one atom type", the granule a
+//!   root scan reads. A query's root access takes `Shared` on the root
+//!   type's extension; every manipulation takes `IntentExclusive` on the
+//!   extension of each atom it writes. `Shared`/`IntentExclusive` are
+//!   incompatible, so an uncommitted INSERT / DELETE / MODIFY is never
+//!   silently missed (or seen) by a concurrent scan, while writers of
+//!   *different* atoms coexist (`IntentExclusive` is compatible with
+//!   itself).
+//!
+//! A transaction may hold several modes on the same target (scan then
+//! insert ⇒ `Shared` + `IntentExclusive`, the classic SIX combination);
+//! holders therefore carry a mode *set*, and a request conflicts when it
+//! is incompatible with any mode a non-ancestor holds.
+//!
+//! Bookkeeping is indexed per transaction: `transfer` (subtransaction
+//! commit) and `release_all` (top-level commit/abort) walk only the
+//! transaction's own lock list — O(own locks), not O(table) — and entries
+//! whose holder list drains are removed from the table, so the map does
+//! not grow with every atom ever locked. [`LockTable::maintenance_visits`]
+//! counts the entries those walks touch; a regression test pins the
+//! O(own locks) behavior with it.
 
 use super::{TxnError, TxnId};
 use parking_lot::Mutex;
-use prima_mad::value::AtomId;
+use prima_mad::value::{AtomId, AtomTypeId};
 use std::collections::HashMap;
+use std::fmt;
 
-/// Lock modes.
+/// Lock modes. `IntentExclusive` exists only on type extensions (writers
+/// announce "I change some atoms of this type"); atoms are locked
+/// `Shared`/`Exclusive`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
     Shared,
+    IntentExclusive,
     Exclusive,
+}
+
+/// What a lock protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockTarget {
+    /// One atom.
+    Atom(AtomId),
+    /// The extension (current + future membership) of one atom type.
+    Extension(AtomTypeId),
+}
+
+impl fmt::Display for LockTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockTarget::Atom(id) => write!(f, "{id}"),
+            LockTarget::Extension(t) => write!(f, "extension(type{t})"),
+        }
+    }
+}
+
+/// Bit set of held modes (one transaction can hold Shared *and*
+/// IntentExclusive on the same extension — SIX).
+type ModeSet = u8;
+
+const S: ModeSet = 1;
+const IX: ModeSet = 2;
+const X: ModeSet = 4;
+
+fn bit(m: LockMode) -> ModeSet {
+    match m {
+        LockMode::Shared => S,
+        LockMode::IntentExclusive => IX,
+        LockMode::Exclusive => X,
+    }
+}
+
+/// Standard compatibility: S+S and IX+IX coexist, everything else
+/// conflicts (S vs IX included — that is the whole point of the intent
+/// mode here: a scan must not overlap an uncommitted writer of the same
+/// type).
+fn compatible(held: ModeSet, req: LockMode) -> bool {
+    match req {
+        LockMode::Shared => held & (IX | X) == 0,
+        LockMode::IntentExclusive => held & (S | X) == 0,
+        LockMode::Exclusive => false,
+    }
 }
 
 #[derive(Debug, Default)]
 struct Entry {
-    /// `(holder, mode)` pairs; multiple Shared holders possible, one
-    /// Exclusive holder (plus the same holder may also appear Shared).
-    holders: Vec<(TxnId, LockMode)>,
+    /// `(holder, modes)` — one slot per holding transaction.
+    holders: Vec<(TxnId, ModeSet)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<LockTarget, Entry>,
+    /// Per-transaction list of targets the transaction holds locks on —
+    /// the index `transfer`/`release_all` walk instead of the whole
+    /// table. A target appears at most once per transaction (guarded by
+    /// the holder-slot check in `acquire`).
+    by_txn: HashMap<TxnId, Vec<LockTarget>>,
+    /// Entries visited by `transfer` + `release_all` since construction
+    /// (diagnostics; pins the O(own locks) maintenance cost).
+    maintenance_visits: u64,
 }
 
 /// The lock table.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    entries: Mutex<HashMap<AtomId, Entry>>,
+    inner: Mutex<Inner>,
 }
 
 impl LockTable {
@@ -30,83 +118,89 @@ impl LockTable {
         Self::default()
     }
 
-    /// Acquires `mode` on `atom` for `t`. `ancestors` must contain `t`
+    /// Acquires `mode` on `target` for `t`. `ancestors` must contain `t`
     /// itself plus all its ancestors; a conflicting holder is tolerated
     /// iff it is in that set (Moss's rule: "all holders are ancestors").
+    /// Conflicts fail fast with [`TxnError::LockConflict`] — there is no
+    /// wait queue.
     pub fn acquire(
         &self,
         t: TxnId,
         ancestors: &[TxnId],
-        atom: AtomId,
+        target: LockTarget,
         mode: LockMode,
     ) -> Result<(), TxnError> {
-        let mut entries = self.entries.lock();
-        let e = entries.entry(atom).or_default();
-        for (holder, hmode) in &e.holders {
-            let conflicting = matches!(
-                (hmode, mode),
-                (LockMode::Exclusive, _) | (_, LockMode::Exclusive)
-            );
-            if conflicting && !ancestors.contains(holder) {
-                return Err(TxnError::LockConflict { atom, holder: *holder });
-            }
-        }
-        // Upgrade / record.
-        match e.holders.iter_mut().find(|(h, _)| *h == t) {
-            Some(slot) => {
-                if mode == LockMode::Exclusive {
-                    slot.1 = LockMode::Exclusive;
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.get(&target) {
+            for (holder, held) in &e.holders {
+                if !compatible(*held, mode) && !ancestors.contains(holder) {
+                    return Err(TxnError::LockConflict { target, holder: *holder });
                 }
             }
-            None => e.holders.push((t, mode)),
+        }
+        let e = inner.entries.entry(target).or_default();
+        match e.holders.iter_mut().find(|(h, _)| *h == t) {
+            Some(slot) => slot.1 |= bit(mode),
+            None => {
+                e.holders.push((t, bit(mode)));
+                inner.by_txn.entry(t).or_default().push(target);
+            }
         }
         Ok(())
     }
 
     /// Transfers all of `from`'s locks to `to` (subtransaction commit —
-    /// "anti-inheritance").
+    /// "anti-inheritance"). Walks only `from`'s own lock list.
     pub fn transfer(&self, from: TxnId, to: TxnId) {
-        let mut entries = self.entries.lock();
-        for e in entries.values_mut() {
-            let mut inherited: Option<LockMode> = None;
-            e.holders.retain(|(h, m)| {
-                if *h == from {
-                    inherited = Some(match (inherited, *m) {
-                        (Some(LockMode::Exclusive), _) | (_, LockMode::Exclusive) => {
-                            LockMode::Exclusive
-                        }
-                        _ => LockMode::Shared,
-                    });
-                    false
-                } else {
-                    true
-                }
-            });
-            if let Some(m) = inherited {
-                match e.holders.iter_mut().find(|(h, _)| *h == to) {
-                    Some(slot) => {
-                        if m == LockMode::Exclusive {
-                            slot.1 = LockMode::Exclusive;
-                        }
-                    }
-                    None => e.holders.push((to, m)),
+        let mut inner = self.inner.lock();
+        let Some(targets) = inner.by_txn.remove(&from) else { return };
+        for target in targets {
+            inner.maintenance_visits += 1;
+            let Some(e) = inner.entries.get_mut(&target) else { continue };
+            let Some(pos) = e.holders.iter().position(|(h, _)| *h == from) else { continue };
+            let (_, modes) = e.holders.swap_remove(pos);
+            match e.holders.iter_mut().find(|(h, _)| *h == to) {
+                Some(slot) => slot.1 |= modes,
+                None => {
+                    e.holders.push((to, modes));
+                    inner.by_txn.entry(to).or_default().push(target);
                 }
             }
         }
     }
 
-    /// Releases all locks of `t` (top-level commit or abort).
+    /// Releases all locks of `t` (top-level commit or abort), reaping
+    /// entries whose holder list drains. Walks only `t`'s own lock list.
     pub fn release_all(&self, t: TxnId) {
-        let mut entries = self.entries.lock();
-        entries.retain(|_, e| {
+        let mut inner = self.inner.lock();
+        let Some(targets) = inner.by_txn.remove(&t) else { return };
+        for target in targets {
+            inner.maintenance_visits += 1;
+            let Some(e) = inner.entries.get_mut(&target) else { continue };
             e.holders.retain(|(h, _)| *h != t);
-            !e.holders.is_empty()
-        });
+            if e.holders.is_empty() {
+                inner.entries.remove(&target);
+            }
+        }
     }
 
-    /// Number of atoms with at least one lock (diagnostics).
-    pub fn locked_atoms(&self) -> usize {
-        self.entries.lock().len()
+    /// Number of targets with at least one lock (diagnostics). Returns to
+    /// zero once every transaction has committed or aborted — empty
+    /// entries are reaped, the table does not grow monotonically.
+    pub fn locked_targets(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Number of locks `t` currently holds (diagnostics).
+    pub fn held_by(&self, t: TxnId) -> usize {
+        self.inner.lock().by_txn.get(&t).map_or(0, |v| v.len())
+    }
+
+    /// Entries visited by `transfer`/`release_all` so far — the
+    /// maintenance cost, which must scale with the finishing
+    /// transaction's own lock count, never with the table size.
+    pub fn maintenance_visits(&self) -> u64 {
+        self.inner.lock().maintenance_visits
     }
 }
 
@@ -114,67 +208,142 @@ impl LockTable {
 mod tests {
     use super::*;
 
-    fn id(n: u64) -> AtomId {
-        AtomId::new(0, n)
+    fn atom(n: u64) -> LockTarget {
+        LockTarget::Atom(AtomId::new(0, n))
+    }
+
+    fn ext(t: AtomTypeId) -> LockTarget {
+        LockTarget::Extension(t)
     }
 
     #[test]
     fn shared_locks_coexist() {
         let lt = LockTable::new();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Shared).unwrap();
-        lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared).unwrap();
-        assert_eq!(lt.locked_atoms(), 1);
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2)], atom(1), LockMode::Shared).unwrap();
+        assert_eq!(lt.locked_targets(), 1);
     }
 
     #[test]
     fn exclusive_conflicts_with_stranger() {
         let lt = LockTable::new();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
-        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared).unwrap_err();
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], atom(1), LockMode::Shared).unwrap_err();
         assert!(matches!(err, TxnError::LockConflict { holder: TxnId(1), .. }));
-        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Exclusive).unwrap_err();
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], atom(1), LockMode::Exclusive).unwrap_err();
         assert!(matches!(err, TxnError::LockConflict { .. }));
+    }
+
+    #[test]
+    fn intent_exclusive_coexists_with_itself_but_not_shared() {
+        let lt = LockTable::new();
+        // Two writers of different atoms announce intent on the same type.
+        lt.acquire(TxnId(1), &[TxnId(1)], ext(7), LockMode::IntentExclusive).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2)], ext(7), LockMode::IntentExclusive).unwrap();
+        // A scanning reader conflicts with both.
+        let err = lt.acquire(TxnId(3), &[TxnId(3)], ext(7), LockMode::Shared);
+        assert!(err.is_err());
+        // And a reader-held extension blocks a new writer.
+        lt.acquire(TxnId(3), &[TxnId(3)], ext(8), LockMode::Shared).unwrap();
+        let err = lt.acquire(TxnId(1), &[TxnId(1)], ext(8), LockMode::IntentExclusive);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn scan_then_write_combines_modes_six_style() {
+        let lt = LockTable::new();
+        // One transaction scans (S) then inserts (IX) into the same type.
+        lt.acquire(TxnId(1), &[TxnId(1)], ext(7), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], ext(7), LockMode::IntentExclusive).unwrap();
+        // The combined hold blocks both readers and writers.
+        assert!(lt.acquire(TxnId(2), &[TxnId(2)], ext(7), LockMode::Shared).is_err());
+        assert!(lt
+            .acquire(TxnId(2), &[TxnId(2)], ext(7), LockMode::IntentExclusive)
+            .is_err());
+        // Exactly one index entry despite two modes.
+        assert_eq!(lt.held_by(TxnId(1)), 1);
     }
 
     #[test]
     fn ancestor_holding_lock_is_not_a_conflict() {
         let lt = LockTable::new();
         // parent 1 holds X; child 2 (ancestors [2,1]) may acquire.
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
-        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
         // sibling 3 (ancestors [3,1]) conflicts with 2's X.
-        let err = lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], id(1), LockMode::Shared);
+        let err = lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], atom(1), LockMode::Shared);
         assert!(err.is_err());
     }
 
     #[test]
     fn transfer_on_subcommit() {
         let lt = LockTable::new();
-        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], id(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2), TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
         lt.transfer(TxnId(2), TxnId(1));
         // A stranger still conflicts — now with txn 1.
-        let err = lt.acquire(TxnId(9), &[TxnId(9)], id(1), LockMode::Shared).unwrap_err();
+        let err = lt.acquire(TxnId(9), &[TxnId(9)], atom(1), LockMode::Shared).unwrap_err();
         assert!(matches!(err, TxnError::LockConflict { holder: TxnId(1), .. }));
         // Another child of 1 may acquire (holder is its ancestor).
-        lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], id(1), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], atom(1), LockMode::Shared).unwrap();
+        // The transferred lock is indexed under the parent now.
+        assert_eq!(lt.held_by(TxnId(2)), 0);
+        assert_eq!(lt.held_by(TxnId(1)), 1);
     }
 
     #[test]
-    fn release_all_clears() {
+    fn release_all_clears_and_reaps_entries() {
         let lt = LockTable::new();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(2), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(2), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], ext(0), LockMode::IntentExclusive).unwrap();
         lt.release_all(TxnId(1));
-        assert_eq!(lt.locked_atoms(), 0);
-        lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Exclusive).unwrap();
+        assert_eq!(lt.locked_targets(), 0, "empty entries must be reaped");
+        lt.acquire(TxnId(2), &[TxnId(2)], atom(1), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn table_does_not_grow_with_every_atom_ever_locked() {
+        let lt = LockTable::new();
+        for round in 0..50u64 {
+            let t = TxnId(round + 1);
+            for n in 0..100 {
+                lt.acquire(t, &[t], atom(round * 100 + n), LockMode::Exclusive).unwrap();
+            }
+            lt.release_all(t);
+            assert_eq!(lt.locked_targets(), 0, "round {round} left entries behind");
+        }
+    }
+
+    #[test]
+    fn maintenance_walks_own_locks_not_the_table() {
+        let lt = LockTable::new();
+        // A long-lived transaction holds 1000 locks.
+        for n in 0..1000 {
+            lt.acquire(TxnId(1), &[TxnId(1)], atom(n), LockMode::Shared).unwrap();
+        }
+        // A small transaction holds 2.
+        lt.acquire(TxnId(2), &[TxnId(2)], atom(5000), LockMode::Exclusive).unwrap();
+        lt.acquire(TxnId(2), &[TxnId(2)], atom(5001), LockMode::Exclusive).unwrap();
+        let before = lt.maintenance_visits();
+        lt.release_all(TxnId(2));
+        assert_eq!(
+            lt.maintenance_visits() - before,
+            2,
+            "releasing a 2-lock txn must visit 2 entries, not the 1000-entry table"
+        );
+        // Same for subtransaction transfer.
+        lt.acquire(TxnId(3), &[TxnId(3), TxnId(1)], atom(6000), LockMode::Exclusive).unwrap();
+        let before = lt.maintenance_visits();
+        lt.transfer(TxnId(3), TxnId(1));
+        assert_eq!(lt.maintenance_visits() - before, 1);
     }
 
     #[test]
     fn shared_then_upgrade_by_same_txn() {
         let lt = LockTable::new();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Shared).unwrap();
-        lt.acquire(TxnId(1), &[TxnId(1)], id(1), LockMode::Exclusive).unwrap();
-        let err = lt.acquire(TxnId(2), &[TxnId(2)], id(1), LockMode::Shared);
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Shared).unwrap();
+        lt.acquire(TxnId(1), &[TxnId(1)], atom(1), LockMode::Exclusive).unwrap();
+        let err = lt.acquire(TxnId(2), &[TxnId(2)], atom(1), LockMode::Shared);
         assert!(err.is_err());
     }
 }

@@ -24,7 +24,7 @@
 mod lock;
 mod undo;
 
-pub use lock::{LockMode, LockTable};
+pub use lock::{LockMode, LockTable, LockTarget};
 pub use undo::UndoOp;
 
 use crate::error::PrimaResult;
@@ -51,7 +51,9 @@ impl fmt::Display for TxnId {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TxnError {
     /// Another (non-ancestor) transaction holds a conflicting lock.
-    LockConflict { atom: AtomId, holder: TxnId },
+    /// Conflicts surface immediately — there is no wait queue; the caller
+    /// decides between rollback and retry.
+    LockConflict { target: LockTarget, holder: TxnId },
     /// Unknown or already finished transaction.
     NotActive(TxnId),
     /// A parent cannot commit while children are active.
@@ -63,8 +65,8 @@ pub enum TxnError {
 impl fmt::Display for TxnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TxnError::LockConflict { atom, holder } => {
-                write!(f, "lock conflict on {atom} held by {holder}")
+            TxnError::LockConflict { target, holder } => {
+                write!(f, "lock conflict on {target} held by {holder}")
             }
             TxnError::NotActive(t) => write!(f, "{t} is not active"),
             TxnError::ChildrenActive(t) => write!(f, "{t} has active children"),
@@ -79,6 +81,12 @@ struct TxnState {
     parent: Option<TxnId>,
     children: Vec<TxnId>,
     undo: Vec<UndoOp>,
+    /// Whether this (top-level) transaction's WAL bracket is open, i.e.
+    /// its `TxnBegin` has been appended. Written lazily with the first
+    /// undo record: read-only transactions (every query-path txn) leave
+    /// no trace in the log and skip the commit record *and its force*
+    /// entirely — a reader session's commit costs no device I/O.
+    wal_open: bool,
 }
 
 /// The transaction manager: lock table plus transaction tree.
@@ -125,13 +133,14 @@ impl TxnManager {
             let pstate = active.get_mut(&p).ok_or(TxnError::NotActive(p))?;
             pstate.children.push(id);
         }
-        active.insert(id, TxnState { parent, children: Vec::new(), undo: Vec::new() });
+        active.insert(
+            id,
+            TxnState { parent, children: Vec::new(), undo: Vec::new(), wal_open: false },
+        );
         drop(active);
-        if parent.is_none() {
-            if let Some(wal) = &self.wal {
-                wal.append(WalPayload::TxnBegin { txn: id.0 });
-            }
-        }
+        // No WAL bracket yet: `TxnBegin` is appended lazily with the
+        // first undo record (see [`TxnManager::log_undo`]), so read-only
+        // transactions never touch the log.
         Ok(Transaction { id, mgr: Arc::clone(self), finished: false })
     }
 
@@ -162,16 +171,68 @@ impl TxnManager {
     /// Appends `op` to the WAL, tagged with `t`'s *top-level* ancestor
     /// (restart recovery knows only top-level winners and losers). Must
     /// run before the operation dirties any page — see the struct docs.
+    /// The first undo record of a top-level transaction opens its WAL
+    /// bracket (`TxnBegin`) on the way.
     fn log_undo(&self, t: TxnId, op: &UndoOp) {
         if let Some(wal) = &self.wal {
             let top = *self.ancestors(t).last().expect("ancestors include self");
+            {
+                let mut active = self.active.lock();
+                if let Some(state) = active.get_mut(&top) {
+                    if !state.wal_open {
+                        state.wal_open = true;
+                        // Appended under the active-set lock so the
+                        // bracket is opened exactly once even when
+                        // parallel subtransactions log concurrently.
+                        wal.append(WalPayload::TxnBegin { txn: top.0 });
+                    }
+                }
+            }
             wal.append(WalPayload::Undo { txn: top.0, payload: &op.encode() });
         }
     }
 
-    fn lock(&self, t: TxnId, atom: AtomId, mode: LockMode) -> Result<(), TxnError> {
+    /// Shared atom lock — the read-path granule.
+    fn lock_atom_shared(&self, t: TxnId, atom: AtomId) -> Result<(), TxnError> {
         let ancestors = self.ancestors(t);
-        self.locks.acquire(t, &ancestors, atom, mode)
+        self.locks.acquire(t, &ancestors, LockTarget::Atom(atom), LockMode::Shared)
+    }
+
+    /// Exclusive atom lock. Every atom-exclusive acquisition first
+    /// announces `IntentExclusive` on the atom's type extension, so a
+    /// concurrent scan of that type (which holds the extension `Shared`)
+    /// conflicts even when it would have filtered the written atom out —
+    /// an uncommitted write is *never* observable, not even as a changed
+    /// qualification outcome or a missing scan row.
+    fn lock_atom_exclusive(&self, t: TxnId, atom: AtomId) -> Result<(), TxnError> {
+        let ancestors = self.ancestors(t);
+        self.locks.acquire(
+            t,
+            &ancestors,
+            LockTarget::Extension(atom.atom_type),
+            LockMode::IntentExclusive,
+        )?;
+        self.locks.acquire(t, &ancestors, LockTarget::Atom(atom), LockMode::Exclusive)
+    }
+
+    /// Shared extension lock — taken by root access (scan, key lookup,
+    /// access path, partition) before it inspects the type's atoms.
+    fn lock_extension_shared(&self, t: TxnId, ty: AtomTypeId) -> Result<(), TxnError> {
+        let ancestors = self.ancestors(t);
+        self.locks.acquire(t, &ancestors, LockTarget::Extension(ty), LockMode::Shared)
+    }
+
+    /// The lock table (diagnostics: table size, maintenance cost).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// A [`ReadGuard`] acquiring read locks on behalf of `t` — handed to
+    /// the query path (root access, vertical assembly, cursors, DML
+    /// qualification) so every atom that can flow into a result is
+    /// covered by a `Shared` lock under `t`.
+    pub fn read_guard(&self, t: TxnId) -> ReadGuard<'_> {
+        ReadGuard { mgr: self, txn: t }
     }
 
     // -----------------------------------------------------------------
@@ -179,7 +240,7 @@ impl TxnManager {
     // -----------------------------------------------------------------
 
     fn read_atom(&self, t: TxnId, id: AtomId) -> Result<Atom, TxnError> {
-        self.lock(t, id, LockMode::Shared)?;
+        self.lock_atom_shared(t, id)?;
         self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))
     }
 
@@ -189,11 +250,23 @@ impl TxnManager {
         atom_type: AtomTypeId,
         values: Vec<Value>,
     ) -> Result<AtomId, TxnError> {
+        // The insert changes the type's extension: announce it before any
+        // page is touched so concurrent scans conflict instead of missing
+        // (or seeing) the uncommitted atom.
+        {
+            let ancestors = self.ancestors(t);
+            self.locks.acquire(
+                t,
+                &ancestors,
+                LockTarget::Extension(atom_type),
+                LockMode::IntentExclusive,
+            )?;
+        }
         // Referenced atoms receive implicit back-reference updates: lock
         // them exclusively first.
         for v in &values {
             for target in v.referenced_ids() {
-                self.lock(t, target, LockMode::Exclusive)?;
+                self.lock_atom_exclusive(t, target)?;
             }
         }
         // The pre-write hook appends the undo record once the surrogate
@@ -205,7 +278,7 @@ impl TxnManager {
                 Ok(())
             })
             .map_err(|e| TxnError::Access(e.to_string()))?;
-        self.lock(t, id, LockMode::Exclusive)?;
+        self.lock_atom_exclusive(t, id)?;
         self.push_undo(t, UndoOp::UndoInsert { id })?;
         Ok(id)
     }
@@ -216,16 +289,16 @@ impl TxnManager {
         id: AtomId,
         updates: &[(usize, Value)],
     ) -> Result<(), TxnError> {
-        self.lock(t, id, LockMode::Exclusive)?;
+        self.lock_atom_exclusive(t, id)?;
         let before = self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))?;
         // Lock atoms whose back-references will change.
         for (i, v) in updates {
             for target in before.values.get(*i).map(|x| x.referenced_ids()).unwrap_or_default()
             {
-                self.lock(t, target, LockMode::Exclusive)?;
+                self.lock_atom_exclusive(t, target)?;
             }
             for target in v.referenced_ids() {
-                self.lock(t, target, LockMode::Exclusive)?;
+                self.lock_atom_exclusive(t, target)?;
             }
         }
         let old: Vec<(usize, Value)> = updates
@@ -241,11 +314,11 @@ impl TxnManager {
     }
 
     fn delete_atom(&self, t: TxnId, id: AtomId) -> Result<(), TxnError> {
-        self.lock(t, id, LockMode::Exclusive)?;
+        self.lock_atom_exclusive(t, id)?;
         let before = self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))?;
         for v in &before.values {
             for target in v.referenced_ids() {
-                self.lock(t, target, LockMode::Exclusive)?;
+                self.lock_atom_exclusive(t, target)?;
             }
         }
         // Undo before do, as for modify.
@@ -261,15 +334,15 @@ impl TxnManager {
     // -----------------------------------------------------------------
 
     fn commit(&self, t: TxnId) -> Result<(), TxnError> {
-        let parent = {
+        let (parent, wal_open) = {
             let active = self.active.lock();
             let state = active.get(&t).ok_or(TxnError::NotActive(t))?;
             if !state.children.is_empty() {
                 return Err(TxnError::ChildrenActive(t));
             }
-            state.parent
+            (state.parent, state.wal_open)
         };
-        if parent.is_none() {
+        if parent.is_none() && wal_open {
             // Top-level durability point, reached while the transaction
             // still counts as active (a quiescing checkpoint cannot slip
             // between the force and the bookkeeping below). On a durable
@@ -277,7 +350,10 @@ impl TxnManager {
             // the group-commit point ("group-appended and forced on
             // commit"): everything buffered since the last force,
             // possibly several statements' records, goes to the device
-            // in one sequential append.
+            // in one sequential append. Read-only transactions
+            // (`wal_open` false — no bracket, no undo, no page image)
+            // have nothing to make durable and skip both the record and
+            // the force.
             if let Some(wal) = &self.wal {
                 wal.append(WalPayload::TxnCommit { txn: t.0 });
                 wal.force().map_err(|e| TxnError::Access(e.to_string()))?;
@@ -324,18 +400,19 @@ impl TxnManager {
         // checkpoint must never observe a half-rolled-back kernel as
         // idle (it would flush the partial state and truncate the undo
         // records that could finish the job after a crash).
-        let (parent, undo) = {
+        let (parent, undo, wal_open) = {
             let active = self.active.lock();
             let state = active.get(&t).ok_or(TxnError::NotActive(t))?;
-            (state.parent, state.undo.clone())
+            (state.parent, state.undo.clone(), state.wal_open)
         };
         for op in undo.iter().rev() {
             op.apply(&self.sys).map_err(|e| TxnError::Access(e.to_string()))?;
         }
         // A durable top-level abort records that its undo has been
         // applied. Unforced: if the record is lost in a crash, restart
-        // simply replays the (idempotent) undo again.
-        if parent.is_none() {
+        // simply replays the (idempotent) undo again. A transaction that
+        // never opened its bracket left nothing to record.
+        if parent.is_none() && wal_open {
             if let Some(wal) = &self.wal {
                 wal.append(WalPayload::TxnAbort { txn: t.0 });
             }
@@ -376,6 +453,40 @@ impl TxnManager {
     }
 }
 
+/// Read-path lock hook: acquires `Shared` locks on behalf of one
+/// transaction. The query path (root access, vertical assembly, streaming
+/// cursors, DML qualification sub-queries) calls this for every atom that
+/// can flow into a result and for every type extension it scans, so
+/// retrieval is bracketed by the same Moss lock table as manipulation —
+/// strict two-phase: everything acquired here is released at the
+/// top-level commit/rollback, never earlier.
+///
+/// Conflicts surface immediately as [`TxnError::LockConflict`] (no wait
+/// queue); the holder set is checked against the transaction's ancestor
+/// chain, so nested readers tolerate parent writers (Moss's rule).
+#[derive(Clone, Copy)]
+pub struct ReadGuard<'a> {
+    mgr: &'a TxnManager,
+    txn: TxnId,
+}
+
+impl ReadGuard<'_> {
+    /// `Shared` lock on one atom.
+    pub fn lock_atom(&self, id: AtomId) -> PrimaResult<()> {
+        Ok(self.mgr.lock_atom_shared(self.txn, id)?)
+    }
+
+    /// `Shared` lock on a type extension (before scanning it).
+    pub fn lock_extension(&self, ty: AtomTypeId) -> PrimaResult<()> {
+        Ok(self.mgr.lock_extension_shared(self.txn, ty)?)
+    }
+
+    /// The transaction the locks are charged to.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+}
+
 /// Handle to one (sub)transaction. Dropping an unfinished transaction
 /// aborts it.
 pub struct Transaction {
@@ -397,6 +508,11 @@ impl Transaction {
     /// Transactional read (shared lock).
     pub fn read_atom(&self, id: AtomId) -> Result<Atom, TxnError> {
         self.mgr.read_atom(self.id, id)
+    }
+
+    /// A [`ReadGuard`] charging read locks to this transaction.
+    pub fn read_guard(&self) -> ReadGuard<'_> {
+        self.mgr.read_guard(self.id)
     }
 
     /// Transactional insert (exclusive locks on the new atom and on all

@@ -143,6 +143,9 @@ struct FaultState {
     forces: u32,
     syncs: u32,
     crashed: bool,
+    /// Crash point armed after construction ([`FaultDisk::arm`]);
+    /// overrides the schedule's.
+    armed: Option<CrashPoint>,
     /// The drive cache: acknowledged block writes that no completed
     /// barrier has persisted yet. BTreeMap for deterministic drain order.
     cache: BTreeMap<BlockAddr, Vec<u8>>,
@@ -191,6 +194,7 @@ impl FaultDisk {
                 forces: 0,
                 syncs: 0,
                 crashed: false,
+                armed: None,
                 cache: BTreeMap::new(),
             }),
         })
@@ -209,6 +213,19 @@ impl FaultDisk {
     /// Mutating device operations counted so far.
     pub fn ops(&self) -> u64 {
         self.state.lock().ops
+    }
+
+    /// WAL group appends (device-level forces) counted so far.
+    pub fn wal_forces(&self) -> u32 {
+        self.state.lock().forces
+    }
+
+    /// Re-arms the crash point mid-run, overriding the schedule — for
+    /// targeted tests that let a setup phase complete undisturbed and
+    /// then crash a *specific* later operation ("the next WAL force is
+    /// the one carrying this commit").
+    pub fn arm(&self, crash: CrashPoint) {
+        self.state.lock().armed = Some(crash);
     }
 
     /// The persisted image: the inner device, which after the crash holds
@@ -239,7 +256,7 @@ impl FaultDisk {
         if kind == OpKind::Sync {
             st.syncs += 1;
         }
-        Ok(match self.schedule.crash {
+        Ok(match st.armed.unwrap_or(self.schedule.crash) {
             CrashPoint::AfterOps(n) => st.ops == n,
             CrashPoint::OnWalForce(n) => kind == OpKind::WalAppend && st.forces == n,
             CrashPoint::OnSync(n) => kind == OpKind::Sync && st.syncs == n,

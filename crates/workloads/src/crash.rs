@@ -382,6 +382,386 @@ pub fn run_crash_schedule(inner: Arc<dyn BlockDevice>, seed: u64, steps: usize) 
     CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
 }
 
+/// Runs one seed-determined fault schedule with **multiple sessions** on
+/// the kernel: one writer (random INSERT / MODIFY / DELETE bursts,
+/// commits, rollbacks, flushes) interleaved with 1–2 reader sessions.
+/// The readers are the isolation oracle, the recovery pass at the end is
+/// the durability oracle:
+///
+/// * whenever the writer has uncommitted manipulation in flight, a
+///   reader's query **must** fail with a lock conflict (the writer holds
+///   the extension `IntentExclusive`); it must *never* deliver the
+///   uncommitted state;
+/// * whenever the writer is clean, a reader's query **must** succeed and
+///   equal the last acknowledged commit exactly — uncommitted and
+///   rolled-back atoms are never observable, committed ones never
+///   missing;
+/// * readers randomly hold their shared locks across steps (strict 2PL:
+///   released only at their commit); while they do, writer DML must fail
+///   with a lock conflict and leave no trace in the recovered state;
+/// * after the crash, the recovered database must satisfy the same
+///   committed-prefix oracle as [`run_crash_schedule`].
+///
+/// Panics with a seed-carrying reproducer on any violation.
+pub fn run_multi_session_schedule(
+    inner: Arc<dyn BlockDevice>,
+    seed: u64,
+    steps: usize,
+) -> CrashReport {
+    let schedule = FaultSchedule::from_seed(seed);
+    let fault = FaultDisk::new(inner, schedule);
+    let device: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+
+    let built = Prima::builder()
+        .buffer_bytes(16 << 10)
+        .device(device)
+        .durable()
+        .build_with_ddl(CRASH_DDL);
+    let db = match built {
+        Ok(db) => db,
+        Err(e) => {
+            if !fault.has_crashed() {
+                panic!("{}", repro(seed, steps, "build failed without a crash", e.to_string()));
+            }
+            if let Ok(db) = Prima::open_device(fault.persisted_device()) {
+                let state = observe(&db);
+                if !state.is_empty() {
+                    panic!(
+                        "{}",
+                        repro(
+                            seed,
+                            steps,
+                            "bootstrap crash recovered non-empty state",
+                            format!("{state:?}"),
+                        )
+                    );
+                }
+            }
+            return CrashReport {
+                seed,
+                steps_run: 0,
+                acked_commits: 0,
+                bootstrap_crash: true,
+                in_flight_won: false,
+            };
+        }
+    };
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3a3a_c0de_2026_0005);
+    let writer = db.session();
+    let readers: Vec<prima::Session> =
+        (0..rng.gen_range(1usize..3)).map(|_| db.session()).collect();
+    // Whether reader i currently holds shared locks (query succeeded and
+    // it has not committed since).
+    let mut reader_holds: Vec<bool> = vec![false; readers.len()];
+
+    let mut snapshots: Vec<ModelState> = vec![ModelState::new()];
+    let mut pending = ModelState::new();
+    let mut in_flight: Option<ModelState> = None;
+    // Whether the writer's open transaction has uncommitted manipulation
+    // (and therefore extension intent locks).
+    let mut writer_dirty = false;
+    let mut version = 0u64;
+    let mut steps_run = 0usize;
+
+    'workload: for _ in 0..steps {
+        if fault.has_crashed() {
+            break;
+        }
+        steps_run += 1;
+        let roll = rng.gen_range(0u32..100);
+        if roll < 40 {
+            // Writer DML: one single-victim statement (conflicts happen
+            // before any mutation, so the model never needs to track a
+            // half-applied statement).
+            enum Op {
+                Insert(i64, String),
+                Modify(i64, String),
+                Delete(i64),
+            }
+            let op = match rng.gen_range(0u32..3) {
+                0 => {
+                    let name = format!("v{version}-{:0>400}", version);
+                    version += 1;
+                    Op::Insert(rng.gen_range(0i64..300), name)
+                }
+                1 => {
+                    let Some(&no) = pick_key(&pending, &mut rng) else { continue };
+                    let name = format!("m{version}-{:0>400}", version);
+                    version += 1;
+                    Op::Modify(no, name)
+                }
+                _ => {
+                    let Some(&no) = pick_key(&pending, &mut rng) else { continue };
+                    Op::Delete(no)
+                }
+            };
+            let stmt = match &op {
+                Op::Insert(no, name) => format!("INSERT part (part_no: {no}, name: '{name}')"),
+                Op::Modify(no, name) => {
+                    format!("MODIFY part SET name = '{name}' WHERE part_no = {no}")
+                }
+                Op::Delete(no) => format!("DELETE FROM part WHERE part_no = {no}"),
+            };
+            match writer.execute(&stmt) {
+                Ok(result) => {
+                    if reader_holds.iter().any(|h| *h) {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "writer DML succeeded while a reader held shared locks",
+                                stmt,
+                            )
+                        );
+                    }
+                    writer_dirty = true;
+                    match (op, result) {
+                        (Op::Insert(no, name), DmlResult::Inserted(id)) => {
+                            if pending.insert(no, (name, id.seq)).is_some() {
+                                panic!(
+                                    "{}",
+                                    repro(seed, steps, "duplicate key accepted", format!("no={no}"))
+                                );
+                            }
+                        }
+                        (Op::Modify(no, name), DmlResult::Modified(_)) => {
+                            pending.get_mut(&no).expect("picked from pending").0 = name;
+                        }
+                        (Op::Delete(no), DmlResult::Deleted(_)) => {
+                            pending.remove(&no);
+                        }
+                        (_, other) => panic!(
+                            "{}",
+                            repro(seed, steps, "DML wrong result", format!("{other:?}"))
+                        ),
+                    }
+                }
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) if e.is_lock_conflict() => {
+                    // Only a lock-holding reader can push the writer off.
+                    if !reader_holds.iter().any(|h| *h) {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "writer hit a lock conflict with no reader holding locks",
+                                e.to_string(),
+                            )
+                        );
+                    }
+                }
+                Err(e)
+                    if matches!(op, Op::Insert(no, _) if pending.contains_key(&no))
+                        && e.to_string().contains("duplicate key") =>
+                {
+                    // Predicted duplicate-key rejection. Key uniqueness is
+                    // checked after the extension intent lock, so the
+                    // writer's transaction now carries it: count as dirty.
+                    writer_dirty = true;
+                }
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected writer DML error", e.to_string()))
+                }
+            }
+        } else if roll < 70 {
+            // A reader queries: point lookup or full scan, sometimes via
+            // a streaming cursor.
+            let r = rng.gen_range(0usize..readers.len());
+            let reader = &readers[r];
+            let use_cursor = rng.gen_range(0u32..4) == 0;
+            let committed = snapshots.last().expect("initial snapshot");
+            let point = rng.gen_range(0u32..2) == 0;
+            let outcome: Result<ModelState, prima::PrimaError> = if point {
+                // Point lookup: graft the committed rest around the one
+                // observed key so the comparison below stays uniform.
+                let no = rng.gen_range(0i64..300);
+                reader
+                    .query(
+                        &format!("SELECT ALL FROM part WHERE part_no = {no}"),
+                        &QueryOptions::default(),
+                    )
+                    .map(|res| {
+                        let mut merged = committed.clone();
+                        merged.remove(&no);
+                        merged.extend(state_of(&res.set));
+                        merged
+                    })
+            } else if use_cursor {
+                reader
+                    .query_cursor("SELECT ALL FROM part", &QueryOptions::default())
+                    .and_then(|mut c| c.fetch_all())
+                    .map(|set| state_of(&set))
+            } else {
+                reader
+                    .query("SELECT ALL FROM part", &QueryOptions::default())
+                    .map(|res| state_of(&res.set))
+            };
+            match outcome {
+                Ok(seen) => {
+                    if writer_dirty {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "reader query succeeded despite uncommitted writer DML",
+                                format!("saw {} atoms", seen.len()),
+                            )
+                        );
+                    }
+                    if &seen != committed {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "reader observed a state != last acknowledged commit",
+                                format!("saw: {seen:?}\ncommitted: {committed:?}"),
+                            )
+                        );
+                    }
+                    // Strict 2PL: sometimes keep the shared locks across
+                    // later steps, otherwise release immediately.
+                    if rng.gen_range(0u32..3) == 0 {
+                        reader_holds[r] = true;
+                    } else {
+                        match reader.commit() {
+                            Ok(()) => reader_holds[r] = false,
+                            Err(_) if fault.has_crashed() => break 'workload,
+                            Err(e) => panic!(
+                                "{}",
+                                repro(seed, steps, "reader commit failed", e.to_string())
+                            ),
+                        }
+                    }
+                }
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) if e.is_lock_conflict() => {
+                    if !writer_dirty {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "reader hit a lock conflict with no uncommitted writer",
+                                e.to_string(),
+                            )
+                        );
+                    }
+                    // Immediate-conflict policy: roll the reader back so
+                    // its partial locks cannot wedge the workload.
+                    match reader.rollback() {
+                        Ok(()) => reader_holds[r] = false,
+                        Err(_) if fault.has_crashed() => break 'workload,
+                        Err(e) => panic!(
+                            "{}",
+                            repro(seed, steps, "reader rollback failed", e.to_string())
+                        ),
+                    }
+                }
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected reader error", e.to_string()))
+                }
+            }
+        } else if roll < 76 {
+            // A lock-holding reader lets go.
+            if let Some(r) = reader_holds.iter().position(|h| *h) {
+                match readers[r].commit() {
+                    Ok(()) => reader_holds[r] = false,
+                    Err(_) if fault.has_crashed() => break 'workload,
+                    Err(e) => {
+                        panic!("{}", repro(seed, steps, "reader commit failed", e.to_string()))
+                    }
+                }
+            }
+        } else if roll < 86 {
+            if !commit(&writer, &fault, &mut snapshots, &mut pending, &mut in_flight, seed, steps)
+            {
+                break 'workload;
+            }
+            writer_dirty = false;
+        } else if roll < 92 {
+            match writer.rollback() {
+                Ok(()) => {
+                    pending = snapshots.last().expect("initial snapshot").clone();
+                    writer_dirty = false;
+                }
+                Err(_) if fault.has_crashed() => break 'workload,
+                Err(e) => {
+                    panic!("{}", repro(seed, steps, "unexpected rollback error", e.to_string()))
+                }
+            }
+        } else {
+            // Buffer flush: steal under concurrency.
+            if db.storage().flush().is_err() {
+                if fault.has_crashed() {
+                    break 'workload;
+                }
+                panic!("{}", repro(seed, steps, "unexpected flush error", String::new()));
+            }
+        }
+    }
+
+    fault.crash_now();
+    drop(readers);
+    drop(writer);
+    drop(db);
+
+    // Restart recovery: same committed-prefix oracle as the single-
+    // session leg (reader transactions never mutate durable state).
+    let db = match Prima::open_device(fault.persisted_device()) {
+        Ok(db) => db,
+        Err(e) => panic!("{}", repro(seed, steps, "recovery failed", e.to_string())),
+    };
+    let recovered = observe(&db);
+    let acked = snapshots.len() - 1;
+    let expected = snapshots.last().expect("initial snapshot");
+    let in_flight_won = match (&recovered == expected, &in_flight) {
+        (true, _) => false,
+        (false, Some(alt)) if &recovered == alt => true,
+        _ => panic!(
+            "{}",
+            repro(
+                seed,
+                steps,
+                "recovered state matches neither the last acknowledged commit \
+                 nor the in-flight one",
+                format!(
+                    "acked commits: {acked}\nexpected: {expected:?}\n\
+                     in-flight: {in_flight:?}\nrecovered: {recovered:?}"
+                ),
+            )
+        ),
+    };
+    CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
+}
+
+/// Projects a molecule set onto the model representation.
+fn state_of(set: &prima::MoleculeSet) -> ModelState {
+    set.molecules
+        .iter()
+        .map(|m| {
+            let v = &m.root.atom.values;
+            let seq = match &v[0] {
+                Value::Id(id) => id.seq,
+                other => panic!("part_id should be an identifier, got {other:?}"),
+            };
+            let no = match &v[1] {
+                Value::Int(n) => *n,
+                other => panic!("part_no should be Int, got {other:?}"),
+            };
+            let name = match &v[2] {
+                Value::Str(s) => s.clone(),
+                other => panic!("name should be Str, got {other:?}"),
+            };
+            (no, (name, seq))
+        })
+        .collect()
+}
+
 /// One commit step against kernel and model. Returns `false` when the
 /// crash stopped the workload.
 fn commit(

@@ -3,8 +3,11 @@
 //! Recreates the usage sketched in Section 4: an application layer checks
 //! a molecule *out* into an object buffer, works on it locally, and
 //! checks the modifications back in at commit time — with LDL tuning
-//! (an atom cluster on the brep "main lanes") making the checkout fast,
-//! and a nested transaction protecting the checkin.
+//! (an atom cluster on the brep "main lanes") making the checkout fast.
+//! Checkout and checkin share one session transaction: the checkout's
+//! shared locks keep the molecule stable against concurrent writers for
+//! the whole engineering session, the checkin upgrades them to exclusive
+//! (strict two-phase), and any failure rolls every buffered edit back.
 //!
 //! ```sh
 //! cargo run --example brep_cad
@@ -40,23 +43,30 @@ impl ObjectBuffer {
         self.pending.push((id, vec![(attr.to_string(), value)]));
     }
 
-    /// Checkin: one nested transaction; any failure rolls back all edits.
-    fn checkin(self, db: &prima::Prima) -> PrimaResult<usize> {
-        let txn = db.begin()?;
+    /// Checkin through the session that did the checkout: the writes
+    /// upgrade the checkout's shared locks in place (a foreign
+    /// transaction would conflict with them — that is the isolation
+    /// working). Any failure rolls back every buffered edit.
+    fn checkin(self, session: &prima::Session) -> PrimaResult<usize> {
         let n = self.pending.len();
-        for (id, updates) in self.pending {
-            let at = db.schema().atom_type(id.atom_type).expect("known type");
-            let mut by_idx = Vec::with_capacity(updates.len());
-            for (name, v) in updates {
-                let idx = at.attribute_index(&name).ok_or_else(|| {
-                    prima::PrimaError::BadStatement(format!("unknown attribute '{name}'"))
-                })?;
-                by_idx.push((idx, v));
+        let apply = || -> PrimaResult<()> {
+            for (id, updates) in &self.pending {
+                let pairs: Vec<(&str, Value)> =
+                    updates.iter().map(|(name, v)| (name.as_str(), v.clone())).collect();
+                session.modify_atom_named(*id, &pairs)?;
             }
-            txn.modify_atom(id, &by_idx)?;
+            Ok(())
+        };
+        match apply() {
+            Ok(()) => {
+                session.commit()?;
+                Ok(n)
+            }
+            Err(e) => {
+                session.rollback()?;
+                Err(e)
+            }
         }
-        txn.commit()?;
-        Ok(n)
     }
 }
 
@@ -103,14 +113,17 @@ fn main() -> PrimaResult<()> {
     let schema_face = db.schema().type_by_name("face").unwrap();
     let sq = schema_face.attribute_index("square_dim").unwrap();
     for id in edits {
-        let current = db.read(id)?;
+        // Read through the same session: the atom is already checked out
+        // (shared-locked) here, so this is a lock re-acquisition, not a
+        // conflict.
+        let current = session.read_atom(id)?;
         let old = current.values[sq].as_real().unwrap_or(1.0);
         buffer.edit(id, "square_dim", Value::Real(old * 2.0));
     }
     println!("buffered {} local edits (no DBMS calls)", buffer.pending.len());
 
     // Checkin at commit time.
-    let n = buffer.checkin(&db)?;
+    let n = buffer.checkin(&session)?;
     println!("checkin committed {n} modifications atomically");
 
     // Deferred maintenance is reconciled explicitly (e.g. at end of
@@ -123,7 +136,7 @@ fn main() -> PrimaResult<()> {
     let victim = buffer.molecule.atoms_of_node(face_node)[0].id;
     buffer.edit(victim, "square_dim", Value::Real(-1.0));
     buffer.edit(victim, "nonsense_attribute", Value::Int(0));
-    let result = buffer.checkin(&db);
+    let result = buffer.checkin(&session);
     println!(
         "broken checkin rejected: {}",
         if result.is_err() { "yes (rolled back)" } else { "no" }

@@ -24,7 +24,9 @@
 
 use prima::{Prima, QueryOptions, Value};
 use prima_storage::{BlockDevice, FileDisk, SimDisk, Wal};
-use prima_workloads::crash::{run_crash_schedule, CrashReport, CRASH_DDL};
+use prima_workloads::crash::{
+    run_crash_schedule, run_multi_session_schedule, CrashReport, CRASH_DDL,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -50,12 +52,14 @@ impl Drop for TmpDir {
 }
 
 /// Runs `count` schedules starting at `base`, each over a device from
-/// `make_inner`, collecting failures instead of stopping at the first.
+/// `make_inner` through `runner` (the single- or multi-session workload),
+/// collecting failures instead of stopping at the first.
 fn fuzz_leg(
     leg: &str,
     base: u64,
     count: u64,
     ops: usize,
+    runner: fn(Arc<dyn BlockDevice>, u64, usize) -> CrashReport,
     make_inner: impl Fn(u64) -> Arc<dyn BlockDevice>,
 ) {
     let mut failures: Vec<u64> = Vec::new();
@@ -66,7 +70,7 @@ fn fuzz_leg(
         let seed = base.wrapping_add(i);
         let inner = make_inner(seed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_crash_schedule(inner, seed, ops)
+            runner(inner, seed, ops)
         }));
         match outcome {
             Ok(CrashReport { bootstrap_crash, in_flight_won, acked_commits, .. }) => {
@@ -101,7 +105,9 @@ fn fuzz_sim_disk_schedules_recover_to_committed_prefix() {
     let seeds = env_u64("PRIMA_FUZZ_SEEDS", 24);
     let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
     let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987);
-    fuzz_leg("sim", base, seeds, ops, |_| Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>);
+    fuzz_leg("sim", base, seeds, ops, run_crash_schedule, |_| {
+        Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
+    });
 }
 
 #[test]
@@ -114,7 +120,47 @@ fn fuzz_file_disk_schedules_recover_to_committed_prefix() {
     let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(1_000_000);
     let tmp = TmpDir::new("fileleg");
     let root = tmp.0.clone();
-    fuzz_leg("file", base, seeds, ops, move |seed| {
+    fuzz_leg("file", base, seeds, ops, run_crash_schedule, move |seed| {
+        let dir = root.join(format!("s{seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(FileDisk::create(&dir).expect("tmpdir FileDisk")) as Arc<dyn BlockDevice>
+    });
+}
+
+// ---------------------------------------------------------------------
+// Multi-session legs: isolation under fault injection (ISSUE 5)
+// ---------------------------------------------------------------------
+//
+// One writer session interleaved with 1–2 reader sessions under the same
+// randomized crash schedules. The readers assert they never observe
+// uncommitted or rolled-back state (they must see exactly the last
+// acknowledged commit, or fail fast with a lock conflict while the
+// writer is dirty); recovery is then checked against the same
+// committed-prefix oracle as the single-session legs. Seed count knob:
+// `PRIMA_FUZZ_MULTI_SEEDS` (defaults to half the single-session count).
+
+#[test]
+fn fuzz_multi_session_sim_disk_isolates_readers_and_recovers() {
+    let seeds = env_u64("PRIMA_FUZZ_MULTI_SEEDS", env_u64("PRIMA_FUZZ_SEEDS", 24).div_ceil(2));
+    let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
+    let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(5_000_000);
+    fuzz_leg("multi-sim", base, seeds, ops, run_multi_session_schedule, |_| {
+        Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
+    });
+}
+
+#[test]
+fn fuzz_multi_session_file_disk_isolates_readers_and_recovers() {
+    let seeds = env_u64(
+        "PRIMA_FUZZ_MULTI_SEEDS",
+        env_u64("PRIMA_FUZZ_SEEDS", 24).div_ceil(2),
+    )
+    .div_ceil(4);
+    let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
+    let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(6_000_000);
+    let tmp = TmpDir::new("multifileleg");
+    let root = tmp.0.clone();
+    fuzz_leg("multi-file", base, seeds, ops, run_multi_session_schedule, move |seed| {
         let dir = root.join(format!("s{seed}"));
         let _ = std::fs::remove_dir_all(&dir);
         Arc::new(FileDisk::create(&dir).expect("tmpdir FileDisk")) as Arc<dyn BlockDevice>

@@ -1,0 +1,439 @@
+//! Query-path isolation: shared atom/extension locks on molecule
+//! retrieval (strict two-phase, Moss nested-transaction rules).
+//!
+//! Two-session scenarios over one kernel: a reader must never observe a
+//! concurrent session's uncommitted INSERT / MODIFY / DELETE — the
+//! conflict policy is an immediate `LockConflict` error (no wait queue),
+//! so "never observe" concretely means "either sees the committed state
+//! or fails fast". Read-your-own-writes holds within a session, nested
+//! subtransactions tolerate their ancestors' locks, and everything a
+//! query locked is released at top-level commit/rollback (with the lock
+//! table reaping emptied entries — it must not grow with every atom ever
+//! locked).
+
+use prima::{Prima, QueryOptions, Value};
+
+const DDL: &str = "
+CREATE ATOM_TYPE part
+  ( id : IDENTIFIER, part_no : INTEGER, name : CHAR_VAR,
+    sub : SET_OF (REF_TO (part.super)),
+    super : SET_OF (REF_TO (part.sub)),
+    pts : SET_OF (REF_TO (pt.owner)) )
+KEYS_ARE (part_no);
+CREATE ATOM_TYPE pt
+  ( id : IDENTIFIER, n : INTEGER, label : CHAR_VAR,
+    owner : SET_OF (REF_TO (part.pts)) );
+";
+
+fn db() -> Prima {
+    Prima::builder().buffer_bytes(1 << 20).build_with_ddl(DDL).unwrap()
+}
+
+fn names(db: &Prima, mql: &str) -> Vec<String> {
+    let s = db.session();
+    let set = s.query(mql, &QueryOptions::default()).unwrap().set;
+    set.molecules
+        .iter()
+        .map(|m| match &m.root.atom.values[2] {
+            Value::Str(s) => s.clone(),
+            other => panic!("name should be Str, got {other:?}"),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Reader vs. uncommitted writer
+// ---------------------------------------------------------------------
+
+#[test]
+fn reader_conflicts_with_uncommitted_insert() {
+    let db = db();
+    let writer = db.session();
+    writer.execute("INSERT part (part_no: 1, name: 'dirty')").unwrap();
+
+    // A second session's scan conflicts with the uncommitted insert
+    // (extension lock), instead of silently including — or excluding —
+    // the dirty atom.
+    let reader = db.session();
+    let err = reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap_err();
+    assert!(err.is_lock_conflict(), "expected lock conflict, got: {err}");
+    reader.rollback().unwrap();
+
+    // After the writer commits, the same query sees exactly the
+    // committed state.
+    writer.commit().unwrap();
+    assert_eq!(names(&db, "SELECT ALL FROM part"), vec!["dirty".to_string()]);
+}
+
+#[test]
+fn uncommitted_modify_is_never_observable() {
+    let db = db();
+    db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("clean".into()))])
+        .unwrap();
+
+    let writer = db.session();
+    writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 1").unwrap();
+
+    // One-shot query: conflicts (it would otherwise see 'dirty').
+    let reader = db.session();
+    let err = reader
+        .query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    reader.rollback().unwrap();
+
+    // Qualification flips are covered too: the reader's predicate
+    // *excludes* the dirty value, so without extension locking the scan
+    // would silently return the atom's absence — dirty state either way.
+    let err = reader
+        .query("SELECT ALL FROM part WHERE name = 'clean'", &QueryOptions::default())
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    reader.rollback().unwrap();
+
+    // Rollback releases the writer's locks; only the committed state was
+    // ever visible to others.
+    writer.rollback().unwrap();
+    assert_eq!(names(&db, "SELECT ALL FROM part"), vec!["clean".to_string()]);
+}
+
+#[test]
+fn uncommitted_delete_is_never_observable() {
+    let db = db();
+    db.insert("part", &[("part_no", Value::Int(7)), ("name", Value::Str("keeper".into()))])
+        .unwrap();
+    let writer = db.session();
+    writer.execute("DELETE FROM part WHERE part_no = 7").unwrap();
+
+    // Key lookup as well as full scan conflict instead of reporting the
+    // atom gone while the delete is uncommitted.
+    let reader = db.session();
+    let err = reader
+        .query("SELECT ALL FROM part WHERE part_no = 7", &QueryOptions::default())
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    reader.rollback().unwrap();
+
+    writer.rollback().unwrap();
+    assert_eq!(names(&db, "SELECT ALL FROM part WHERE part_no = 7"), vec!["keeper".to_string()]);
+}
+
+#[test]
+fn prepared_and_parallel_queries_conflict_like_one_shots() {
+    let db = db();
+    for i in 0..8 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("v".into()))])
+            .unwrap();
+    }
+    let writer = db.session();
+    writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 3").unwrap();
+
+    let reader = db.session();
+    let mut stmt = reader.prepare("SELECT ALL FROM part WHERE part_no >= ?").unwrap();
+    stmt.bind(&[Value::Int(0)]).unwrap();
+    let err = stmt.execute().unwrap_err();
+    assert!(err.is_lock_conflict(), "prepared: {err}");
+    reader.rollback().unwrap();
+
+    let err = reader
+        .query("SELECT ALL FROM part", &QueryOptions::new().threads(4))
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "parallel: {err}");
+    reader.rollback().unwrap();
+    writer.rollback().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------
+
+#[test]
+fn cursor_fetch_never_streams_dirty_atoms() {
+    let db = db();
+    for i in 0..6 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("v".into()))])
+            .unwrap();
+    }
+
+    // Direction 1: the open cursor's extension+atom locks block a writer.
+    let reader = db.session();
+    let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(cursor.fetch(2).unwrap().len(), 2);
+    let writer = db.session();
+    let err = writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 5").unwrap_err();
+    assert!(err.is_lock_conflict(), "writer vs open cursor: {err}");
+    writer.rollback().unwrap();
+    // The stream keeps delivering committed state.
+    let rest = cursor.fetch_all().unwrap();
+    assert!(rest.molecules.iter().all(|m| m.root.atom.values[2] == Value::Str("v".into())));
+    drop(cursor);
+    reader.commit().unwrap();
+
+    // Direction 2: with the reader's locks released mid-stream, a writer
+    // gets in — the next fetch then conflicts rather than delivering the
+    // writer's uncommitted values.
+    let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(cursor.fetch(1).unwrap().len(), 1);
+    reader.commit().unwrap(); // strict 2PL: locks go with the txn
+    writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 4").unwrap();
+    let err = cursor.fetch(10).unwrap_err();
+    assert!(err.is_lock_conflict(), "fetch after writer moved in: {err}");
+    reader.rollback().unwrap();
+    writer.rollback().unwrap();
+    let rest = cursor.fetch_all().unwrap();
+    assert!(
+        rest.molecules.iter().all(|m| m.root.atom.values[2] == Value::Str("v".into())),
+        "post-rollback stream shows only committed values"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Lock release, read-your-own-writes, nesting
+// ---------------------------------------------------------------------
+
+#[test]
+fn query_locks_are_released_at_commit_and_rollback_and_table_reaped() {
+    let db = db();
+    for i in 0..10 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("v".into()))])
+            .unwrap();
+    }
+    let table = db.txn_manager().lock_table();
+    assert_eq!(table.locked_targets(), 0, "auto-commit loads leave no locks behind");
+
+    // A query holds its shared locks (strict 2PL) ...
+    let reader = db.session();
+    reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert!(table.locked_targets() > 10, "extension + one lock per retrieved atom");
+    let writer = db.session();
+    let err = writer.execute("INSERT part (part_no: 99, name: 'w')").unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    writer.rollback().unwrap();
+
+    // ... until commit releases them and the table reaps emptied entries.
+    reader.commit().unwrap();
+    assert_eq!(table.locked_targets(), 0, "commit must drain and reap the table");
+    writer.execute("INSERT part (part_no: 99, name: 'w')").unwrap();
+    writer.commit().unwrap();
+
+    // Rollback releases read locks the same way.
+    reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert!(table.locked_targets() > 0);
+    reader.rollback().unwrap();
+    assert_eq!(table.locked_targets(), 0, "rollback must drain and reap the table");
+}
+
+#[test]
+fn read_your_own_writes_still_holds() {
+    let db = db();
+    let session = db.session();
+    session.execute("INSERT part (part_no: 5, name: 'mine')").unwrap();
+    session.execute("MODIFY part SET name = 'mine-v2' WHERE part_no = 5").unwrap();
+
+    // Same-session query, prepared execution and cursor all see the
+    // uncommitted state (the session's own exclusive locks tolerate its
+    // shared re-acquisition).
+    let got = session
+        .query("SELECT ALL FROM part WHERE part_no = 5", &QueryOptions::default())
+        .unwrap()
+        .set;
+    assert_eq!(got.molecules[0].root.atom.values[2], Value::Str("mine-v2".into()));
+
+    let mut stmt = session.prepare("SELECT ALL FROM part WHERE part_no = ?").unwrap();
+    stmt.bind(&[Value::Int(5)]).unwrap();
+    assert_eq!(stmt.execute().unwrap().molecules().unwrap().set.len(), 1);
+
+    let mut cursor =
+        session.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(cursor.fetch_all().unwrap().len(), 1);
+    drop(cursor);
+    session.rollback().unwrap();
+    assert!(names(&db, "SELECT ALL FROM part").is_empty());
+}
+
+#[test]
+fn moss_parent_tolerance_on_the_read_path() {
+    let db = db();
+    let id = db
+        .insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("base".into()))])
+        .unwrap();
+
+    // Parent transaction writes the atom (exclusive).
+    let parent = db.begin().unwrap();
+    parent.modify_atom(id, &[(2, Value::Str("parent".into()))]).unwrap();
+
+    // A child's shared read tolerates the parent's exclusive lock —
+    // Moss's rule on the read path.
+    let child = parent.begin_child().unwrap();
+    let atom = child.read_atom(id).unwrap();
+    assert_eq!(atom.values[2], Value::Str("parent".into()));
+    // The child's read guard (what the query path uses) tolerates it too.
+    child.read_guard().lock_atom(id).unwrap();
+    child.commit().unwrap();
+
+    // A stranger top-level session conflicts on the same atom.
+    let outsider = db.session();
+    let err = outsider
+        .query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    outsider.rollback().unwrap();
+
+    parent.abort().unwrap();
+    assert_eq!(names(&db, "SELECT ALL FROM part"), vec!["base".to_string()]);
+}
+
+#[test]
+fn component_assembly_locks_conflict_with_component_writers() {
+    let db = db();
+    // A two-level molecule: part root with two pt components — the
+    // component type is distinct from the root type, so the root
+    // extension lock alone cannot mask the assembly-level check.
+    let c1 = db.insert("pt", &[("n", Value::Int(10))]).unwrap();
+    let c2 = db.insert("pt", &[("n", Value::Int(11))]).unwrap();
+    db.insert(
+        "part",
+        &[("part_no", Value::Int(1)), ("pts", Value::ref_set(vec![c1, c2]))],
+    )
+    .unwrap();
+
+    // Writer holds one *component* atom exclusively (transactional
+    // modify via the atom-level session API).
+    let writer = db.session();
+    writer.modify_atom_named(c2, &[("label", Value::Str("dirty".into()))]).unwrap();
+
+    // A reader's root access on `part` succeeds (different extension);
+    // vertical assembly must conflict when it reaches the locked pt.
+    let reader = db.session();
+    let err = reader
+        .query("SELECT ALL FROM part-pt WHERE part_no = 1", &QueryOptions::default())
+        .unwrap_err();
+    assert!(err.is_lock_conflict(), "assembly vs component writer: {err}");
+    reader.rollback().unwrap();
+    writer.rollback().unwrap();
+    let set = db
+        .session()
+        .query("SELECT ALL FROM part-pt WHERE part_no = 1", &QueryOptions::default())
+        .unwrap()
+        .set;
+    assert_eq!(set.len(), 1, "committed molecule intact");
+    assert_eq!(set.molecules[0].root.children.len(), 2, "both components assembled");
+}
+
+#[test]
+fn concurrent_readers_share_locks() {
+    let db = db();
+    for i in 0..5 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("v".into()))])
+            .unwrap();
+    }
+    // Shared locks coexist: two sessions scan the same extension at once.
+    let r1 = db.session();
+    let r2 = db.session();
+    assert_eq!(r1.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap().set.len(), 5);
+    assert_eq!(r2.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap().set.len(), 5);
+    r1.commit().unwrap();
+    r2.commit().unwrap();
+    assert_eq!(db.txn_manager().lock_table().locked_targets(), 0);
+}
+
+#[test]
+fn lock_maintenance_cost_tracks_own_locks_not_table_size() {
+    let db = db();
+    for i in 0..64 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("v".into()))])
+            .unwrap();
+    }
+    let table = db.txn_manager().lock_table();
+
+    // A long-lived reader pins the whole extension (65+ locks).
+    let big = db.session();
+    big.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    let big_held = table.locked_targets();
+    assert!(big_held >= 65);
+
+    // A second session reads one atom (key lookup: extension + atom). Its
+    // commit must visit only its own two entries — not the whole table.
+    let small = db.session();
+    small.query("SELECT ALL FROM part WHERE part_no = 3", &QueryOptions::default()).unwrap();
+    let before = table.maintenance_visits();
+    small.commit().unwrap();
+    let visited = table.maintenance_visits() - before;
+    assert!(
+        visited <= 2,
+        "releasing a 2-lock reader visited {visited} entries (table held {big_held})"
+    );
+    big.commit().unwrap();
+    assert_eq!(table.locked_targets(), 0);
+}
+
+#[test]
+fn cursor_retains_root_when_assembly_conflicts_midway() {
+    let db = db();
+    // Three part-pt molecules; the writer will lock a pt of the *second*
+    // one, so the conflict hits mid-assembly (the part extension lock
+    // alone cannot catch it) after the first fetch succeeded.
+    let mut pts = Vec::new();
+    for i in 0..3 {
+        let p = db.insert("pt", &[("n", Value::Int(i))]).unwrap();
+        db.insert("part", &[("part_no", Value::Int(i)), ("pts", Value::ref_set(vec![p]))])
+            .unwrap();
+        pts.push(p);
+    }
+    let reader = db.session();
+    let mut cursor =
+        reader.query_cursor("SELECT ALL FROM part-pt", &QueryOptions::default()).unwrap();
+    assert_eq!(cursor.fetch(1).unwrap().len(), 1);
+    reader.commit().unwrap(); // release, letting the writer in
+
+    let writer = db.session();
+    writer.modify_atom_named(pts[1], &[("label", Value::Str("dirty".into()))]).unwrap();
+    let err = cursor.fetch(10).unwrap_err();
+    assert!(err.is_lock_conflict(), "{err}");
+    reader.rollback().unwrap();
+    writer.rollback().unwrap();
+
+    // The conflicted root must still be in the stream: every remaining
+    // molecule is delivered after the writer is gone.
+    let rest = cursor.fetch_all().unwrap();
+    assert_eq!(
+        1 + rest.len(),
+        3,
+        "a mid-assembly conflict must not drop the root it was processing"
+    );
+}
+
+#[test]
+fn read_only_commits_skip_the_wal_force() {
+    use prima_storage::{BlockDevice, SimDisk};
+    use std::sync::Arc;
+    let device = Arc::new(SimDisk::new());
+    let db = Prima::builder()
+        .buffer_bytes(1 << 20)
+        .device(Arc::clone(&device) as Arc<dyn BlockDevice>)
+        .durable()
+        .build_with_ddl(DDL)
+        .unwrap();
+    db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("v".into()))])
+        .unwrap();
+
+    // Reader sessions: query + commit must cost no log traffic at all —
+    // no bracket records, no commit record, no force.
+    let before = device.stats().snapshot();
+    for _ in 0..10 {
+        let s = db.session();
+        assert_eq!(s.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap().set.len(), 1);
+        s.commit().unwrap();
+        let _ = db.read(db.access().all_ids(db.schema().type_id("part").unwrap()).unwrap()[0]);
+    }
+    let d = device.stats().snapshot().since(&before);
+    assert_eq!(d.wal_forces, 0, "read-only commits must not force the WAL");
+    assert_eq!(d.wal_bytes, 0, "read-only transactions must leave no log records");
+
+    // A manipulating commit still forces exactly as before.
+    let s = db.session();
+    s.execute("INSERT part (part_no: 2, name: 'w')").unwrap();
+    s.commit().unwrap();
+    let d = device.stats().snapshot().since(&before);
+    assert_eq!(d.wal_forces, 1, "a writing commit is the group-commit force point");
+}

@@ -392,3 +392,75 @@ fn randomized_interleavings_recover_to_committed_prefix() {
         run_random_case(0xc0ffee ^ (case * 0x9e37_79b9), 80);
     }
 }
+
+// ---------------------------------------------------------------------
+// Direct atom interface: auto-commit transactional semantics (ISSUE 5)
+// ---------------------------------------------------------------------
+
+/// `Prima::modify` outside any explicit transaction runs in an internal
+/// auto-commit session: its commit *forces* the WAL, and a process that
+/// dies before that force leaves nothing recoverable of the call. Pinned
+/// by arming the fault disk to crash on the very next WAL force — on the
+/// pre-PR code `modify` bypassed the transaction layer entirely, never
+/// forced, and the armed crash point was simply not reached.
+#[test]
+fn direct_modify_killed_before_its_commit_force_is_rolled_back() {
+    use prima_storage::{CrashPoint, FaultDisk, FaultSchedule};
+    let inner: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let mut sched = FaultSchedule::manual(1);
+    sched.persist_pct = 100;
+    sched.torn_in_flight = false;
+    let fault = FaultDisk::new(Arc::clone(&inner), sched);
+    let db = build_on(Arc::clone(&fault) as Arc<dyn BlockDevice>);
+    let id = db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("old".into()))]).unwrap();
+
+    // The next WAL force is the one carrying the modify's internal
+    // commit: the call must die *inside* its own durability point.
+    fault.arm(CrashPoint::OnWalForce(fault.wal_forces() + 1));
+    let err = db.modify(id, &[("name", Value::Str("new".into()))]);
+    assert!(
+        err.is_err(),
+        "modify must reach (and die on) its commit force — on the pre-PR \
+         code it bypassed the txn layer and never forced"
+    );
+    assert!(fault.has_crashed(), "the armed force fired during the modify");
+    drop(db);
+
+    // Restart recovery: the un-forced modify is gone, the insert's
+    // committed state is intact.
+    let db = Prima::open_device(fault.persisted_device()).unwrap();
+    assert_eq!(names_by_no(&db), BTreeMap::from([(1, "old".to_string())]));
+}
+
+/// The flip side: a direct call that *returned* is durable on its own —
+/// pre-PR it was "durable at the next force", i.e. lost by a crash right
+/// after the call.
+#[test]
+fn direct_modify_that_returned_survives_an_immediate_crash() {
+    use prima_storage::{FaultDisk, FaultSchedule};
+    let inner: Arc<dyn BlockDevice> = Arc::new(SimDisk::new());
+    let mut sched = FaultSchedule::manual(2);
+    sched.persist_pct = 0; // nothing unforced survives
+    sched.torn_in_flight = false;
+    let fault = FaultDisk::new(Arc::clone(&inner), sched);
+    let db = build_on(Arc::clone(&fault) as Arc<dyn BlockDevice>);
+    let id = db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("old".into()))]).unwrap();
+    db.modify(id, &[("name", Value::Str("acked".into()))]).unwrap();
+
+    // Plug pulled immediately after the call returned: no flush, no
+    // checkpoint, the drive cache is lost wholesale.
+    fault.crash_now();
+    drop(db);
+    let db = Prima::open_device(fault.persisted_device()).unwrap();
+    assert_eq!(
+        names_by_no(&db),
+        BTreeMap::from([(1, "acked".to_string())]),
+        "an acknowledged direct modify must be durable by itself"
+    );
+
+    // And the recovered kernel keeps serving transactional work.
+    let s = db.session();
+    s.execute("INSERT part (part_no: 2, name: 'post')").unwrap();
+    s.commit().unwrap();
+    assert_eq!(part_nos(&db), vec![1, 2]);
+}

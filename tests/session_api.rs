@@ -208,8 +208,16 @@ fn session_rollback_undoes_dml() {
     let db = brep_db(2);
     let session = db.session();
     session.execute("INSERT solid (solid_no: 7777, description: 'doomed')").unwrap();
-    // Read-your-own-writes before commit.
-    assert_eq!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().len(), 1);
+    // Read-your-own-writes before commit — through the writing session
+    // itself (a different session would now rightly hit a lock conflict).
+    assert_eq!(
+        session
+            .query("SELECT ALL FROM solid WHERE solid_no = 7777", &QueryOptions::default())
+            .unwrap()
+            .set
+            .len(),
+        1
+    );
     session.rollback().unwrap();
     assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 7777").unwrap().is_empty());
 
@@ -217,7 +225,11 @@ fn session_rollback_undoes_dml() {
     exec::execute(&db, "INSERT solid (solid_no: 8888, description: 'keeper')").unwrap();
     session.execute("MODIFY solid SET description = 'scribbled' WHERE solid_no = 8888").unwrap();
     session.execute("DELETE FROM solid WHERE solid_no = 8888").unwrap();
-    assert!(exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 8888").unwrap().is_empty());
+    assert!(session
+        .query("SELECT ALL FROM solid WHERE solid_no = 8888", &QueryOptions::default())
+        .unwrap()
+        .set
+        .is_empty());
     session.rollback().unwrap();
     let survived = exec::query(&db, "SELECT ALL FROM solid WHERE solid_no = 8888").unwrap();
     assert_eq!(survived.len(), 1);

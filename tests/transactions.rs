@@ -76,8 +76,10 @@ fn delete_rollback_restores_references() {
     // Transactionally delete the child, then abort.
     let t = db.begin().unwrap();
     t.delete_atom(child).unwrap();
-    // Back-reference maintenance removed child from parent.sub.
-    let p = db.read(parent).unwrap();
+    // Back-reference maintenance removed child from parent.sub. (Lock-free
+    // access-layer read: `db.read` would rightly conflict with t's
+    // exclusive lock — this inspects t's own uncommitted state.)
+    let p = db.access().read_atom(parent, None).unwrap();
     assert!(p.values[3].referenced_ids().is_empty());
     t.abort().unwrap();
     // Restored, including the association (both directions).
@@ -163,7 +165,9 @@ fn nested_rollback_with_modify_chain() {
     let c2 = t.begin_child().unwrap();
     c2.modify_atom(id, &[(2, Value::Str("v3".into()))]).unwrap();
     c2.abort().unwrap();
-    assert_eq!(db.read(id).unwrap().values[2], Value::Str("v2".into()), "c2 undone only");
+    // Lock-free inspection: t still holds the atom exclusively.
+    let mid = db.access().read_atom(id, None).unwrap();
+    assert_eq!(mid.values[2], Value::Str("v2".into()), "c2 undone only");
     t.abort().unwrap();
     assert_eq!(db.read(id).unwrap().values[2], Value::Str("v0".into()), "all undone");
 }
