@@ -1,0 +1,179 @@
+//! BENCH-4 — multi-session throughput under lock contention.
+//!
+//! N session threads run a 70/30 read/write mix against one kernel with
+//! the default bounded-wait lock table and the default transparent retry
+//! policy. Reads are auto-commit point queries — any conflict there is
+//! the session retry's to absorb, and a caller-visible error fails the
+//! bench. Writes are two-statement transactions over a key *pair* in
+//! thread-dependent order, so writers hold exclusive locks across a
+//! statement boundary — the window in which other threads genuinely
+//! park, and the classic AB/BA deadlock shape. In-transaction conflicts
+//! are not retried by the session (by design); the bench plays the
+//! application: rollback and re-run the transaction. Two key placements:
+//!
+//! * `conflict_heavy` — every thread works the same four keys: waits,
+//!   timeouts and deadlock victims all occur and must all be absorbed
+//!   (by the session retry for reads, by the bench's transaction re-run
+//!   for writes).
+//! * `disjoint` — each thread owns a private key range; same code path,
+//!   near-zero conflicts. The gap between the two series is the price of
+//!   contention (queueing + retries), not of the blocking lock table
+//!   itself.
+//!
+//! Reported alongside the Criterion timings: ops/sec per series and the
+//! lock-manager counters (waits, wait time, timeouts, deadlocks,
+//! victims) over the measured rounds, as one BENCHJSON record each —
+//! `scripts/perf_trajectory.sh` collects them into BENCH_4.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima::{Prima, QueryOptions, Value};
+use prima_bench::report;
+use std::time::Instant;
+
+const DDL: &str = "
+    CREATE ATOM_TYPE rec (
+        rec_id : IDENTIFIER,
+        n      : INTEGER,
+        body   : CHAR_VAR )
+    KEYS_ARE (n);
+";
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 24;
+/// Keys per thread-visible working set (shared in conflict-heavy mode,
+/// private per thread in disjoint mode).
+const KEYS: i64 = 4;
+
+fn db_with_keys(ranges: &[i64]) -> Prima {
+    let db = Prima::builder().buffer_bytes(16 << 20).build_with_ddl(DDL).unwrap();
+    for base in ranges {
+        for k in 0..KEYS {
+            db.insert("rec", &[("n", Value::Int(base + k)), ("body", Value::Str("seed".into()))])
+                .unwrap();
+        }
+    }
+    db
+}
+
+/// One round: every thread issues its statement mix. Returns
+/// `(ops, bench_level_retries)`. Panics on any caller-visible error on
+/// an auto-commit path (the session retry must absorb those) and on a
+/// non-retryable error anywhere.
+fn run_round(db: &Prima, bases: &[i64]) -> (u64, u64) {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = &db;
+                let base = bases[t % bases.len()];
+                s.spawn(move || {
+                    let session = db.session();
+                    let mut retries = 0u64;
+                    for i in 0..OPS_PER_THREAD {
+                        let k1 = base + ((t * 7 + i) as i64 % KEYS);
+                        if i % 10 < 7 {
+                            // Auto-commit read: conflicts are the session
+                            // retry's problem, never the caller's.
+                            session
+                                .query(
+                                    &format!("SELECT ALL FROM rec WHERE n = {k1}"),
+                                    &QueryOptions::default(),
+                                )
+                                .unwrap_or_else(|e| panic!("visible read conflict: {e}"));
+                            session.commit().unwrap_or_else(|e| panic!("commit failed: {e}"));
+                        } else {
+                            // Two-statement write transaction over a key
+                            // pair in thread-dependent order: holds X
+                            // across a statement boundary (real waits) and
+                            // produces AB/BA deadlocks. In-transaction
+                            // conflicts surface raw; the bench re-runs the
+                            // whole transaction like an application would.
+                            let k2 = base + ((t * 3 + i + 1) as i64 % KEYS);
+                            let k2 = if k2 == k1 { base + (k2 - base + 1) % KEYS } else { k2 };
+                            'txn: for attempt in 0.. {
+                                for k in [k1, k2] {
+                                    if let Err(e) = session.execute(&format!(
+                                        "MODIFY rec SET body = 'w{t}-{i}' WHERE n = {k}"
+                                    )) {
+                                        assert!(
+                                            e.is_retryable() && attempt < 50,
+                                            "write txn failed hard (attempt {attempt}): {e}"
+                                        );
+                                        session.rollback().expect("rollback after conflict");
+                                        retries += 1;
+                                        continue 'txn;
+                                    }
+                                }
+                                session.commit().unwrap_or_else(|e| panic!("commit failed: {e}"));
+                                break;
+                            }
+                        }
+                    }
+                    (OPS_PER_THREAD as u64, retries)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(
+            (0, 0),
+            |(ops, retries), (o, r)| (ops + o, retries + r),
+        )
+    })
+}
+
+fn run_series(c: &mut Criterion, series: &str, bases: Vec<i64>) {
+    let db = db_with_keys(&bases);
+    let mut g = c.benchmark_group("multi_session");
+    g.sample_size(15);
+    g.bench_function(format!("{series}_{THREADS}x{OPS_PER_THREAD}"), |b| {
+        b.iter(|| run_round(&db, &bases))
+    });
+    g.finish();
+
+    // A dedicated timed window for throughput + lock counters, outside
+    // the Criterion sampling so the counters match the ops exactly.
+    const ROUNDS: u64 = 10;
+    let before = db.lock_stats();
+    let t0 = Instant::now();
+    let (mut ops, mut retries) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        let (o, r) = run_round(&db, &bases);
+        ops += o;
+        retries += r;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let d = db.lock_stats().since(&before);
+    let ops_per_sec = ops as f64 / secs;
+
+    report("BENCH-4", &format!("{series}/ops_per_sec"), "ops/s", format!("{ops_per_sec:.0}"));
+    report("BENCH-4", &format!("{series}/lock_waits"), "count", d.waits);
+    report(
+        "BENCH-4",
+        &format!("{series}/wait_us_per_op"),
+        "µs",
+        format!("{:.1}", d.wait_us_total as f64 / ops.max(1) as f64),
+    );
+    report("BENCH-4", &format!("{series}/timeouts"), "count", d.timeouts);
+    report(
+        "BENCH-4",
+        &format!("{series}/deadlocks"),
+        "count",
+        format!("{} ({} victims)", d.deadlocks_detected, d.victims),
+    );
+    report("BENCH-4", &format!("{series}/txn_reruns"), "count", retries);
+    println!(
+        "BENCHJSON {{\"bench\":\"multi_session\",\"series\":\"{series}\",\
+\"threads\":{THREADS},\"ops\":{ops},\"ops_per_sec\":{ops_per_sec:.0},\
+\"lock_waits\":{},\"wait_us_total\":{},\"timeouts\":{},\"deadlocks\":{},\
+\"victims\":{},\"max_queue_depth\":{},\"txn_reruns\":{retries}}}",
+        d.waits, d.wait_us_total, d.timeouts, d.deadlocks_detected, d.victims, d.max_queue_depth,
+    );
+}
+
+fn bench_multi_session(c: &mut Criterion) {
+    // All threads share one base → one hot key set.
+    run_series(c, "conflict_heavy", vec![0]);
+    // Each thread owns base 1000*t → no cross-thread conflicts.
+    run_series(c, "disjoint", (0..THREADS as i64).map(|t| 1_000 * t).collect());
+}
+
+criterion_group!(benches, bench_multi_session);
+criterion_main!(benches);

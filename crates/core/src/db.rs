@@ -43,7 +43,7 @@ use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
 use crate::recovery::{self, KernelMeta};
 use crate::session::{ApiStats, MoleculeCursor, QueryOptions, Session};
-use crate::txn::{Transaction, TxnManager};
+use crate::txn::{LockConfig, LockStatsSnapshot, Transaction, TxnManager};
 use prima_access::{AccessSystem, Atom, UpdatePolicy};
 use prima_mad::ddl;
 use prima_mad::value::{AtomId, Value};
@@ -60,6 +60,7 @@ pub struct PrimaBuilder {
     cost_model: CostModel,
     device: Option<Arc<dyn BlockDevice>>,
     durable: bool,
+    lock_config: LockConfig,
 }
 
 impl Default for PrimaBuilder {
@@ -69,6 +70,7 @@ impl Default for PrimaBuilder {
             cost_model: CostModel::default(),
             device: None,
             durable: false,
+            lock_config: LockConfig::default(),
         }
     }
 }
@@ -83,6 +85,14 @@ impl PrimaBuilder {
     /// Cost model of the simulated device.
     pub fn cost_model(mut self, m: CostModel) -> Self {
         self.cost_model = m;
+        self
+    }
+
+    /// Lock-wait policy (default: bounded wait with deadlock detection;
+    /// [`LockConfig::no_wait`] restores pure fail-fast conflicts, which
+    /// single-threaded interleaving tests rely on).
+    pub fn lock_config(mut self, config: LockConfig) -> Self {
+        self.lock_config = config;
         self
     }
 
@@ -152,7 +162,7 @@ impl PrimaBuilder {
             Arc::new(StorageSystem::new(device, self.buffer_bytes))
         };
         let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
-        let txn = TxnManager::new(Arc::clone(&access));
+        let txn = TxnManager::with_config(Arc::clone(&access), self.lock_config);
         Ok(Prima {
             storage,
             access,
@@ -327,6 +337,13 @@ impl Prima {
     /// prepared statements skip re-parse and re-plan on re-execution.
     pub fn api_stats(&self) -> &Arc<ApiStats> {
         &self.stats
+    }
+
+    /// Contention counters of the lock manager: waits, wait time,
+    /// timeouts, deadlocks detected, victims chosen, queue overflow
+    /// fast-fails (see [`LockStatsSnapshot::detail`]).
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        self.txn.lock_table().stats().snapshot()
     }
 
     // -----------------------------------------------------------------

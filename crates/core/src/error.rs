@@ -82,12 +82,34 @@ impl fmt::Display for PrimaError {
 }
 
 impl PrimaError {
-    /// Whether this error is a transaction-layer lock conflict. The
-    /// kernel's conflict policy is immediate failure (no wait queue):
-    /// callers seeing `true` should commit or roll back their session
-    /// and retry the statement.
+    /// Whether this error is a transaction-layer lock conflict — an
+    /// immediate [`TxnError::LockConflict`] (no-wait mode, or a full wait
+    /// queue) or a [`TxnError::LockTimeout`] after a bounded wait. Both
+    /// mean "someone else holds what you need *right now*": callers
+    /// seeing `true` should roll back their session and retry the
+    /// statement.
+    ///
+    /// [`TxnError::LockConflict`]: crate::txn::TxnError::LockConflict
+    /// [`TxnError::LockTimeout`]: crate::txn::TxnError::LockTimeout
     pub fn is_lock_conflict(&self) -> bool {
-        matches!(self, PrimaError::Txn(crate::txn::TxnError::LockConflict { .. }))
+        use crate::txn::TxnError;
+        matches!(
+            self,
+            PrimaError::Txn(TxnError::LockConflict { .. })
+                | PrimaError::Txn(TxnError::LockTimeout { .. })
+        )
+    }
+
+    /// Whether the failed statement can be expected to succeed when
+    /// re-run after a rollback: every [`is_lock_conflict`] error plus
+    /// deadlock-victim aborts. Anything else (parse, schema, storage,
+    /// misuse) is a real failure that retrying will not fix.
+    /// `Session`'s retry policy keys off this.
+    ///
+    /// [`is_lock_conflict`]: PrimaError::is_lock_conflict
+    pub fn is_retryable(&self) -> bool {
+        self.is_lock_conflict()
+            || matches!(self, PrimaError::Txn(crate::txn::TxnError::Deadlock { .. }))
     }
 }
 

@@ -67,7 +67,8 @@ pub use datasys::AssemblyMode;
 pub use error::{PrimaError, PrimaResult};
 pub use session::{
     ApiStats, ApiStatsSnapshot, MoleculeCursor, ParamSlot, Prepared, QueryOptions, QueryResult,
-    Session, StatementOutcome,
+    RetryPolicy, Session, StatementOutcome,
 };
+pub use txn::{LockConfig, LockStatsSnapshot};
 pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
 pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

@@ -35,10 +35,26 @@
 //! (strict two-phase). Writers hold their atoms `Exclusive` and announce
 //! `IntentExclusive` on the written types' extensions, so a concurrent
 //! session's uncommitted INSERT/MODIFY/DELETE is **never observable**:
-//! the reader's acquisition fails fast with a `LockConflict` instead —
-//! there is no wait queue; roll back (or commit) and retry. A session
-//! still reads its own uncommitted writes, and nested subtransactions
-//! tolerate their ancestors' locks (Moss's rule).
+//! the reader waits in the lock table's bounded FIFO queue and, if the
+//! wait expires (or waiting is disabled), sees a retryable error. A
+//! session still reads its own uncommitted writes, and nested
+//! subtransactions tolerate their ancestors' locks (Moss's rule).
+//!
+//! ## Retry
+//!
+//! Statements that fail with a *retryable* error
+//! ([`PrimaError::is_retryable`]: lock conflict, bounded-wait timeout,
+//! deadlock victim) are transparently re-run under the session's
+//! [`RetryPolicy`] — **only on auto-commit paths**, i.e. when the failing
+//! statement itself (lazily) opened the session's transaction. There is
+//! nothing else in such a transaction, so rolling it back via the undo
+//! machinery and re-running the statement after an exponential backoff is
+//! invisible to the caller. A statement issued inside an explicit
+//! multi-statement transaction propagates the error instead: the kernel
+//! cannot know whether earlier statements' results still justify the
+//! retry, so that decision belongs to the application. Cursor opens and
+//! fetches never retry (a stream's already-delivered prefix cannot be
+//! rolled back transparently).
 
 use crate::datasys::exec::{find_roots, node_infos, process_root_traced, AssemblyCtx};
 use crate::datasys::{
@@ -85,11 +101,20 @@ pub struct QueryOptions {
     /// Return the [`ExecutionTrace`] (root access choice, cluster use,
     /// counts) alongside the molecule set.
     pub trace: bool,
+    /// Per-statement retry override; `None` uses the session's policy
+    /// ([`Session::retry_policy`]). Only consulted on auto-commit paths —
+    /// see the module docs.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        QueryOptions { assembly: AssemblyMode::Batched, threads: 1, trace: false }
+        QueryOptions {
+            assembly: AssemblyMode::Batched,
+            threads: 1,
+            trace: false,
+            retry: None,
+        }
     }
 }
 
@@ -117,6 +142,19 @@ impl QueryOptions {
         self
     }
 
+    /// Overrides the session's [`RetryPolicy`] for this statement.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Disables transparent retry for this statement (first retryable
+    /// error propagates).
+    pub fn no_retry(mut self) -> Self {
+        self.retry = Some(RetryPolicy::off());
+        self
+    }
+
     /// Boundary validation: `threads == 0` is an error, not a silent
     /// clamp (historically `query_parallel(mql, 0)` degraded to serial
     /// deep inside the worker pool). Likewise, the per-atom assembly
@@ -135,6 +173,54 @@ impl QueryOptions {
             ));
         }
         Ok(())
+    }
+}
+
+/// Transparent-retry policy for statements killed by transient contention
+/// ([`PrimaError::is_retryable`]): the statement's (auto-commit)
+/// transaction is rolled back through the undo machinery, the session
+/// sleeps `backoff · 2^attempt` (optionally jittered up to +50% so
+/// colliding sessions decorrelate), and the statement re-runs — up to
+/// `max_attempts` total executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executions (first try included); at least 1. `1` disables
+    /// retrying.
+    pub max_attempts: u32,
+    /// Base backoff, doubled per retry.
+    pub backoff: std::time::Duration,
+    /// Adds a random fraction (0–50%) of the delay on top, so sessions
+    /// that deadlocked together do not collide again in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 5, backoff: std::time::Duration::from_millis(1), jitter: true }
+    }
+}
+
+impl RetryPolicy {
+    /// No retrying: the first retryable error propagates to the caller.
+    pub fn off() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: std::time::Duration::ZERO, jitter: false }
+    }
+
+    /// Backoff before retry number `attempt` (0-based: the delay after
+    /// the first failure is `delay(0)`).
+    pub fn delay(&self, attempt: u32) -> std::time::Duration {
+        let base = self.backoff.saturating_mul(1u32 << attempt.min(10));
+        if !self.jitter || base.is_zero() {
+            return base;
+        }
+        // splitmix64 over a process-global counter: cheap, dependency-free
+        // decorrelation; cryptographic quality is irrelevant here.
+        static SEED: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+        let mut x = SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        base + base.mul_f64((x % 512) as f64 / 1024.0)
     }
 }
 
@@ -246,6 +332,7 @@ pub struct Session {
     txn_mgr: Arc<TxnManager>,
     stats: Arc<ApiStats>,
     txn: Mutex<Option<Transaction>>,
+    retry: RetryPolicy,
 }
 
 impl Session {
@@ -254,7 +341,19 @@ impl Session {
         txn_mgr: Arc<TxnManager>,
         stats: Arc<ApiStats>,
     ) -> Session {
-        Session { access, txn_mgr, stats, txn: Mutex::new(None) }
+        Session { access, txn_mgr, stats, txn: Mutex::new(None), retry: RetryPolicy::default() }
+    }
+
+    /// The session's transparent-retry policy (default: on, 5 attempts,
+    /// 1 ms exponential backoff with jitter).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the session's retry policy ([`RetryPolicy::off`] to
+    /// disable transparent retry entirely).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// The schema (for application-side introspection).
@@ -273,6 +372,37 @@ impl Session {
             *guard = Some(self.txn_mgr.begin(None)?);
         }
         f(guard.as_ref().expect("txn just ensured"))
+    }
+
+    /// [`Session::with_txn`] plus transparent retry: when the statement
+    /// itself opened the transaction (auto-commit — nothing else is in
+    /// it) and `f` fails with a retryable contention error, the
+    /// transaction is rolled back through the undo machinery and `f`
+    /// re-runs after `policy`'s backoff. Inside an explicit transaction
+    /// the error propagates untouched; on the final attempt the failed
+    /// transaction is left open for the caller to roll back, exactly as
+    /// `with_txn` would.
+    fn with_txn_retry<R>(
+        &self,
+        policy: &RetryPolicy,
+        f: impl Fn(&Transaction) -> PrimaResult<R>,
+    ) -> PrimaResult<R> {
+        let mut attempt = 0u32;
+        loop {
+            let auto_commit = self.txn.lock().is_none();
+            match self.with_txn(&f) {
+                Err(e)
+                    if auto_commit
+                        && e.is_retryable()
+                        && attempt + 1 < policy.max_attempts.max(1) =>
+                {
+                    self.rollback()?;
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Commits the session's current transaction (no-op when none is
@@ -305,7 +435,8 @@ impl Session {
     pub fn query(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<QueryResult> {
         opts.validate()?;
         let resolved = self.plan_select(mql)?;
-        self.with_txn(|t| self.run_plan(&resolved, opts, t))
+        let policy = opts.retry.unwrap_or(self.retry);
+        self.with_txn_retry(&policy, |t| self.run_plan(&resolved, opts, t))
     }
 
     /// Runs a `SELECT` as a streaming [`MoleculeCursor`]: roots are
@@ -352,7 +483,7 @@ impl Session {
         if matches!(stmt, Statement::Select(_)) {
             return Err(PrimaError::BadStatement("use query() for SELECT".into()));
         }
-        self.run_dml(&stmt)
+        self.run_dml(&stmt, &self.retry)
     }
 
     /// Prepares a statement: parse + validate + plan now, bind and
@@ -397,8 +528,8 @@ impl Session {
         Ok(QueryResult { set, trace: opts.trace.then_some(trace) })
     }
 
-    fn run_dml(&self, stmt: &Statement) -> PrimaResult<DmlResult> {
-        self.with_txn(|t| {
+    fn run_dml(&self, stmt: &Statement, policy: &RetryPolicy) -> PrimaResult<DmlResult> {
+        self.with_txn_retry(policy, |t| {
             datasys::dml::execute_statement_with(&self.access, t, stmt, Some(t.read_guard()))
         })
     }
@@ -417,12 +548,12 @@ impl Session {
         attrs: &[(&str, Value)],
     ) -> PrimaResult<AtomId> {
         let (t, values) = self.access.resolve_named_values(type_name, attrs)?;
-        self.with_txn(|txn| Ok(txn.insert_atom(t, values)?))
+        self.with_txn_retry(&self.retry, |txn| Ok(txn.insert_atom(t, values.clone())?))
     }
 
     /// Reads one atom under a `Shared` lock of the session's transaction.
     pub fn read_atom(&self, id: AtomId) -> PrimaResult<Atom> {
-        self.with_txn(|txn| {
+        self.with_txn_retry(&self.retry, |txn| {
             txn.read_guard().lock_atom(id)?;
             Ok(self.access.read_atom(id, None)?)
         })
@@ -432,13 +563,13 @@ impl Session {
     /// transaction.
     pub fn modify_atom_named(&self, id: AtomId, attrs: &[(&str, Value)]) -> PrimaResult<()> {
         let by_idx = self.access.resolve_named_updates(id, attrs)?;
-        self.with_txn(|txn| Ok(txn.modify_atom(id, &by_idx)?))
+        self.with_txn_retry(&self.retry, |txn| Ok(txn.modify_atom(id, &by_idx)?))
     }
 
     /// Deletes an atom (disconnecting it everywhere) under the session's
     /// transaction.
     pub fn delete_atom(&self, id: AtomId) -> PrimaResult<()> {
-        self.with_txn(|txn| Ok(txn.delete_atom(id)?))
+        self.with_txn_retry(&self.retry, |txn| Ok(txn.delete_atom(id)?))
     }
 }
 
@@ -606,7 +737,10 @@ impl<'s> Prepared<'s> {
                     bound = plan.bind_params(params);
                     &bound
                 };
-                let result = self.session.with_txn(|t| self.session.run_plan(plan, opts, t))?;
+                let policy = opts.retry.unwrap_or(self.session.retry);
+                let result = self
+                    .session
+                    .with_txn_retry(&policy, |t| self.session.run_plan(plan, opts, t))?;
                 Ok(StatementOutcome::Molecules(result))
             }
             None => {
@@ -621,7 +755,8 @@ impl<'s> Prepared<'s> {
                     bound = self.stmt.bind_params(params);
                     &bound
                 };
-                Ok(StatementOutcome::Dml(self.session.run_dml(stmt)?))
+                let policy = opts.retry.unwrap_or(self.session.retry);
+                Ok(StatementOutcome::Dml(self.session.run_dml(stmt, &policy)?))
             }
         }
     }

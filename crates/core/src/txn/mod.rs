@@ -16,15 +16,32 @@
 //! * on **abort**, its undo log is applied in reverse — *selective
 //!   in-transaction recovery*: sibling work is untouched.
 //!
-//! Lock conflicts fail fast with [`TxnError::LockConflict`] instead of
-//! blocking; the parallel executor treats that as "retry later", which is
-//! the scheduling policy the paper's semantic parallelism needs (DUs are
-//! chosen to be conflict-free, so conflicts are rare).
+//! # Waiting, deadlocks, victims
+//!
+//! A conflicting lock request waits in the target's FIFO queue, bounded
+//! by [`LockConfig::wait_timeout`] ([`TxnError::LockTimeout`] on expiry).
+//! A wait-for-graph cycle check runs whenever a request enqueues; on a
+//! cycle the member holding the fewest locks (ties: the youngest) is
+//! aborted with [`TxnError::Deadlock`], and its rollback wakes the
+//! survivors. The queue is capped per target — at the cap, requests
+//! degrade to an immediate [`TxnError::LockConflict`] — and
+//! [`LockConfig::no_wait`] restores pure fail-fast behavior, which the
+//! parallel executor's "retry later" DU scheduling and single-threaded
+//! interleaving tests rely on.
+//!
+//! The Moss interaction: ancestors never conflict, neither as holders nor
+//! as waiters, so a subtransaction cannot wait on — or deadlock with —
+//! its own ancestor chain; subcommit's lock transfer re-checks waiters
+//! because merging a child's modes into the parent can make a parked
+//! stranger grantable. Deadlock victims surface to whoever issued the
+//! statement: `Session` retries auto-commit statements transparently
+//! (rollback via the undo log, exponential backoff), explicit
+//! transactions see the retryable error and decide.
 
 mod lock;
 mod undo;
 
-pub use lock::{LockMode, LockTable, LockTarget};
+pub use lock::{LockConfig, LockMode, LockStats, LockStatsSnapshot, LockTable, LockTarget};
 pub use undo::UndoOp;
 
 use crate::error::PrimaResult;
@@ -50,10 +67,15 @@ impl fmt::Display for TxnId {
 /// Transaction-level errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TxnError {
-    /// Another (non-ancestor) transaction holds a conflicting lock.
-    /// Conflicts surface immediately — there is no wait queue; the caller
-    /// decides between rollback and retry.
+    /// Another (non-ancestor) transaction holds a conflicting lock and
+    /// waiting is disabled (or the target's wait queue is full); the
+    /// caller decides between rollback and retry.
     LockConflict { target: LockTarget, holder: TxnId },
+    /// The bounded wait for a conflicting lock expired without a grant.
+    LockTimeout { target: LockTarget, waited: std::time::Duration },
+    /// The request closed a wait-for cycle and `victim` was chosen to
+    /// break it. `victim` is always the transaction receiving this error.
+    Deadlock { victim: TxnId, target: LockTarget },
     /// Unknown or already finished transaction.
     NotActive(TxnId),
     /// A parent cannot commit while children are active.
@@ -67,6 +89,12 @@ impl fmt::Display for TxnError {
         match self {
             TxnError::LockConflict { target, holder } => {
                 write!(f, "lock conflict on {target} held by {holder}")
+            }
+            TxnError::LockTimeout { target, waited } => {
+                write!(f, "lock wait on {target} timed out after {waited:?}")
+            }
+            TxnError::Deadlock { victim, target } => {
+                write!(f, "deadlock detected on {target}; {victim} chosen as victim")
             }
             TxnError::NotActive(t) => write!(f, "{t} is not active"),
             TxnError::ChildrenActive(t) => write!(f, "{t} has active children"),
@@ -111,11 +139,16 @@ pub struct TxnManager {
 }
 
 impl TxnManager {
+    /// Manager with the default bounded-wait [`LockConfig`].
     pub fn new(sys: Arc<AccessSystem>) -> Arc<TxnManager> {
+        Self::with_config(sys, LockConfig::default())
+    }
+
+    pub fn with_config(sys: Arc<AccessSystem>, config: LockConfig) -> Arc<TxnManager> {
         let wal = sys.storage().wal().cloned();
         Arc::new(TxnManager {
             sys,
-            locks: LockTable::new(),
+            locks: LockTable::with_config(config),
             active: Mutex::new(HashMap::new()),
             next: AtomicU64::new(1),
             wal,
@@ -461,9 +494,11 @@ impl TxnManager {
 /// strict two-phase: everything acquired here is released at the
 /// top-level commit/rollback, never earlier.
 ///
-/// Conflicts surface immediately as [`TxnError::LockConflict`] (no wait
-/// queue); the holder set is checked against the transaction's ancestor
-/// chain, so nested readers tolerate parent writers (Moss's rule).
+/// Conflicts wait (bounded) in the lock table's queue and surface as
+/// [`TxnError::LockConflict`] / [`TxnError::LockTimeout`] /
+/// [`TxnError::Deadlock`] per its [`LockConfig`]; the holder set is
+/// checked against the transaction's ancestor chain, so nested readers
+/// tolerate parent writers (Moss's rule).
 #[derive(Clone, Copy)]
 pub struct ReadGuard<'a> {
     mgr: &'a TxnManager,

@@ -7,6 +7,9 @@
 //! * owning (`'static`) guards via [`RwLock::read_arc`]/[`RwLock::write_arc`],
 //!   used by the buffer manager to hand out page guards detached from the
 //!   pool borrow;
+//! * [`Condvar`] with parking_lot's in-place `wait`/`wait_for` signatures
+//!   (the guard is re-acquired into the same `&mut` binding), used by the
+//!   lock manager to park waiters;
 //! * the [`lock_api`] guard type names the kernel imports.
 //!
 //! Performance is whatever `std::sync` provides; semantics are what the
@@ -83,6 +86,93 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
         match self.try_lock() {
             Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
             None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait, mirroring `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with parking_lot's guard-in-place API: `wait*` take
+/// `&mut MutexGuard` and re-acquire into the same binding instead of
+/// consuming/returning the guard as `std` does.
+///
+/// As with `std::sync::Condvar`, every guard passed to one `Condvar` must
+/// come from the same `Mutex`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified, releasing the mutex while parked.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |g| match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.replace_guard(guard, |g| {
+            let (g, res) = match self.inner.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(p) => p.into_inner(),
+            };
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Moves the guard out of `*slot`, runs `f` (which consumes it and
+    /// returns the re-acquired guard), and moves the result back in.
+    fn replace_guard<'a, T>(
+        &self,
+        slot: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    ) {
+        // SAFETY: `ptr::read` duplicates the guard; `f` consumes that
+        // duplicate (std's wait drops it while parked and hands back a
+        // fresh one), and `ptr::write` installs the replacement without
+        // dropping the moved-out original. `f` must not panic between the
+        // read and the write — std's wait only panics when the guard
+        // belongs to a different mutex, which this shim's callers never do.
+        unsafe {
+            let g = std::ptr::read(slot);
+            let g = f(g);
+            std::ptr::write(slot, g);
         }
     }
 }
@@ -248,6 +338,36 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        use std::time::Duration;
+
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        // Timeout path: nobody notifies.
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        assert!(!*g);
+        drop(g);
+
+        // Wakeup path: a thread flips the flag and notifies.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            let res = cv.wait_for(&mut g, Duration::from_secs(5));
+            assert!(!res.timed_out(), "missed wakeup");
+        }
+        h.join().unwrap();
     }
 
     #[test]

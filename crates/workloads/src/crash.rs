@@ -30,11 +30,13 @@
 //! the seed.
 
 use prima::datasys::DmlResult;
-use prima::{Prima, QueryOptions, Value};
+use prima::txn::TxnError;
+use prima::{LockConfig, Prima, PrimaError, QueryOptions, RetryPolicy, Value};
 use prima_storage::{BlockDevice, FaultDisk, FaultSchedule};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Schema of the crash workload: one keyed atom type, like the recovery
 /// kill-point suite — the oracle is about durability, not molecule
@@ -402,18 +404,58 @@ pub fn run_crash_schedule(inner: Arc<dyn BlockDevice>, seed: u64, steps: usize) 
 /// * after the crash, the recovered database must satisfy the same
 ///   committed-prefix oracle as [`run_crash_schedule`].
 ///
+/// The workload interleaves the sessions on one thread, so the lock
+/// table runs in [`LockConfig::no_wait`] (a parked request could never
+/// be woken) and the sessions' transparent retry is off — the oracle
+/// asserts on the conflicts themselves. [`run_multi_session_schedule_waits`]
+/// is the bounded-wait/deadlock variant.
+///
 /// Panics with a seed-carrying reproducer on any violation.
 pub fn run_multi_session_schedule(
     inner: Arc<dyn BlockDevice>,
     seed: u64,
     steps: usize,
 ) -> CrashReport {
+    run_multi_session(inner, seed, steps, false)
+}
+
+/// Like [`run_multi_session_schedule`], but the lock table runs in
+/// bounded-wait mode (15 ms timeout, short queues), so every conflict in
+/// the interleaved workload exercises the park/timeout path instead of
+/// failing fast — [`PrimaError::is_lock_conflict`] covers both, the
+/// oracles are unchanged. On top, a slice of the schedule runs
+/// *contention episodes*: two genuinely concurrent contender sessions
+/// race the same extension with the classic S→IX upgrade-deadlock shape
+/// (SELECT, then INSERT in the same transaction). The episode oracle:
+/// at most one contender is victimized ([`TxnError::Deadlock`]), every
+/// contender error is retryable, and — because contenders always roll
+/// back — the committed-prefix oracle at the end is untouched.
+pub fn run_multi_session_schedule_waits(
+    inner: Arc<dyn BlockDevice>,
+    seed: u64,
+    steps: usize,
+) -> CrashReport {
+    run_multi_session(inner, seed, steps, true)
+}
+
+fn run_multi_session(
+    inner: Arc<dyn BlockDevice>,
+    seed: u64,
+    steps: usize,
+    waits: bool,
+) -> CrashReport {
     let schedule = FaultSchedule::from_seed(seed);
     let fault = FaultDisk::new(inner, schedule);
     let device: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
 
+    let lock_config = if waits {
+        LockConfig::bounded(Duration::from_millis(15), 4)
+    } else {
+        LockConfig::no_wait()
+    };
     let built = Prima::builder()
         .buffer_bytes(16 << 10)
+        .lock_config(lock_config)
         .device(device)
         .durable()
         .build_with_ddl(CRASH_DDL);
@@ -448,9 +490,17 @@ pub fn run_multi_session_schedule(
     };
 
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x3a3a_c0de_2026_0005);
-    let writer = db.session();
-    let readers: Vec<prima::Session> =
-        (0..rng.gen_range(1usize..3)).map(|_| db.session()).collect();
+    // The oracle asserts on the conflict errors themselves, so the
+    // sessions' transparent retry must not absorb them.
+    let mut writer = db.session();
+    writer.set_retry_policy(RetryPolicy::off());
+    let readers: Vec<prima::Session> = (0..rng.gen_range(1usize..3))
+        .map(|_| {
+            let mut r = db.session();
+            r.set_retry_policy(RetryPolicy::off());
+            r
+        })
+        .collect();
     // Whether reader i currently holds shared locks (query succeeded and
     // it has not committed since).
     let mut reader_holds: Vec<bool> = vec![false; readers.len()];
@@ -694,6 +744,10 @@ pub fn run_multi_session_schedule(
                     panic!("{}", repro(seed, steps, "unexpected rollback error", e.to_string()))
                 }
             }
+        } else if waits && roll >= 96 {
+            // Genuine concurrency: two contender threads race an
+            // upgrade-deadlock shape against the bounded-wait table.
+            contention_episode(&db, &fault, seed, steps, steps_run as u64);
         } else {
             // Buffer flush: steal under concurrency.
             if db.storage().flush().is_err() {
@@ -737,6 +791,82 @@ pub fn run_multi_session_schedule(
         ),
     };
     CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
+}
+
+/// One contention episode of the waits-mode schedule: two contender
+/// sessions on their own threads each SELECT a key (extension `Shared`)
+/// and then INSERT under it (extension `IntentExclusive`) in the same
+/// transaction — when their lock requests interleave, that is an S→IX
+/// upgrade deadlock the table must resolve by victimizing one of them.
+/// Contenders always roll back (keys far outside the workload's range),
+/// so the model and the committed-prefix oracle are untouched; the main
+/// writer and the readers never wait here, so they can never be picked
+/// as victims.
+///
+/// Episode oracle (skipped once the crash has fired — the contenders'
+/// errors are then the device's, not the lock manager's): every
+/// contender error is retryable, and at most one of the two is a
+/// [`TxnError::Deadlock`] victim.
+fn contention_episode(db: &Prima, fault: &FaultDisk, seed: u64, steps: usize, tag: u64) {
+    let outcomes: Vec<Vec<PrimaError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2u64)
+            .map(|i| {
+                scope.spawn(move || {
+                    // Transparent retry stays on (the default): the
+                    // auto-commit SELECT may be re-run, the in-transaction
+                    // INSERT surfaces its error to the oracle below.
+                    let session = db.session();
+                    let key = 90_000 + (tag % 1_000) * 2 + i;
+                    let mut errors = Vec::new();
+                    let selected = session.query(
+                        &format!("SELECT ALL FROM part WHERE part_no = {key}"),
+                        &QueryOptions::default(),
+                    );
+                    match selected {
+                        Ok(_) => {
+                            if let Err(e) = session
+                                .execute(&format!("INSERT part (part_no: {key}, name: 'c')"))
+                            {
+                                errors.push(e);
+                            }
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                    // Always back out — durable state must not change.
+                    let _ = session.rollback();
+                    errors
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("contender thread panicked")).collect()
+    });
+    if fault.has_crashed() {
+        return;
+    }
+    let mut victims = 0usize;
+    for errors in &outcomes {
+        for e in errors {
+            if matches!(e, PrimaError::Txn(TxnError::Deadlock { .. })) {
+                victims += 1;
+            } else if !e.is_retryable() {
+                panic!(
+                    "{}",
+                    repro(seed, steps, "contender hit a non-retryable error", e.to_string())
+                );
+            }
+        }
+    }
+    if victims > 1 {
+        panic!(
+            "{}",
+            repro(
+                seed,
+                steps,
+                "both contenders were chosen as deadlock victims",
+                format!("{victims} victims in one two-party episode"),
+            )
+        );
+    }
 }
 
 /// Projects a molecule set onto the model representation.

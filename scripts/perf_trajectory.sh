@@ -7,17 +7,20 @@
 #   * wal_commit — commit latency no-WAL vs WAL-force vs group-sized
 #     batches, with WAL forces/bytes and simulated device time per
 #     statement;
+#   * multi_session — throughput of concurrent session threads,
+#     conflict-heavy vs disjoint key placement, with the lock manager's
+#     wait/timeout/deadlock counters per series;
 #   * every criterion-shim benchmark additionally emits a
 #     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
 #     small (<10%) deltas can be judged against run-to-run noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 shift || true
 benches=("${@:-}")
 if [ -z "${benches[0]:-}" ]; then
-    benches=(batched_assembly prepared_exec wal_commit)
+    benches=(batched_assembly prepared_exec wal_commit multi_session)
 fi
 
 log="$(mktemp)"

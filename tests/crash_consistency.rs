@@ -15,7 +15,10 @@
 //! * `PRIMA_FUZZ_SEEDS` — schedules per backend leg (default: 24 on
 //!   SimDisk, a quarter of that on FileDisk);
 //! * `PRIMA_FUZZ_OPS` — workload statements per schedule (default 60);
-//! * `PRIMA_FUZZ_SEED_BASE` — first seed (default 0x9_1987).
+//! * `PRIMA_FUZZ_SEED_BASE` — first seed (default 0x9_1987);
+//! * `PRIMA_FUZZ_WAITS` — schedules for the bounded-wait multi-session
+//!   leg (blocking lock waits, timeouts and deadlock-victim episodes
+//!   under the same crash schedules; default 6, `0` skips the leg).
 //!
 //! Every failure panics with a `PRIMA_FUZZ_REPRO:` line naming the seed
 //! that deterministically reproduces it in one command; the fuzz loops
@@ -25,7 +28,8 @@
 use prima::{Prima, QueryOptions, Value};
 use prima_storage::{BlockDevice, FileDisk, SimDisk, Wal};
 use prima_workloads::crash::{
-    run_crash_schedule, run_multi_session_schedule, CrashReport, CRASH_DDL,
+    run_crash_schedule, run_multi_session_schedule, run_multi_session_schedule_waits, CrashReport,
+    CRASH_DDL,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -164,6 +168,28 @@ fn fuzz_multi_session_file_disk_isolates_readers_and_recovers() {
         let dir = root.join(format!("s{seed}"));
         let _ = std::fs::remove_dir_all(&dir);
         Arc::new(FileDisk::create(&dir).expect("tmpdir FileDisk")) as Arc<dyn BlockDevice>
+    });
+}
+
+// ---------------------------------------------------------------------
+// Bounded-wait leg: blocking waits and deadlock victims under crashes
+// ---------------------------------------------------------------------
+//
+// Same schedules and oracles as the multi-session legs, but the lock
+// table runs in bounded-wait mode, so every conflict parks and times out
+// instead of failing fast, and a slice of each schedule races two
+// contender threads through the S→IX upgrade-deadlock shape: the table
+// must victimize at most one of them, every contender error must be
+// retryable, and the recovered state must still match the committed
+// prefix. `PRIMA_FUZZ_WAITS` sets the seed count (0 skips the leg).
+
+#[test]
+fn fuzz_multi_session_waits_resolves_deadlocks_and_recovers() {
+    let seeds = env_u64("PRIMA_FUZZ_WAITS", 6);
+    let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
+    let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(7_000_000);
+    fuzz_leg("multi-sim-waits", base, seeds, ops, run_multi_session_schedule_waits, |_| {
+        Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
     });
 }
 

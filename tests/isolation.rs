@@ -2,16 +2,19 @@
 //! retrieval (strict two-phase, Moss nested-transaction rules).
 //!
 //! Two-session scenarios over one kernel: a reader must never observe a
-//! concurrent session's uncommitted INSERT / MODIFY / DELETE — the
-//! conflict policy is an immediate `LockConflict` error (no wait queue),
-//! so "never observe" concretely means "either sees the committed state
-//! or fails fast". Read-your-own-writes holds within a session, nested
-//! subtransactions tolerate their ancestors' locks, and everything a
-//! query locked is released at top-level commit/rollback (with the lock
-//! table reaping emptied entries — it must not grow with every atom ever
-//! locked).
+//! concurrent session's uncommitted INSERT / MODIFY / DELETE. These
+//! tests interleave the conflicting sessions on one thread, so they pin
+//! [`LockConfig::no_wait`] — conflicting requests fail immediately with
+//! `LockConflict` instead of parking in the (default) bounded-wait
+//! queue, and "never observe" concretely means "either sees the
+//! committed state or fails fast". Queueing, timeouts and deadlock
+//! victims are covered by `tests/contention.rs`. Read-your-own-writes
+//! holds within a session, nested subtransactions tolerate their
+//! ancestors' locks, and everything a query locked is released at
+//! top-level commit/rollback (with the lock table reaping emptied
+//! entries — it must not grow with every atom ever locked).
 
-use prima::{Prima, QueryOptions, Value};
+use prima::{LockConfig, Prima, QueryOptions, Value};
 
 const DDL: &str = "
 CREATE ATOM_TYPE part
@@ -26,7 +29,11 @@ CREATE ATOM_TYPE pt
 ";
 
 fn db() -> Prima {
-    Prima::builder().buffer_bytes(1 << 20).build_with_ddl(DDL).unwrap()
+    Prima::builder()
+        .buffer_bytes(1 << 20)
+        .lock_config(LockConfig::no_wait())
+        .build_with_ddl(DDL)
+        .unwrap()
 }
 
 fn names(db: &Prima, mql: &str) -> Vec<String> {

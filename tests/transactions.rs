@@ -1,7 +1,7 @@
 //! Nested transactions (Section 4): Moss-style locking, commit
 //! inheritance, selective in-transaction recovery.
 
-use prima::{Prima, Value};
+use prima::{LockConfig, Prima, Value};
 
 const DDL: &str = "
 CREATE ATOM_TYPE part
@@ -11,8 +11,12 @@ CREATE ATOM_TYPE part
 KEYS_ARE (part_no);
 ";
 
+// These tests interleave conflicting transactions on a single thread, so
+// a blocked acquire could never be woken — run the lock table in no-wait
+// mode, which fails conflicting requests immediately (the pre-queue
+// behaviour). Blocking/queueing itself is covered by tests/contention.rs.
 fn db() -> Prima {
-    Prima::builder().build_with_ddl(DDL).unwrap()
+    Prima::builder().lock_config(LockConfig::no_wait()).build_with_ddl(DDL).unwrap()
 }
 
 #[test]
