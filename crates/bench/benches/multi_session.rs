@@ -2,9 +2,11 @@
 //!
 //! N session threads run a 70/30 read/write mix against one kernel with
 //! the default bounded-wait lock table and the default transparent retry
-//! policy. Reads are auto-commit point queries — any conflict there is
-//! the session retry's to absorb, and a caller-visible error fails the
-//! bench. Writes are two-statement transactions over a key *pair* in
+//! policy. Reads are auto-commit point queries — since the MVCC version
+//! store they take the lock-free snapshot path, so the lock counters
+//! below now measure writer-writer contention only, and any
+//! caller-visible read error fails the bench outright. Writes are
+//! two-statement transactions over a key *pair* in
 //! thread-dependent order, so writers hold exclusive locks across a
 //! statement boundary — the window in which other threads genuinely
 //! park, and the classic AB/BA deadlock shape. In-transaction conflicts

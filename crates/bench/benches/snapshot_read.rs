@@ -1,0 +1,161 @@
+//! BENCH-5 — snapshot reads vs locked reads under a long-hold writer.
+//!
+//! The MVCC headline number: N reader threads hammer point queries and
+//! scans against one kernel while a single writer keeps the hot keys
+//! dirty in long-held transactions (dirty → hold → commit → re-dirty).
+//! Two series run the *same* reader loop on the two read paths:
+//!
+//! * `locked_read` — readers open an explicit transaction per query
+//!   (`Session::begin`), so every read goes through the lock table and
+//!   parks in the bounded FIFO queue whenever it touches something the
+//!   writer holds — full scans park on every dirty cycle, point reads
+//!   whenever they land on a dirtied key;
+//! * `snapshot_read` — readers stay outside any transaction, so every
+//!   read pins a version-store snapshot and never touches the lock
+//!   table: reader throughput is independent of the writer's hold time.
+//!
+//! Reported per series: successful reader ops/sec, reader-visible
+//! conflicts, and the lock/version counters over the measured window
+//! (acquisitions prove the snapshot series generated zero lock traffic;
+//! `snapshot_reads`/`versions_installed` prove the version store did the
+//! work). One BENCHJSON record each — `scripts/perf_trajectory.sh`
+//! collects them into BENCH_5.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima::{Prima, QueryOptions, RetryPolicy, Value};
+use prima_bench::report;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const DDL: &str = "
+    CREATE ATOM_TYPE rec (
+        rec_id : IDENTIFIER,
+        n      : INTEGER,
+        body   : CHAR_VAR )
+    KEYS_ARE (n);
+";
+
+const READERS: usize = 4;
+const KEYS: i64 = 8;
+
+fn seeded_db() -> Prima {
+    let db = Prima::builder().buffer_bytes(16 << 20).build_with_ddl(DDL).unwrap();
+    for k in 0..KEYS {
+        db.insert("rec", &[("n", Value::Int(k)), ("body", Value::Str("seed".into()))]).unwrap();
+    }
+    db
+}
+
+/// One contention window: the writer runs `cycles` dirty-hold-commit
+/// cycles of `hold` each; the readers loop until the writer is done.
+/// Returns `(successful reader ops, reader-visible conflicts)`.
+fn run_window(db: &Prima, snapshot: bool, cycles: usize, hold: Duration) -> (u64, u64) {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let session = db.session();
+            for c in 0..cycles {
+                for k in 0..KEYS / 2 {
+                    session
+                        .execute(&format!("MODIFY rec SET body = 'w{c}' WHERE n = {k}"))
+                        .expect("writer DML");
+                }
+                std::thread::sleep(hold); // long-hold: X locks stay up
+                session.commit().expect("writer commit");
+            }
+            done.store(true, Ordering::Release);
+        });
+        let readers: Vec<_> = (0..READERS)
+            .map(|t| {
+                let done = &done;
+                let db = &db;
+                s.spawn(move || {
+                    // Conflicts are counted, not absorbed: the series
+                    // difference *is* the measurement.
+                    let mut session = db.session();
+                    session.set_retry_policy(RetryPolicy::off());
+                    let (mut ops, mut conflicts) = (0u64, 0u64);
+                    let mut i = 0usize;
+                    while !done.load(Ordering::Acquire) {
+                        let q = if i.is_multiple_of(4) {
+                            "SELECT ALL FROM rec".to_string()
+                        } else {
+                            format!("SELECT ALL FROM rec WHERE n = {}", (t + i) as i64 % KEYS)
+                        };
+                        i += 1;
+                        if !snapshot {
+                            session.begin().expect("begin");
+                        }
+                        match session.query(&q, &QueryOptions::default()) {
+                            Ok(_) => {
+                                ops += 1;
+                                session.commit().expect("reader commit");
+                            }
+                            Err(e) if e.is_lock_conflict() => {
+                                conflicts += 1;
+                                session.rollback().expect("reader rollback");
+                            }
+                            Err(e) => panic!("reader failed hard: {e}"),
+                        }
+                    }
+                    (ops, conflicts)
+                })
+            })
+            .collect();
+        writer.join().expect("writer panicked");
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .fold((0, 0), |(o, c), (ro, rc)| (o + ro, c + rc))
+    })
+}
+
+fn run_series(c: &mut Criterion, series: &str, snapshot: bool) {
+    let db = seeded_db();
+    let mut g = c.benchmark_group("snapshot_read");
+    g.sample_size(10);
+    g.bench_function(format!("{series}_{READERS}r1w"), |b| {
+        b.iter(|| run_window(&db, snapshot, 2, Duration::from_millis(5)))
+    });
+    g.finish();
+
+    // Dedicated timed window outside Criterion sampling, so the
+    // lock/version counters match the measured ops exactly.
+    let locks_before = db.lock_stats();
+    let versions_before = db.version_stats();
+    let t0 = Instant::now();
+    let (ops, conflicts) = run_window(&db, snapshot, 8, Duration::from_millis(20));
+    let secs = t0.elapsed().as_secs_f64();
+    let dl = db.lock_stats().since(&locks_before);
+    let dv = db.version_stats().since(&versions_before);
+    let ops_per_sec = ops as f64 / secs;
+
+    report("BENCH-5", &format!("{series}/reader_ops_per_sec"), "ops/s", format!("{ops_per_sec:.0}"));
+    report("BENCH-5", &format!("{series}/reader_conflicts"), "count", conflicts);
+    report("BENCH-5", &format!("{series}/lock_acquisitions"), "count", dl.acquisitions);
+    report("BENCH-5", &format!("{series}/lock_waits"), "count", dl.waits);
+    report("BENCH-5", &format!("{series}/snapshot_reads"), "count", dv.snapshot_reads);
+    println!(
+        "BENCHJSON {{\"bench\":\"snapshot_read\",\"series\":\"{series}\",\
+\"readers\":{READERS},\"reader_ops\":{ops},\"reader_ops_per_sec\":{ops_per_sec:.0},\
+\"reader_conflicts\":{conflicts},\"lock_acquisitions\":{},\"lock_waits\":{},\
+\"wait_us_total\":{},\"snapshots_opened\":{},\"snapshot_reads\":{},\
+\"versions_installed\":{},\"versions_reclaimed\":{},\"max_chain_len\":{}}}",
+        dl.acquisitions,
+        dl.waits,
+        dl.wait_us_total,
+        dv.snapshots_opened,
+        dv.snapshot_reads,
+        dv.versions_installed,
+        dv.versions_reclaimed,
+        dv.max_chain_len,
+    );
+}
+
+fn bench_snapshot_read(c: &mut Criterion) {
+    run_series(c, "locked_read", false);
+    run_series(c, "snapshot_read", true);
+}
+
+criterion_group!(benches, bench_snapshot_read);
+criterion_main!(benches);

@@ -11,6 +11,12 @@
 //! the disconnection itself happens in the access system's back-reference
 //! maintenance; this module translates statement semantics into atom
 //! operations.
+//!
+//! DML runs on the *locking* read path even now that auto-commit queries
+//! snapshot ([`crate::txn::mvcc`]): qualification sub-reads here must see
+//! the transaction's own uncommitted writes and must lock what they will
+//! mutate, so every guard below comes from `Transaction::read_guard`
+//! (locking mode) — never from [`ReadGuard::snapshot`].
 
 use super::exec::execute;
 use super::validate::{resolve_ref, validate};

@@ -205,15 +205,56 @@ fn lock_roots(locks: Option<ReadGuard<'_>>, roots: &[Atom]) -> PrimaResult<()> {
     Ok(())
 }
 
+/// Hands root candidates produced by a base access path to the caller.
+/// Locking (or guard-less) mode `Shared`-locks each one and returns them
+/// as-is. Snapshot mode instead resolves every candidate through the
+/// version store, re-qualifies the visible image against the root SSA
+/// (the base value the scan filtered on may be a dirty one), and appends
+/// the *extras*: chained atoms of the root type the base scan could not
+/// deliver — deleted from base, or pushed-down-filtered on an
+/// uncommitted value — whose visible version qualifies.
+fn deliver_roots(
+    q: &ResolvedQuery,
+    locks: Option<ReadGuard<'_>>,
+    roots: Vec<Atom>,
+) -> PrimaResult<Vec<Atom>> {
+    let Some(snap) = locks.and_then(|g| g.as_snapshot()) else {
+        lock_roots(locks, &roots)?;
+        return Ok(roots);
+    };
+    let root_type = q.nodes[0].atom_type;
+    let mut seen = HashSet::with_capacity(roots.len());
+    let mut out = Vec::with_capacity(roots.len());
+    for atom in roots {
+        let id = atom.id;
+        seen.insert(id);
+        if let Some(vis) = snap.visible(id, Some(atom)) {
+            if q.root_ssa.eval(&vis) {
+                out.push(vis);
+            }
+        }
+    }
+    for extra in snap.extras(root_type, &seen) {
+        if q.root_ssa.eval(&extra) {
+            out.push(extra);
+        }
+    }
+    Ok(out)
+}
+
 /// Root access selection ("molecule-type-specific optimization").
 ///
-/// With a [`ReadGuard`], the root type's extension is `Shared`-locked
-/// *before* any atom is inspected: a scan's outcome depends on the whole
-/// extension (membership and attribute values), so a concurrent
-/// transaction with uncommitted DML on the type — which holds the
-/// extension `IntentExclusive` — conflicts here instead of leaking dirty
-/// state into (or out of) the result. Each returned root additionally
-/// gets a `Shared` atom lock.
+/// With a locking [`ReadGuard`], the root type's extension is
+/// `Shared`-locked *before* any atom is inspected: a scan's outcome
+/// depends on the whole extension (membership and attribute values), so
+/// a concurrent transaction with uncommitted DML on the type — which
+/// holds the extension `IntentExclusive` — conflicts here instead of
+/// leaking dirty state into (or out of) the result. Each returned root
+/// additionally gets a `Shared` atom lock.
+///
+/// With a snapshot guard no lock is taken anywhere: the base access
+/// paths run unguarded to produce *candidates*, and [`deliver_roots`]
+/// corrects them to the snapshot's visible versions.
 pub(crate) fn find_roots(
     sys: &AccessSystem,
     q: &ResolvedQuery,
@@ -221,6 +262,7 @@ pub(crate) fn find_roots(
     locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Vec<Atom>> {
     let root_type = q.nodes[0].atom_type;
+    let snapshot = locks.and_then(|g| g.as_snapshot()).is_some();
     if let Some(g) = locks {
         g.lock_extension(root_type)?;
     }
@@ -231,8 +273,19 @@ pub(crate) fn find_roots(
         if b.op == CmpOp::Eq && at.is_key(&at.attributes[b.attr].name) {
             trace.root_access = RootAccess::KeyLookup { attr: b.attr };
             let Some(id) = sys.lookup_by_key(root_type, b.attr, &b.value)? else {
-                return Ok(Vec::new());
+                return deliver_roots(q, locks, Vec::new());
             };
+            if snapshot {
+                // No lock covers the gap between lookup and read: the
+                // atom may concurrently vanish from base (its visible
+                // version, if any, comes back through the extras).
+                let cand = match sys.read_atom(id, None) {
+                    Ok(atom) => vec![atom],
+                    Err(prima_access::AccessError::NoSuchAtom(_)) => Vec::new(),
+                    Err(e) => return Err(e.into()),
+                };
+                return deliver_roots(q, locks, cand);
+            }
             if let Some(g) = locks {
                 g.lock_atom(id)?;
             }
@@ -262,8 +315,7 @@ pub(crate) fn find_roots(
             let mut scan =
                 AccessPathScan::open(sys, &ix, q.root_ssa.clone(), start, stop, false)?;
             let roots = scan.collect_remaining()?;
-            lock_roots(locks, &roots)?;
-            return Ok(roots);
+            return deliver_roots(q, locks, roots);
         }
     }
     // 3. Single-component queries whose SSA and projection are covered by
@@ -292,25 +344,30 @@ pub(crate) fn find_roots(
                 // Skip stale copies (deferred update pending): fall back to
                 // the primary record for those atoms.
                 if sys.deferred_stale(atom.id, part.id) {
-                    let fresh = sys.read_atom(atom.id, None)?;
-                    if q.root_ssa.eval(&fresh) {
-                        out.push(fresh);
+                    match sys.read_atom(atom.id, None) {
+                        Ok(fresh) => {
+                            if q.root_ssa.eval(&fresh) {
+                                out.push(fresh);
+                            }
+                        }
+                        // Unlocked snapshot scan: the atom may vanish
+                        // between the partition row and the primary read.
+                        Err(prima_access::AccessError::NoSuchAtom(_)) if snapshot => {}
+                        Err(e) => return Err(e),
                     }
                 } else if q.root_ssa.eval(&atom) {
                     out.push(atom);
                 }
                 Ok(())
             })?;
-            lock_roots(locks, &out)?;
-            return Ok(out);
+            return deliver_roots(q, locks, out);
         }
     }
     // 4. Atom-type scan with SSA pushdown.
     trace.root_access = RootAccess::TypeScan;
     let mut scan = AtomTypeScan::open(sys, root_type, q.root_ssa.clone(), None)?;
     let roots = scan.collect_remaining()?;
-    lock_roots(locks, &roots)?;
-    Ok(roots)
+    deliver_roots(q, locks, roots)
 }
 
 /// Per-query assembly state: the expansion-edge table plus scratch
@@ -382,21 +439,38 @@ fn assemble_molecule(
     // if one materialises this root's molecule.
     let mut prefetch: HashMap<AtomId, Atom> = HashMap::new();
     if let Some(ct) = clusters.iter().find(|ct| ct.contains(root.id)) {
-        let mut members = ct.read_all(root.id)?;
-        if let Some(g) = locks {
-            // The first read discovered the membership but may have seen
-            // a concurrent writer's in-flight values. Lock every member,
-            // then re-read: an *active* writer conflicts here, and one
-            // that finished between the two reads has settled the values
-            // the second (buffer-hot) read now picks up — the prefetch
-            // map never serves a state our locks don't cover.
-            for a in &members {
-                g.lock_atom(a.id)?;
+        if let Some(snap) = locks.and_then(|g| g.as_snapshot()) {
+            // Lock-free prefetch: resolve every member to its visible
+            // version on the way into the map (members invisible at the
+            // snapshot drop out). The chained read races concurrent
+            // writers without protection, so treat failure as a missed
+            // optimisation — assembly falls back to per-component
+            // fetches, which resolve each atom individually.
+            let members = ct.read_all(root.id).unwrap_or_default();
+            for a in members {
+                let id = a.id;
+                if let Some(vis) = snap.visible(id, Some(a)) {
+                    prefetch.insert(id, vis);
+                }
             }
-            members = ct.read_all(root.id)?;
-        }
-        for a in members {
-            prefetch.insert(a.id, a);
+        } else {
+            let mut members = ct.read_all(root.id)?;
+            if let Some(g) = locks {
+                // The first read discovered the membership but may have
+                // seen a concurrent writer's in-flight values. Lock every
+                // member, then re-read: an *active* writer conflicts
+                // here, and one that finished between the two reads has
+                // settled the values the second (buffer-hot) read now
+                // picks up — the prefetch map never serves a state our
+                // locks don't cover.
+                for a in &members {
+                    g.lock_atom(a.id)?;
+                }
+                members = ct.read_all(root.id)?;
+            }
+            for a in members {
+                prefetch.insert(a.id, a);
+            }
         }
         *fetched += prefetch.len();
         trace.cluster_used = Some(ct.name.clone());
@@ -535,7 +609,8 @@ fn assemble_frontier(
         }
         // Shared-lock the whole level before reading it: a component with
         // an uncommitted writer conflicts here, before any dirty value
-        // can enter the molecule.
+        // can enter the molecule. (No-op under a snapshot guard — the
+        // per-request resolution below corrects dirty reads instead.)
         if let Some(g) = locks {
             for r in &ctx.requests {
                 g.lock_atom(r.id)?;
@@ -563,19 +638,32 @@ fn assemble_frontier(
         }
         let mut resolved = std::mem::take(&mut ctx.resolved);
         sys.read_atoms_batch_into(&ctx.need, None, &mut resolved)?;
+        let snap = locks.and_then(|g| g.as_snapshot());
         ctx.next_frontier.clear();
         for (k, r) in ctx.requests.drain(..).enumerate() {
             let slot = if mapped { ctx.need_idx[k] } else { Some(k) };
             let atom = match slot {
+                // Prefetched cluster members are already snapshot-
+                // resolved at map build time.
                 None => prefetch.get(&r.id).expect("prefetch hit").clone(),
                 Some(j) => {
                     *fetched += 1;
                     // Requests map 1:1 onto batch entries, so the atom can
-                    // be moved out instead of cloned.
-                    match resolved[j].take() {
+                    // be moved out instead of cloned. Under a snapshot
+                    // guard the base outcome (including a base miss: the
+                    // component may be concurrently deleted) is resolved
+                    // to the visible version.
+                    let base = resolved[j].take();
+                    let vis = match snap {
+                        None => base,
+                        Some(s) => s.visible(r.id, base),
+                    };
+                    match vis {
                         Some(a) => a,
                         // Dangling ids cannot occur through the access
-                        // system's integrity maintenance; skip defensively.
+                        // system's integrity maintenance (and invisible
+                        // components are simply not part of the snapshot's
+                        // molecule); skip.
                         None => continue,
                     }
                 }
@@ -657,10 +745,18 @@ fn expand(
                 Some(a) => a.clone(),
                 None => {
                     *fetched += 1;
-                    match sys.read_atom(id, None) {
-                        Ok(a) => a,
-                        Err(prima_access::AccessError::NoSuchAtom(_)) => continue,
+                    let base = match sys.read_atom(id, None) {
+                        Ok(a) => Some(a),
+                        Err(prima_access::AccessError::NoSuchAtom(_)) => None,
                         Err(e) => return Err(e.into()),
+                    };
+                    let vis = match locks.and_then(|g| g.as_snapshot()) {
+                        None => base,
+                        Some(s) => s.visible(id, base),
+                    };
+                    match vis {
+                        Some(a) => a,
+                        None => continue,
                     }
                 }
             };

@@ -43,7 +43,9 @@ use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
 use crate::recovery::{self, KernelMeta};
 use crate::session::{ApiStats, MoleculeCursor, QueryOptions, Session};
-use crate::txn::{LockConfig, LockStatsSnapshot, Transaction, TxnManager};
+use crate::txn::{
+    LockConfig, LockStatsSnapshot, Transaction, TxnManager, VersionStatsSnapshot,
+};
 use prima_access::{AccessSystem, Atom, UpdatePolicy};
 use prima_mad::ddl;
 use prima_mad::value::{AtomId, Value};
@@ -344,6 +346,15 @@ impl Prima {
     /// fast-fails (see [`LockStatsSnapshot::detail`]).
     pub fn lock_stats(&self) -> LockStatsSnapshot {
         self.txn.lock_table().stats().snapshot()
+    }
+
+    /// Version-store counters of the MVCC read path: versions
+    /// installed/reclaimed, live chains, snapshot reads, oldest-snapshot
+    /// lag (see [`VersionStatsSnapshot::detail`]). The version store is
+    /// volatile — rebuilt empty at [`Prima::open`] — so these counters
+    /// always describe the current incarnation.
+    pub fn version_stats(&self) -> VersionStatsSnapshot {
+        self.txn.versions().stats()
     }
 
     // -----------------------------------------------------------------

@@ -69,6 +69,6 @@ pub use session::{
     ApiStats, ApiStatsSnapshot, MoleculeCursor, ParamSlot, Prepared, QueryOptions, QueryResult,
     RetryPolicy, Session, StatementOutcome,
 };
-pub use txn::{LockConfig, LockStatsSnapshot};
+pub use txn::{LockConfig, LockStatsSnapshot, VersionStatsSnapshot};
 pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
 pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

@@ -25,6 +25,13 @@
 //! substitution table in DESIGN.md): the claim under test is about
 //! decomposability and speed-up shape, not about a particular
 //! interconnect.
+//!
+//! DU workers are isolation-agnostic: the [`ReadGuard`] they share is
+//! `Copy`, so each worker carries the caller's guard across its thread —
+//! a locking guard re-enters the lock table under the owning
+//! transaction, a snapshot guard ([`ReadGuard::snapshot`]) resolves
+//! version visibility with no locking at all, which keeps the maximally
+//! parallel case genuinely wait-free.
 
 use crate::datasys::exec::{find_roots, node_infos, process_root, AssemblyCtx};
 use crate::datasys::molecule::MoleculeSet;

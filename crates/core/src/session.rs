@@ -27,33 +27,51 @@
 //!
 //! ## Isolation
 //!
-//! Retrieval is bracketed by the same Moss lock table as manipulation
-//! (see [`crate::txn`]): a query — one-shot, prepared or cursor — runs
-//! under the session's transaction, takes a `Shared` lock on the root
-//! type's extension before root access and a `Shared` lock on every atom
-//! that flows into a result, all held to the top-level commit/rollback
-//! (strict two-phase). Writers hold their atoms `Exclusive` and announce
-//! `IntentExclusive` on the written types' extensions, so a concurrent
-//! session's uncommitted INSERT/MODIFY/DELETE is **never observable**:
-//! the reader waits in the lock table's bounded FIFO queue and, if the
-//! wait expires (or waiting is disabled), sees a retryable error. A
-//! session still reads its own uncommitted writes, and nested
-//! subtransactions tolerate their ancestors' locks (Moss's rule).
+//! Reads take one of two paths, selected by whether the session has a
+//! transaction open:
+//!
+//! * **Snapshot reads (no transaction open).** A read statement issued
+//!   outside any transaction — the auto-commit case, and the hot path of
+//!   a read-mostly workload — does not open one. It pins a
+//!   [`crate::txn::Snapshot`] of the version store instead and runs with
+//!   a snapshot-mode [`crate::txn::ReadGuard`]: **no lock is acquired**,
+//!   concurrent writers are never waited on, and every atom read is
+//!   resolved to the version committed as of the snapshot. Such a read
+//!   cannot conflict, cannot deadlock, and leaves `LockStats` untouched.
+//! * **Locking reads (transaction open).** A query — one-shot, prepared
+//!   or cursor — issued inside a transaction (opened by
+//!   [`Session::begin`] or lazily by an earlier DML) is bracketed by the
+//!   same Moss lock table as manipulation (see [`crate::txn`]): it takes
+//!   a `Shared` lock on the root type's extension before root access and
+//!   a `Shared` lock on every atom that flows into a result, all held to
+//!   the top-level commit/rollback (strict two-phase). Writers hold
+//!   their atoms `Exclusive` and announce `IntentExclusive` on the
+//!   written types' extensions, so a concurrent session's uncommitted
+//!   INSERT/MODIFY/DELETE is **never observable**: the reader waits in
+//!   the lock table's bounded FIFO queue and, if the wait expires (or
+//!   waiting is disabled), sees a retryable error. A session still reads
+//!   its own uncommitted writes (which is why transactions keep the
+//!   locking path — a snapshot cannot see the session's own dirty
+//!   atoms), and nested subtransactions tolerate their ancestors' locks
+//!   (Moss's rule).
 //!
 //! ## Retry
 //!
 //! Statements that fail with a *retryable* error
 //! ([`PrimaError::is_retryable`]: lock conflict, bounded-wait timeout,
 //! deadlock victim) are transparently re-run under the session's
-//! [`RetryPolicy`] — **only on auto-commit paths**, i.e. when the failing
-//! statement itself (lazily) opened the session's transaction. There is
-//! nothing else in such a transaction, so rolling it back via the undo
-//! machinery and re-running the statement after an exponential backoff is
-//! invisible to the caller. A statement issued inside an explicit
-//! multi-statement transaction propagates the error instead: the kernel
-//! cannot know whether earlier statements' results still justify the
-//! retry, so that decision belongs to the application. Cursor opens and
-//! fetches never retry (a stream's already-delivered prefix cannot be
+//! [`RetryPolicy`] — **only on auto-commit DML paths**, i.e. when the
+//! failing statement itself (lazily) opened the session's transaction.
+//! There is nothing else in such a transaction, so rolling it back via
+//! the undo machinery and re-running the statement after an exponential
+//! backoff is invisible to the caller. A statement issued inside an
+//! explicit multi-statement transaction propagates the error instead:
+//! the kernel cannot know whether earlier statements' results still
+//! justify the retry, so that decision belongs to the application.
+//! Snapshot reads never consult the policy at all — the lock-free path
+//! has no retryable failure mode, so the hot read path pays no retry
+//! bookkeeping (not even the jitter PRNG draw). Cursor opens and fetches
+//! never retry either (a stream's already-delivered prefix cannot be
 //! rolled back transparently).
 
 use crate::datasys::exec::{find_roots, node_infos, process_root_traced, AssemblyCtx};
@@ -64,7 +82,7 @@ use crate::datasys::plan::ResolvedQuery;
 use crate::datasys::validate::resolve_ref;
 use crate::error::{PrimaError, PrimaResult};
 use crate::parallel;
-use crate::txn::{Transaction, TxnId, TxnManager};
+use crate::txn::{ReadGuard, Snapshot, Transaction, TxnId, TxnManager};
 use parking_lot::Mutex;
 use prima_access::cluster::AtomClusterType;
 use prima_access::{AccessSystem, Atom};
@@ -322,11 +340,13 @@ impl ApiStats {
 /// One application conversation with the kernel: a transaction context
 /// plus the prepare/execute machinery. Obtained from `Prima::session()`.
 ///
-/// The transaction begins lazily with the first DML statement; `SELECT`s
-/// do not open one. [`Session::commit`] / [`Session::rollback`] end the
-/// current transaction; the next DML begins a fresh one, so a session
-/// chains units of work like a classic server connection. Dropping the
-/// session aborts whatever was not committed.
+/// The transaction begins with [`Session::begin`] or lazily with the
+/// first DML statement; `SELECT`s do not open one — outside a
+/// transaction they run on the lock-free snapshot path (see the module
+/// docs). [`Session::commit`] / [`Session::rollback`] end the current
+/// transaction; the next DML begins a fresh one, so a session chains
+/// units of work like a classic server connection. Dropping the session
+/// aborts whatever was not committed.
 pub struct Session {
     access: Arc<AccessSystem>,
     txn_mgr: Arc<TxnManager>,
@@ -366,12 +386,47 @@ impl Session {
         self.txn.lock().as_ref().map(|t| t.id())
     }
 
+    /// Explicitly opens the session's transaction now (it otherwise
+    /// begins lazily with the first DML statement). A no-op when one is
+    /// already open.
+    ///
+    /// The choice matters for reads: outside a transaction they run on
+    /// the lock-free snapshot path and observe the committed state as of
+    /// the statement; inside one they go through the lock table, wait on
+    /// concurrent writers, stay stable to commit/rollback under strict
+    /// 2PL, and see the session's own uncommitted writes. Call `begin()`
+    /// when a read-then-write unit of work needs the latter.
+    pub fn begin(&self) -> PrimaResult<()> {
+        let mut guard = self.txn.lock();
+        if guard.is_none() {
+            *guard = Some(self.txn_mgr.begin(None)?);
+        }
+        Ok(())
+    }
+
     fn with_txn<R>(&self, f: impl FnOnce(&Transaction) -> PrimaResult<R>) -> PrimaResult<R> {
         let mut guard = self.txn.lock();
         if guard.is_none() {
             *guard = Some(self.txn_mgr.begin(None)?);
         }
         f(guard.as_ref().expect("txn just ensured"))
+    }
+
+    /// Runs `f` on the lock-free snapshot path when no transaction is
+    /// open (the auto-commit read case), or returns `None` when one is
+    /// underway — the caller then falls back to the locking read path,
+    /// which sees the session's own uncommitted writes. The snapshot is
+    /// pinned for exactly the duration of `f`, so version GC resumes the
+    /// moment the statement completes.
+    fn try_snapshot<R>(
+        &self,
+        f: impl FnOnce(ReadGuard<'_>) -> PrimaResult<R>,
+    ) -> Option<PrimaResult<R>> {
+        if self.txn.lock().is_some() {
+            return None;
+        }
+        let snap = self.txn_mgr.versions().begin_snapshot();
+        Some(f(ReadGuard::snapshot(&snap)))
     }
 
     /// [`Session::with_txn`] plus transparent retry: when the statement
@@ -428,22 +483,31 @@ impl Session {
     // -----------------------------------------------------------------
 
     /// Parses, plans and runs one `SELECT`, materialising the full
-    /// molecule set. Runs under the session's transaction (begun lazily):
-    /// the retrieved atoms stay `Shared`-locked until
-    /// [`Session::commit`] / [`Session::rollback`]. Parameterised
-    /// statements must go through [`Session::prepare`].
+    /// molecule set. Outside a transaction it runs lock-free against a
+    /// snapshot of the committed state; inside one it runs under the
+    /// session's transaction and the retrieved atoms stay
+    /// `Shared`-locked until [`Session::commit`] /
+    /// [`Session::rollback`]. Parameterised statements must go through
+    /// [`Session::prepare`].
     pub fn query(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<QueryResult> {
         opts.validate()?;
         let resolved = self.plan_select(mql)?;
+        if let Some(r) = self.try_snapshot(|g| self.run_plan(&resolved, opts, g)) {
+            return r;
+        }
         let policy = opts.retry.unwrap_or(self.retry);
-        self.with_txn_retry(&policy, |t| self.run_plan(&resolved, opts, t))
+        self.with_txn_retry(&policy, |t| self.run_plan(&resolved, opts, t.read_guard()))
     }
 
     /// Runs a `SELECT` as a streaming [`MoleculeCursor`]: roots are
-    /// located (and `Shared`-locked) now, component assembly happens per
-    /// [`MoleculeCursor::fetch`] chunk under the session's transaction
-    /// current *at fetch time* — after a commit/rollback the next fetch
-    /// reacquires its locks under the fresh transaction.
+    /// located now, component assembly happens per
+    /// [`MoleculeCursor::fetch`] chunk. Opened outside a transaction the
+    /// cursor pins a snapshot for its whole lifetime — fetches are
+    /// lock-free and the stream stays stable against concurrent commits.
+    /// Opened inside one, roots are `Shared`-locked up front and each
+    /// fetch runs under the session's transaction current *at fetch
+    /// time* — after a commit/rollback the next fetch reacquires its
+    /// locks under the fresh transaction.
     pub fn query_cursor(
         &self,
         mql: &str,
@@ -517,9 +581,9 @@ impl Session {
         &self,
         resolved: &ResolvedQuery,
         opts: &QueryOptions,
-        txn: &Transaction,
+        guard: ReadGuard<'_>,
     ) -> PrimaResult<QueryResult> {
-        let locks = Some(txn.read_guard());
+        let locks = Some(guard);
         let (set, trace) = if opts.threads > 1 {
             parallel::execute_parallel(&self.access, resolved, opts.threads, locks)?
         } else {
@@ -551,8 +615,22 @@ impl Session {
         self.with_txn_retry(&self.retry, |txn| Ok(txn.insert_atom(t, values.clone())?))
     }
 
-    /// Reads one atom under a `Shared` lock of the session's transaction.
+    /// Reads one atom: lock-free against a snapshot outside a
+    /// transaction, under a `Shared` lock of the session's transaction
+    /// inside one.
     pub fn read_atom(&self, id: AtomId) -> PrimaResult<Atom> {
+        if let Some(r) = self.try_snapshot(|g| {
+            let snap = g.as_snapshot().expect("guard built in snapshot mode");
+            let base = match self.access.read_atom(id, None) {
+                Ok(a) => Some(a),
+                Err(prima_access::AccessError::NoSuchAtom(_)) => None,
+                Err(e) => return Err(e.into()),
+            };
+            snap.visible(id, base)
+                .ok_or_else(|| prima_access::AccessError::NoSuchAtom(id).into())
+        }) {
+            return r;
+        }
         self.with_txn_retry(&self.retry, |txn| {
             txn.read_guard().lock_atom(id)?;
             Ok(self.access.read_atom(id, None)?)
@@ -737,10 +815,15 @@ impl<'s> Prepared<'s> {
                     bound = plan.bind_params(params);
                     &bound
                 };
+                if let Some(r) =
+                    self.session.try_snapshot(|g| self.session.run_plan(plan, opts, g))
+                {
+                    return Ok(StatementOutcome::Molecules(r?));
+                }
                 let policy = opts.retry.unwrap_or(self.session.retry);
                 let result = self
                     .session
-                    .with_txn_retry(&policy, |t| self.session.run_plan(plan, opts, t))?;
+                    .with_txn_retry(&policy, |t| self.session.run_plan(plan, opts, t.read_guard()))?;
                 Ok(StatementOutcome::Molecules(result))
             }
             None => {
@@ -912,13 +995,20 @@ impl SessionRef<'_> {
 /// alive at a time; dropping it mid-stream simply abandons the remaining
 /// (unread) roots without having fixed their pages.
 ///
-/// Lock-wise the cursor behaves like any other read: open and every
-/// fetch run under its session's transaction, `Shared`-locking the root
-/// extension and each delivered atom. If the session commits or rolls
-/// back mid-stream, those locks are released with the transaction and
-/// the next fetch reacquires them under the session's fresh transaction
-/// — revalidating each root, so rolled-back or deleted atoms never
-/// stream out.
+/// Isolation-wise the cursor follows the session's read-path split
+/// (module docs). Opened **outside a transaction** it pins a snapshot of
+/// the committed state for its entire lifetime: open and every fetch are
+/// lock-free, roots were already resolved to their snapshot-visible
+/// versions at open, and a concurrent writer's commit mid-stream is
+/// never observed — the stream is stable from first fetch to last, and
+/// the pinned snapshot holds version GC back only while the cursor
+/// lives. Opened **inside a transaction**, open and every fetch run
+/// under the session's transaction, `Shared`-locking the root extension
+/// and each delivered atom. If the session commits or rolls back
+/// mid-stream, those locks are released with the transaction and the
+/// next fetch reacquires them under the session's fresh transaction —
+/// revalidating each root, so rolled-back or deleted atoms never stream
+/// out.
 pub struct MoleculeCursor<'s> {
     session: SessionRef<'s>,
     access: Arc<AccessSystem>,
@@ -929,6 +1019,10 @@ pub struct MoleculeCursor<'s> {
     ctx: AssemblyCtx,
     nodes: Vec<NodeInfo>,
     trace: ExecutionTrace,
+    /// `Some` when the cursor was opened outside a transaction: the
+    /// pinned snapshot every fetch resolves against (and the thing that
+    /// holds version GC back for the stream's lifetime).
+    snapshot: Option<Snapshot>,
 }
 
 impl<'s> MoleculeCursor<'s> {
@@ -951,9 +1045,21 @@ impl<'s> MoleculeCursor<'s> {
         }
         let access = Arc::clone(&session.get().access);
         let mut trace = ExecutionTrace::default();
-        let roots = session
-            .get()
-            .with_txn(|t| find_roots(&access, plan, &mut trace, Some(t.read_guard())))?;
+        let s = session.get();
+        // No transaction open → pin a snapshot for the cursor's lifetime
+        // and locate roots lock-free against it; otherwise open under the
+        // session's transaction, Shared-locking as usual.
+        let snapshot = if s.txn.lock().is_none() {
+            Some(s.txn_mgr.versions().begin_snapshot())
+        } else {
+            None
+        };
+        let roots = match &snapshot {
+            Some(snap) => {
+                find_roots(&access, plan, &mut trace, Some(ReadGuard::snapshot(snap)))?
+            }
+            None => s.with_txn(|t| find_roots(&access, plan, &mut trace, Some(t.read_guard())))?,
+        };
         trace.roots_inspected = roots.len();
         let clusters = access.cluster_types_of(plan.nodes[0].atom_type);
         Ok(MoleculeCursor {
@@ -966,6 +1072,7 @@ impl<'s> MoleculeCursor<'s> {
             mode: opts.assembly,
             access,
             trace,
+            snapshot,
         })
     }
 
@@ -1013,7 +1120,37 @@ impl<'s> MoleculeCursor<'s> {
     }
 
     fn next_molecule(&mut self) -> PrimaResult<Option<Molecule>> {
-        let Self { session, access, plan, clusters, roots, mode, ctx, trace, .. } = self;
+        let Self { session, access, plan, clusters, roots, mode, ctx, trace, snapshot, .. } =
+            self;
+        if let Some(snap) = snapshot {
+            // Snapshot stream: roots were resolved to their visible
+            // versions (and qualified) at open against this very
+            // snapshot, and the snapshot never moves — no lock, no
+            // re-read, no re-qualification. Component assembly resolves
+            // against the same snapshot, so a long-lived cursor keeps a
+            // stable view across any number of concurrent commits.
+            let guard = ReadGuard::snapshot(snap);
+            while let Some(root) = roots.pop_front() {
+                let mut fetched = 0usize;
+                let produced = process_root_traced(
+                    access,
+                    plan,
+                    root,
+                    clusters,
+                    *mode,
+                    ctx,
+                    trace,
+                    &mut fetched,
+                    Some(guard),
+                )?;
+                trace.atoms_fetched += fetched;
+                if let Some(m) = produced {
+                    trace.molecules += 1;
+                    return Ok(Some(m));
+                }
+            }
+            return Ok(None);
+        }
         session.get().with_txn(|txn| {
             let guard = txn.read_guard();
             // Idempotent within one transaction; after a mid-stream

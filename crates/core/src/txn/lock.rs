@@ -183,6 +183,11 @@ impl LockConfig {
 /// (mirrors `BufferStats` / `ApiStats`).
 #[derive(Debug, Default)]
 pub struct LockStats {
+    /// Every [`LockTable::acquire`] call, granted or not — the total
+    /// lock-table traffic. A pure snapshot reader must leave this at
+    /// zero: the counter is what lets tests *prove* the lock-free claim
+    /// rather than merely observe the absence of conflicts.
+    pub acquisitions: AtomicU64,
     /// Requests that parked at least once.
     pub waits: AtomicU64,
     /// Total microseconds spent parked by requests that were eventually
@@ -207,6 +212,7 @@ pub struct LockStats {
 impl LockStats {
     pub fn snapshot(&self) -> LockStatsSnapshot {
         LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Relaxed),
             waits: self.waits.load(Relaxed),
             wait_us_total: self.wait_us_total.load(Relaxed),
             wait_us_max: self.wait_us_max.load(Relaxed),
@@ -230,6 +236,7 @@ impl LockStats {
 /// Point-in-time copy of every [`LockStats`] counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockStatsSnapshot {
+    pub acquisitions: u64,
     pub waits: u64,
     pub wait_us_total: u64,
     pub wait_us_max: u64,
@@ -245,6 +252,7 @@ impl LockStatsSnapshot {
     /// Counter deltas since `earlier`.
     pub fn since(&self, earlier: &LockStatsSnapshot) -> LockStatsSnapshot {
         LockStatsSnapshot {
+            acquisitions: self.acquisitions - earlier.acquisitions,
             waits: self.waits - earlier.waits,
             wait_us_total: self.wait_us_total - earlier.wait_us_total,
             wait_us_max: self.wait_us_max.max(earlier.wait_us_max),
@@ -260,11 +268,13 @@ impl LockStatsSnapshot {
     /// Multi-line human-readable dump (same idiom as `BufferStats`).
     pub fn detail(&self) -> String {
         format!(
-            "lock waits:         {} (total {} µs, max {} µs)\n\
+            "lock acquisitions:  {}\n\
+             lock waits:         {} (total {} µs, max {} µs)\n\
              lock timeouts:      {}\n\
              deadlocks detected: {} ({} victims)\n\
              queue overflows:    {}\n\
              waiting now:        {} (deepest queue seen: {})",
+            self.acquisitions,
             self.waits,
             self.wait_us_total,
             self.wait_us_max,
@@ -531,6 +541,7 @@ impl LockTable {
         target: LockTarget,
         mode: LockMode,
     ) -> Result<(), TxnError> {
+        self.stats.acquisitions.fetch_add(1, Relaxed);
         let mut inner = self.inner.lock();
         let can = match inner.entries.get(&target) {
             None => true,

@@ -37,11 +37,39 @@
 //! statement: `Session` retries auto-commit statements transparently
 //! (rollback via the undo log, exponential backoff), explicit
 //! transactions see the retryable error and decide.
+//!
+//! # Who locks, who doesn't: the version store
+//!
+//! The locking story above grew in three steps. PR 5 extended Moss
+//! locking to retrieval — strict 2PL over every read, the airtight but
+//! reader-hostile baseline. PR 6 made conflicts *civilised* (bounded
+//! waits, deadlock victims, transparent retry) without making them
+//! rarer. The [`mvcc`] version store removes the read-side conflicts
+//! altogether: PRIMA's engineering workload is checkout → analyze →
+//! checkin, and the long analyze phase is pure retrieval that must not
+//! stall behind a concurrent checkin. Writers still run full Moss 2PL
+//! against each other (a checkin is exactly as serialised as before,
+//! and subtransaction version entries are inherited on subcommit just
+//! like locks), but a read-only statement now registers a [`Snapshot`]
+//! instead of taking locks: every base read resolves through the
+//! version chains to the newest version committed before the snapshot —
+//! the stable, committed state of the design the analysis started from.
+//! Combined with PR 5's lazy WAL bracket (read-only transactions never
+//! touch the log), a snapshot read is zero-log *and* zero-lock.
+//!
+//! The plumbing choice: [`ReadGuard`] — the hook the query path already
+//! threads through root access, assembly, cursors and DML qualification
+//! sub-reads — became a two-mode guard. In `Locking` mode it acquires
+//! `Shared` locks as before (explicit transactions keep it: their reads
+//! must see their own writes and stay serialisable); in `Snapshot` mode
+//! the lock calls are no-ops and reads resolve through the store.
 
 mod lock;
+pub mod mvcc;
 mod undo;
 
 pub use lock::{LockConfig, LockMode, LockStats, LockStatsSnapshot, LockTable, LockTarget};
+pub use mvcc::{Snapshot, VersionStats, VersionStatsSnapshot, VersionStore};
 pub use undo::UndoOp;
 
 use crate::error::PrimaResult;
@@ -129,6 +157,11 @@ struct TxnState {
 pub struct TxnManager {
     sys: Arc<AccessSystem>,
     locks: LockTable,
+    /// Version store for lock-free snapshot reads. Volatile: a restart
+    /// builds a fresh (empty) one — the WAL undo path already clears
+    /// uncommitted versions from base storage, so recovery owes the
+    /// store nothing.
+    versions: Arc<VersionStore>,
     active: Mutex<HashMap<TxnId, TxnState>>,
     next: AtomicU64,
     wal: Option<Arc<Wal>>,
@@ -149,6 +182,7 @@ impl TxnManager {
         Arc::new(TxnManager {
             sys,
             locks: LockTable::with_config(config),
+            versions: VersionStore::new(),
             active: Mutex::new(HashMap::new()),
             next: AtomicU64::new(1),
             wal,
@@ -260,12 +294,18 @@ impl TxnManager {
         &self.locks
     }
 
-    /// A [`ReadGuard`] acquiring read locks on behalf of `t` — handed to
-    /// the query path (root access, vertical assembly, cursors, DML
-    /// qualification) so every atom that can flow into a result is
-    /// covered by a `Shared` lock under `t`.
+    /// The version store — snapshot registration for readers,
+    /// [`VersionStatsSnapshot`] observability for everyone.
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
+    }
+
+    /// A locking [`ReadGuard`] acquiring read locks on behalf of `t` —
+    /// handed to the query path (root access, vertical assembly,
+    /// cursors, DML qualification) so every atom that can flow into a
+    /// result is covered by a `Shared` lock under `t`.
     pub fn read_guard(&self, t: TxnId) -> ReadGuard<'_> {
-        ReadGuard { mgr: self, txn: t }
+        ReadGuard { inner: GuardInner::Locking { mgr: self, txn: t } }
     }
 
     // -----------------------------------------------------------------
@@ -302,12 +342,15 @@ impl TxnManager {
                 self.lock_atom_exclusive(t, target)?;
             }
         }
-        // The pre-write hook appends the undo record once the surrogate
-        // exists but before the first page image of this insert.
+        // The pre-write hook appends the undo record — and installs the
+        // "did not exist yet" version entry — once the surrogate exists
+        // but before the first page image of this insert, so a snapshot
+        // scan that catches the new atom in base resolves it invisible.
         let id = self
             .sys
             .insert_atom_with_hook(atom_type, values, |id| {
                 self.log_undo(t, &UndoOp::UndoInsert { id });
+                self.versions.install(t, id, None);
                 Ok(())
             })
             .map_err(|e| TxnError::Access(e.to_string()))?;
@@ -338,9 +381,13 @@ impl TxnManager {
             .iter()
             .map(|(i, _)| (*i, before.values.get(*i).cloned().unwrap_or(Value::Null)))
             .collect();
-        // Undo before do: the WAL record precedes every page image.
+        // Undo before do: the WAL record precedes every page image. The
+        // version entry follows the same discipline — installed before
+        // the base mutation, so a snapshot reader that catches the new
+        // base value always finds the before-image that corrects it.
         let undo = UndoOp::UndoModify { id, old };
         self.log_undo(t, &undo);
+        self.versions.install(t, id, Some(before));
         self.sys.modify_atom(id, updates).map_err(|e| TxnError::Access(e.to_string()))?;
         self.push_undo(t, undo)?;
         Ok(())
@@ -354,9 +401,10 @@ impl TxnManager {
                 self.lock_atom_exclusive(t, target)?;
             }
         }
-        // Undo before do, as for modify.
-        let undo = UndoOp::UndoDelete { atom: before };
+        // Undo before do, as for modify — version entry included.
+        let undo = UndoOp::UndoDelete { atom: before.clone() };
         self.log_undo(t, &undo);
+        self.versions.install(t, id, Some(before));
         self.sys.delete_atom(id).map_err(|e| TxnError::Access(e.to_string()))?;
         self.push_undo(t, undo)?;
         Ok(())
@@ -404,14 +452,23 @@ impl TxnManager {
         };
         match parent {
             Some(p) => {
-                // Moss: locks and undo are inherited by the parent.
+                // Moss: locks, undo and version entries are inherited by
+                // the parent.
                 self.locks.transfer(t, p);
+                self.versions.transfer(t, p);
                 let mut active = self.active.lock();
                 if let Some(ps) = active.get_mut(&p) {
                     ps.undo.extend(undo);
                 }
             }
-            None => self.locks.release_all(t),
+            None => {
+                // Stamp the version entries with this commit's position
+                // (after the durability point: a failed force leaves the
+                // transaction active and its versions uncommitted), then
+                // release the locks.
+                self.versions.commit_stamp(t);
+                self.locks.release_all(t);
+            }
         }
         Ok(())
     }
@@ -441,6 +498,11 @@ impl TxnManager {
         for op in undo.iter().rev() {
             op.apply(&self.sys).map_err(|e| TxnError::Access(e.to_string()))?;
         }
+        // Retire this transaction's version entries now that base storage
+        // is restored. The store stamps rather than deletes them: a
+        // snapshot reader that caught a dirty base value mid-rollback
+        // still resolves to the correct before-image.
+        self.versions.rollback(t);
         // A durable top-level abort records that its undo has been
         // applied. Unforced: if the record is lost in a crash, restart
         // simply replays the (idempotent) undo again. A transaction that
@@ -486,39 +548,68 @@ impl TxnManager {
     }
 }
 
-/// Read-path lock hook: acquires `Shared` locks on behalf of one
-/// transaction. The query path (root access, vertical assembly, streaming
-/// cursors, DML qualification sub-queries) calls this for every atom that
-/// can flow into a result and for every type extension it scans, so
-/// retrieval is bracketed by the same Moss lock table as manipulation —
-/// strict two-phase: everything acquired here is released at the
-/// top-level commit/rollback, never earlier.
+/// Read-path visibility hook, in one of two modes:
 ///
-/// Conflicts wait (bounded) in the lock table's queue and surface as
-/// [`TxnError::LockConflict`] / [`TxnError::LockTimeout`] /
-/// [`TxnError::Deadlock`] per its [`LockConfig`]; the holder set is
-/// checked against the transaction's ancestor chain, so nested readers
-/// tolerate parent writers (Moss's rule).
+/// * **Locking** (explicit transactions, DML qualification): acquires
+///   `Shared` locks on behalf of one transaction. The query path (root
+///   access, vertical assembly, streaming cursors, DML qualification
+///   sub-queries) calls this for every atom that can flow into a result
+///   and for every type extension it scans, so retrieval is bracketed
+///   by the same Moss lock table as manipulation — strict two-phase:
+///   everything acquired here is released at the top-level
+///   commit/rollback, never earlier. Conflicts wait (bounded) in the
+///   lock table's queue and surface as [`TxnError::LockConflict`] /
+///   [`TxnError::LockTimeout`] / [`TxnError::Deadlock`] per its
+///   [`LockConfig`]; the holder set is checked against the
+///   transaction's ancestor chain, so nested readers tolerate parent
+///   writers (Moss's rule).
+///
+/// * **Snapshot** (auto-commit reads): the lock calls are no-ops —
+///   never reaching the lock table at all — and every base read is
+///   resolved through the [`VersionStore`] to the version visible at
+///   the guard's [`Snapshot`].
 #[derive(Clone, Copy)]
 pub struct ReadGuard<'a> {
-    mgr: &'a TxnManager,
-    txn: TxnId,
+    inner: GuardInner<'a>,
 }
 
-impl ReadGuard<'_> {
-    /// `Shared` lock on one atom.
+#[derive(Clone, Copy)]
+enum GuardInner<'a> {
+    Locking { mgr: &'a TxnManager, txn: TxnId },
+    Snapshot(&'a Snapshot),
+}
+
+impl<'a> ReadGuard<'a> {
+    /// A lock-free guard reading at `snap`'s registered position.
+    pub fn snapshot(snap: &'a Snapshot) -> ReadGuard<'a> {
+        ReadGuard { inner: GuardInner::Snapshot(snap) }
+    }
+
+    /// `Shared` lock on one atom (no-op on the snapshot path).
     pub fn lock_atom(&self, id: AtomId) -> PrimaResult<()> {
-        Ok(self.mgr.lock_atom_shared(self.txn, id)?)
+        match self.inner {
+            GuardInner::Locking { mgr, txn } => Ok(mgr.lock_atom_shared(txn, id)?),
+            GuardInner::Snapshot(_) => Ok(()),
+        }
     }
 
-    /// `Shared` lock on a type extension (before scanning it).
+    /// `Shared` lock on a type extension, before scanning it (no-op on
+    /// the snapshot path).
     pub fn lock_extension(&self, ty: AtomTypeId) -> PrimaResult<()> {
-        Ok(self.mgr.lock_extension_shared(self.txn, ty)?)
+        match self.inner {
+            GuardInner::Locking { mgr, txn } => Ok(mgr.lock_extension_shared(txn, ty)?),
+            GuardInner::Snapshot(_) => Ok(()),
+        }
     }
 
-    /// The transaction the locks are charged to.
-    pub fn txn(&self) -> TxnId {
-        self.txn
+    /// The snapshot this guard resolves through, if it is in snapshot
+    /// mode — the query path uses this to route every base read through
+    /// version resolution.
+    pub fn as_snapshot(&self) -> Option<&'a Snapshot> {
+        match self.inner {
+            GuardInner::Locking { .. } => None,
+            GuardInner::Snapshot(s) => Some(s),
+        }
     }
 }
 

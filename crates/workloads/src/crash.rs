@@ -390,6 +390,11 @@ pub fn run_crash_schedule(inner: Arc<dyn BlockDevice>, seed: u64, steps: usize) 
 /// The readers are the isolation oracle, the recovery pass at the end is
 /// the durability oracle:
 ///
+/// The readers run **in explicit transactions** (`Session::begin`) so
+/// their queries take the locking read path — an auto-commit read would
+/// snapshot-read past the writer without conflicting, which
+/// [`run_multi_session_schedule_mvcc`] covers with its own oracle.
+///
 /// * whenever the writer has uncommitted manipulation in flight, a
 ///   reader's query **must** fail with a lock conflict (the writer holds
 ///   the extension `IntentExclusive`); it must *never* deliver the
@@ -416,7 +421,7 @@ pub fn run_multi_session_schedule(
     seed: u64,
     steps: usize,
 ) -> CrashReport {
-    run_multi_session(inner, seed, steps, false)
+    run_multi_session(inner, seed, steps, false, false)
 }
 
 /// Like [`run_multi_session_schedule`], but the lock table runs in
@@ -435,7 +440,29 @@ pub fn run_multi_session_schedule_waits(
     seed: u64,
     steps: usize,
 ) -> CrashReport {
-    run_multi_session(inner, seed, steps, true)
+    run_multi_session(inner, seed, steps, true, false)
+}
+
+/// Like [`run_multi_session_schedule`], but the readers stay outside any
+/// transaction, so every query takes the MVCC **snapshot read path**.
+/// The isolation oracle inverts accordingly:
+///
+/// * a reader's query must **succeed even while the writer is dirty**,
+///   and what it sees must equal the last acknowledged commit exactly —
+///   the snapshot hides uncommitted manipulation instead of conflicting
+///   with it;
+/// * a reader must never touch the lock table at all: any lock-conflict
+///   error, and any [`prima::LockStatsSnapshot::acquisitions`] delta
+///   across a reader query, is a violation (the workload is interleaved
+///   on one thread, so the delta is attributable);
+/// * the committed-prefix oracle after crash + recovery is unchanged —
+///   versions are volatile and must leave no trace in durable state.
+pub fn run_multi_session_schedule_mvcc(
+    inner: Arc<dyn BlockDevice>,
+    seed: u64,
+    steps: usize,
+) -> CrashReport {
+    run_multi_session(inner, seed, steps, false, true)
 }
 
 fn run_multi_session(
@@ -443,6 +470,7 @@ fn run_multi_session(
     seed: u64,
     steps: usize,
     waits: bool,
+    snapshot_readers: bool,
 ) -> CrashReport {
     let schedule = FaultSchedule::from_seed(seed);
     let fault = FaultDisk::new(inner, schedule);
@@ -621,6 +649,19 @@ fn run_multi_session(
             // a streaming cursor.
             let r = rng.gen_range(0usize..readers.len());
             let reader = &readers[r];
+            if !snapshot_readers {
+                // Locking oracle: the query must run inside a
+                // transaction — an auto-commit read would take the
+                // snapshot path and never conflict.
+                match reader.begin() {
+                    Ok(()) => {}
+                    Err(_) if fault.has_crashed() => break 'workload,
+                    Err(e) => {
+                        panic!("{}", repro(seed, steps, "reader begin failed", e.to_string()))
+                    }
+                }
+            }
+            let locks_before = snapshot_readers.then(|| db.lock_stats());
             let use_cursor = rng.gen_range(0u32..4) == 0;
             let committed = snapshots.last().expect("initial snapshot");
             let point = rng.gen_range(0u32..2) == 0;
@@ -651,7 +692,7 @@ fn run_multi_session(
             };
             match outcome {
                 Ok(seen) => {
-                    if writer_dirty {
+                    if writer_dirty && !snapshot_readers {
                         panic!(
                             "{}",
                             repro(
@@ -662,6 +703,9 @@ fn run_multi_session(
                             )
                         );
                     }
+                    // Snapshot readers must see exactly the last
+                    // acknowledged commit even while the writer is dirty
+                    // — the version store hides in-flight manipulation.
                     if &seen != committed {
                         panic!(
                             "{}",
@@ -669,13 +713,31 @@ fn run_multi_session(
                                 seed,
                                 steps,
                                 "reader observed a state != last acknowledged commit",
-                                format!("saw: {seen:?}\ncommitted: {committed:?}"),
+                                format!(
+                                    "writer dirty: {writer_dirty}\n\
+                                     saw: {seen:?}\ncommitted: {committed:?}"
+                                ),
                             )
                         );
                     }
+                    if let Some(before) = &locks_before {
+                        let d = db.lock_stats().since(before);
+                        if d.acquisitions != 0 {
+                            panic!(
+                                "{}",
+                                repro(
+                                    seed,
+                                    steps,
+                                    "snapshot reader generated lock-table traffic",
+                                    format!("{} acquisitions", d.acquisitions),
+                                )
+                            );
+                        }
+                    }
                     // Strict 2PL: sometimes keep the shared locks across
                     // later steps, otherwise release immediately.
-                    if rng.gen_range(0u32..3) == 0 {
+                    // (Snapshot readers hold nothing to keep.)
+                    if !snapshot_readers && rng.gen_range(0u32..3) == 0 {
                         reader_holds[r] = true;
                     } else {
                         match reader.commit() {
@@ -690,6 +752,17 @@ fn run_multi_session(
                 }
                 Err(_) if fault.has_crashed() => break 'workload,
                 Err(e) if e.is_lock_conflict() => {
+                    if snapshot_readers {
+                        panic!(
+                            "{}",
+                            repro(
+                                seed,
+                                steps,
+                                "snapshot reader hit a lock conflict",
+                                e.to_string(),
+                            )
+                        );
+                    }
                     if !writer_dirty {
                         panic!(
                             "{}",
@@ -812,16 +885,21 @@ fn contention_episode(db: &Prima, fault: &FaultDisk, seed: u64, steps: usize, ta
         let handles: Vec<_> = (0..2u64)
             .map(|i| {
                 scope.spawn(move || {
-                    // Transparent retry stays on (the default): the
-                    // auto-commit SELECT may be re-run, the in-transaction
-                    // INSERT surfaces its error to the oracle below.
+                    // Explicit transaction: the SELECT must take the
+                    // extension Shared so the INSERT is the S→IX upgrade
+                    // (an auto-commit SELECT would snapshot-read without
+                    // locking and no deadlock shape would form).
+                    // In-transaction statements are never retried, so
+                    // every error surfaces to the oracle below.
                     let session = db.session();
                     let key = 90_000 + (tag % 1_000) * 2 + i;
                     let mut errors = Vec::new();
-                    let selected = session.query(
-                        &format!("SELECT ALL FROM part WHERE part_no = {key}"),
-                        &QueryOptions::default(),
-                    );
+                    let selected = session.begin().and_then(|()| {
+                        session.query(
+                            &format!("SELECT ALL FROM part WHERE part_no = {key}"),
+                            &QueryOptions::default(),
+                        )
+                    });
                     match selected {
                         Ok(_) => {
                             if let Err(e) = session

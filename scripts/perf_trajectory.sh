@@ -10,6 +10,10 @@
 #   * multi_session — throughput of concurrent session threads,
 #     conflict-heavy vs disjoint key placement, with the lock manager's
 #     wait/timeout/deadlock counters per series;
+#   * snapshot_read (BENCH-5, selected explicitly:
+#     `perf_trajectory.sh BENCH_5.json snapshot_read`) — reader
+#     throughput against one long-hold writer, locked reads vs MVCC
+#     snapshot reads, with lock-acquisition and version-store counters;
 #   * every criterion-shim benchmark additionally emits a
 #     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
 #     small (<10%) deltas can be judged against run-to-run noise.

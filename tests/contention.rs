@@ -258,6 +258,10 @@ fn session_upgrade_deadlock_victimizes_one_and_the_other_inserts() {
                 let barrier = &barrier;
                 s.spawn(move || {
                     let session = db.session();
+                    // Explicit transaction: the scan must take the
+                    // extension Shared (a snapshot read would not), so
+                    // the INSERT below is the S→IX upgrade.
+                    session.begin().unwrap();
                     session.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
                     barrier.wait();
                     match session
@@ -312,9 +316,11 @@ fn bounded_wait_times_out_against_a_stubborn_holder_then_parks_through_a_commit(
     let writer = db.session();
     writer.execute("MODIFY part SET name = 'new' WHERE part_no = 1").unwrap();
 
-    // Retry off: the oracle is the timeout itself.
+    // Retry off: the oracle is the timeout itself. In-transaction read —
+    // outside one it would snapshot past the writer without waiting.
     let mut reader = db.session();
     reader.set_retry_policy(RetryPolicy::off());
+    reader.begin().unwrap();
     let before = db.lock_stats();
     let err = reader
         .query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
@@ -338,6 +344,7 @@ fn bounded_wait_times_out_against_a_stubborn_holder_then_parks_through_a_commit(
         let h = s.spawn(move || {
             let mut r = db.session();
             r.set_retry_policy(RetryPolicy::off());
+            r.begin().unwrap();
             let got = r.query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default());
             if got.is_ok() {
                 r.commit().unwrap();

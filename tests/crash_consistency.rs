@@ -18,7 +18,11 @@
 //! * `PRIMA_FUZZ_SEED_BASE` — first seed (default 0x9_1987);
 //! * `PRIMA_FUZZ_WAITS` — schedules for the bounded-wait multi-session
 //!   leg (blocking lock waits, timeouts and deadlock-victim episodes
-//!   under the same crash schedules; default 6, `0` skips the leg).
+//!   under the same crash schedules; default 6, `0` skips the leg);
+//! * `PRIMA_FUZZ_MVCC` — schedules for the snapshot-reader leg (readers
+//!   outside any transaction take the lock-free MVCC read path and must
+//!   see exactly the last acknowledged commit without ever conflicting;
+//!   default 6, `0` skips the leg).
 //!
 //! Every failure panics with a `PRIMA_FUZZ_REPRO:` line naming the seed
 //! that deterministically reproduces it in one command; the fuzz loops
@@ -28,8 +32,8 @@
 use prima::{Prima, QueryOptions, Value};
 use prima_storage::{BlockDevice, FileDisk, SimDisk, Wal};
 use prima_workloads::crash::{
-    run_crash_schedule, run_multi_session_schedule, run_multi_session_schedule_waits, CrashReport,
-    CRASH_DDL,
+    run_crash_schedule, run_multi_session_schedule, run_multi_session_schedule_mvcc,
+    run_multi_session_schedule_waits, CrashReport, CRASH_DDL,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -189,6 +193,30 @@ fn fuzz_multi_session_waits_resolves_deadlocks_and_recovers() {
     let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
     let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(7_000_000);
     fuzz_leg("multi-sim-waits", base, seeds, ops, run_multi_session_schedule_waits, |_| {
+        Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
+    });
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-reader leg: the MVCC read path under fault injection
+// ---------------------------------------------------------------------
+//
+// Same writer workload and crash schedules, but the readers stay outside
+// any transaction so every query runs lock-free against a version-store
+// snapshot. The isolation oracle inverts: reader queries must *succeed*
+// even while the writer is dirty, must equal the last acknowledged
+// commit exactly, and must generate zero lock-table traffic (checked via
+// the `acquisitions` counter). The committed-prefix oracle after
+// recovery is unchanged — the version store is volatile and must leave
+// no trace in durable state. `PRIMA_FUZZ_MVCC` sets the seed count (0
+// skips the leg).
+
+#[test]
+fn fuzz_multi_session_mvcc_snapshot_readers_never_conflict_and_recover() {
+    let seeds = env_u64("PRIMA_FUZZ_MVCC", 6);
+    let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
+    let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(8_000_000);
+    fuzz_leg("multi-sim-mvcc", base, seeds, ops, run_multi_session_schedule_mvcc, |_| {
         Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
     });
 }

@@ -7,7 +7,10 @@
 //! [`LockConfig::no_wait`] — conflicting requests fail immediately with
 //! `LockConflict` instead of parking in the (default) bounded-wait
 //! queue, and "never observe" concretely means "either sees the
-//! committed state or fails fast". Queueing, timeouts and deadlock
+//! committed state or fails fast". Readers open their transaction
+//! explicitly with `Session::begin()`: these tests pin the *locking*
+//! read path, and a read issued outside a transaction now takes the
+//! lock-free snapshot path instead (covered by `tests/snapshot.rs`). Queueing, timeouts and deadlock
 //! victims are covered by `tests/contention.rs`. Read-your-own-writes
 //! holds within a session, nested subtransactions tolerate their
 //! ancestors' locks, and everything a query locked is released at
@@ -62,6 +65,7 @@ fn reader_conflicts_with_uncommitted_insert() {
     // (extension lock), instead of silently including — or excluding —
     // the dirty atom.
     let reader = db.session();
+    reader.begin().unwrap();
     let err = reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap_err();
     assert!(err.is_lock_conflict(), "expected lock conflict, got: {err}");
     reader.rollback().unwrap();
@@ -83,6 +87,7 @@ fn uncommitted_modify_is_never_observable() {
 
     // One-shot query: conflicts (it would otherwise see 'dirty').
     let reader = db.session();
+    reader.begin().unwrap();
     let err = reader
         .query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
         .unwrap_err();
@@ -92,6 +97,7 @@ fn uncommitted_modify_is_never_observable() {
     // Qualification flips are covered too: the reader's predicate
     // *excludes* the dirty value, so without extension locking the scan
     // would silently return the atom's absence — dirty state either way.
+    reader.begin().unwrap();
     let err = reader
         .query("SELECT ALL FROM part WHERE name = 'clean'", &QueryOptions::default())
         .unwrap_err();
@@ -115,6 +121,7 @@ fn uncommitted_delete_is_never_observable() {
     // Key lookup as well as full scan conflict instead of reporting the
     // atom gone while the delete is uncommitted.
     let reader = db.session();
+    reader.begin().unwrap();
     let err = reader
         .query("SELECT ALL FROM part WHERE part_no = 7", &QueryOptions::default())
         .unwrap_err();
@@ -136,12 +143,14 @@ fn prepared_and_parallel_queries_conflict_like_one_shots() {
     writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 3").unwrap();
 
     let reader = db.session();
+    reader.begin().unwrap();
     let mut stmt = reader.prepare("SELECT ALL FROM part WHERE part_no >= ?").unwrap();
     stmt.bind(&[Value::Int(0)]).unwrap();
     let err = stmt.execute().unwrap_err();
     assert!(err.is_lock_conflict(), "prepared: {err}");
     reader.rollback().unwrap();
 
+    reader.begin().unwrap();
     let err = reader
         .query("SELECT ALL FROM part", &QueryOptions::new().threads(4))
         .unwrap_err();
@@ -164,6 +173,7 @@ fn cursor_fetch_never_streams_dirty_atoms() {
 
     // Direction 1: the open cursor's extension+atom locks block a writer.
     let reader = db.session();
+    reader.begin().unwrap();
     let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
     assert_eq!(cursor.fetch(2).unwrap().len(), 2);
     let writer = db.session();
@@ -179,6 +189,7 @@ fn cursor_fetch_never_streams_dirty_atoms() {
     // Direction 2: with the reader's locks released mid-stream, a writer
     // gets in — the next fetch then conflicts rather than delivering the
     // writer's uncommitted values.
+    reader.begin().unwrap();
     let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
     assert_eq!(cursor.fetch(1).unwrap().len(), 1);
     reader.commit().unwrap(); // strict 2PL: locks go with the txn
@@ -210,6 +221,7 @@ fn query_locks_are_released_at_commit_and_rollback_and_table_reaped() {
 
     // A query holds its shared locks (strict 2PL) ...
     let reader = db.session();
+    reader.begin().unwrap();
     reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
     assert!(table.locked_targets() > 10, "extension + one lock per retrieved atom");
     let writer = db.session();
@@ -224,6 +236,7 @@ fn query_locks_are_released_at_commit_and_rollback_and_table_reaped() {
     writer.commit().unwrap();
 
     // Rollback releases read locks the same way.
+    reader.begin().unwrap();
     reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
     assert!(table.locked_targets() > 0);
     reader.rollback().unwrap();
@@ -280,6 +293,7 @@ fn moss_parent_tolerance_on_the_read_path() {
 
     // A stranger top-level session conflicts on the same atom.
     let outsider = db.session();
+    outsider.begin().unwrap();
     let err = outsider
         .query("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
         .unwrap_err();
@@ -312,6 +326,7 @@ fn component_assembly_locks_conflict_with_component_writers() {
     // A reader's root access on `part` succeeds (different extension);
     // vertical assembly must conflict when it reaches the locked pt.
     let reader = db.session();
+    reader.begin().unwrap();
     let err = reader
         .query("SELECT ALL FROM part-pt WHERE part_no = 1", &QueryOptions::default())
         .unwrap_err();
@@ -337,6 +352,8 @@ fn concurrent_readers_share_locks() {
     // Shared locks coexist: two sessions scan the same extension at once.
     let r1 = db.session();
     let r2 = db.session();
+    r1.begin().unwrap();
+    r2.begin().unwrap();
     assert_eq!(r1.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap().set.len(), 5);
     assert_eq!(r2.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap().set.len(), 5);
     r1.commit().unwrap();
@@ -355,6 +372,7 @@ fn lock_maintenance_cost_tracks_own_locks_not_table_size() {
 
     // A long-lived reader pins the whole extension (65+ locks).
     let big = db.session();
+    big.begin().unwrap();
     big.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
     let big_held = table.locked_targets();
     assert!(big_held >= 65);
@@ -362,6 +380,7 @@ fn lock_maintenance_cost_tracks_own_locks_not_table_size() {
     // A second session reads one atom (key lookup: extension + atom). Its
     // commit must visit only its own two entries — not the whole table.
     let small = db.session();
+    small.begin().unwrap();
     small.query("SELECT ALL FROM part WHERE part_no = 3", &QueryOptions::default()).unwrap();
     let before = table.maintenance_visits();
     small.commit().unwrap();
@@ -388,6 +407,7 @@ fn cursor_retains_root_when_assembly_conflicts_midway() {
         pts.push(p);
     }
     let reader = db.session();
+    reader.begin().unwrap();
     let mut cursor =
         reader.query_cursor("SELECT ALL FROM part-pt", &QueryOptions::default()).unwrap();
     assert_eq!(cursor.fetch(1).unwrap().len(), 1);

@@ -456,6 +456,10 @@ fn cursor_fetch_reflects_modifications_since_open() {
     // qualifies is skipped.
     let db = stream_db(6);
     let session = db.session();
+    // In-transaction cursor: fetches read current state under locks. (A
+    // cursor opened outside a transaction pins a snapshot instead and
+    // would *not* reflect these modifications — tests/snapshot.rs.)
+    session.begin().unwrap();
     let q = "SELECT ALL FROM assembly WHERE n < 100";
     let mut cursor = session.query_cursor(q, &QueryOptions::default()).unwrap();
     assert_eq!(cursor.remaining_roots(), 6);

@@ -1,0 +1,293 @@
+//! Snapshot-read semantics: the MVCC version store's lock-free read
+//! path (`crates/core/src/txn/mvcc.rs`).
+//!
+//! A read statement issued outside any transaction pins a snapshot of
+//! the committed state and resolves every atom against the version
+//! store instead of the lock table. These tests pin the contract from
+//! both sides:
+//!
+//! * a reader concurrent with an **uncommitted** writer of the same
+//!   atom type completes — no wait, no conflict, no retry — and sees
+//!   exactly the committed state, across every query shape (one-shot,
+//!   prepared, cursor, parallel assembly) and with **zero lock-table
+//!   interaction**, proven by a `LockStats::acquisitions` delta of 0;
+//! * a reader opened after the commit sees all of it;
+//! * a session's own uncommitted writes stay visible to its in-
+//!   transaction reads (those take the locking path by design);
+//! * a long-running cursor keeps one stable snapshot across concurrent
+//!   commits;
+//! * version GC never reclaims a version still visible to an open
+//!   snapshot, and reclaims promptly once the snapshot closes.
+//!
+//! The locking counterparts (readers *inside* transactions conflicting
+//! with writers) live in `tests/isolation.rs` / `tests/contention.rs`.
+
+use prima::{LockConfig, Prima, QueryOptions, Value};
+
+const DDL: &str = "
+CREATE ATOM_TYPE part
+  ( id : IDENTIFIER, part_no : INTEGER, name : CHAR_VAR,
+    sub : SET_OF (REF_TO (part.super)),
+    super : SET_OF (REF_TO (part.sub)),
+    pts : SET_OF (REF_TO (pt.owner)) )
+KEYS_ARE (part_no);
+CREATE ATOM_TYPE pt
+  ( id : IDENTIFIER, n : INTEGER, label : CHAR_VAR,
+    owner : SET_OF (REF_TO (part.pts)) );
+";
+
+/// `no_wait` lock table: if a snapshot read ever strayed onto the
+/// locking path against a dirty writer it would error instead of
+/// blocking the single-threaded test.
+fn db() -> Prima {
+    Prima::builder()
+        .buffer_bytes(1 << 20)
+        .lock_config(LockConfig::no_wait())
+        .build_with_ddl(DDL)
+        .unwrap()
+}
+
+fn names_of(set: &prima::MoleculeSet) -> Vec<String> {
+    let mut out: Vec<String> = set
+        .molecules
+        .iter()
+        .map(|m| match &m.root.atom.values[2] {
+            Value::Str(s) => s.clone(),
+            other => panic!("name should be Str, got {other:?}"),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// The acceptance property: dirty writer, lock-free reader
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_reader_ignores_dirty_writer_with_zero_lock_traffic() {
+    let db = db();
+    for i in 0..4 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str("clean".into()))])
+            .unwrap();
+    }
+
+    // The writer dirties the extension every way at once: an uncommitted
+    // INSERT, MODIFY and DELETE, all holding X/IX locks.
+    let writer = db.session();
+    writer.execute("INSERT part (part_no: 99, name: 'dirty-insert')").unwrap();
+    writer.execute("MODIFY part SET name = 'dirty-modify' WHERE part_no = 1").unwrap();
+    writer.execute("DELETE FROM part WHERE part_no = 2").unwrap();
+
+    let committed = vec!["clean".to_string(); 4];
+    let locks_before = db.lock_stats();
+    let versions_before = db.version_stats();
+
+    // One-shot.
+    let reader = db.session();
+    let got = reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(names_of(&got.set), committed, "one-shot");
+
+    // Prepared (plan reuse), including a key lookup on the dirty key.
+    let mut stmt = reader.prepare("SELECT ALL FROM part WHERE part_no = ?").unwrap();
+    stmt.bind(&[Value::Int(1)]).unwrap();
+    let got = stmt.execute().unwrap().molecules().unwrap();
+    assert_eq!(names_of(&got.set), vec!["clean".to_string()], "prepared key lookup");
+    stmt.bind(&[Value::Int(99)]).unwrap();
+    let got = stmt.execute().unwrap().molecules().unwrap();
+    assert_eq!(got.set.len(), 0, "uncommitted insert invisible to key lookup");
+
+    // Streaming cursor.
+    let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(names_of(&cursor.fetch_all().unwrap()), committed, "cursor");
+    drop(cursor);
+
+    // Parallel assembly (one DU per molecule, guard shared by workers).
+    let got = reader.query("SELECT ALL FROM part", &QueryOptions::new().threads(4)).unwrap();
+    assert_eq!(names_of(&got.set), committed, "parallel");
+
+    // Zero lock-table interaction for all of the above: not one
+    // acquisition, wait, timeout or conflict — the read path never
+    // touched the lock manager at all.
+    let d = db.lock_stats().since(&locks_before);
+    assert_eq!(d.acquisitions, 0, "snapshot reads must not acquire locks:\n{}", d.detail());
+    assert_eq!(d.waits, 0, "{}", d.detail());
+    assert_eq!(d.timeouts, 0, "{}", d.detail());
+
+    // ... and the version store did the work instead.
+    let v = db.version_stats().since(&versions_before);
+    assert!(v.snapshots_opened >= 4, "each statement pins a snapshot: {}", v.detail());
+    assert!(v.snapshot_reads > 0, "reads resolved through the store: {}", v.detail());
+    assert!(v.live_versions > 0, "the dirty writer's before-images are chained: {}", v.detail());
+
+    // The writer was never disturbed: its transaction commits, and only
+    // then does a fresh read see the new state.
+    writer.commit().unwrap();
+    let after = db.session().query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(
+        names_of(&after.set),
+        vec!["clean", "clean", "dirty-insert", "dirty-modify"],
+        "reader after commit sees all of it"
+    );
+}
+
+#[test]
+fn snapshot_reader_ignores_dirty_component_writer_during_assembly() {
+    let db = db();
+    let c1 = db.insert("pt", &[("n", Value::Int(10)), ("label", Value::Str("c-old".into()))]).unwrap();
+    db.insert("part", &[("part_no", Value::Int(1)), ("pts", Value::ref_set(vec![c1]))]).unwrap();
+
+    // Writer holds a *component* atom exclusively — the conflict a
+    // locking reader would hit mid-assembly, not at root access.
+    let writer = db.session();
+    writer.modify_atom_named(c1, &[("label", Value::Str("c-dirty".into()))]).unwrap();
+
+    let before = db.lock_stats();
+    let got = db
+        .session()
+        .query("SELECT ALL FROM part-pt WHERE part_no = 1", &QueryOptions::default())
+        .unwrap();
+    assert_eq!(got.set.len(), 1);
+    assert_eq!(
+        got.set.molecules[0].root.children[0].atom.values[2],
+        Value::Str("c-old".into()),
+        "assembly resolves the component's committed version"
+    );
+    assert_eq!(db.lock_stats().since(&before).acquisitions, 0);
+    writer.rollback().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Read-your-own-writes: the in-transaction path is untouched
+// ---------------------------------------------------------------------
+
+#[test]
+fn writer_still_reads_its_own_uncommitted_writes() {
+    let db = db();
+    db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("old".into()))]).unwrap();
+
+    let writer = db.session();
+    writer.execute("MODIFY part SET name = 'mine' WHERE part_no = 1").unwrap();
+    // The writer's transaction is open, so its reads take the locking
+    // path and see the dirty value — not the snapshot's committed one.
+    let got = writer.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(names_of(&got.set), vec!["mine".to_string()]);
+
+    // A concurrent snapshot reader still sees the committed value.
+    let got = db.session().query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(names_of(&got.set), vec!["old".to_string()]);
+    writer.rollback().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Cursor stability across concurrent commits
+// ---------------------------------------------------------------------
+
+#[test]
+fn long_running_cursor_keeps_one_stable_snapshot() {
+    let db = db();
+    for i in 0..6 {
+        db.insert("part", &[("part_no", Value::Int(i)), ("name", Value::Str(format!("v{i}")))])
+            .unwrap();
+    }
+
+    let reader = db.session();
+    let mut cursor = reader.query_cursor("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    let first: Vec<_> = cursor.fetch(2).unwrap();
+    assert_eq!(first.len(), 2);
+
+    // Between fetches, a writer commits — twice — reshaping the
+    // extension: modified names, a deleted root, a brand-new one.
+    let writer = db.session();
+    writer.execute("MODIFY part SET name = 'rewritten' WHERE part_no = 3").unwrap();
+    writer.execute("DELETE FROM part WHERE part_no = 4").unwrap();
+    writer.commit().unwrap();
+    writer.execute("INSERT part (part_no: 50, name: 'newcomer')").unwrap();
+    writer.commit().unwrap();
+
+    // The stream continues exactly where the snapshot says: original
+    // names, the deleted root still delivered, the newcomer absent.
+    let rest = cursor.fetch_all().unwrap();
+    let mut all = names_of(&prima::MoleculeSet {
+        nodes: rest.nodes.clone(),
+        molecules: first.into_iter().chain(rest.molecules).collect(),
+    });
+    all.sort();
+    assert_eq!(all, vec!["v0", "v1", "v2", "v3", "v4", "v5"], "stable snapshot");
+    drop(cursor);
+
+    // A fresh statement sees the post-commit world.
+    let now = db.session().query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+    assert_eq!(names_of(&now.set), vec!["newcomer", "rewritten", "v0", "v1", "v2", "v5"]);
+}
+
+// ---------------------------------------------------------------------
+// GC: the oldest open snapshot is the watermark
+// ---------------------------------------------------------------------
+
+#[test]
+fn gc_spares_versions_visible_to_an_open_snapshot() {
+    let db = db();
+    db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("gen0".into()))]).unwrap();
+
+    // Pin a snapshot by holding an unfinished cursor open.
+    let reader = db.session();
+    let mut cursor =
+        reader.query_cursor("SELECT ALL FROM part WHERE part_no = 1", &QueryOptions::default())
+            .unwrap();
+
+    // Generations of committed overwrites pile up behind the snapshot.
+    let writer = db.session();
+    for g in 1..=5 {
+        writer.execute(&format!("MODIFY part SET name = 'gen{g}' WHERE part_no = 1")).unwrap();
+        writer.commit().unwrap();
+    }
+    let v = db.version_stats();
+    assert!(
+        v.live_versions >= 1,
+        "versions the snapshot can still see must survive GC: {}",
+        v.detail()
+    );
+    assert!(v.oldest_snapshot_lag >= 5, "the pinned snapshot is {} commits behind", v.oldest_snapshot_lag);
+
+    // The pinned snapshot still resolves the original value.
+    let seen = cursor.fetch_all().unwrap();
+    assert_eq!(names_of(&seen), vec!["gen0".to_string()], "GC must not steal a visible version");
+
+    // Closing the snapshot releases the watermark: the very next commit
+    // reclaims the whole chain.
+    drop(cursor);
+    writer.execute("MODIFY part SET name = 'gen6' WHERE part_no = 1").unwrap();
+    writer.commit().unwrap();
+    let v = db.version_stats();
+    assert_eq!(
+        v.live_versions, 0,
+        "no snapshot open — versions die at commit: {}",
+        v.detail()
+    );
+    assert_eq!(v.oldest_snapshot_lag, 0);
+}
+
+// ---------------------------------------------------------------------
+// Retry policy is bypassed on the snapshot path
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_reads_succeed_with_retry_disabled_against_a_dirty_writer() {
+    // With RetryPolicy::off() and a no_wait table, any excursion onto
+    // the locking path against the dirty writer would surface a raw
+    // LockConflict. Success here means the statement never needed the
+    // retry machinery at all.
+    let db = db();
+    db.insert("part", &[("part_no", Value::Int(1)), ("name", Value::Str("v".into()))]).unwrap();
+    let writer = db.session();
+    writer.execute("MODIFY part SET name = 'dirty' WHERE part_no = 1").unwrap();
+
+    let mut reader = db.session();
+    reader.set_retry_policy(prima::RetryPolicy::off());
+    for _ in 0..3 {
+        let got = reader.query("SELECT ALL FROM part", &QueryOptions::default()).unwrap();
+        assert_eq!(names_of(&got.set), vec!["v".to_string()]);
+    }
+    writer.rollback().unwrap();
+}
