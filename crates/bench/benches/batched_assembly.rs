@@ -20,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prima_workloads::exec;
 use prima::{AssemblyMode, Prima, Value};
-use prima_bench::report;
+use prima_bench::{report, report_metrics};
 use prima_mad::value::AtomId;
 use std::time::Instant;
 
@@ -131,6 +131,7 @@ fn bench_batched_assembly(c: &mut Criterion) {
                     |b, &mode| b.iter(|| exec::query_with_assembly(&db, q, mode).unwrap()),
                 );
             }
+            report_metrics(&format!("batched_assembly/f{fanout}/{regime}"), &db);
         }
     }
     g.finish();

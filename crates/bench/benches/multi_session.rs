@@ -29,7 +29,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima::{Prima, QueryOptions, Value};
-use prima_bench::report;
+use prima_bench::{report, report_metrics};
 use std::time::Instant;
 
 const DDL: &str = "
@@ -168,6 +168,7 @@ fn run_series(c: &mut Criterion, series: &str, bases: Vec<i64>) {
 \"victims\":{},\"max_queue_depth\":{},\"txn_reruns\":{retries}}}",
         d.waits, d.wait_us_total, d.timeouts, d.deadlocks_detected, d.victims, d.max_queue_depth,
     );
+    report_metrics(&format!("multi_session/{series}"), &db);
 }
 
 fn bench_multi_session(c: &mut Criterion) {

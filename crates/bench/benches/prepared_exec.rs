@@ -18,7 +18,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima_workloads::exec;
 use prima::{QueryOptions, Value};
-use prima_bench::{brep_db, report};
+use prima_bench::{brep_db, report, report_metrics};
 
 fn bench_prepared_exec(c: &mut Criterion) {
     let db = brep_db(24);
@@ -89,6 +89,7 @@ fn bench_prepared_exec(c: &mut Criterion) {
     });
 
     g.finish();
+    report_metrics("prepared_exec", &db);
 }
 
 criterion_group!(benches, bench_prepared_exec);

@@ -23,7 +23,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima::{Prima, QueryOptions, RetryPolicy, Value};
-use prima_bench::report;
+use prima_bench::{report, report_metrics};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -150,6 +150,7 @@ fn run_series(c: &mut Criterion, series: &str, snapshot: bool) {
         dv.versions_reclaimed,
         dv.max_chain_len,
     );
+    report_metrics(&format!("snapshot_read/{series}"), &db);
 }
 
 fn bench_snapshot_read(c: &mut Criterion) {

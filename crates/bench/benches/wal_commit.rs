@@ -19,7 +19,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prima::{Prima, PrimaBuilder};
-use prima_bench::report;
+use prima_bench::{report, report_metrics};
 use prima_storage::{BlockDevice, SimDisk};
 use std::sync::Arc;
 
@@ -77,6 +77,7 @@ fn bench_wal_commit(c: &mut Criterion) {
         g.bench_function("no_wal_commit_each", |b| {
             b.iter(|| run_inserts(&db, &mut no, BATCH, 1))
         });
+        report_metrics("wal_commit/no_wal", &db);
     }
 
     // Regime 2: durable, force per statement-commit.
@@ -110,6 +111,7 @@ fn bench_wal_commit(c: &mut Criterion) {
             "sim-us",
             d.sim_time_ns / 1000 / stmts.max(1),
         );
+        report_metrics("wal_commit/force_each", &db);
     }
 
     // Regime 3: durable, one force per group of statements.
@@ -137,6 +139,7 @@ fn bench_wal_commit(c: &mut Criterion) {
             "sim-us",
             d.sim_time_ns / 1000 / stmts.max(1),
         );
+        report_metrics(&format!("wal_commit/group_{group}"), &db);
     }
 
     g.finish();

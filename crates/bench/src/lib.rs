@@ -30,3 +30,34 @@ pub fn brep_db_assembly(n: usize, depth: usize, fanout: usize) -> (Prima, i64) {
 pub fn report(experiment: &str, series: &str, metric: &str, value: impl std::fmt::Display) {
     eprintln!("[{experiment}] {series:<42} {metric:<18} = {value}");
 }
+
+/// Escapes `s` for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 16);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits the kernel's full metrics exposition
+/// ([`prima::MetricsSnapshot::render_text`]) as one BENCHJSON record, so
+/// every perf-trajectory JSON carries the complete counter and latency
+/// state its timings were measured under.
+pub fn report_metrics(bench: &str, db: &Prima) {
+    println!(
+        "BENCHJSON {{\"bench\":\"metrics\",\"source\":\"{}\",\"render\":\"{}\"}}",
+        json_escape(bench),
+        json_escape(&db.metrics().render_text())
+    );
+}

@@ -261,6 +261,7 @@ pub(crate) fn find_roots(
     trace: &mut ExecutionTrace,
     locks: Option<ReadGuard<'_>>,
 ) -> PrimaResult<Vec<Atom>> {
+    let _span = crate::obs::span_guard(crate::obs::SpanKind::RootAccess);
     let root_type = q.nodes[0].atom_type;
     let snapshot = locks.and_then(|g| g.as_snapshot()).is_some();
     if let Some(g) = locks {
@@ -572,7 +573,11 @@ fn assemble_frontier(
     });
     ctx.frontier.clear();
     ctx.frontier.push(0);
+    let mut level_no = 0u32;
     while !ctx.frontier.is_empty() {
+        // RAII so the `break` below and every `?` close the level span.
+        let _level_span = crate::obs::span_guard(crate::obs::SpanKind::AssemblyLevel(level_no));
+        level_no += 1;
         // Gather this level's expansion requests in depth-first child
         // order (edge order x reference order per parent).
         ctx.requests.clear();

@@ -41,6 +41,7 @@
 
 use crate::error::{PrimaError, PrimaResult};
 use crate::ldl_exec;
+use crate::obs::{MetricsSnapshot, Obs, StatementProfile, DEFAULT_SLOW_LOG_CAPACITY};
 use crate::recovery::{self, KernelMeta};
 use crate::session::{ApiStats, MoleculeCursor, QueryOptions, Session};
 use crate::txn::{
@@ -55,6 +56,7 @@ use prima_storage::{
 };
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration for a PRIMA instance.
 pub struct PrimaBuilder {
@@ -63,6 +65,8 @@ pub struct PrimaBuilder {
     device: Option<Arc<dyn BlockDevice>>,
     durable: bool,
     lock_config: LockConfig,
+    slow_statement_threshold: Option<Duration>,
+    slow_log_capacity: usize,
 }
 
 impl Default for PrimaBuilder {
@@ -73,6 +77,8 @@ impl Default for PrimaBuilder {
             device: None,
             durable: false,
             lock_config: LockConfig::default(),
+            slow_statement_threshold: None,
+            slow_log_capacity: DEFAULT_SLOW_LOG_CAPACITY,
         }
     }
 }
@@ -95,6 +101,24 @@ impl PrimaBuilder {
     /// single-threaded interleaving tests rely on).
     pub fn lock_config(mut self, config: LockConfig) -> Self {
         self.lock_config = config;
+        self
+    }
+
+    /// Statements (and commits) taking at least this long are profiled
+    /// and retained in the slow-statement ring
+    /// ([`Prima::slow_statements`]). Setting a threshold force-enables
+    /// span profiling on every session — a profile cannot be
+    /// reconstructed after the fact — so `Duration::ZERO` captures
+    /// every statement. Default: off.
+    pub fn slow_statement_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_statement_threshold = Some(threshold);
+        self
+    }
+
+    /// Capacity of the slow-statement ring (default
+    /// [`DEFAULT_SLOW_LOG_CAPACITY`]; oldest entries are evicted).
+    pub fn slow_log_capacity(mut self, capacity: usize) -> Self {
+        self.slow_log_capacity = capacity;
         self
     }
 
@@ -165,11 +189,21 @@ impl PrimaBuilder {
         };
         let access = Arc::new(AccessSystem::new(Arc::clone(&storage), schema)?);
         let txn = TxnManager::with_config(Arc::clone(&access), self.lock_config);
+        let stats = Arc::new(ApiStats::default());
+        let obs = Obs::new(
+            Arc::clone(&storage),
+            Arc::clone(&access),
+            Arc::clone(&txn),
+            Arc::clone(&stats),
+            self.slow_statement_threshold,
+            self.slow_log_capacity,
+        );
         Ok(Prima {
             storage,
             access,
             txn,
-            stats: Arc::new(ApiStats::default()),
+            stats,
+            obs,
             ddl: ddl_src,
             buffer_bytes: self.buffer_bytes,
         })
@@ -182,6 +216,7 @@ pub struct Prima {
     access: Arc<AccessSystem>,
     txn: Arc<TxnManager>,
     stats: Arc<ApiStats>,
+    obs: Arc<Obs>,
     /// DDL source of the schema, kept for the checkpoint snapshot
     /// (`None` on schema-built, necessarily volatile kernels).
     ddl: Option<String>,
@@ -268,11 +303,21 @@ impl Prima {
         // Pass 4: checkpoint the recovered state (truncates the log; a
         // crash in the middle of recovery just recovers again).
         let txn = TxnManager::new(Arc::clone(&access));
+        let stats = Arc::new(ApiStats::default());
+        let obs = Obs::new(
+            Arc::clone(&storage),
+            Arc::clone(&access),
+            Arc::clone(&txn),
+            Arc::clone(&stats),
+            None,
+            DEFAULT_SLOW_LOG_CAPACITY,
+        );
         let db = Prima {
             storage,
             access,
             txn,
-            stats: Arc::new(ApiStats::default()),
+            stats,
+            obs,
             ddl: Some(meta.ddl),
             buffer_bytes: meta.buffer_bytes as usize,
         };
@@ -358,13 +403,38 @@ impl Prima {
     }
 
     // -----------------------------------------------------------------
+    // Observability
+    // -----------------------------------------------------------------
+
+    /// One coherent snapshot of every kernel counter family (buffer,
+    /// I/O, access, lock, version, API) plus the per-statement-kind
+    /// latency histograms. See [`MetricsSnapshot::render_text`] for the
+    /// exposition format and [`MetricsSnapshot::check_coherence`] for
+    /// the cross-family invariants.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.metrics_snapshot()
+    }
+
+    /// Profiles of statements that exceeded the builder's
+    /// [`PrimaBuilder::slow_statement_threshold`], oldest first (a
+    /// bounded ring: the slowest-log capacity evicts oldest entries).
+    pub fn slow_statements(&self) -> Vec<StatementProfile> {
+        self.obs.slow_statements()
+    }
+
+    // -----------------------------------------------------------------
     // Sessions (the primary interface)
     // -----------------------------------------------------------------
 
     /// Opens a session: the transaction-owning conversation through
     /// which queries, prepared statements and manipulation run.
     pub fn session(&self) -> Session {
-        Session::new(Arc::clone(&self.access), Arc::clone(&self.txn), Arc::clone(&self.stats))
+        Session::new(
+            Arc::clone(&self.access),
+            Arc::clone(&self.txn),
+            Arc::clone(&self.stats),
+            Arc::clone(&self.obs),
+        )
     }
 
     /// Opens a streaming [`MoleculeCursor`] over a `SELECT` without an

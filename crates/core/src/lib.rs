@@ -50,17 +50,49 @@
 //! 4) and *semantic parallelism* — decomposition of single user
 //! operations into concurrently executable units of work ([`parallel`]),
 //! selected per query via [`QueryOptions::threads`].
+//!
+//! # Observability
+//!
+//! The [`obs`] module is the kernel's unified instrumentation layer —
+//! one vocabulary across all three Fig. 3.1 layers:
+//!
+//! * **Statement profiler** — [`Session::set_profiling`] turns on a
+//!   thread-local span recorder; every statement then yields a
+//!   [`StatementProfile`] ([`Session::last_profile`]): a tree of timed
+//!   spans (parse → plan → lock acquisition → snapshot pin → per-level
+//!   molecule assembly → buffer fixes / page loads / WAL appends &
+//!   forces) plus the per-layer counter deltas the statement caused.
+//!   `StatementProfile::render` prints it EXPLAIN-ANALYZE style. When
+//!   profiling is off every probe is a single thread-local flag check —
+//!   no clock reads, no allocation.
+//! * **Metrics registry** — [`Prima::metrics`] returns a
+//!   [`MetricsSnapshot`] unifying the five kernel stats families
+//!   (buffer, I/O, access, lock, version) with the API counters and
+//!   log-bucketed latency histograms per statement kind
+//!   (select/insert/modify/delete/commit, p50/p95/p99/max).
+//!   [`MetricsSnapshot::render_text`] emits a Prometheus-style text
+//!   exposition; [`MetricsSnapshot::check_coherence`] asserts the
+//!   cross-family invariants on a quiesced kernel.
+//! * **Slow-statement log** — [`PrimaBuilder::slow_statement_threshold`]
+//!   retains full profiles of statements over a latency threshold in a
+//!   bounded ring ([`Prima::slow_statements`]); threshold zero captures
+//!   every statement.
 
 pub mod db;
 pub mod datasys;
 pub mod error;
 pub mod ldl_exec;
+pub mod obs;
 pub mod parallel;
 pub mod recovery;
 pub mod session;
 pub mod txn;
 
 pub use db::{Prima, PrimaBuilder};
+pub use obs::{
+    HistogramSnapshot, LayerCounters, MetricsSnapshot, Span, SpanKind, StatementKind,
+    StatementProfile, StatsSnapshot,
+};
 pub use recovery::KernelMeta;
 pub use datasys::molecule::{MolAtom, Molecule, MoleculeSet};
 pub use datasys::AssemblyMode;

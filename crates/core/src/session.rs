@@ -81,6 +81,7 @@ use crate::datasys::{
 use crate::datasys::plan::ResolvedQuery;
 use crate::datasys::validate::resolve_ref;
 use crate::error::{PrimaError, PrimaResult};
+use crate::obs::{self, Obs, Probe, StatementKind, StatementProfile};
 use crate::parallel;
 use crate::txn::{ReadGuard, Snapshot, Transaction, TxnId, TxnManager};
 use parking_lot::Mutex;
@@ -93,8 +94,9 @@ use prima_mad::mql::{
 use prima_mad::value::{AtomId, Value};
 use prima_mad::{AttrType, Schema};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------
 // Options & outcomes
@@ -301,6 +303,12 @@ pub struct ApiStats {
     /// SELECT executions that reused an already-built plan (prepared
     /// re-runs, including cursors).
     pub plan_reuses: AtomicU64,
+    /// Statements actually executed through a session — SELECT (one-shot
+    /// and prepared, snapshot or locking path) and DML alike. Commits
+    /// and cursor fetches are not statements and count elsewhere.
+    pub statements_executed: AtomicU64,
+    /// `MoleculeCursor::fetch` / `fetch_all` / iterator-step calls.
+    pub cursor_fetches: AtomicU64,
 }
 
 /// Point-in-time copy of [`ApiStats`].
@@ -309,6 +317,8 @@ pub struct ApiStatsSnapshot {
     pub statements_parsed: u64,
     pub plans_built: u64,
     pub plan_reuses: u64,
+    pub statements_executed: u64,
+    pub cursor_fetches: u64,
 }
 
 impl ApiStats {
@@ -317,6 +327,8 @@ impl ApiStats {
             statements_parsed: self.statements_parsed.load(Ordering::Relaxed),
             plans_built: self.plans_built.load(Ordering::Relaxed),
             plan_reuses: self.plan_reuses.load(Ordering::Relaxed),
+            statements_executed: self.statements_executed.load(Ordering::Relaxed),
+            cursor_fetches: self.cursor_fetches.load(Ordering::Relaxed),
         }
     }
 
@@ -330,6 +342,47 @@ impl ApiStats {
 
     fn reused(&self) {
         self.plan_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn executed(&self) {
+        self.statements_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cursor_fetched(&self) {
+        self.cursor_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ApiStatsSnapshot {
+    /// Counter deltas since `earlier`; saturates at zero.
+    pub fn since(&self, earlier: &ApiStatsSnapshot) -> ApiStatsSnapshot {
+        ApiStatsSnapshot {
+            statements_parsed: self.statements_parsed.saturating_sub(earlier.statements_parsed),
+            plans_built: self.plans_built.saturating_sub(earlier.plans_built),
+            plan_reuses: self.plan_reuses.saturating_sub(earlier.plan_reuses),
+            statements_executed: self
+                .statements_executed
+                .saturating_sub(earlier.statements_executed),
+            cursor_fetches: self.cursor_fetches.saturating_sub(earlier.cursor_fetches),
+        }
+    }
+}
+
+impl prima_storage::StatsSnapshot for ApiStatsSnapshot {
+    const FAMILY: &'static str = "api";
+
+    fn delta(&self, earlier: &Self) -> Self {
+        self.since(earlier)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("statements_parsed", self.statements_parsed),
+            ("plans_built", self.plans_built),
+            ("plan_reuses", self.plan_reuses),
+            ("statements_executed", self.statements_executed),
+            ("cursor_fetches", self.cursor_fetches),
+        ]
     }
 }
 
@@ -351,8 +404,13 @@ pub struct Session {
     access: Arc<AccessSystem>,
     txn_mgr: Arc<TxnManager>,
     stats: Arc<ApiStats>,
+    obs: Arc<Obs>,
     txn: Mutex<Option<Transaction>>,
     retry: RetryPolicy,
+    /// Per-session profiler switch ([`Session::set_profiling`]); a
+    /// kernel-wide slow-statement threshold overrides it to on.
+    profiling: AtomicBool,
+    last_profile: Mutex<Option<StatementProfile>>,
 }
 
 impl Session {
@@ -360,8 +418,109 @@ impl Session {
         access: Arc<AccessSystem>,
         txn_mgr: Arc<TxnManager>,
         stats: Arc<ApiStats>,
+        obs: Arc<Obs>,
     ) -> Session {
-        Session { access, txn_mgr, stats, txn: Mutex::new(None), retry: RetryPolicy::default() }
+        Session {
+            access,
+            txn_mgr,
+            stats,
+            obs,
+            txn: Mutex::new(None),
+            retry: RetryPolicy::default(),
+            profiling: AtomicBool::new(false),
+            last_profile: Mutex::new(None),
+        }
+    }
+
+    /// Turns the statement profiler on or off for this session. While
+    /// on, every statement leaves a [`StatementProfile`] retrievable
+    /// via [`Session::last_profile`]. Orthogonal to the kernel-wide
+    /// slow-statement threshold, which force-profiles every session.
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether statements on this session are currently profiled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed) || self.obs.profile_all()
+    }
+
+    /// The profile of the most recent profiled statement (including
+    /// commits and cursor fetches), if any.
+    pub fn last_profile(&self) -> Option<StatementProfile> {
+        self.last_profile.lock().clone()
+    }
+
+    /// Brackets one statement: always records the latency histogram
+    /// (and, for real statements, `statements_executed`); when
+    /// profiling is on, additionally installs the span recorder and
+    /// captures the per-layer counter deltas into a
+    /// [`StatementProfile`].
+    fn statement_scope<R>(
+        &self,
+        kind: StatementKind,
+        text: &str,
+        f: impl FnOnce() -> PrimaResult<R>,
+    ) -> PrimaResult<R> {
+        let count_executed = kind != StatementKind::Commit;
+        if !self.profiling_enabled() {
+            let started = Instant::now();
+            let out = f();
+            self.obs.record_statement(kind, started.elapsed());
+            if count_executed {
+                self.stats.executed();
+            }
+            return out;
+        }
+        let before = self.obs.layer_counters();
+        let probe = Probe::start();
+        let started = Instant::now();
+        let out = f();
+        let total = started.elapsed();
+        let root = probe.finish(total);
+        let counters = self.obs.layer_counters().delta_since(&before);
+        self.obs.record_statement(kind, total);
+        if count_executed {
+            self.stats.executed();
+        }
+        let profile = StatementProfile { kind, statement: text.to_string(), total, root, counters };
+        self.obs.note_profile(&profile);
+        *self.last_profile.lock() = Some(profile);
+        out
+    }
+
+    /// [`Session::statement_scope`] for cursor fetches, split into a
+    /// begin/end pair because a fetch mutably borrows the cursor while
+    /// the session is only reachable through it. Bumps
+    /// `cursor_fetches` instead of the histograms (a fetch is a slice
+    /// of a statement, not a statement), but still produces a profile
+    /// when profiling is on.
+    fn begin_cursor_scope(&self) -> CursorScope {
+        self.stats.cursor_fetched();
+        if !self.profiling_enabled() {
+            return CursorScope(None);
+        }
+        let before = self.obs.layer_counters();
+        let probe = Probe::start();
+        CursorScope(Some((before, probe, Instant::now())))
+    }
+
+    fn end_cursor_scope(&self, scope: CursorScope) {
+        let Some((before, probe, started)) = scope.0 else {
+            return;
+        };
+        let total = started.elapsed();
+        let root = probe.finish(total);
+        let counters = self.obs.layer_counters().delta_since(&before);
+        let profile = StatementProfile {
+            kind: StatementKind::Select,
+            statement: "<cursor fetch>".into(),
+            total,
+            root,
+            counters,
+        };
+        self.obs.note_profile(&profile);
+        *self.last_profile.lock() = Some(profile);
     }
 
     /// The session's transparent-retry policy (default: on, 5 attempts,
@@ -425,7 +584,8 @@ impl Session {
         if self.txn.lock().is_some() {
             return None;
         }
-        let snap = self.txn_mgr.versions().begin_snapshot();
+        let snap =
+            obs::span(obs::SpanKind::SnapshotPin, || self.txn_mgr.versions().begin_snapshot());
         Some(f(ReadGuard::snapshot(&snap)))
     }
 
@@ -463,10 +623,10 @@ impl Session {
     /// Commits the session's current transaction (no-op when none is
     /// open). The next manipulation statement begins a fresh one.
     pub fn commit(&self) -> PrimaResult<()> {
-        match self.txn.lock().take() {
-            Some(t) => Ok(t.commit()?),
-            None => Ok(()),
-        }
+        let Some(t) = self.txn.lock().take() else {
+            return Ok(());
+        };
+        self.statement_scope(StatementKind::Commit, "COMMIT", || Ok(t.commit()?))
     }
 
     /// Rolls the current transaction back, undoing every manipulation
@@ -491,12 +651,14 @@ impl Session {
     /// [`Session::prepare`].
     pub fn query(&self, mql: &str, opts: &QueryOptions) -> PrimaResult<QueryResult> {
         opts.validate()?;
-        let resolved = self.plan_select(mql)?;
-        if let Some(r) = self.try_snapshot(|g| self.run_plan(&resolved, opts, g)) {
-            return r;
-        }
-        let policy = opts.retry.unwrap_or(self.retry);
-        self.with_txn_retry(&policy, |t| self.run_plan(&resolved, opts, t.read_guard()))
+        self.statement_scope(StatementKind::Select, mql, || {
+            let resolved = self.plan_select(mql)?;
+            if let Some(r) = self.try_snapshot(|g| self.run_plan(&resolved, opts, g)) {
+                return r;
+            }
+            let policy = opts.retry.unwrap_or(self.retry);
+            self.with_txn_retry(&policy, |t| self.run_plan(&resolved, opts, t.read_guard()))
+        })
     }
 
     /// Runs a `SELECT` as a streaming [`MoleculeCursor`]: roots are
@@ -547,7 +709,10 @@ impl Session {
         if matches!(stmt, Statement::Select(_)) {
             return Err(PrimaError::BadStatement("use query() for SELECT".into()));
         }
-        self.run_dml(&stmt, &self.retry)
+        // The kind is only known after the parse, so the parse itself
+        // stays outside the scope on this one-shot path.
+        let kind = dml_kind(&stmt);
+        self.statement_scope(kind, mql, || self.run_dml(&stmt, &self.retry))
     }
 
     /// Prepares a statement: parse + validate + plan now, bind and
@@ -562,7 +727,7 @@ impl Session {
 
     fn plan_select(&self, mql: &str) -> PrimaResult<ResolvedQuery> {
         self.stats.parsed();
-        let (stmt, slots) = parse_statement_params(mql)?;
+        let (stmt, slots) = obs::span(obs::SpanKind::Parse, || parse_statement_params(mql))?;
         if !slots.is_empty() {
             return Err(PrimaError::UnboundParameter {
                 slot: 0,
@@ -574,7 +739,7 @@ impl Session {
             return Err(PrimaError::BadStatement("use execute() for manipulation".into()));
         };
         self.stats.planned();
-        datasys::validate(self.access.schema(), &q)
+        obs::span(obs::SpanKind::Plan, || datasys::validate(self.access.schema(), &q))
     }
 
     fn run_plan(
@@ -594,7 +759,9 @@ impl Session {
 
     fn run_dml(&self, stmt: &Statement, policy: &RetryPolicy) -> PrimaResult<DmlResult> {
         self.with_txn_retry(policy, |t| {
-            datasys::dml::execute_statement_with(&self.access, t, stmt, Some(t.read_guard()))
+            obs::span(obs::SpanKind::DmlApply, || {
+                datasys::dml::execute_statement_with(&self.access, t, stmt, Some(t.read_guard()))
+            })
         })
     }
 
@@ -676,6 +843,8 @@ pub struct ParamSlot {
 pub struct Prepared<'s> {
     session: &'s Session,
     stmt: Statement,
+    /// The statement text, carried into profiles.
+    text: String,
     /// Cached plan (SELECT only).
     plan: Option<ResolvedQuery>,
     slots: Vec<ParamSlot>,
@@ -719,7 +888,7 @@ impl<'s> Prepared<'s> {
         let mut slots: Vec<ParamSlot> =
             names.into_iter().map(|name| ParamSlot { name, expected: None }).collect();
         infer_param_types(schema, &stmt, plan.as_ref().or(typing_plan.as_ref()), &mut slots)?;
-        Ok(Prepared { session, stmt, plan, slots, bound: None })
+        Ok(Prepared { session, stmt, text: mql.to_string(), plan, slots, bound: None })
     }
 
     /// The statement's parameter slots, in positional order.
@@ -806,7 +975,7 @@ impl<'s> Prepared<'s> {
         opts.validate()?;
         let params = self.bound_values()?;
         match &self.plan {
-            Some(plan) => {
+            Some(plan) => self.session.statement_scope(StatementKind::Select, &self.text, || {
                 self.session.stats.reused();
                 let bound;
                 let plan = if params.is_empty() {
@@ -821,11 +990,11 @@ impl<'s> Prepared<'s> {
                     return Ok(StatementOutcome::Molecules(r?));
                 }
                 let policy = opts.retry.unwrap_or(self.session.retry);
-                let result = self
-                    .session
-                    .with_txn_retry(&policy, |t| self.session.run_plan(plan, opts, t.read_guard()))?;
+                let result = self.session.with_txn_retry(&policy, |t| {
+                    self.session.run_plan(plan, opts, t.read_guard())
+                })?;
                 Ok(StatementOutcome::Molecules(result))
-            }
+            }),
             None => {
                 // Not counted as a plan reuse: DML re-runs its
                 // qualification sub-query validation per execution (it
@@ -839,7 +1008,9 @@ impl<'s> Prepared<'s> {
                     &bound
                 };
                 let policy = opts.retry.unwrap_or(self.session.retry);
-                Ok(StatementOutcome::Dml(self.session.run_dml(stmt, &policy)?))
+                self.session.statement_scope(dml_kind(stmt), &self.text, || {
+                    Ok(StatementOutcome::Dml(self.session.run_dml(stmt, &policy)?))
+                })
             }
         }
     }
@@ -931,6 +1102,18 @@ fn infer_param_types(
         _ => {}
     }
     Ok(())
+}
+
+/// In-flight cursor-fetch recording state ([`Session::begin_cursor_scope`]).
+struct CursorScope(Option<(crate::obs::LayerCounters, Probe, Instant)>);
+
+fn dml_kind(stmt: &Statement) -> StatementKind {
+    match stmt {
+        Statement::Select(_) => StatementKind::Select,
+        Statement::Insert(_) => StatementKind::Insert,
+        Statement::Modify(_) => StatementKind::Modify,
+        Statement::Delete(_) => StatementKind::Delete,
+    }
 }
 
 fn statement_predicate(stmt: &Statement) -> Option<&Predicate> {
@@ -1098,25 +1281,35 @@ impl<'s> MoleculeCursor<'s> {
     /// exhausted. (Roots whose molecule fails residual qualification are
     /// skipped and do not count towards `n`.)
     pub fn fetch(&mut self, n: usize) -> PrimaResult<Vec<Molecule>> {
-        let mut out = Vec::new();
-        while out.len() < n {
-            match self.next_molecule()? {
-                Some(m) => out.push(m),
-                None => break,
+        let scope = self.session.get().begin_cursor_scope();
+        let result = (|| {
+            let mut out = Vec::new();
+            while out.len() < n {
+                match self.next_molecule()? {
+                    Some(m) => out.push(m),
+                    None => break,
+                }
             }
-        }
-        Ok(out)
+            Ok(out)
+        })();
+        self.session.get().end_cursor_scope(scope);
+        result
     }
 
     /// Pulls the molecule set description plus every remaining molecule
     /// (equivalent to what a materialising query would have returned for
     /// the unread tail).
     pub fn fetch_all(&mut self) -> PrimaResult<MoleculeSet> {
-        let mut molecules = Vec::new();
-        while let Some(m) = self.next_molecule()? {
-            molecules.push(m);
-        }
-        Ok(MoleculeSet { nodes: self.nodes.clone(), molecules })
+        let scope = self.session.get().begin_cursor_scope();
+        let result = (|| {
+            let mut molecules = Vec::new();
+            while let Some(m) = self.next_molecule()? {
+                molecules.push(m);
+            }
+            Ok(MoleculeSet { nodes: self.nodes.clone(), molecules })
+        })();
+        self.session.get().end_cursor_scope(scope);
+        result
     }
 
     fn next_molecule(&mut self) -> PrimaResult<Option<Molecule>> {
@@ -1213,6 +1406,9 @@ impl Iterator for MoleculeCursor<'_> {
     type Item = PrimaResult<Molecule>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.next_molecule().transpose()
+        let scope = self.session.get().begin_cursor_scope();
+        let result = self.next_molecule().transpose();
+        self.session.get().end_cursor_scope(scope);
+        result
     }
 }

@@ -230,6 +230,9 @@ impl LockStats {
         self.wait_us_total.fetch_add(us, Relaxed);
         self.wait_us_max.fetch_max(us, Relaxed);
         self.waiting_now.fetch_sub(1, Relaxed);
+        // The waiter parks on the statement's own thread, so the time
+        // shows up in that statement's profile (no-op unprofiled).
+        crate::obs::event(crate::obs::SpanKind::LockWait, waited.as_nanos() as u64, 0);
     }
 }
 
@@ -285,6 +288,29 @@ impl LockStatsSnapshot {
             self.waiting_now,
             self.max_queue_depth,
         )
+    }
+}
+
+impl prima_storage::StatsSnapshot for LockStatsSnapshot {
+    const FAMILY: &'static str = "lock";
+
+    fn delta(&self, earlier: &Self) -> Self {
+        self.since(earlier)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("acquisitions", self.acquisitions),
+            ("waits", self.waits),
+            ("wait_us_total", self.wait_us_total),
+            ("wait_us_max", self.wait_us_max),
+            ("timeouts", self.timeouts),
+            ("deadlocks_detected", self.deadlocks_detected),
+            ("victims", self.victims),
+            ("overflow_fastfails", self.overflow_fastfails),
+            ("waiting_now", self.waiting_now),
+            ("max_queue_depth", self.max_queue_depth),
+        ]
     }
 }
 

@@ -588,7 +588,10 @@ impl<'a> ReadGuard<'a> {
     /// `Shared` lock on one atom (no-op on the snapshot path).
     pub fn lock_atom(&self, id: AtomId) -> PrimaResult<()> {
         match self.inner {
-            GuardInner::Locking { mgr, txn } => Ok(mgr.lock_atom_shared(txn, id)?),
+            GuardInner::Locking { mgr, txn } => crate::obs::observed(
+                crate::obs::SpanKind::LockAcquire,
+                || Ok(mgr.lock_atom_shared(txn, id)?),
+            ),
             GuardInner::Snapshot(_) => Ok(()),
         }
     }
@@ -597,7 +600,10 @@ impl<'a> ReadGuard<'a> {
     /// the snapshot path).
     pub fn lock_extension(&self, ty: AtomTypeId) -> PrimaResult<()> {
         match self.inner {
-            GuardInner::Locking { mgr, txn } => Ok(mgr.lock_extension_shared(txn, ty)?),
+            GuardInner::Locking { mgr, txn } => crate::obs::observed(
+                crate::obs::SpanKind::LockAcquire,
+                || Ok(mgr.lock_extension_shared(txn, ty)?),
+            ),
             GuardInner::Snapshot(_) => Ok(()),
         }
     }

@@ -173,6 +173,27 @@ impl VersionStatsSnapshot {
     }
 }
 
+impl prima_storage::StatsSnapshot for VersionStatsSnapshot {
+    const FAMILY: &'static str = "version";
+
+    fn delta(&self, earlier: &Self) -> Self {
+        self.since(earlier)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("versions_installed", self.versions_installed),
+            ("versions_reclaimed", self.versions_reclaimed),
+            ("snapshots_opened", self.snapshots_opened),
+            ("snapshot_reads", self.snapshot_reads),
+            ("max_chain_len", self.max_chain_len),
+            ("live_versions", self.live_versions),
+            ("live_chains", self.live_chains),
+            ("oldest_snapshot_lag", self.oldest_snapshot_lag),
+        ]
+    }
+}
+
 /// Outcome of resolving one base read against a snapshot.
 pub enum Resolution {
     /// No chain says otherwise: the base value (or base absence) is

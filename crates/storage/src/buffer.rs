@@ -44,6 +44,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PageSize, PageType};
+use crate::probe::{self, ProbeEvent};
 use crate::wal::{Lsn, Wal, WalPayload};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
@@ -172,6 +173,41 @@ impl BufferStats {
         self.fix_calls.fetch_add(other.fix_calls.load(Ordering::Relaxed), Ordering::Relaxed);
         self.pages_loaded
             .fetch_add(other.pages_loaded.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl BufferStatsSnapshot {
+    /// Component-wise difference `self - earlier`; saturates at zero so a
+    /// reset between snapshots cannot produce nonsense (same contract as
+    /// `IoSnapshot::since`).
+    pub fn since(&self, earlier: &BufferStatsSnapshot) -> BufferStatsSnapshot {
+        BufferStatsSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            fix_calls: self.fix_calls.saturating_sub(earlier.fix_calls),
+            pages_loaded: self.pages_loaded.saturating_sub(earlier.pages_loaded),
+        }
+    }
+}
+
+impl crate::stats::StatsSnapshot for BufferStatsSnapshot {
+    const FAMILY: &'static str = "buffer";
+
+    fn delta(&self, earlier: &Self) -> Self {
+        self.since(earlier)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("evictions", self.evictions),
+            ("writebacks", self.writebacks),
+            ("fix_calls", self.fix_calls),
+            ("pages_loaded", self.pages_loaded),
+        ]
     }
 }
 
@@ -474,22 +510,26 @@ impl BufferManager {
     /// Fixes a page for reading. The returned guard keeps the page in the
     /// buffer and allows shared access.
     pub fn fix(&self, id: PageId) -> StorageResult<PageGuard> {
-        self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
-        let frame = self.fix_frame(id, false)?;
-        let lock = frame.read_arc();
-        Ok(PageGuard { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+        probe::observed(ProbeEvent::BufferFix, || {
+            self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
+            let frame = self.fix_frame(id, false)?;
+            let lock = frame.read_arc();
+            Ok(PageGuard { lock: Some(lock), pool: Arc::clone(self.shard(id)), id })
+        })
     }
 
     /// Fixes a page for update. Exclusive; the frame is marked dirty.
     pub fn fix_mut(&self, id: PageId) -> StorageResult<PageGuardMut> {
-        self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
-        let frame = self.fix_frame(id, true)?;
-        let lock = frame.write_arc();
-        Ok(PageGuardMut {
-            lock: Some(lock),
-            pool: Arc::clone(self.shard(id)),
-            id,
-            wal: self.guard_wal(id),
+        probe::observed(ProbeEvent::BufferFix, || {
+            self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
+            let frame = self.fix_frame(id, true)?;
+            let lock = frame.write_arc();
+            Ok(PageGuardMut {
+                lock: Some(lock),
+                pool: Arc::clone(self.shard(id)),
+                id,
+                wal: self.guard_wal(id),
+            })
         })
     }
 
@@ -501,6 +541,7 @@ impl BufferManager {
     /// Installs a brand-new page (after allocation) without reading the
     /// device, and returns it fixed for update.
     pub fn fix_new(&self, id: PageId, ptype: PageType) -> StorageResult<PageGuardMut> {
+        let probe_t = probe::timer();
         self.stats.fix_calls.fetch_add(1, Ordering::Relaxed);
         let size = self.store.page_size_of(id.segment)?;
         let page = Page::new(id, size, ptype);
@@ -523,6 +564,7 @@ impl BufferManager {
             }
         };
         let lock = frame.write_arc();
+        probe::emit_elapsed(probe_t, ProbeEvent::BufferFix, 0);
         Ok(PageGuardMut {
             lock: Some(lock),
             pool: Arc::clone(self.shard(id)),
@@ -612,7 +654,7 @@ impl BufferManager {
         }
         // Miss: load from device outside the pool lock, then install.
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let page = self.store.load(id)?;
+        let page = probe::observed(ProbeEvent::PageLoad, || self.store.load(id))?;
         self.stats.pages_loaded.fetch_add(1, Ordering::Relaxed);
         let size = page.size();
         let mut inner = self.shard(id).lock();

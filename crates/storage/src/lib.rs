@@ -94,6 +94,7 @@ pub mod fault_disk;
 pub mod file_disk;
 pub mod page;
 pub mod page_seq;
+pub mod probe;
 pub mod segment;
 pub mod stats;
 pub mod wal;
@@ -109,5 +110,5 @@ pub use file_disk::FileDisk;
 pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};
 pub use page_seq::{PageSeqHandle, PageSequence};
 pub use segment::{Segment, SegmentId, SegmentMeta, StorageSystem};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats, StatsSnapshot};
 pub use wal::{Lsn, Wal, WalPayload, WalRecord};

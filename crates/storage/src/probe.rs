@@ -1,0 +1,127 @@
+//! Thread-local observability hook for storage-layer events.
+//!
+//! The storage system sits at the bottom of the crate stack, so it cannot
+//! name the profiler that lives in the data-system crate. Instead it
+//! exposes a per-thread *hook*: a plain function pointer installed by the
+//! layer above for exactly the duration of a profiled statement. Emit
+//! sites (buffer fixes, page loads, WAL appends/forces, the access
+//! system's batched reads) check [`enabled`] **before** reading the clock,
+//! so with no hook installed the entire mechanism costs one thread-local
+//! read and a branch — no allocation, no `Instant::now`.
+//!
+//! The hook is thread-local on purpose: events are attributed to the
+//! statement running on the *current* thread. Worker threads of a
+//! parallel query never install a hook, so their storage traffic shows up
+//! only in the global counter structs, not in per-statement profiles.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// One storage-layer event observed while a hook is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// A buffer guard acquisition (`fix` / `fix_mut` / `fix_new`),
+    /// including the page load on a miss.
+    BufferFix,
+    /// A device read triggered by a buffer miss.
+    PageLoad,
+    /// One record appended to the WAL group buffer (`bytes` = encoded
+    /// record length).
+    WalAppend,
+    /// One WAL force: the buffered batch appended to the device's log
+    /// area (`bytes` = batch length).
+    WalForce,
+    /// One page-grouped batched read in the access system.
+    BatchRead,
+}
+
+/// Sink for probe events: `(event, elapsed nanoseconds, bytes)`.
+/// `bytes` is 0 for events without a natural byte count.
+pub type ProbeHook = fn(event: ProbeEvent, nanos: u64, bytes: u64);
+
+thread_local! {
+    static HOOK: Cell<Option<ProbeHook>> = const { Cell::new(None) };
+}
+
+/// Installs (or clears) this thread's hook, returning the previous one.
+pub fn set_thread_hook(hook: Option<ProbeHook>) -> Option<ProbeHook> {
+    HOOK.with(|h| h.replace(hook))
+}
+
+/// Whether a hook is installed on this thread. Emit sites gate their
+/// clock reads on this, keeping the disabled path allocation-free.
+#[inline]
+pub fn enabled() -> bool {
+    HOOK.with(|h| h.get().is_some())
+}
+
+/// Starts timing an event — `None` (no clock read) when no hook is
+/// installed. Pair with [`emit_elapsed`].
+#[inline]
+pub fn timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Emits `event` with the time elapsed since [`timer`], if one was taken.
+#[inline]
+pub fn emit_elapsed(started: Option<Instant>, event: ProbeEvent, bytes: u64) {
+    if let Some(t) = started {
+        if let Some(hook) = HOOK.with(|h| h.get()) {
+            hook(event, t.elapsed().as_nanos() as u64, bytes);
+        }
+    }
+}
+
+/// Runs `f`, timing it as `event` when a hook is installed; otherwise
+/// runs `f` directly with zero overhead beyond the enabled check.
+#[inline]
+pub fn observed<R>(event: ProbeEvent, f: impl FnOnce() -> R) -> R {
+    let Some(hook) = HOOK.with(|h| h.get()) else {
+        return f();
+    };
+    let started = Instant::now();
+    let out = f();
+    hook(event, started.elapsed().as_nanos() as u64, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEEN: AtomicU64 = AtomicU64::new(0);
+
+    fn test_hook(event: ProbeEvent, _nanos: u64, bytes: u64) {
+        if event == ProbeEvent::WalAppend {
+            SEEN.fetch_add(bytes.max(1), Ordering::Relaxed);
+        } else {
+            SEEN.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn hook_routes_events_and_uninstalls() {
+        assert!(!enabled());
+        // Disabled: observed runs the closure untouched.
+        assert_eq!(observed(ProbeEvent::BufferFix, || 7), 7);
+        assert_eq!(SEEN.load(Ordering::Relaxed), 0);
+
+        assert!(set_thread_hook(Some(test_hook)).is_none());
+        assert!(enabled());
+        observed(ProbeEvent::BufferFix, || ());
+        let t = timer();
+        assert!(t.is_some());
+        emit_elapsed(t, ProbeEvent::WalAppend, 40);
+        assert_eq!(SEEN.load(Ordering::Relaxed), 41);
+
+        assert!(set_thread_hook(None).is_some());
+        assert!(!enabled());
+        observed(ProbeEvent::PageLoad, || ());
+        assert_eq!(SEEN.load(Ordering::Relaxed), 41);
+    }
+}

@@ -9,6 +9,39 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// The one shape every layer's counter snapshot shares, so a kernel-wide
+/// metrics view can compose them uniformly instead of knowing each
+/// struct's ad-hoc `since()` / `detail()` methods.
+///
+/// Implementors are plain point-in-time copies of an atomic counter
+/// struct ([`IoSnapshot`], the buffer / lock / version / access / API
+/// snapshots in their home crates). [`StatsSnapshot::delta`] is the
+/// component-wise difference for monotone counters; gauges and
+/// running maxima keep their current value, exactly as the pre-existing
+/// `since()` methods did. [`StatsSnapshot::fields`] names every counter
+/// in declaration order — the single source the Prometheus-style text
+/// rendering walks.
+pub trait StatsSnapshot: Sized + Clone {
+    /// Metric family name; rendered as the `prima_<family>_<field>`
+    /// prefix.
+    const FAMILY: &'static str;
+
+    /// Component-wise counter delta `self - earlier` (gauges keep their
+    /// current value).
+    fn delta(&self, earlier: &Self) -> Self;
+
+    /// `(counter name, value)` pairs in declaration order.
+    fn fields(&self) -> Vec<(&'static str, u64)>;
+
+    /// Appends this family's counters to a Prometheus-style text body.
+    fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (name, value) in self.fields() {
+            let _ = writeln!(out, "prima_{}_{} {}", Self::FAMILY, name, value);
+        }
+    }
+}
+
 /// Thread-safe I/O counters, shared between the device and its observers.
 ///
 /// All counters use relaxed ordering: they are statistics, not
@@ -118,6 +151,29 @@ impl IoSnapshot {
     /// Total transfers (reads + writes).
     pub fn transfers(&self) -> u64 {
         self.block_reads + self.block_writes
+    }
+}
+
+impl StatsSnapshot for IoSnapshot {
+    const FAMILY: &'static str = "io";
+
+    fn delta(&self, earlier: &Self) -> Self {
+        self.since(earlier)
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("block_reads", self.block_reads),
+            ("block_writes", self.block_writes),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("seeks", self.seeks),
+            ("chained_runs", self.chained_runs),
+            ("chained_blocks", self.chained_blocks),
+            ("wal_forces", self.wal_forces),
+            ("wal_bytes", self.wal_bytes),
+            ("sim_time_ns", self.sim_time_ns),
+        ]
     }
 }
 

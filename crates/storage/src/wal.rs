@@ -169,6 +169,7 @@ impl Wal {
     /// Appends one record to the in-process group buffer and returns its
     /// LSN. Not durable until [`Wal::force`].
     pub fn append(&self, payload: WalPayload<'_>) -> Lsn {
+        let probe_t = crate::probe::timer();
         let mut inner = self.inner.lock();
         // LSN assignment under the buffer lock: file order == LSN order.
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
@@ -213,17 +214,20 @@ impl Wal {
         inner.pending.extend_from_slice(&crc32(&body).to_le_bytes());
         inner.pending.extend_from_slice(&body);
         inner.buffered = lsn;
+        crate::probe::emit_elapsed(probe_t, crate::probe::ProbeEvent::WalAppend, (body.len() + 8) as u64);
         lsn
     }
 
     /// Forces every buffered record to the device in one sequential
     /// append (group commit). Returns the newest durable LSN.
     pub fn force(&self) -> StorageResult<Lsn> {
+        let probe_t = crate::probe::timer();
         let mut inner = self.inner.lock();
         self.check_poison()?;
         if inner.pending.is_empty() {
             return Ok(self.flushed.load(Ordering::Relaxed));
         }
+        let batch_len = inner.pending.len() as u64;
         if let Err(e) = self.device.wal_append(&inner.pending) {
             // The device may hold a torn fragment of this batch; see the
             // `poisoned` field docs.
@@ -233,6 +237,7 @@ impl Wal {
         inner.pending.clear();
         let lsn = inner.buffered;
         self.flushed.store(lsn, Ordering::Relaxed);
+        crate::probe::emit_elapsed(probe_t, crate::probe::ProbeEvent::WalForce, batch_len);
         Ok(lsn)
     }
 

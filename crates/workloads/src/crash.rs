@@ -77,6 +77,18 @@ fn repro(seed: u64, steps: usize, what: &str, detail: String) -> String {
     )
 }
 
+/// Cross-family metric invariants must hold on a quiesced kernel; a
+/// violation here means a counter was dropped or double-bumped somewhere
+/// on the recovery or post-recovery path.
+fn check_metrics_coherence(db: &Prima, seed: u64, steps: usize, when: &str) {
+    if let Err(violations) = db.metrics().check_coherence() {
+        panic!(
+            "{}",
+            repro(seed, steps, "metrics coherence violated", format!("{when}: {violations:?}"))
+        );
+    }
+}
+
 /// Reads the full `part` extension as a model state.
 fn observe(db: &Prima) -> ModelState {
     let set = db
@@ -380,6 +392,8 @@ pub fn run_crash_schedule(inner: Arc<dyn BlockDevice>, seed: u64, steps: usize) 
             );
         }
     }
+    drop(s);
+    check_metrics_coherence(&db, seed, steps, "after recovery + post-recovery insert");
 
     CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
 }
@@ -863,6 +877,7 @@ fn run_multi_session(
             )
         ),
     };
+    check_metrics_coherence(&db, seed, steps, "after multi-session recovery");
     CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
 }
 

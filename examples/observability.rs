@@ -1,0 +1,74 @@
+//! Observability: profile a Table 2.1 query end to end.
+//!
+//! Builds the Fig. 2.3 BREP database with a slow-statement threshold of
+//! zero (every statement keeps its profile), drops the buffer cache so
+//! the query pays real device reads, and runs the Table 2.1a vertical
+//! molecule query profiled. The resulting span tree must be well-formed
+//! and cover every layer the statement crosses — parse, plan, root
+//! access, per-level assembly, buffer fixes and page loads — and the
+//! kernel-wide metrics snapshot must satisfy its cross-family coherence
+//! invariants. Exits non-zero on any violation (this is a CI leg).
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use prima::{Prima, QueryOptions, SpanKind};
+use prima_workloads::brep::{self, BrepConfig};
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("observability example failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let db = Prima::builder()
+        .buffer_bytes(4 << 20)
+        .slow_statement_threshold(Duration::ZERO)
+        .build_with_ddl(brep::schema_ddl())
+        .map_err(|e| format!("build: {e}"))?;
+    brep::populate(&db, &BrepConfig::with_assembly(4, 2, 2)).map_err(|e| format!("populate: {e}"))?;
+
+    // Cold buffer: the profiled query must fetch its pages from the
+    // device, so the I/O leaf spans appear in the tree.
+    db.storage().drop_cache().map_err(|e| format!("drop_cache: {e}"))?;
+
+    let session = db.session();
+    session.set_profiling(true);
+    let result = session
+        .query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2", &QueryOptions::default())
+        .map_err(|e| format!("query: {e}"))?;
+    if result.set.len() != 1 {
+        return Err(format!("expected one molecule, got {}", result.set.len()));
+    }
+
+    let profile = session.last_profile().ok_or("profiled statement left no profile")?;
+    profile.validate()?;
+    for kind in [
+        SpanKind::Parse,
+        SpanKind::Plan,
+        SpanKind::RootAccess,
+        SpanKind::AssemblyLevel(0),
+        SpanKind::BufferFix,
+        SpanKind::PageLoad,
+    ] {
+        if profile.root.find(kind).is_none() {
+            return Err(format!("span tree misses {}:\n{}", kind.label(), profile.render()));
+        }
+    }
+    println!("{}", profile.render());
+
+    // Threshold zero ⇒ the slow log captured the statement too.
+    if db.slow_statements().is_empty() {
+        return Err("slow-statement log empty despite zero threshold".into());
+    }
+
+    drop(session);
+    let metrics = db.metrics();
+    metrics.check_coherence().map_err(|v| format!("coherence violations: {v:?}"))?;
+    println!("{}", metrics.render_text());
+    Ok(())
+}

@@ -16,7 +16,12 @@
 #     snapshot reads, with lock-acquisition and version-store counters;
 #   * every criterion-shim benchmark additionally emits a
 #     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
-#     small (<10%) deltas can be judged against run-to-run noise.
+#     small (<10%) deltas can be judged against run-to-run noise;
+#   * each perf bench also emits {"bench":"metrics","source":...,
+#     "render":...} records embedding the kernel's full metrics
+#     exposition (MetricsSnapshot::render_text: buffer/io/access/lock/
+#     version/api counters + per-statement-kind latency quantiles) for
+#     the database the timings were measured on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
