@@ -1,0 +1,158 @@
+//! BENCH-6 — cross-session group commit: one force for many committers.
+//!
+//! N session threads each run single-INSERT transactions (commit after
+//! every statement — the worst case for a force-per-commit log) against
+//! one durable kernel on a [`FileDisk`] (a *real* write + fsync per
+//! force: the batching window group commit amortizes is the leader's
+//! in-flight device force, which a simulated disk completes in
+//! wall-clock zero), in two WAL configurations:
+//!
+//! * `force_each` — [`GroupCommitConfig::force_each`]: grouping off,
+//!   every commit pays its own device force (the pre-group-commit
+//!   behaviour, and still the exact cost model for a lone session);
+//! * `grouped` — [`GroupCommitConfig::default`]: committers park on the
+//!   group coordinator, a leader lingers up to `max_wait` for the
+//!   commits already en route, and one force covers every waiter whose
+//!   commit LSN it reaches.
+//!
+//! Reported alongside wall-clock: ops/sec, WAL forces per commit (the
+//! headline — `< 1.0` means forces are genuinely shared), and the
+//! group-commit counters (batches, commits per force). The bench
+//! *asserts* forces/commit < 1.0 for the grouped series at ≥ 4 sessions,
+//! so the CI perf-trajectory leg fails if batching ever regresses to
+//! force-per-commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prima::{GroupCommitConfig, Prima, PrimaBuilder};
+use prima_bench::{report, report_metrics};
+use prima_storage::{BlockDevice, FileDisk};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// No KEYS_ARE: inserts carry no uniqueness check, so concurrent
+// committers never conflict and the timings isolate the commit path.
+const DDL: &str = "
+    CREATE ATOM_TYPE rec (
+        rec_id : IDENTIFIER,
+        n      : INTEGER,
+        body   : CHAR_VAR );
+";
+
+const OPS_PER_SESSION: usize = 50;
+
+fn durable_db(tag: &str, config: GroupCommitConfig) -> (Prima, Arc<dyn BlockDevice>) {
+    let dir = std::env::temp_dir()
+        .join(format!("prima-bench-group-commit-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk: Arc<dyn BlockDevice> = Arc::new(FileDisk::create(&dir).expect("tmpdir FileDisk"));
+    let db = PrimaBuilder::default()
+        .buffer_bytes(16 << 20)
+        .device(Arc::clone(&disk))
+        .durable()
+        .group_commit(config)
+        .build_with_ddl(DDL)
+        .unwrap();
+    (db, disk)
+}
+
+/// One round: `sessions` threads each commit `OPS_PER_SESSION`
+/// single-INSERT transactions. Returns the number of commits.
+fn run_round(db: &Prima, sessions: usize, next: &AtomicI64) -> u64 {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let db = &db;
+                s.spawn(move || {
+                    let session = db.session();
+                    for _ in 0..OPS_PER_SESSION {
+                        let n = next.fetch_add(1, Ordering::Relaxed);
+                        session
+                            .execute(&format!("INSERT rec (n: {n}, body: 'g{n}')"))
+                            .unwrap();
+                        session.commit().unwrap();
+                    }
+                    OPS_PER_SESSION as u64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("committer panicked")).sum()
+    })
+}
+
+fn run_series(c: &mut Criterion, series: &str, config: GroupCommitConfig, sessions: usize) {
+    let (db, disk) = durable_db(&format!("{series}-{sessions}"), config);
+    let next = AtomicI64::new(0);
+
+    let mut g = c.benchmark_group("group_commit");
+    g.sample_size(10);
+    g.bench_function(format!("{series}_{sessions}_sessions"), |b| {
+        b.iter(|| run_round(&db, sessions, &next))
+    });
+    g.finish();
+
+    // Dedicated timed window outside the Criterion sampling, so the
+    // device counters match the committed ops exactly.
+    const ROUNDS: u64 = 5;
+    let before = disk.stats().snapshot();
+    let t0 = Instant::now();
+    let mut commits = 0u64;
+    for _ in 0..ROUNDS {
+        commits += run_round(&db, sessions, &next);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let d = disk.stats().snapshot().since(&before);
+    let ops_per_sec = commits as f64 / secs;
+    let forces_per_commit = d.wal_forces as f64 / commits.max(1) as f64;
+    let commits_per_force =
+        d.group_commit_commits as f64 / d.group_commit_batches.max(1) as f64;
+
+    report(
+        "BENCH-6",
+        &format!("{series}/{sessions}_sessions/ops_per_sec"),
+        "ops/s",
+        format!("{ops_per_sec:.0}"),
+    );
+    report(
+        "BENCH-6",
+        &format!("{series}/{sessions}_sessions/forces_per_commit"),
+        "ratio",
+        format!("{forces_per_commit:.3}"),
+    );
+    report(
+        "BENCH-6",
+        &format!("{series}/{sessions}_sessions/commits_per_force"),
+        "ratio",
+        format!("{commits_per_force:.2}"),
+    );
+    println!(
+        "BENCHJSON {{\"bench\":\"group_commit\",\"series\":\"{series}\",\
+\"sessions\":{sessions},\"commits\":{commits},\"ops_per_sec\":{ops_per_sec:.0},\
+\"wal_forces\":{},\"forces_per_commit\":{forces_per_commit:.3},\
+\"group_commit_batches\":{},\"group_commit_commits\":{},\
+\"commits_per_force\":{commits_per_force:.2}}}",
+        d.wal_forces, d.group_commit_batches, d.group_commit_commits,
+    );
+    report_metrics(&format!("group_commit/{series}_{sessions}"), &db);
+
+    // The CI perf gate: with ≥ 4 concurrently committing sessions the
+    // coordinator must genuinely share forces across commits.
+    if config.max_batch > 1 && sessions >= 4 {
+        assert!(
+            forces_per_commit < 1.0,
+            "group commit regressed to force-per-commit: {forces_per_commit:.3} \
+             forces/commit at {sessions} sessions ({} forces, {commits} commits)",
+            d.wal_forces
+        );
+    }
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    for sessions in [1usize, 4, 8] {
+        run_series(c, "force_each", GroupCommitConfig::force_each(), sessions);
+        run_series(c, "grouped", GroupCommitConfig::default(), sessions);
+    }
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

@@ -77,6 +77,24 @@
 //!   retains full profiles of statements over a latency threshold in a
 //!   bounded ring ([`Prima::slow_statements`]); threshold zero captures
 //!   every statement.
+//!
+//! # Durability
+//!
+//! A kernel built with `PrimaBuilder::durable()` (plus a device) runs
+//! write-ahead logging with steal/no-force buffering; `Prima::open` /
+//! `Prima::open_device` replay the log after a crash (redo → rescan →
+//! loser rollback). `Session::commit` is acknowledged only once a
+//! device append covering the transaction's `TxnCommit` record has
+//! completed. Under **cross-session group commit** (on by default, see
+//! [`GroupCommitConfig`]) concurrently committing sessions share that
+//! device force: one committer leads and forces a batch covering every
+//! waiter's records, the rest park until the flushed LSN reaches their
+//! commit — N committers, one fsync. [`PrimaBuilder::group_commit`]
+//! tunes the leader's linger (`max_wait`, default 500 µs) and batch cap
+//! (`max_batch`, default 64), or disables grouping entirely with
+//! [`GroupCommitConfig::force_each`] for minimum single-commit latency.
+//! A lone committer never waits either way, so grouping costs nothing
+//! when there is no concurrency to amortize.
 
 pub mod db;
 pub mod datasys;
@@ -103,4 +121,5 @@ pub use session::{
 };
 pub use txn::{LockConfig, LockStatsSnapshot, VersionStatsSnapshot};
 pub use prima_access::{AccessSystem, Atom, UpdatePolicy};
+pub use prima_storage::GroupCommitConfig;
 pub use prima_mad::{AtomId, AtomTypeId, Schema, Value};

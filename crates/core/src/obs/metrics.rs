@@ -126,6 +126,24 @@ impl MetricsSnapshot {
             self.io.wal_forces <= self.io.wal_bytes,
             format!("io: wal_forces {} > wal_bytes {}", self.io.wal_forces, self.io.wal_bytes),
         );
+        // Group commit: every commit-carrying batch is a device force
+        // (the WAL's shared accounting funnel — force *and* the
+        // checkpoint reset's re-append — counts both or neither), and a
+        // batch carries at least one commit record.
+        check(
+            self.io.group_commit_batches <= self.io.wal_forces,
+            format!(
+                "io: group_commit_batches {} > wal_forces {}",
+                self.io.group_commit_batches, self.io.wal_forces
+            ),
+        );
+        check(
+            self.io.group_commit_batches <= self.io.group_commit_commits,
+            format!(
+                "io: group_commit_batches {} > group_commit_commits {}",
+                self.io.group_commit_batches, self.io.group_commit_commits
+            ),
+        );
         // Access: a non-degenerate batch reads ≥ 2 atoms over ≥ 1 page.
         check(
             self.access.batch_reads <= self.access.batch_atoms,

@@ -239,24 +239,27 @@ impl TxnManager {
     /// (restart recovery knows only top-level winners and losers). Must
     /// run before the operation dirties any page — see the struct docs.
     /// The first undo record of a top-level transaction opens its WAL
-    /// bracket (`TxnBegin`) on the way.
-    fn log_undo(&self, t: TxnId, op: &UndoOp) {
+    /// bracket (`TxnBegin`) on the way. Fails when the log refuses the
+    /// append (poisoned after a device error): the write must not
+    /// proceed, since its undo could never become durable.
+    fn log_undo(&self, t: TxnId, op: &UndoOp) -> prima_storage::StorageResult<()> {
         if let Some(wal) = &self.wal {
             let top = *self.ancestors(t).last().expect("ancestors include self");
             {
                 let mut active = self.active.lock();
                 if let Some(state) = active.get_mut(&top) {
                     if !state.wal_open {
-                        state.wal_open = true;
                         // Appended under the active-set lock so the
                         // bracket is opened exactly once even when
                         // parallel subtransactions log concurrently.
-                        wal.append(WalPayload::TxnBegin { txn: top.0 });
+                        wal.append(WalPayload::TxnBegin { txn: top.0 })?;
+                        state.wal_open = true;
                     }
                 }
             }
-            wal.append(WalPayload::Undo { txn: top.0, payload: &op.encode() });
+            wal.append(WalPayload::Undo { txn: top.0, payload: &op.encode() })?;
         }
+        Ok(())
     }
 
     /// Shared atom lock — the read-path granule.
@@ -349,7 +352,8 @@ impl TxnManager {
         let id = self
             .sys
             .insert_atom_with_hook(atom_type, values, |id| {
-                self.log_undo(t, &UndoOp::UndoInsert { id });
+                self.log_undo(t, &UndoOp::UndoInsert { id })
+                    .map_err(prima_access::AccessError::Storage)?;
                 self.versions.install(t, id, None);
                 Ok(())
             })
@@ -386,7 +390,7 @@ impl TxnManager {
         // the base mutation, so a snapshot reader that catches the new
         // base value always finds the before-image that corrects it.
         let undo = UndoOp::UndoModify { id, old };
-        self.log_undo(t, &undo);
+        self.log_undo(t, &undo).map_err(|e| TxnError::Access(e.to_string()))?;
         self.versions.install(t, id, Some(before));
         self.sys.modify_atom(id, updates).map_err(|e| TxnError::Access(e.to_string()))?;
         self.push_undo(t, undo)?;
@@ -403,7 +407,7 @@ impl TxnManager {
         }
         // Undo before do, as for modify — version entry included.
         let undo = UndoOp::UndoDelete { atom: before.clone() };
-        self.log_undo(t, &undo);
+        self.log_undo(t, &undo).map_err(|e| TxnError::Access(e.to_string()))?;
         self.versions.install(t, id, Some(before));
         self.sys.delete_atom(id).map_err(|e| TxnError::Access(e.to_string()))?;
         self.push_undo(t, undo)?;
@@ -427,17 +431,17 @@ impl TxnManager {
             // Top-level durability point, reached while the transaction
             // still counts as active (a quiescing checkpoint cannot slip
             // between the force and the bookkeeping below). On a durable
-            // kernel the commit record is appended and the log *forced* —
-            // the group-commit point ("group-appended and forced on
-            // commit"): everything buffered since the last force,
-            // possibly several statements' records, goes to the device
-            // in one sequential append. Read-only transactions
-            // (`wal_open` false — no bracket, no undo, no page image)
-            // have nothing to make durable and skip both the record and
-            // the force.
+            // kernel `Wal::commit` appends the commit record and returns
+            // only once a device force covers it — the cross-session
+            // group-commit point: everything buffered since the last
+            // force, possibly several sessions' records, goes to the
+            // device in one sequential append, and concurrent committers
+            // share that one force (leader/follower coordination inside
+            // the WAL). Read-only transactions (`wal_open` false — no
+            // bracket, no undo, no page image) have nothing to make
+            // durable and skip both the record and the force.
             if let Some(wal) = &self.wal {
-                wal.append(WalPayload::TxnCommit { txn: t.0 });
-                wal.force().map_err(|e| TxnError::Access(e.to_string()))?;
+                wal.commit(t.0).map_err(|e| TxnError::Access(e.to_string()))?;
             }
         }
         let undo = {
@@ -504,12 +508,13 @@ impl TxnManager {
         // still resolves to the correct before-image.
         self.versions.rollback(t);
         // A durable top-level abort records that its undo has been
-        // applied. Unforced: if the record is lost in a crash, restart
-        // simply replays the (idempotent) undo again. A transaction that
-        // never opened its bracket left nothing to record.
+        // applied. Unforced and best-effort: if the record is lost in a
+        // crash — or refused by a poisoned log — restart simply replays
+        // the (idempotent) undo again. A transaction that never opened
+        // its bracket left nothing to record.
         if parent.is_none() && wal_open {
             if let Some(wal) = &self.wal {
-                wal.append(WalPayload::TxnAbort { txn: t.0 });
+                let _ = wal.append(WalPayload::TxnAbort { txn: t.0 });
             }
         }
         {

@@ -792,11 +792,17 @@ impl Drop for PageGuardMut {
     fn drop(&mut self) {
         // Physical redo: log the page's after-image while we still hold
         // the frame exclusively, then record the LSN on the frame so
-        // flush/eviction can enforce write-ahead.
+        // flush/eviction can enforce write-ahead. If a poisoned log
+        // refuses the append, pin the frame at `Lsn::MAX`: the dirty
+        // page can then never pass the write-ahead check, so it is
+        // never stolen — the flush that eventually needs it fails
+        // loudly instead of persisting a page whose redo was lost.
         let mut lsn: Lsn = 0;
         if let (Some(wal), Some(page)) = (&self.wal, self.lock.as_deref_mut()) {
             page.update_checksum();
-            lsn = wal.append(WalPayload::PageImage { page: self.id, bytes: page.as_bytes() });
+            lsn = wal
+                .append(WalPayload::PageImage { page: self.id, bytes: page.as_bytes() })
+                .unwrap_or(Lsn::MAX);
         }
         self.lock.take();
         unfix(&self.pool, self.id, lsn);

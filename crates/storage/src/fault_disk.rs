@@ -46,7 +46,7 @@
 use crate::disk::{BlockAddr, BlockDevice};
 use crate::error::{StorageError, StorageResult};
 use crate::stats::IoStats;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -146,9 +146,20 @@ struct FaultState {
     /// Crash point armed after construction ([`FaultDisk::arm`]);
     /// overrides the schedule's.
     armed: Option<CrashPoint>,
+    /// Remaining WAL appends to fail with a *transient* error (no
+    /// crash) — an ENOSPC-style hiccup the medium survives.
+    fail_appends: u32,
     /// The drive cache: acknowledged block writes that no completed
     /// barrier has persisted yet. BTreeMap for deterministic drain order.
     cache: BTreeMap<BlockAddr, Vec<u8>>,
+}
+
+/// Controls for parking callers *inside* [`BlockDevice::wal_append`] —
+/// a slow-device model for tests that need to observe what the rest of
+/// the kernel does while a log force is in flight.
+struct StallGate {
+    hold: bool,
+    stalled: usize,
 }
 
 impl FaultState {
@@ -167,6 +178,8 @@ pub struct FaultDisk {
     inner: Arc<dyn BlockDevice>,
     schedule: FaultSchedule,
     state: Mutex<FaultState>,
+    gate: Mutex<StallGate>,
+    gate_cv: Condvar,
 }
 
 impl std::fmt::Debug for FaultDisk {
@@ -195,9 +208,40 @@ impl FaultDisk {
                 syncs: 0,
                 crashed: false,
                 armed: None,
+                fail_appends: 0,
                 cache: BTreeMap::new(),
             }),
+            gate: Mutex::new(StallGate { hold: false, stalled: 0 }),
+            gate_cv: Condvar::new(),
         })
+    }
+
+    /// Parks every subsequent [`BlockDevice::wal_append`] caller at the
+    /// top of the call (before any fault bookkeeping) until
+    /// [`FaultDisk::release_wal_appends`] — a stalled fsync. Counters
+    /// and [`FaultDisk::crash_now`] stay reachable while callers park.
+    pub fn hold_wal_appends(&self) {
+        self.gate.lock().hold = true;
+    }
+
+    /// Releases callers parked by [`FaultDisk::hold_wal_appends`].
+    pub fn release_wal_appends(&self) {
+        self.gate.lock().hold = false;
+        self.gate_cv.notify_all();
+    }
+
+    /// How many threads are currently parked inside `wal_append` —
+    /// lets a test wait until a force is provably in flight.
+    pub fn stalled_wal_appends(&self) -> usize {
+        self.gate.lock().stalled
+    }
+
+    /// Fails the next `n` WAL appends with a transient device error
+    /// *without* crashing the medium — exercises the WAL's poison path
+    /// (the log tail is suspect, later truncation heals it) in a world
+    /// where the device keeps living.
+    pub fn fail_wal_appends(&self, n: u32) {
+        self.state.lock().fail_appends = n;
     }
 
     /// The schedule this device runs.
@@ -453,7 +497,31 @@ impl BlockDevice for FaultDisk {
     }
 
     fn wal_append(&self, bytes: &[u8]) -> StorageResult<()> {
+        // Stall gate first, *before* the state lock, so a parked caller
+        // models a slow device without blocking crash_now / arm / the
+        // counters other threads read.
+        {
+            let mut g = self.gate.lock();
+            if g.hold {
+                g.stalled += 1;
+                while g.hold {
+                    self.gate_cv.wait(&mut g);
+                }
+                g.stalled -= 1;
+            }
+        }
         let mut st = self.state.lock();
+        if st.crashed {
+            return Err(crashed_err());
+        }
+        if st.fail_appends > 0 {
+            st.fail_appends -= 1;
+            st.ops += 1;
+            st.forces += 1; // an attempted force, like note_op counts
+            return Err(StorageError::DeviceError(
+                "fault-disk: injected transient wal_append failure".into(),
+            ));
+        }
         if self.note_op(&mut st, OpKind::WalAppend)? {
             // Torn group append: a prefix of the batch reaches the log
             // area, optionally with bit rot inside the fragment. Replay

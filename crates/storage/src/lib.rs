@@ -48,7 +48,24 @@
 //! * The **log** ([`wal::Wal`]) is an append-only companion to the block
 //!   files: LSN-stamped records (page after-images for physical redo,
 //!   transaction brackets and logical-undo payloads from the layer
-//!   above), group-appended and forced on commit.
+//!   above), group-appended and forced on commit. [`Wal::commit`] is the
+//!   commit durability point and implements **cross-session group
+//!   commit**: a committer appends its `TxnCommit` record and either
+//!   *leads* — performs one device force covering every in-flight
+//!   committer's records, lingering up to
+//!   [`GroupCommitConfig::max_wait`] for commits already en route
+//!   (capped at [`GroupCommitConfig::max_batch`]) — or *follows*, parked
+//!   on a condvar until the published `flushed_lsn` covers its commit
+//!   LSN. Either way `commit` returns `Ok` only after a device append
+//!   covering the caller's record returned `Ok`, so N concurrent
+//!   committers share one fsync instead of paying N; a lone committer
+//!   never lingers and pays exactly one force. The device append itself
+//!   happens *outside* the group-buffer mutex (a dedicated I/O lock
+//!   keeps file order = LSN order), so sessions keep appending while a
+//!   force is in flight. A failed force poisons the log — every later
+//!   append and force fails fast until a checkpoint truncation heals it
+//!   — because appending past a possibly-durable torn fragment would
+//!   put records where replay can never see them.
 //! * The **buffer** keeps a `recovery_lsn` per frame and enforces
 //!   write-ahead on every flush and eviction (steal policy, no-force:
 //!   commit forces only the log, never data pages).
@@ -111,4 +128,4 @@ pub use page::{Page, PageId, PageSize, PageType, PAGE_HEADER_LEN};
 pub use page_seq::{PageSeqHandle, PageSequence};
 pub use segment::{Segment, SegmentId, SegmentMeta, StorageSystem};
 pub use stats::{IoSnapshot, IoStats, StatsSnapshot};
-pub use wal::{Lsn, Wal, WalPayload, WalRecord};
+pub use wal::{GroupCommitConfig, Lsn, Wal, WalPayload, WalRecord};

@@ -29,7 +29,10 @@ pub enum ProbeEvent {
     /// record length).
     WalAppend,
     /// One WAL force: the buffered batch appended to the device's log
-    /// area (`bytes` = batch length).
+    /// area (`bytes` = batch length). Under cross-session group commit
+    /// one force may cover many sessions' commit records; the
+    /// checkpoint reset's re-append of pending records emits this event
+    /// too — every device log write is visible here.
     WalForce,
     /// One page-grouped batched read in the access system.
     BatchRead,

@@ -269,9 +269,17 @@ impl StorageSystem {
             // The marker rides through reset (which re-appends pending
             // records), so the fresh log starts with a checkpoint record
             // naming its recovery base — diagnostic only; replay treats
-            // it as a no-op.
-            wal.append(crate::wal::WalPayload::Checkpoint);
+            // it as a no-op. A poisoned log refuses the append; the
+            // reset below truncates away the torn fragment and clears
+            // the poison, so on that path the marker is appended — and
+            // forced — onto the fresh log afterwards instead (the
+            // checkpoint still heals a poisoned kernel).
+            let marker = wal.append(crate::wal::WalPayload::Checkpoint);
             wal.reset()?;
+            if marker.is_err() {
+                wal.append(crate::wal::WalPayload::Checkpoint)?;
+                wal.force()?;
+            }
         }
         self.store.device.sync()
     }

@@ -69,6 +69,13 @@ pub struct IoStats {
     pub wal_forces: AtomicU64,
     /// Bytes appended to the write-ahead log.
     pub wal_bytes: AtomicU64,
+    /// WAL forces whose batch carried at least one `TxnCommit` record —
+    /// the device-level unit of cross-session group commit.
+    pub group_commit_batches: AtomicU64,
+    /// `TxnCommit` records made durable across all group-commit batches;
+    /// `group_commit_commits / group_commit_batches` is the commits-per-
+    /// force amortisation the group coordinator buys.
+    pub group_commit_commits: AtomicU64,
     /// Accumulated simulated service time in nanoseconds (cost model).
     pub sim_time_ns: AtomicU64,
 }
@@ -90,6 +97,8 @@ impl IoStats {
         self.chained_blocks.store(0, Ordering::Relaxed);
         self.wal_forces.store(0, Ordering::Relaxed);
         self.wal_bytes.store(0, Ordering::Relaxed);
+        self.group_commit_batches.store(0, Ordering::Relaxed);
+        self.group_commit_commits.store(0, Ordering::Relaxed);
         self.sim_time_ns.store(0, Ordering::Relaxed);
     }
 
@@ -106,6 +115,8 @@ impl IoStats {
             chained_blocks: self.chained_blocks.load(Ordering::Relaxed),
             wal_forces: self.wal_forces.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            group_commit_commits: self.group_commit_commits.load(Ordering::Relaxed),
             sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed),
         }
     }
@@ -127,6 +138,8 @@ pub struct IoSnapshot {
     pub chained_blocks: u64,
     pub wal_forces: u64,
     pub wal_bytes: u64,
+    pub group_commit_batches: u64,
+    pub group_commit_commits: u64,
     pub sim_time_ns: u64,
 }
 
@@ -144,6 +157,12 @@ impl IoSnapshot {
             chained_blocks: self.chained_blocks.saturating_sub(earlier.chained_blocks),
             wal_forces: self.wal_forces.saturating_sub(earlier.wal_forces),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            group_commit_batches: self
+                .group_commit_batches
+                .saturating_sub(earlier.group_commit_batches),
+            group_commit_commits: self
+                .group_commit_commits
+                .saturating_sub(earlier.group_commit_commits),
             sim_time_ns: self.sim_time_ns.saturating_sub(earlier.sim_time_ns),
         }
     }
@@ -172,6 +191,8 @@ impl StatsSnapshot for IoSnapshot {
             ("chained_blocks", self.chained_blocks),
             ("wal_forces", self.wal_forces),
             ("wal_bytes", self.wal_bytes),
+            ("group_commit_batches", self.group_commit_batches),
+            ("group_commit_commits", self.group_commit_commits),
             ("sim_time_ns", self.sim_time_ns),
         ]
     }

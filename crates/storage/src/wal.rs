@@ -13,9 +13,25 @@
 //! * **transaction brackets** — begin / commit / abort records; commit
 //!   *forces* the log, which is what makes `Session::commit` durable;
 //! * **group append** — records accumulate in an in-process buffer and
-//!   reach the device only on [`Wal::force`], one sequential
+//!   reach the device only on a force, one sequential
 //!   [`BlockDevice::wal_append`] per force. Everything not yet forced is
-//!   lost in a crash — exactly the contract recovery assumes.
+//!   lost in a crash — exactly the contract recovery assumes;
+//! * **cross-session group commit** — [`Wal::commit`] is the commit
+//!   durability point. A committer appends its `TxnCommit` record and
+//!   then either *leads* (performs the device force itself, lingering up
+//!   to [`GroupCommitConfig::max_wait`] for other in-flight committers'
+//!   records, up to [`GroupCommitConfig::max_batch`] commits) or
+//!   *follows* (parks on a condvar until `flushed_lsn` covers its commit
+//!   LSN). Either way the ack invariant holds: `commit` returns `Ok`
+//!   only after a device append covering the caller's `TxnCommit` record
+//!   returned `Ok` — so N concurrent committers share one fsync instead
+//!   of paying N.
+//!
+//! A force never holds the group buffer's mutex across device I/O: the
+//! pending batch is swapped out under the lock, written outside it, and
+//! `flushed` is published after — appenders on other sessions are never
+//! stalled behind an in-flight fsync. File order still equals LSN order
+//! because batch swaps are serialised by a dedicated I/O lock.
 //!
 //! The write-ahead invariant is enforced at the buffer: no dirty page
 //! reaches the device while its `recovery_lsn` exceeds
@@ -31,9 +47,10 @@
 use crate::disk::BlockDevice;
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Log sequence number. `0` means "none"; real records start at 1.
 pub type Lsn = u64;
@@ -44,6 +61,48 @@ const KIND_TXN_COMMIT: u8 = 3;
 const KIND_TXN_ABORT: u8 = 4;
 const KIND_UNDO: u8 = 5;
 const KIND_CHECKPOINT: u8 = 6;
+
+/// Tuning knobs for cross-session group commit (see [`Wal::commit`]).
+///
+/// Both knobs bound how long a commit leader lingers for company before
+/// forcing: it writes as soon as every transaction currently inside
+/// `commit` has its record in the batch, `max_batch` commits are
+/// buffered, or `max_wait` elapses — whichever comes first. A lone
+/// committer never lingers at all, so single-session commit latency is
+/// unchanged from force-per-commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Longest a leader waits for further committers' records before
+    /// forcing, and the bound on one follower park (followers re-check
+    /// `flushed_lsn` and the leader flag on every wakeup, so a missed
+    /// notify costs at most one `max_wait`).
+    pub max_wait: Duration,
+    /// Most commit records one device force may cover. `<= 1` disables
+    /// grouping entirely: every commit forces for itself, the pre-group
+    /// behaviour.
+    pub max_batch: usize,
+}
+
+impl Default for GroupCommitConfig {
+    /// Grouping on: up to 64 commits per force, 500 µs leader linger.
+    fn default() -> Self {
+        GroupCommitConfig { max_wait: Duration::from_micros(500), max_batch: 64 }
+    }
+}
+
+impl GroupCommitConfig {
+    /// Classic force-per-commit: every committer pays its own device
+    /// append. The baseline the group-commit bench compares against, and
+    /// the escape hatch for workloads that want minimum commit latency
+    /// over throughput.
+    pub fn force_each() -> Self {
+        GroupCommitConfig { max_wait: Duration::ZERO, max_batch: 1 }
+    }
+
+    fn grouping(&self) -> bool {
+        self.max_batch > 1
+    }
+}
 
 /// A record as appended (borrowed payloads; the LSN is assigned by
 /// [`Wal::append`]).
@@ -96,21 +155,42 @@ struct WalBuf {
     pending: Vec<u8>,
     /// LSN of the newest buffered record.
     buffered: Lsn,
+    /// `TxnCommit` records among `pending` — the group-commit batch size
+    /// a lingering leader watches.
+    pending_commits: u64,
+}
+
+/// Group-commit coordinator state, guarded by [`Wal::group`]. The
+/// condvar doubles as the leader's linger timer and the followers' park.
+struct GroupState {
+    /// A committer is currently performing (or about to perform) the
+    /// shared force; later arrivals park instead of racing it.
+    leader_active: bool,
 }
 
 /// The write-ahead log over a device's log area. See module docs.
 pub struct Wal {
     device: Arc<dyn BlockDevice>,
     inner: Mutex<WalBuf>,
+    /// Serialises batch swap + device append so file order == LSN order
+    /// even with concurrent forces. Held across device I/O *instead of*
+    /// `inner`, which is released before the write starts.
+    io_lock: Mutex<()>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    /// Transactions currently inside [`Wal::commit`]; a lingering leader
+    /// stops waiting as soon as the batch covers all of them.
+    committing: AtomicU64,
+    config: GroupCommitConfig,
     next_lsn: AtomicU64,
     flushed: AtomicU64,
     /// Set when a device append failed mid-batch: the log may carry a
     /// durable torn fragment, and appending *past* it would put records
     /// where replay (which stops at the first corrupt record) can never
     /// see them — later commits would return Ok yet be unrecoverable.
-    /// A poisoned log refuses all further forces (commits fail loudly);
-    /// truncation — reopening the database, or a successful checkpoint
-    /// reset — clears the condition.
+    /// A poisoned log refuses all further appends and forces (commits
+    /// fail loudly); truncation — reopening the database, or a
+    /// successful checkpoint reset — clears the condition.
     poisoned: AtomicBool,
 }
 
@@ -119,6 +199,7 @@ impl std::fmt::Debug for Wal {
         f.debug_struct("Wal")
             .field("flushed", &self.flushed.load(Ordering::Relaxed))
             .field("next_lsn", &self.next_lsn.load(Ordering::Relaxed))
+            .field("config", &self.config)
             .finish()
     }
 }
@@ -145,14 +226,38 @@ impl Wal {
 
     /// A log resuming after replay: `first_lsn` must exceed every LSN
     /// already on the device so recovery-time appends stay monotone.
+    /// Uses the default [`GroupCommitConfig`] (grouping on).
     pub fn starting_at(device: Arc<dyn BlockDevice>, first_lsn: Lsn) -> Arc<Wal> {
+        Self::with_config(device, first_lsn, GroupCommitConfig::default())
+    }
+
+    /// A log with explicit group-commit tuning.
+    pub fn with_config(
+        device: Arc<dyn BlockDevice>,
+        first_lsn: Lsn,
+        config: GroupCommitConfig,
+    ) -> Arc<Wal> {
         Arc::new(Wal {
             device,
-            inner: Mutex::new(WalBuf { pending: Vec::new(), buffered: first_lsn - 1 }),
+            inner: Mutex::new(WalBuf {
+                pending: Vec::new(),
+                buffered: first_lsn - 1,
+                pending_commits: 0,
+            }),
+            io_lock: Mutex::new(()),
+            group: Mutex::new(GroupState { leader_active: false }),
+            group_cv: Condvar::new(),
+            committing: AtomicU64::new(0),
+            config,
             next_lsn: AtomicU64::new(first_lsn),
             flushed: AtomicU64::new(first_lsn - 1),
             poisoned: AtomicBool::new(false),
         })
+    }
+
+    /// The group-commit tuning this log runs with.
+    pub fn group_commit_config(&self) -> GroupCommitConfig {
+        self.config
     }
 
     fn check_poison(&self) -> StorageResult<()> {
@@ -167,10 +272,14 @@ impl Wal {
     }
 
     /// Appends one record to the in-process group buffer and returns its
-    /// LSN. Not durable until [`Wal::force`].
-    pub fn append(&self, payload: WalPayload<'_>) -> Lsn {
+    /// LSN. Not durable until a force covers it. Fails fast on a
+    /// poisoned log — buffering records that can never become durable
+    /// would only defer the error to commit time.
+    pub fn append(&self, payload: WalPayload<'_>) -> StorageResult<Lsn> {
         let probe_t = crate::probe::timer();
+        let is_commit = matches!(payload, WalPayload::TxnCommit { .. });
         let mut inner = self.inner.lock();
+        self.check_poison()?;
         // LSN assignment under the buffer lock: file order == LSN order.
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         let mut body = Vec::with_capacity(16);
@@ -214,31 +323,164 @@ impl Wal {
         inner.pending.extend_from_slice(&crc32(&body).to_le_bytes());
         inner.pending.extend_from_slice(&body);
         inner.buffered = lsn;
+        if is_commit {
+            inner.pending_commits += 1;
+        }
+        drop(inner);
         crate::probe::emit_elapsed(probe_t, crate::probe::ProbeEvent::WalAppend, (body.len() + 8) as u64);
-        lsn
+        if is_commit && self.config.grouping() {
+            // A leader may be lingering for exactly this record.
+            self.group_cv.notify_all();
+        }
+        Ok(lsn)
+    }
+
+    /// One device append of `batch`, with the probe/IoStats accounting
+    /// every log write must flow through — [`force`](Self::force) and
+    /// [`reset`](Self::reset)'s re-append both funnel here, so profiler
+    /// span trees and `prima_io_*` metrics see checkpoint-racing writes
+    /// too. `commits` is the number of `TxnCommit` records the batch
+    /// carries; batches carrying at least one feed the group-commit
+    /// counters (`group_commit_batches` / `group_commit_commits`).
+    fn append_batch(&self, batch: &[u8], commits: u64) -> StorageResult<()> {
+        let probe_t = crate::probe::timer();
+        self.device.wal_append(batch)?;
+        if commits > 0 {
+            let stats = self.device.stats();
+            stats.add(&stats.group_commit_batches, 1);
+            stats.add(&stats.group_commit_commits, commits);
+        }
+        crate::probe::emit_elapsed(probe_t, crate::probe::ProbeEvent::WalForce, batch.len() as u64);
+        Ok(())
     }
 
     /// Forces every buffered record to the device in one sequential
-    /// append (group commit). Returns the newest durable LSN.
+    /// append. Returns the newest durable LSN.
+    ///
+    /// The buffer mutex is *not* held across the device write: the
+    /// pending batch is swapped out under the lock, written under the
+    /// I/O lock only, and `flushed` published after — concurrent
+    /// appenders proceed while the force is in flight. On a device
+    /// error the unwritten batch is spliced back in front of anything
+    /// appended meanwhile (LSN order preserved) and the log is
+    /// poisoned; a later [`reset`](Self::reset) can still re-append the
+    /// full pending set onto a truncated log.
     pub fn force(&self) -> StorageResult<Lsn> {
-        let probe_t = crate::probe::timer();
-        let mut inner = self.inner.lock();
-        self.check_poison()?;
-        if inner.pending.is_empty() {
-            return Ok(self.flushed.load(Ordering::Relaxed));
+        let _io = self.io_lock.lock();
+        let (batch, upto, commits) = {
+            let mut inner = self.inner.lock();
+            self.check_poison()?;
+            if inner.pending.is_empty() {
+                return Ok(self.flushed.load(Ordering::Relaxed));
+            }
+            let batch = std::mem::take(&mut inner.pending);
+            let commits = std::mem::replace(&mut inner.pending_commits, 0);
+            (batch, inner.buffered, commits)
+        };
+        match self.append_batch(&batch, commits) {
+            Ok(()) => {
+                self.flushed.store(upto, Ordering::Relaxed);
+                if self.config.grouping() {
+                    // Any force can cover parked committers' records —
+                    // flush-path forces included.
+                    self.group_cv.notify_all();
+                }
+                Ok(upto)
+            }
+            Err(e) => {
+                // The device may hold a torn fragment of this batch; see
+                // the `poisoned` field docs.
+                self.poisoned.store(true, Ordering::Relaxed);
+                let mut inner = self.inner.lock();
+                let mut restored = batch;
+                restored.extend_from_slice(&inner.pending);
+                inner.pending = restored;
+                inner.pending_commits += commits;
+                drop(inner);
+                if self.config.grouping() {
+                    // Wake parked committers so they observe the poison.
+                    self.group_cv.notify_all();
+                }
+                Err(e)
+            }
         }
-        let batch_len = inner.pending.len() as u64;
-        if let Err(e) = self.device.wal_append(&inner.pending) {
-            // The device may hold a torn fragment of this batch; see the
-            // `poisoned` field docs.
-            self.poisoned.store(true, Ordering::Relaxed);
-            return Err(e);
+    }
+
+    /// The commit durability point: appends `txn`'s `TxnCommit` record
+    /// and returns once a device force covers it — `Ok` implies the
+    /// record (and every record before it) is durable.
+    ///
+    /// With grouping enabled (`max_batch > 1`) this is the
+    /// cross-session group commit: the first committer to find no force
+    /// in flight becomes *leader*, lingers briefly for other in-flight
+    /// committers (bounded by [`GroupCommitConfig`]), and performs one
+    /// [`force`](Self::force) covering every batched record; the rest
+    /// park on a condvar until `flushed_lsn` passes their commit LSN. A
+    /// lone committer leads immediately without lingering, so a
+    /// single-session writing commit still costs exactly one force.
+    pub fn commit(&self, txn: u64) -> StorageResult<Lsn> {
+        if !self.config.grouping() {
+            self.append(WalPayload::TxnCommit { txn })?;
+            return self.force();
         }
-        inner.pending.clear();
-        let lsn = inner.buffered;
-        self.flushed.store(lsn, Ordering::Relaxed);
-        crate::probe::emit_elapsed(probe_t, crate::probe::ProbeEvent::WalForce, batch_len);
-        Ok(lsn)
+        self.committing.fetch_add(1, Ordering::SeqCst);
+        let result = self.commit_grouped(txn);
+        self.committing.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    fn commit_grouped(&self, txn: u64) -> StorageResult<Lsn> {
+        let lsn = self.append(WalPayload::TxnCommit { txn })?;
+        loop {
+            let flushed = self.flushed.load(Ordering::Relaxed);
+            if flushed >= lsn {
+                // Someone's force covered us; our record is durable.
+                return Ok(flushed);
+            }
+            let mut g = self.group.lock();
+            // Re-check under the lock: a leader may have finished
+            // between the naked load and the acquire.
+            let flushed = self.flushed.load(Ordering::Relaxed);
+            if flushed >= lsn {
+                return Ok(flushed);
+            }
+            self.check_poison()?;
+            if g.leader_active {
+                // Follower: park until the leader publishes. Bounded
+                // wait, then re-check — a timeout is not an error, just
+                // another trip around the loop (and a chance to take
+                // over leadership if the force failed).
+                let _ = self.group_cv.wait_for(&mut g, self.config.max_wait.max(Duration::from_micros(50)));
+                continue;
+            }
+            // Leader: linger until every transaction currently inside
+            // commit() has its record batched, the batch is full, or
+            // max_wait elapses. A lone committer exits immediately.
+            g.leader_active = true;
+            let deadline = Instant::now() + self.config.max_wait;
+            loop {
+                let en_route = self.committing.load(Ordering::SeqCst);
+                let batched = self.inner.lock().pending_commits;
+                if batched >= en_route.min(self.config.max_batch as u64) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                if self.group_cv.wait_for(&mut g, deadline - now).timed_out() {
+                    break;
+                }
+            }
+            drop(g);
+            let res = self.force();
+            self.group.lock().leader_active = false;
+            self.group_cv.notify_all();
+            // Success: loop re-checks flushed (>= lsn, since our record
+            // was in the batch the force swapped out). Failure: the
+            // error is ours to report — our commit is not durable.
+            res?;
+        }
     }
 
     /// Newest LSN durably on the device.
@@ -256,21 +498,25 @@ impl Wal {
     /// the flushed pages and metadata snapshot). Records still *pending*
     /// in the group buffer — e.g. page images of non-transactional
     /// writers racing the checkpoint — are not discarded: they are
-    /// appended to the fresh log immediately, so `flushed == buffered`
-    /// stays truthful. The LSN counter keeps increasing.
+    /// appended to the fresh log immediately (through the same
+    /// accounting funnel as a force, so probes and `prima_io_*` see
+    /// them), so `flushed == buffered` stays truthful. The LSN counter
+    /// keeps increasing.
     pub fn reset(&self) -> StorageResult<()> {
+        let _io = self.io_lock.lock();
         let mut inner = self.inner.lock();
         self.device.wal_reset()?;
         // Truncation discards any torn fragment, so the log is clean
         // again.
         self.poisoned.store(false, Ordering::Relaxed);
         if !inner.pending.is_empty() {
-            if let Err(e) = self.device.wal_append(&inner.pending) {
+            if let Err(e) = self.append_batch(&inner.pending, inner.pending_commits) {
                 self.poisoned.store(true, Ordering::Relaxed);
                 return Err(e);
             }
             inner.pending.clear();
         }
+        inner.pending_commits = 0;
         self.flushed.store(inner.buffered, Ordering::Relaxed);
         Ok(())
     }
@@ -362,6 +608,9 @@ impl Wal {
 mod tests {
     use super::*;
     use crate::disk::SimDisk;
+    use crate::fault_disk::{FaultDisk, FaultSchedule};
+    use crate::probe::{self, ProbeEvent};
+    use std::sync::atomic::AtomicUsize;
 
     fn device() -> Arc<dyn BlockDevice> {
         Arc::new(SimDisk::new())
@@ -371,13 +620,15 @@ mod tests {
     fn append_force_replay_round_trip() {
         let dev = device();
         let wal = Wal::new(Arc::clone(&dev));
-        let l1 = wal.append(WalPayload::TxnBegin { txn: 7 });
-        let l2 = wal.append(WalPayload::Undo { txn: 7, payload: b"undo-bytes" });
-        let l3 = wal.append(WalPayload::PageImage {
-            page: PageId::new(2, 9),
-            bytes: &[1, 2, 3, 4],
-        });
-        let l4 = wal.append(WalPayload::TxnCommit { txn: 7 });
+        let l1 = wal.append(WalPayload::TxnBegin { txn: 7 }).unwrap();
+        let l2 = wal.append(WalPayload::Undo { txn: 7, payload: b"undo-bytes" }).unwrap();
+        let l3 = wal
+            .append(WalPayload::PageImage {
+                page: PageId::new(2, 9),
+                bytes: &[1, 2, 3, 4],
+            })
+            .unwrap();
+        let l4 = wal.append(WalPayload::TxnCommit { txn: 7 }).unwrap();
         assert_eq!((l1, l2, l3, l4), (1, 2, 3, 4));
         assert_eq!(wal.flushed_lsn(), 0, "nothing durable before force");
         assert_eq!(wal.force().unwrap(), 4);
@@ -400,9 +651,9 @@ mod tests {
     fn unforced_tail_is_lost() {
         let dev = device();
         let wal = Wal::new(Arc::clone(&dev));
-        wal.append(WalPayload::TxnBegin { txn: 1 });
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
         wal.force().unwrap();
-        wal.append(WalPayload::TxnCommit { txn: 1 }); // never forced
+        wal.append(WalPayload::TxnCommit { txn: 1 }).unwrap(); // never forced
         drop(wal);
         let recs = Wal::replay(&dev).unwrap();
         assert_eq!(recs.len(), 1, "only the forced prefix survives");
@@ -412,7 +663,7 @@ mod tests {
     fn torn_tail_stops_replay() {
         let dev = device();
         let wal = Wal::new(Arc::clone(&dev));
-        wal.append(WalPayload::TxnBegin { txn: 1 });
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
         wal.force().unwrap();
         // Simulate a torn append: half a record at the end.
         dev.wal_append(&[13, 0, 0, 0, 99, 99]).unwrap();
@@ -424,12 +675,12 @@ mod tests {
     fn reset_truncates_device_log() {
         let dev = device();
         let wal = Wal::new(Arc::clone(&dev));
-        wal.append(WalPayload::Checkpoint);
+        wal.append(WalPayload::Checkpoint).unwrap();
         wal.force().unwrap();
         wal.reset().unwrap();
         assert!(Wal::replay(&dev).unwrap().is_empty());
         // LSNs keep increasing after a reset.
-        let lsn = wal.append(WalPayload::TxnBegin { txn: 2 });
+        let lsn = wal.append(WalPayload::TxnBegin { txn: 2 }).unwrap();
         assert_eq!(lsn, 2);
     }
 
@@ -438,11 +689,207 @@ mod tests {
         let dev = Arc::new(SimDisk::new());
         let wal = Wal::new(Arc::clone(&dev) as Arc<dyn BlockDevice>);
         for i in 0..10 {
-            wal.append(WalPayload::TxnBegin { txn: i });
+            wal.append(WalPayload::TxnBegin { txn: i }).unwrap();
         }
         wal.force().unwrap();
         let s = dev.stats().snapshot();
         assert_eq!(s.wal_forces, 1, "ten records, one sequential append");
         assert!(s.wal_bytes > 0);
+    }
+
+    /// The satellite-1 regression: with the old code, `force` held the
+    /// buffer mutex across `device.wal_append`, so an appender on a
+    /// second thread blocked for the whole device write. Stall the
+    /// device mid-force and prove an append on another thread completes
+    /// while the force is still in flight.
+    #[test]
+    fn append_completes_while_force_is_stalled_on_device() {
+        let fault = FaultDisk::new(Arc::new(SimDisk::new()), FaultSchedule::manual(11));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+        let wal = Wal::new(dev);
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
+
+        fault.hold_wal_appends();
+        let forcer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || wal.force().unwrap())
+        };
+        // Wait until the force is provably inside the device call.
+        while fault.stalled_wal_appends() == 0 {
+            std::thread::yield_now();
+        }
+        // The old code deadlocked here: append needed the mutex the
+        // stalled force was holding.
+        let lsn = wal.append(WalPayload::TxnBegin { txn: 2 }).unwrap();
+        assert_eq!(lsn, 2, "append proceeded during the in-flight force");
+        fault.release_wal_appends();
+        assert_eq!(forcer.join().unwrap(), 1, "force covered only the swapped batch");
+        assert_eq!(wal.buffered_lsn(), 2);
+        wal.force().unwrap();
+        assert_eq!(wal.flushed_lsn(), 2);
+    }
+
+    /// Satellite 2: a poisoned log refuses appends immediately instead
+    /// of buffering records that can never become durable.
+    #[test]
+    fn poisoned_log_fails_append_fast() {
+        let fault = FaultDisk::new(Arc::new(SimDisk::new()), FaultSchedule::manual(12));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+        let wal = Wal::new(dev);
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
+        fault.fail_wal_appends(1);
+        assert!(wal.force().is_err(), "injected device error fails the force");
+        assert!(
+            wal.append(WalPayload::TxnCommit { txn: 1 }).is_err(),
+            "append must fail fast on a poisoned log"
+        );
+        // The batch the failed force swapped out was restored: reset
+        // re-appends it onto the truncated log and clears the poison.
+        wal.reset().unwrap();
+        wal.append(WalPayload::TxnCommit { txn: 1 }).unwrap();
+        wal.force().unwrap();
+        let by_kind = Wal::replay(&(Arc::clone(&fault) as Arc<dyn BlockDevice>)).unwrap();
+        assert_eq!(by_kind.len(), 2, "begin survived via reset re-append, then commit");
+    }
+
+    /// A failed force splices its batch back *in front of* records
+    /// appended while the write was in flight, so the reset re-append
+    /// keeps LSN order on the device.
+    #[test]
+    fn failed_force_restores_batch_in_lsn_order() {
+        let fault = FaultDisk::new(Arc::new(SimDisk::new()), FaultSchedule::manual(13));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+        let wal = Wal::new(dev);
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
+
+        fault.hold_wal_appends();
+        fault.fail_wal_appends(1);
+        let forcer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || wal.force())
+        };
+        while fault.stalled_wal_appends() == 0 {
+            std::thread::yield_now();
+        }
+        // Appended mid-force: must end up *after* txn 1 in the restored
+        // pending buffer even though the force fails.
+        wal.append(WalPayload::TxnBegin { txn: 2 }).unwrap();
+        fault.release_wal_appends();
+        assert!(forcer.join().unwrap().is_err());
+
+        wal.reset().unwrap();
+        let recs = Wal::replay(&(Arc::clone(&fault) as Arc<dyn BlockDevice>)).unwrap();
+        assert_eq!(
+            recs,
+            vec![WalRecord::TxnBegin { lsn: 1, txn: 1 }, WalRecord::TxnBegin { lsn: 2, txn: 2 }],
+            "reset re-appended the failed batch plus later records in LSN order"
+        );
+    }
+
+    /// The tentpole in miniature: many threads commit concurrently;
+    /// stalling the first force makes the rest pile into shared batches,
+    /// so the device sees far fewer forces than commits — and the group
+    /// counters account for every commit record made durable.
+    #[test]
+    fn concurrent_commits_share_forces() {
+        const COMMITTERS: u64 = 8;
+        let fault = FaultDisk::new(Arc::new(SimDisk::new()), FaultSchedule::manual(14));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+        let wal = Wal::with_config(
+            dev,
+            1,
+            GroupCommitConfig { max_wait: Duration::from_millis(100), max_batch: 64 },
+        );
+
+        fault.hold_wal_appends();
+        let handles: Vec<_> = (0..COMMITTERS)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    wal.append(WalPayload::TxnBegin { txn: t }).unwrap();
+                    wal.commit(t).unwrap()
+                })
+            })
+            .collect();
+        // First leader is stalled inside the device append; give the
+        // other committers time to batch up behind it.
+        while fault.stalled_wal_appends() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        fault.release_wal_appends();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let s = fault.stats().snapshot();
+        assert_eq!(s.group_commit_commits, COMMITTERS, "every commit record accounted durable");
+        assert!(
+            s.group_commit_batches < COMMITTERS,
+            "commits shared batches: {} batches for {COMMITTERS} commits",
+            s.group_commit_batches
+        );
+        assert!(
+            s.wal_forces < COMMITTERS,
+            "one fsync covered many committers: {} forces for {COMMITTERS} commits",
+            s.wal_forces
+        );
+        assert!(wal.flushed_lsn() >= COMMITTERS * 2, "all brackets durable");
+    }
+
+    /// With grouping disabled every commit pays its own force — the
+    /// pre-group behaviour the bench uses as baseline.
+    #[test]
+    fn force_each_config_forces_per_commit() {
+        let dev = Arc::new(SimDisk::new());
+        let wal = Wal::with_config(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            1,
+            GroupCommitConfig::force_each(),
+        );
+        for t in 0..4 {
+            wal.append(WalPayload::TxnBegin { txn: t }).unwrap();
+            wal.commit(t).unwrap();
+        }
+        let s = dev.stats().snapshot();
+        assert_eq!(s.wal_forces, 4);
+        assert_eq!(s.group_commit_batches, 4);
+        assert_eq!(s.group_commit_commits, 4);
+    }
+
+    static RESET_FORCE_EVENTS: AtomicUsize = AtomicUsize::new(0);
+    fn count_force_events(event: ProbeEvent, _ns: u64, _bytes: u64) {
+        if matches!(event, ProbeEvent::WalForce) {
+            RESET_FORCE_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Satellite 3: `reset`'s re-append of checkpoint-racing pending
+    /// records flows through the shared accounting funnel — it emits a
+    /// `WalForce` probe event and lands in the device's force counters
+    /// instead of bypassing both.
+    #[test]
+    fn reset_reappend_is_accounted() {
+        let dev = Arc::new(SimDisk::new());
+        let wal = Wal::new(Arc::clone(&dev) as Arc<dyn BlockDevice>);
+        wal.append(WalPayload::TxnBegin { txn: 1 }).unwrap();
+        wal.append(WalPayload::TxnCommit { txn: 1 }).unwrap(); // never forced
+
+        RESET_FORCE_EVENTS.store(0, Ordering::Relaxed);
+        probe::set_thread_hook(Some(count_force_events));
+        let before = dev.stats().snapshot();
+        wal.reset().unwrap();
+        probe::set_thread_hook(None);
+        let d = dev.stats().snapshot().since(&before);
+
+        assert_eq!(
+            RESET_FORCE_EVENTS.load(Ordering::Relaxed),
+            1,
+            "reset's re-append emits the WalForce probe event"
+        );
+        assert_eq!(d.wal_forces, 1, "device force counter sees the re-append");
+        assert!(d.wal_bytes > 0);
+        assert_eq!(d.group_commit_commits, 1, "the re-appended commit record is accounted");
+        assert_eq!(wal.flushed_lsn(), 2, "re-appended records are durable");
     }
 }

@@ -881,6 +881,313 @@ fn run_multi_session(
     CrashReport { seed, steps_run, acked_commits: acked, bootstrap_crash: false, in_flight_won }
 }
 
+/// Per-committer outcome of the group-commit schedule (one per worker
+/// thread, each owning a disjoint key range).
+struct CommitterOutcome {
+    /// The thread's key-range base (`range = base .. base + 1000`).
+    base: i64,
+    /// Model at the last acknowledged commit, restricted to the range.
+    last_acked: ModelState,
+    /// Model at the commit whose force was in flight at the crash, if
+    /// any — admissible exactly like the single-session leg's.
+    in_flight: Option<ModelState>,
+    acked: usize,
+    steps_run: usize,
+}
+
+/// Runs one seed-determined fault schedule with **concurrently
+/// committing sessions** — the cross-session group-commit leg. 2–4
+/// worker threads (seed-chosen) each own a disjoint `part_no` range and
+/// commit every 1–2 statements, so their `TxnCommit` records genuinely
+/// overlap inside the WAL's group coordinator and one leader's force
+/// routinely carries several sessions' commits. The schedule then tears
+/// that *shared* batch (torn prefix, bit rot, partial fsync — the whole
+/// [`FaultSchedule`] menu), which is exactly the new failure surface
+/// group commit introduces: an ack must imply the covering force
+/// completed, for *every* session it covered.
+///
+/// Oracle, per thread over its own key range (ranges are disjoint, so
+/// the committed-prefix argument applies to each range independently):
+/// the recovered rows in thread t's range equal t's last acknowledged
+/// commit — or its in-flight one (the torn batch may have fully
+/// persisted, or its durable prefix may happen to include t's commit
+/// record while the force still errored). Any other state — a later
+/// unacked commit surviving, an acked one missing, a frankenstate — is
+/// a violation. Cross-family metric invariants (including the
+/// group-commit counters) are checked after recovery.
+///
+/// Thread interleaving is genuinely concurrent, so unlike the
+/// single-session legs a seed pins the fault schedule but not the exact
+/// interleaving; the oracle holds for every interleaving by
+/// construction (disjoint ranges, per-thread models).
+pub fn run_group_commit_schedule(
+    inner: Arc<dyn BlockDevice>,
+    seed: u64,
+    steps: usize,
+) -> CrashReport {
+    let schedule = FaultSchedule::from_seed(seed);
+    let fault = FaultDisk::new(inner, schedule);
+    let device: Arc<dyn BlockDevice> = Arc::clone(&fault) as Arc<dyn BlockDevice>;
+
+    // Default builder config: group commit ON (the default path is the
+    // one under test); small buffer keeps steal in play.
+    let built = Prima::builder()
+        .buffer_bytes(16 << 10)
+        .device(device)
+        .durable()
+        .build_with_ddl(CRASH_DDL);
+    let db = match built {
+        Ok(db) => db,
+        Err(e) => {
+            if !fault.has_crashed() {
+                panic!("{}", repro(seed, steps, "build failed without a crash", e.to_string()));
+            }
+            if let Ok(db) = Prima::open_device(fault.persisted_device()) {
+                let state = observe(&db);
+                if !state.is_empty() {
+                    panic!(
+                        "{}",
+                        repro(
+                            seed,
+                            steps,
+                            "bootstrap crash recovered non-empty state",
+                            format!("{state:?}"),
+                        )
+                    );
+                }
+            }
+            return CrashReport {
+                seed,
+                steps_run: 0,
+                acked_commits: 0,
+                bootstrap_crash: true,
+                in_flight_won: false,
+            };
+        }
+    };
+
+    let threads = 2 + (seed % 3) as usize; // 2..=4 committers
+    let outcomes: Vec<CommitterOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = &db;
+                let fault = &fault;
+                scope.spawn(move || {
+                    let session = db.session();
+                    let base = 1_000 * t as i64;
+                    let mut rng =
+                        SmallRng::seed_from_u64(seed ^ (0x3a3a_c0de_2026_0009 + t as u64));
+                    let mut last_acked = ModelState::new();
+                    let mut pending = ModelState::new();
+                    let mut in_flight: Option<ModelState> = None;
+                    let mut acked = 0usize;
+                    let mut steps_run = 0usize;
+                    let mut next_key = 0i64;
+
+                    'workload: while steps_run < steps {
+                        if fault.has_crashed() {
+                            break;
+                        }
+                        // 1–2 statements, then commit: commits from the
+                        // worker threads genuinely overlap inside the
+                        // group coordinator.
+                        for _ in 0..rng.gen_range(1usize..3) {
+                            steps_run += 1;
+                            let roll = rng.gen_range(0u32..100);
+                            if roll < 60 || pending.is_empty() {
+                                // Monotone in-range key: inserts never
+                                // collide, within or across threads.
+                                let no = base + (next_key % 900);
+                                next_key += 1;
+                                let name = format!("t{t}-v{steps_run}-{:0>200}", steps_run);
+                                match session.execute(&format!(
+                                    "INSERT part (part_no: {no}, name: '{name}')"
+                                )) {
+                                    Ok(DmlResult::Inserted(id)) => {
+                                        pending.insert(no, (name, id.seq));
+                                    }
+                                    Ok(other) => panic!(
+                                        "{}",
+                                        repro(
+                                            seed,
+                                            steps,
+                                            "group INSERT wrong result",
+                                            format!("{other:?}"),
+                                        )
+                                    ),
+                                    Err(_) if fault.has_crashed() => break 'workload,
+                                    Err(e)
+                                        if pending.contains_key(&no)
+                                            && e.to_string().contains("duplicate key") =>
+                                    {
+                                        // Key wrapped past 900 onto a
+                                        // still-live row; the model
+                                        // predicted the rejection.
+                                    }
+                                    Err(e) if retryable_abort(&e) => {
+                                        // Deadlock victim / lock conflict:
+                                        // the transaction is gone, re-sync
+                                        // the model to the last ack.
+                                        let _ = session.rollback();
+                                        pending = last_acked.clone();
+                                        continue 'workload;
+                                    }
+                                    Err(e) => panic!(
+                                        "{}",
+                                        repro(
+                                            seed,
+                                            steps,
+                                            "unexpected group INSERT error",
+                                            e.to_string(),
+                                        )
+                                    ),
+                                }
+                            } else if roll < 85 {
+                                let Some(&no) = pick_key(&pending, &mut rng) else { continue };
+                                let name = format!("t{t}-m{steps_run}-{:0>200}", steps_run);
+                                match session.execute(&format!(
+                                    "MODIFY part SET name = '{name}' WHERE part_no = {no}"
+                                )) {
+                                    Ok(_) => {
+                                        pending.get_mut(&no).expect("picked from pending").0 =
+                                            name;
+                                    }
+                                    Err(_) if fault.has_crashed() => break 'workload,
+                                    Err(e) if retryable_abort(&e) => {
+                                        let _ = session.rollback();
+                                        pending = last_acked.clone();
+                                        continue 'workload;
+                                    }
+                                    Err(e) => panic!(
+                                        "{}",
+                                        repro(
+                                            seed,
+                                            steps,
+                                            "unexpected group MODIFY error",
+                                            e.to_string(),
+                                        )
+                                    ),
+                                }
+                            } else {
+                                let Some(&no) = pick_key(&pending, &mut rng) else { continue };
+                                match session
+                                    .execute(&format!("DELETE FROM part WHERE part_no = {no}"))
+                                {
+                                    Ok(_) => {
+                                        pending.remove(&no);
+                                    }
+                                    Err(_) if fault.has_crashed() => break 'workload,
+                                    Err(e) if retryable_abort(&e) => {
+                                        let _ = session.rollback();
+                                        pending = last_acked.clone();
+                                        continue 'workload;
+                                    }
+                                    Err(e) => panic!(
+                                        "{}",
+                                        repro(
+                                            seed,
+                                            steps,
+                                            "unexpected group DELETE error",
+                                            e.to_string(),
+                                        )
+                                    ),
+                                }
+                            }
+                        }
+                        match session.commit() {
+                            Ok(()) => {
+                                last_acked = pending.clone();
+                                acked += 1;
+                            }
+                            Err(_) if fault.has_crashed() => {
+                                // The force carrying this commit was in
+                                // flight (or its shared batch was torn
+                                // with our record possibly inside the
+                                // durable prefix): admissible.
+                                in_flight = Some(pending.clone());
+                                break 'workload;
+                            }
+                            Err(e) => panic!(
+                                "{}",
+                                repro(seed, steps, "unexpected group commit error", e.to_string())
+                            ),
+                        }
+                        // Occasional buffer flush: a flush-path force
+                        // racing the commit leaders.
+                        if rng.gen_range(0u32..10) == 0 && db.storage().flush().is_err() {
+                            if fault.has_crashed() {
+                                break 'workload;
+                            }
+                            panic!(
+                                "{}",
+                                repro(seed, steps, "unexpected group flush error", String::new())
+                            );
+                        }
+                    }
+                    // An open (uncommitted) transaction at the crash is a
+                    // loser; recovery must roll it back to last_acked.
+                    drop(session);
+                    CommitterOutcome { base, last_acked, in_flight, acked, steps_run }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("committer thread panicked")).collect()
+    });
+
+    fault.crash_now();
+    drop(db);
+
+    let db = match Prima::open_device(fault.persisted_device()) {
+        Ok(db) => db,
+        Err(e) => panic!("{}", repro(seed, steps, "group recovery failed", e.to_string())),
+    };
+    let recovered = observe(&db);
+
+    let mut in_flight_won = false;
+    for o in &outcomes {
+        let range_state: ModelState = recovered
+            .range(o.base..o.base + 1_000)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        if range_state == o.last_acked {
+            continue;
+        }
+        match &o.in_flight {
+            Some(alt) if &range_state == alt => in_flight_won = true,
+            _ => panic!(
+                "{}",
+                repro(
+                    seed,
+                    steps,
+                    "group-commit range matches neither the last acknowledged \
+                     commit nor the in-flight one",
+                    format!(
+                        "range base {}: acked commits {}\nexpected: {:?}\n\
+                         in-flight: {:?}\nrecovered: {range_state:?}",
+                        o.base, o.acked, o.last_acked, o.in_flight
+                    ),
+                )
+            ),
+        }
+    }
+    // Nothing outside the threads' ranges may exist.
+    if let Some((stray, _)) = recovered.iter().find(|(k, _)| **k >= 1_000 * threads as i64) {
+        panic!(
+            "{}",
+            repro(seed, steps, "recovered key outside every committer's range", stray.to_string())
+        );
+    }
+    check_metrics_coherence(&db, seed, steps, "after group-commit recovery");
+
+    CrashReport {
+        seed,
+        steps_run: outcomes.iter().map(|o| o.steps_run).sum(),
+        acked_commits: outcomes.iter().map(|o| o.acked).sum(),
+        bootstrap_crash: false,
+        in_flight_won,
+    }
+}
+
 /// One contention episode of the waits-mode schedule: two contender
 /// sessions on their own threads each SELECT a key (extension `Shared`)
 /// and then INSERT under it (extension `IntentExclusive`) in the same
@@ -1009,6 +1316,15 @@ fn commit(
         }
         Err(e) => panic!("{}", repro(seed, steps, "unexpected commit error", e.to_string())),
     }
+}
+
+/// Whether a DML error means "the transaction was aborted, try again" —
+/// a deadlock victimization or any other retryable contention outcome.
+/// The group-commit leg's committers all touch the shared extension
+/// (upgrade-deadlock shape), so victim aborts are expected traffic, not
+/// oracle violations.
+fn retryable_abort(e: &PrimaError) -> bool {
+    matches!(e, PrimaError::Txn(TxnError::Deadlock { .. })) || e.is_retryable()
 }
 
 fn pick_key<'m>(model: &'m ModelState, rng: &mut SmallRng) -> Option<&'m i64> {

@@ -14,6 +14,12 @@
 #     `perf_trajectory.sh BENCH_5.json snapshot_read`) — reader
 #     throughput against one long-hold writer, locked reads vs MVCC
 #     snapshot reads, with lock-acquisition and version-store counters;
+#   * group_commit (BENCH-6, selected explicitly:
+#     `perf_trajectory.sh BENCH_6.json group_commit`) — N committing
+#     sessions on a FileDisk, force-per-commit vs cross-session group
+#     commit, with ops/sec and the wal_forces / commits-per-force
+#     counters; asserts forces/commit < 1.0 for the grouped series at
+#     >= 4 sessions;
 #   * every criterion-shim benchmark additionally emits a
 #     {"bench":"criterion", ...} record carrying mean/stddev/min/max so
 #     small (<10%) deltas can be judged against run-to-run noise;

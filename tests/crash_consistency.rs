@@ -22,7 +22,12 @@
 //! * `PRIMA_FUZZ_MVCC` — schedules for the snapshot-reader leg (readers
 //!   outside any transaction take the lock-free MVCC read path and must
 //!   see exactly the last acknowledged commit without ever conflicting;
-//!   default 6, `0` skips the leg).
+//!   default 6, `0` skips the leg);
+//! * `PRIMA_FUZZ_GROUP` — schedules for the cross-session group-commit
+//!   leg (2–4 sessions committing concurrently so one leader force
+//!   covers several commits, and the schedule tears that shared batch;
+//!   the committed-prefix oracle must hold per session; default 6, `0`
+//!   skips the leg).
 //!
 //! Every failure panics with a `PRIMA_FUZZ_REPRO:` line naming the seed
 //! that deterministically reproduces it in one command; the fuzz loops
@@ -32,8 +37,8 @@
 use prima::{Prima, QueryOptions, Value};
 use prima_storage::{BlockDevice, FileDisk, SimDisk, Wal};
 use prima_workloads::crash::{
-    run_crash_schedule, run_multi_session_schedule, run_multi_session_schedule_mvcc,
-    run_multi_session_schedule_waits, CrashReport, CRASH_DDL,
+    run_crash_schedule, run_group_commit_schedule, run_multi_session_schedule,
+    run_multi_session_schedule_mvcc, run_multi_session_schedule_waits, CrashReport, CRASH_DDL,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -217,6 +222,30 @@ fn fuzz_multi_session_mvcc_snapshot_readers_never_conflict_and_recover() {
     let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
     let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(8_000_000);
     fuzz_leg("multi-sim-mvcc", base, seeds, ops, run_multi_session_schedule_mvcc, |_| {
+        Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
+    });
+}
+
+// ---------------------------------------------------------------------
+// Group-commit leg: concurrent committers sharing forces under crashes
+// ---------------------------------------------------------------------
+//
+// The write-side group-commit coordinator lets one leader's force carry
+// several sessions' commit records, so a torn force now tears a *shared*
+// batch. This leg runs 2–4 committer threads over disjoint key ranges,
+// each committing every 1–2 statements (maximal commit overlap), under
+// the same randomized crash schedules. Oracle, per committer: the
+// recovered rows in its range equal its last acknowledged commit or its
+// single in-flight one — an ack must imply the covering force completed
+// for every session it covered. `PRIMA_FUZZ_GROUP` sets the seed count
+// (0 skips the leg).
+
+#[test]
+fn fuzz_group_commit_concurrent_committers_recover_to_committed_prefix() {
+    let seeds = env_u64("PRIMA_FUZZ_GROUP", 6);
+    let ops = env_u64("PRIMA_FUZZ_OPS", 60) as usize;
+    let base = env_u64("PRIMA_FUZZ_SEED_BASE", 0x9_1987).wrapping_add(9_000_000);
+    fuzz_leg("group-sim", base, seeds, ops, run_group_commit_schedule, |_| {
         Arc::new(SimDisk::new()) as Arc<dyn BlockDevice>
     });
 }
