@@ -19,7 +19,7 @@ use crate::multidim::GridFile;
 use crate::partition::Partition;
 use crate::record_file::RecordFile;
 use crate::sort_order::SortOrder;
-use parking_lot::RwLock;
+use parking_lot::{rank, RwLock};
 use prima_mad::codec::encode_composite_key;
 use prima_mad::schema::Schema;
 use prima_mad::value::{AtomId, AtomTypeId, Value};
@@ -147,6 +147,8 @@ struct TypeStore {
     next_seq: AtomicU64,
     /// One uniqueness map per `KEYS_ARE` attribute:
     /// encoded key value -> atom.
+    // lockrank: buffer.1 — updated from inside `for_each` page-guard
+    // callbacks at restart rescan, like the address table.
     key_maps: Vec<(usize, KeyMap)>,
     /// Live atom ids in insertion order (system-defined order of the
     /// atom-type scan is physical order; this is kept for statistics).
@@ -180,6 +182,8 @@ pub struct GridIndex {
     pub name: String,
     pub atom_type: AtomTypeId,
     pub key_attrs: Vec<usize>,
+    // lockrank: access.3 — write-held across grid-page splits (which fix
+    // buffer pages: access < buffer).
     pub grid: RwLock<GridFile>,
 }
 
@@ -217,11 +221,16 @@ pub struct AccessSystem {
     schema: Schema,
     stores: Vec<TypeStore>,
     addresses: AddressTable,
+    // lockrank: access.0 — tuning-structure directory; read-held while
+    // descending into a tree/grid/sort order.
     structures: RwLock<Structures>,
     /// member atom -> clusters containing it: (cluster structure,
     /// characteristic atom).
+    // lockrank: access.1 — registry peers (membership, policy, key maps):
+    // transient holds that never nest with one another.
     cluster_membership: RwLock<HashMap<AtomId, Vec<(StructureId, AtomId)>>>,
     deferred: DeferredQueue,
+    // lockrank: access.1 — registry peer; transient holds.
     policy: RwLock<UpdatePolicy>,
     stats: AccessStats,
 }
@@ -242,7 +251,7 @@ impl AccessSystem {
                         .keys
                         .iter()
                         .filter_map(|k| at.attribute_index(k))
-                        .map(|i| (i, RwLock::new(HashMap::new())))
+                        .map(|i| (i, RwLock::new_ranked(HashMap::new(), rank::BUFFER + 1)))
                         .collect(),
                     count: AtomicU64::new(0),
                 })
@@ -253,10 +262,10 @@ impl AccessSystem {
             schema,
             stores,
             addresses: AddressTable::new(),
-            structures: RwLock::new(Structures::default()),
-            cluster_membership: RwLock::new(HashMap::new()),
+            structures: RwLock::new_ranked(Structures::default(), rank::ACCESS),
+            cluster_membership: RwLock::new_ranked(HashMap::new(), rank::ACCESS + 1),
             deferred: DeferredQueue::new(),
-            policy: RwLock::new(UpdatePolicy::Deferred),
+            policy: RwLock::new_ranked(UpdatePolicy::Deferred, rank::ACCESS + 1),
             stats: AccessStats::default(),
         })
     }
@@ -321,7 +330,7 @@ impl AccessSystem {
                     .keys
                     .iter()
                     .filter_map(|k| at.attribute_index(k))
-                    .map(|i| (i, RwLock::new(HashMap::new())))
+                    .map(|i| (i, RwLock::new_ranked(HashMap::new(), rank::BUFFER + 1)))
                     .collect(),
                 count: AtomicU64::new(0),
             });
@@ -331,10 +340,10 @@ impl AccessSystem {
             schema,
             stores,
             addresses: AddressTable::new(),
-            structures: RwLock::new(Structures::default()),
-            cluster_membership: RwLock::new(HashMap::new()),
+            structures: RwLock::new_ranked(Structures::default(), rank::ACCESS),
+            cluster_membership: RwLock::new_ranked(HashMap::new(), rank::ACCESS + 1),
             deferred: DeferredQueue::new(),
-            policy: RwLock::new(UpdatePolicy::Deferred),
+            policy: RwLock::new_ranked(UpdatePolicy::Deferred, rank::ACCESS + 1),
             stats: AccessStats::default(),
         };
         for (i, store) in sys.stores.iter().enumerate() {
@@ -650,6 +659,7 @@ impl AccessSystem {
     ///
     /// Atoms whose projection is served by a fresh covering partition fall
     /// back to the per-atom partition read, exactly as `read_atom` would.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn read_atoms_batch(
         &self,
         ids: &[AtomId],
@@ -659,6 +669,7 @@ impl AccessSystem {
         self.batch_read_inner(ids, projection, &mut opt, true)?;
         // `strict` turned unknown atoms into position-ordered errors, so
         // every remaining entry is present.
+        // lint: allow(error-hygiene, strict batch mode errored on any miss two lines up; remaining entries are all Some)
         Ok(opt.into_iter().map(|a| a.expect("strict batch entry")).collect())
     }
 
@@ -718,7 +729,7 @@ impl AccessSystem {
         // batch has been walked (matching sequential error order).
         let mut first_err: Option<(usize, AccessError)> = None;
         let record_err = |err_slot: &mut Option<(usize, AccessError)>, i: usize, e| {
-            if err_slot.as_ref().map(|(p, _)| i < *p).unwrap_or(true) {
+            if err_slot.as_ref().is_none_or(|(p, _)| i < *p) {
                 *err_slot = Some((i, e));
             }
         };
@@ -1137,7 +1148,7 @@ impl AccessSystem {
             name: name.to_string(),
             atom_type: t,
             key_attrs,
-            grid: RwLock::new(grid),
+            grid: RwLock::new_ranked(grid, rank::ACCESS + 3),
         });
         for aid in self.all_ids(t)? {
             let atom = self.read_primary(aid)?;
@@ -1247,7 +1258,7 @@ impl AccessSystem {
     /// Whether the copy of `id` in `structure` is stale (deferred update
     /// pending) or missing — in both cases a reader must use the primary.
     pub fn deferred_stale(&self, id: AtomId, structure: StructureId) -> bool {
-        self.addresses.placement(id, structure).map(|p| p.stale).unwrap_or(true)
+        self.addresses.placement(id, structure).is_none_or(|p| p.stale)
     }
 
     /// Sort order by structure id (scan internals).
@@ -1507,7 +1518,7 @@ impl AccessSystem {
         let mut members = Vec::new();
         let mut member_ids = Vec::new();
         for &a in &ct.member_attrs {
-            for target in char_atom.values.get(a).map(|v| v.referenced_ids()).unwrap_or_default()
+            for target in char_atom.values.get(a).map(prima_mad::Value::referenced_ids).unwrap_or_default()
             {
                 if self.addresses.exists(target) {
                     members.push(self.read_primary(target)?);
@@ -1606,7 +1617,6 @@ impl AccessSystem {
         self.schema
             .atom_type(t)
             .and_then(|at| at.attributes.get(attr))
-            .map(|a| matches!(a.ty, AttrType::RefSet(..)))
-            .unwrap_or(false)
+            .is_some_and(|a| matches!(a.ty, AttrType::RefSet(..)))
     }
 }

@@ -15,7 +15,7 @@
 //! until reconciled.
 
 use crate::record_file::RecordPtr;
-use parking_lot::RwLock;
+use parking_lot::{rank, RwLock};
 use prima_mad::value::AtomId;
 use std::collections::HashMap;
 
@@ -43,9 +43,19 @@ pub struct AtomAddresses {
 
 /// The addressing structure. Interior-mutable; shared by the access
 /// system's components.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AddressTable {
+    // lockrank: buffer.1 — atom → location map. Transient holds only, but
+    // callers update it from inside `RecordFile::for_each` page-guard
+    // callbacks (frame → this), so it sits just above the buffer peer
+    // group and below the WAL ranks.
     map: RwLock<HashMap<AtomId, AtomAddresses>>,
+}
+
+impl Default for AddressTable {
+    fn default() -> Self {
+        AddressTable { map: RwLock::new_ranked(HashMap::new(), rank::BUFFER + 1) }
+    }
 }
 
 impl AddressTable {
@@ -65,7 +75,7 @@ impl AddressTable {
 
     /// True if the atom is known.
     pub fn exists(&self, id: AtomId) -> bool {
-        self.map.read().get(&id).map(|a| a.primary.is_some()).unwrap_or(false)
+        self.map.read().get(&id).is_some_and(|a| a.primary.is_some())
     }
 
     /// Adds (or replaces) the placement of `id` in `structure`.
@@ -123,8 +133,7 @@ impl AddressTable {
         self.map
             .read()
             .get(&id)
-            .map(|e| e.redundant.iter().filter(|p| !p.stale).count())
-            .unwrap_or(0)
+            .map_or(0, |e| e.redundant.iter().filter(|p| !p.stale).count())
     }
 
     /// Drops the atom entirely (on delete), returning what was recorded.

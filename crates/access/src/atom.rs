@@ -7,6 +7,7 @@
 //! not selected (projection, Section 3.2).
 
 use prima_mad::codec;
+use prima_storage::bytes::le_u64;
 use prima_mad::value::{AtomId, Value};
 use prima_mad::AtomType;
 
@@ -52,7 +53,7 @@ impl Atom {
             return Err(AccessError::Codec(prima_mad::codec::CodecError::Truncated));
         }
         let atom_type = u16::from_le_bytes([buf[0], buf[1]]);
-        let seq = u64::from_le_bytes(buf[2..10].try_into().unwrap());
+        let seq = le_u64(&buf[2..10]);
         let values = codec::decode_values(&buf[10..])?;
         Ok(Atom { id: AtomId::new(atom_type, seq), values })
     }

@@ -20,8 +20,9 @@
 //!   compacts when needed.
 
 use crate::error::{AccessError, AccessResult};
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use prima_mad::value::AtomId;
+use prima_storage::bytes::{le_u16, le_u32, le_u64};
 use prima_storage::{PageId, PageSize, PageType, SegmentId, StorageSystem};
 use std::ops::Bound;
 use std::sync::Arc;
@@ -101,29 +102,25 @@ impl Node {
         let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
         let mut pos;
         if is_leaf {
-            let next = u32::from_le_bytes(buf[3..7].try_into().unwrap());
-            let prev = u32::from_le_bytes(buf[7..11].try_into().unwrap());
+            let next = le_u32(&buf[3..7]);
+            let prev = le_u32(&buf[7..11]);
             pos = 11;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 let klen =
-                    u16::from_le_bytes(buf.get(pos..pos + 2).ok_or_else(err)?.try_into().unwrap())
+                    le_u16(buf.get(pos..pos + 2).ok_or_else(err)?)
                         as usize;
                 pos += 2;
                 let key = buf.get(pos..pos + klen).ok_or_else(err)?.to_vec();
                 pos += klen;
                 let cnt =
-                    u16::from_le_bytes(buf.get(pos..pos + 2).ok_or_else(err)?.try_into().unwrap())
+                    le_u16(buf.get(pos..pos + 2).ok_or_else(err)?)
                         as usize;
                 pos += 2;
                 let mut ids = Vec::with_capacity(cnt);
                 for _ in 0..cnt {
-                    let t = u16::from_le_bytes(
-                        buf.get(pos..pos + 2).ok_or_else(err)?.try_into().unwrap(),
-                    );
-                    let s = u64::from_le_bytes(
-                        buf.get(pos + 2..pos + 10).ok_or_else(err)?.try_into().unwrap(),
-                    );
+                    let t = le_u16(buf.get(pos..pos + 2).ok_or_else(err)?);
+                    let s = le_u64(buf.get(pos + 2..pos + 10).ok_or_else(err)?);
                     ids.push(AtomId::new(t, s));
                     pos += 10;
                 }
@@ -131,18 +128,18 @@ impl Node {
             }
             Ok(Node::Leaf { prev, next, entries })
         } else {
-            let child0 = u32::from_le_bytes(buf[3..7].try_into().unwrap());
+            let child0 = le_u32(&buf[3..7]);
             pos = 7;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 let klen =
-                    u16::from_le_bytes(buf.get(pos..pos + 2).ok_or_else(err)?.try_into().unwrap())
+                    le_u16(buf.get(pos..pos + 2).ok_or_else(err)?)
                         as usize;
                 pos += 2;
                 let key = buf.get(pos..pos + klen).ok_or_else(err)?.to_vec();
                 pos += klen;
                 let c =
-                    u32::from_le_bytes(buf.get(pos..pos + 4).ok_or_else(err)?.try_into().unwrap());
+                    le_u32(buf.get(pos..pos + 4).ok_or_else(err)?);
                 pos += 4;
                 entries.push((key, c));
             }
@@ -155,6 +152,8 @@ impl Node {
 pub struct BTree {
     storage: Arc<StorageSystem>,
     segment: SegmentId,
+    // lockrank: access.2 — root page number; held across splits that grow
+    // a new root (which fix buffer pages: access < buffer).
     root: Mutex<u32>,
     payload_cap: usize,
 }
@@ -166,7 +165,7 @@ impl BTree {
         let segment = storage.create_segment_with(PageSize::K4, false)?;
         let payload_cap = PageSize::K4.payload();
         let root_id = storage.allocate_page(segment)?;
-        let tree = BTree { storage, segment, root: Mutex::new(root_id.page), payload_cap };
+        let tree = BTree { storage, segment, root: Mutex::new_ranked(root_id.page, rank::ACCESS + 2), payload_cap };
         tree.write_node(
             root_id.page,
             &Node::Leaf { prev: NONE_PAGE, next: NONE_PAGE, entries: Vec::new() },
@@ -229,7 +228,7 @@ impl BTree {
                 let lb = entries.partition_point(|(k, _)| k.as_slice() < key);
                 let ub = entries.partition_point(|(k, _)| k.as_slice() <= key);
                 let mut placed = false;
-                for e in entries[lb..ub].iter_mut() {
+                for e in &mut entries[lb..ub] {
                     if e.1.contains(&id) {
                         placed = true;
                         break;
@@ -319,7 +318,7 @@ impl BTree {
             let lb = entries.partition_point(|(k, _)| k.as_slice() < key);
             let ub = entries.partition_point(|(k, _)| k.as_slice() <= key);
             let mut removed = false;
-            for entry in entries[lb..ub].iter_mut() {
+            for entry in &mut entries[lb..ub] {
                 if let Some(p) = entry.1.iter().position(|x| *x == id) {
                     entry.1.remove(p);
                     removed = true;
@@ -492,7 +491,7 @@ impl BTree {
             match self.read_node(page)? {
                 Node::Leaf { .. } => return Ok(page),
                 Node::Internal { child0, entries } => {
-                    page = entries.last().map(|(_, c)| *c).unwrap_or(child0);
+                    page = entries.last().map_or(child0, |(_, c)| *c);
                 }
             }
         }

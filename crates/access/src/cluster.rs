@@ -21,8 +21,9 @@
 use crate::addressing::StructureId;
 use crate::atom::Atom;
 use crate::error::{AccessError, AccessResult};
-use parking_lot::RwLock;
+use parking_lot::{rank, RwLock};
 use prima_mad::value::{AtomId, AtomTypeId};
+use prima_storage::bytes::{le_u16, le_u32, le_u64};
 use prima_storage::{PageSeqHandle, PageSequence, PageSize, SegmentId, StorageSystem};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,6 +44,7 @@ pub struct AtomClusterType {
     pub member_attrs: Vec<usize>,
     storage: Arc<StorageSystem>,
     segment: SegmentId,
+    // lockrank: access.1 — registry peer; transient holds.
     clusters: RwLock<HashMap<AtomId, PageSeqHandle>>,
 }
 
@@ -65,16 +67,16 @@ impl AtomClusterType {
             member_attrs,
             storage,
             segment,
-            clusters: RwLock::new(HashMap::new()),
+            clusters: RwLock::new_ranked(HashMap::new(), rank::ACCESS + 1),
         })
     }
 
     /// Serialises members into the cluster record: directory first, atom
     /// images after (offsets relative to the start of the record).
     fn encode_cluster(atoms: &[Atom]) -> Vec<u8> {
-        let images: Vec<Vec<u8>> = atoms.iter().map(|a| a.encode()).collect();
+        let images: Vec<Vec<u8>> = atoms.iter().map(super::atom::Atom::encode).collect();
         let dir_len = 4 + atoms.len() * DIR_ENTRY;
-        let total: usize = dir_len + images.iter().map(|i| i.len()).sum::<usize>();
+        let total: usize = dir_len + images.iter().map(std::vec::Vec::len).sum::<usize>();
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&(atoms.len() as u32).to_le_bytes());
         let mut offset = dir_len;
@@ -92,14 +94,14 @@ impl AtomClusterType {
     }
 
     fn decode_directory(dir: &[u8]) -> Vec<(AtomId, u32, u32)> {
-        let n = u32::from_le_bytes(dir[0..4].try_into().unwrap()) as usize;
+        let n = le_u32(&dir[0..4]) as usize;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let base = 4 + i * DIR_ENTRY;
-            let t = u16::from_le_bytes(dir[base..base + 2].try_into().unwrap());
-            let s = u64::from_le_bytes(dir[base + 2..base + 10].try_into().unwrap());
-            let off = u32::from_le_bytes(dir[base + 10..base + 14].try_into().unwrap());
-            let len = u32::from_le_bytes(dir[base + 14..base + 18].try_into().unwrap());
+            let t = le_u16(&dir[base..base + 2]);
+            let s = le_u64(&dir[base + 2..base + 10]);
+            let off = le_u32(&dir[base + 10..base + 14]);
+            let len = le_u32(&dir[base + 14..base + 18]);
             out.push((AtomId::new(t, s), off, len));
         }
         out
@@ -216,7 +218,7 @@ impl AtomClusterType {
         if head.len() < 4 {
             return Ok(Vec::new());
         }
-        let n = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+        let n = le_u32(&head[0..4]) as usize;
         let dir = PageSequence::read_relative(&self.storage, handle, 0, 4 + n * DIR_ENTRY)?;
         Ok(Self::decode_directory(&dir))
     }

@@ -10,7 +10,7 @@
 //! table's staleness bit (see [`crate::addressing`]) makes readers bypass
 //! them until [`crate::AccessSystem::reconcile`] applies the queue.
 
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use prima_mad::value::AtomId;
 use std::collections::VecDeque;
 
@@ -29,10 +29,22 @@ pub enum PendingOp {
 }
 
 /// FIFO queue of deferred maintenance work, with simple statistics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DeferredQueue {
+    // lockrank: access.7 — pending maintenance FIFO; pushed/popped
+    // transiently, never held while an op is applied.
     inner: Mutex<VecDeque<PendingOp>>,
+    // lockrank: access.8
     enqueued_total: Mutex<u64>,
+}
+
+impl Default for DeferredQueue {
+    fn default() -> Self {
+        DeferredQueue {
+            inner: Mutex::new_ranked(VecDeque::new(), rank::ACCESS + 7),
+            enqueued_total: Mutex::new_ranked(0, rank::ACCESS + 8),
+        }
+    }
 }
 
 impl DeferredQueue {

@@ -173,12 +173,15 @@ impl GridFile {
     }
 
     /// Inserts an entry.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn insert(&mut self, keys: Vec<Vec<u8>>, id: AtomId) -> AccessResult<()> {
         assert_eq!(keys.len(), self.dims, "key arity must match dimensions");
         let entry = GridEntry { keys, id };
         let cell = self.cell_of(&entry.keys);
+        // lint: allow(error-hygiene, extendible-hash invariant: the directory covers every cell mask, maintained by split/grow)
         let bucket = *self.directory.get(&cell).expect("directory covers all cells");
         let ptr = self.file.insert(&entry.encode())?;
+        // lint: allow(error-hygiene, directory entries only ever point at live buckets)
         let b = self.buckets.get_mut(&bucket).expect("bucket exists");
         b.push(ptr);
         self.count += 1;
@@ -189,9 +192,11 @@ impl GridFile {
     }
 
     /// Removes an entry (exact keys + id). Returns whether it existed.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn remove(&mut self, keys: &[Vec<u8>], id: AtomId) -> AccessResult<bool> {
         let cell = self.cell_of(keys);
         let Some(&bucket) = self.directory.get(&cell) else { return Ok(false) };
+        // lint: allow(error-hygiene, directory entries only ever point at live buckets)
         let ptrs = self.buckets.get_mut(&bucket).expect("bucket exists");
         for (i, &ptr) in ptrs.iter().enumerate() {
             let bytes = self.file.read(ptr)?;
@@ -211,6 +216,7 @@ impl GridFile {
     /// Results are ordered by dimension priority (`ranges[0]` outermost),
     /// each dimension in its requested direction. Only buckets whose cell
     /// region overlaps every range are read.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn search(&self, ranges: &[DimRange]) -> AccessResult<Vec<GridEntry>> {
         assert_eq!(ranges.len(), self.dims, "one range per dimension");
         let mut seen_buckets = std::collections::HashSet::new();
@@ -224,6 +230,7 @@ impl GridFile {
             if !overlaps || !seen_buckets.insert(bucket) {
                 continue;
             }
+            // lint: allow(error-hygiene, directory entries only ever point at live buckets)
             let ptrs = self.buckets.get(&bucket).expect("bucket exists");
             for &ptr in ptrs {
                 let bytes = self.file.read(ptr)?;
@@ -335,7 +342,7 @@ impl GridFile {
 fn interval_overlaps(scale: &[Vec<u8>], ci: u16, r: &DimRange) -> bool {
     let ci = ci as usize;
     let lo: Option<&[u8]> = if ci == 0 { None } else { Some(&scale[ci - 1]) };
-    let hi: Option<&[u8]> = scale.get(ci).map(|v| v.as_slice());
+    let hi: Option<&[u8]> = scale.get(ci).map(std::vec::Vec::as_slice);
     // Range entirely below the interval?
     match (&r.stop, lo) {
         (Bound::Included(e), Some(lo)) if e.as_slice() < lo => return false,

@@ -22,7 +22,7 @@
 //! ```
 
 use crate::error::{AccessError, AccessResult};
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use prima_storage::{PageId, PageType, SegmentId, StorageSystem};
 use std::sync::Arc;
 
@@ -48,9 +48,17 @@ pub struct RecordFile {
     storage: Arc<StorageSystem>,
     segment: SegmentId,
     /// Pages of this file in allocation order (physical scan order).
+    // lockrank: buffer.0 — page list: buffer-level peer of the shard/frame
+    // group. `insert` refreshes the free-space map while holding a frame
+    // guard (frame → this), and `clear` frees pages while holding both
+    // maps (this → shard); the cycle cannot close because writers into
+    // one record file are serialised by the data system's extension
+    // locks, and `clear` is only reached through wholesale structure
+    // reorganisation holding the structure exclusively.
     pages: Mutex<Vec<u32>>,
     /// Free space per page (same indexing as `pages`), maintained
     /// optimistically for placement decisions.
+    // lockrank: buffer.0 — free-space map; see `pages`.
     free_space: Mutex<Vec<usize>>,
     payload_cap: usize,
 }
@@ -78,8 +86,8 @@ impl RecordFile {
         Ok(RecordFile {
             storage,
             segment,
-            pages: Mutex::new(Vec::new()),
-            free_space: Mutex::new(Vec::new()),
+            pages: Mutex::new_ranked(Vec::new(), rank::BUFFER),
+            free_space: Mutex::new_ranked(Vec::new(), rank::BUFFER),
             payload_cap,
         })
     }
@@ -96,8 +104,8 @@ impl RecordFile {
         let file = RecordFile {
             storage: Arc::clone(&storage),
             segment,
-            pages: Mutex::new(Vec::new()),
-            free_space: Mutex::new(Vec::new()),
+            pages: Mutex::new_ranked(Vec::new(), rank::BUFFER),
+            free_space: Mutex::new_ranked(Vec::new(), rank::BUFFER),
             payload_cap: page_size.payload(),
         };
         let mut pages = Vec::new();
@@ -193,7 +201,7 @@ impl RecordFile {
     /// missing record of this file's segment.
     pub fn read(&self, ptr: RecordPtr) -> AccessResult<Vec<u8>> {
         let g = self.storage.fix(PageId::new(self.segment, ptr.page))?;
-        page_read(g.payload_area(), ptr.slot).map(|s| s.to_vec()).ok_or(AccessError::Storage(
+        page_read(g.payload_area(), ptr.slot).map(<[u8]>::to_vec).ok_or(AccessError::Storage(
             prima_storage::StorageError::PageNotAllocated {
                 segment: self.segment,
                 page: ptr.page,

@@ -175,6 +175,7 @@ impl<'a> SortScan<'a> {
         self.source
     }
 
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn fetch(&self, row: &Row) -> AccessResult<Atom> {
         match row {
             Row::Ready(a) => Ok((**a).clone()),
@@ -191,6 +192,7 @@ impl<'a> SortScan<'a> {
                     let so = self
                         .sys
                         .sort_order_by_id(*structure)
+                        // lint: allow(error-hygiene, the scan holds the structure read lock so the sort order cannot be dropped mid-scan)
                         .expect("sort order still registered");
                     so.read_copy(*ptr)
                 }

@@ -21,7 +21,7 @@ use crate::addressing::StructureId;
 use crate::atom::Atom;
 use crate::error::AccessResult;
 use crate::record_file::{RecordFile, RecordPtr};
-use parking_lot::RwLock;
+use parking_lot::{rank, RwLock};
 use prima_mad::codec::encode_composite_key;
 use prima_mad::value::{AtomId, AtomTypeId, Value};
 use prima_storage::{PageSize, StorageSystem};
@@ -38,6 +38,7 @@ pub struct SortOrder {
     pub key_attrs: Vec<usize>,
     file: RecordFile,
     /// (encoded key, atom id) -> record of the atom's copy.
+    // lockrank: access.1 — registry peer; transient holds.
     index: RwLock<BTreeMap<(Vec<u8>, AtomId), RecordPtr>>,
 }
 
@@ -56,7 +57,7 @@ impl SortOrder {
             atom_type,
             key_attrs,
             file: RecordFile::create_with(storage, PageSize::K4, false)?,
-            index: RwLock::new(BTreeMap::new()),
+            index: RwLock::new_ranked(BTreeMap::new(), rank::ACCESS + 1),
         })
     }
 

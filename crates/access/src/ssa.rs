@@ -100,10 +100,10 @@ impl Ssa {
             },
             Ssa::CmpParam { .. } => false,
             Ssa::IsEmpty { attr } => {
-                values.get(*attr).map(|v| v.is_empty_like()).unwrap_or(false)
+                values.get(*attr).is_some_and(prima_mad::Value::is_empty_like)
             }
             Ssa::NotEmpty { attr } => {
-                values.get(*attr).map(|v| !v.is_empty_like()).unwrap_or(false)
+                values.get(*attr).is_some_and(|v| !v.is_empty_like())
             }
             Ssa::Contains { attr, value } => match values.get(*attr) {
                 Some(Value::RefSet(ids)) => match value {
@@ -127,6 +127,7 @@ impl Ssa {
     }
 
     /// Conjunction helper that flattens nested `And`s and drops `True`s.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn and(terms: Vec<Ssa>) -> Ssa {
         let mut flat = Vec::new();
         for t in terms {
@@ -138,6 +139,7 @@ impl Ssa {
         }
         match flat.len() {
             0 => Ssa::True,
+            // lint: allow(error-hygiene, this match arm runs only when flat.len() == 1)
             1 => flat.pop().unwrap(),
             _ => Ssa::And(flat),
         }
@@ -163,7 +165,7 @@ impl Ssa {
     pub fn has_params(&self) -> bool {
         match self {
             Ssa::CmpParam { .. } => true,
-            Ssa::And(ts) | Ssa::Or(ts) => ts.iter().any(|t| t.has_params()),
+            Ssa::And(ts) | Ssa::Or(ts) => ts.iter().any(Ssa::has_params),
             Ssa::Not(t) => t.has_params(),
             _ => false,
         }

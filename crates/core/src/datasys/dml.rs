@@ -154,6 +154,7 @@ fn delete(
     Ok(DmlResult::Deleted(deleted))
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn modify(
     sys: &AccessSystem,
     w: &dyn AtomWriter,
@@ -171,6 +172,7 @@ fn modify(
     for m in &set.molecules {
         for (target, expr) in &stmt.assignments {
             let (node, attr) = resolve_ref(&resolved, target, sys.schema())?;
+            // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
             let at = sys.schema().atom_type(resolved.nodes[node].atom_type).expect("resolved");
             let is_set = matches!(at.attributes[attr].ty, AttrType::RefSet(..));
             let is_single_ref = matches!(at.attributes[attr].ty, AttrType::Ref(_));

@@ -255,6 +255,7 @@ fn deliver_roots(
 /// With a snapshot guard no lock is taken anywhere: the base access
 /// paths run unguarded to produce *candidates*, and [`deliver_roots`]
 /// corrects them to the snapshot's visible versions.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub(crate) fn find_roots(
     sys: &AccessSystem,
     q: &ResolvedQuery,
@@ -267,6 +268,7 @@ pub(crate) fn find_roots(
     if let Some(g) = locks {
         g.lock_extension(root_type)?;
     }
+    // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
     let at = sys.schema().atom_type(root_type).expect("resolved").clone();
     let bounds = root_bounds(&q.root_ssa);
     // 1. KEYS_ARE equality -> direct lookup.
@@ -490,16 +492,19 @@ fn assemble_molecule(
 
 /// Expansion edges of one structure node: the node's children, plus — for
 /// a recursive node — its own incoming edge re-applied.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn edges_of(
     q: &ResolvedQuery,
     node_idx: usize,
 ) -> Vec<(usize, prima_mad::schema::Association, bool)> {
     let mut edges: Vec<(usize, prima_mad::schema::Association, bool)> = Vec::new();
     for &c in &q.nodes[node_idx].children {
+        // lint: allow(error-hygiene, validation rejects non-root nodes without an association)
         let assoc = q.nodes[c].via.expect("non-root nodes have via");
         edges.push((c, assoc, q.nodes[c].recursive));
     }
     if q.nodes[node_idx].recursive {
+        // lint: allow(error-hygiene, validation rejects recursive nodes at the root)
         let assoc = q.nodes[node_idx].via.expect("recursive nodes are non-root");
         edges.push((node_idx, assoc, true));
     }
@@ -550,6 +555,7 @@ struct FetchRequest {
 /// Level-by-level vertical assembly: each round gathers every dependent
 /// `AtomId` referenced by the current frontier and resolves them with one
 /// page-grouped batch read, then materialises the children and advances.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn assemble_frontier(
     sys: &AccessSystem,
     root: Atom,
@@ -585,11 +591,12 @@ fn assemble_frontier(
             let node_idx = ctx.arena[pi].node_idx;
             let level = ctx.arena[pi].level;
             for &(child_idx, assoc, recursive) in &ctx.edge_table[node_idx] {
+                // lint: allow(error-hygiene, arena entries are created with their atom present and taken only at emit)
                 let atom = ctx.arena[pi].atom.as_ref().expect("arena atom set");
                 let ids = atom
                     .values
                     .get(assoc.from.attr)
-                    .map(|v| v.referenced_ids())
+                    .map(prima_mad::Value::referenced_ids)
                     .unwrap_or_default();
                 for id in ids {
                     if recursive && chain_contains(&ctx.arena[pi].ancestors, id) {
@@ -650,6 +657,7 @@ fn assemble_frontier(
             let atom = match slot {
                 // Prefetched cluster members are already snapshot-
                 // resolved at map build time.
+                // lint: allow(error-hygiene, the prefetch map was populated from exactly these record ids in the batch read above)
                 None => prefetch.get(&r.id).expect("prefetch hit").clone(),
                 Some(j) => {
                     *fetched += 1;
@@ -706,11 +714,13 @@ fn assemble_frontier(
 
 /// Folds the assembly arena into the molecule tree (each parent's children
 /// occupy a contiguous arena range in depth-first child order).
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn fold_arena(arena: &mut [PendingAtom], i: usize) -> MolAtom {
     let (start, count) = (arena[i].child_start, arena[i].child_count);
     let mut out = MolAtom::new(
         arena[i].node_idx,
         arena[i].level,
+        // lint: allow(error-hygiene, arena entries are created with their atom present and taken only at emit)
         arena[i].atom.take().expect("arena atom set"),
     );
     out.children = (start..start + count).map(|c| fold_arena(arena, c)).collect();
@@ -737,7 +747,7 @@ fn expand(
             .atom
             .values
             .get(assoc.from.attr)
-            .map(|v| v.referenced_ids())
+            .map(prima_mad::Value::referenced_ids)
             .unwrap_or_default();
         for id in ids {
             if recursive && ancestors.contains(&id) {
@@ -836,7 +846,7 @@ fn eval_residual(
                 (Operand::Literal(a), Operand::Literal(b)) => op.eval(a.total_cmp(b)),
             }
         }
-        Predicate::IsEmpty(r) => exists_atom(sys, q, m, r, |v| v.is_empty_like())?,
+        Predicate::IsEmpty(r) => exists_atom(sys, q, m, r, prima_mad::Value::is_empty_like)?,
         Predicate::NotEmpty(r) => exists_atom(sys, q, m, r, |v| !v.is_empty_like())?,
         Predicate::ExistsAtLeast { n, component, inner } => {
             count_matching(sys, q, m, component, inner)? >= *n as usize
@@ -870,12 +880,14 @@ fn count_matching(
     Ok(m.atoms_of_node(node).iter().filter(|a| ssa.eval(a)).count())
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn quantifier_ssa(
     sys: &AccessSystem,
     q: &ResolvedQuery,
     node: usize,
     inner: &Predicate,
 ) -> PrimaResult<Ssa> {
+    // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
     let at = sys.schema().atom_type(q.nodes[node].atom_type).expect("resolved");
     predicate_to_atom_ssa(inner, |attr| at.attribute_index(attr)).ok_or_else(|| {
         PrimaError::BadStatement(
@@ -925,6 +937,7 @@ fn exists_atom(
 /// Applies per-node projections to one molecule. Returns `None` when a
 /// qualified projection on the *root* rejects the whole molecule.
 fn apply_projection(sys: &AccessSystem, q: &ResolvedQuery, m: Molecule) -> Option<Molecule> {
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn project_node(
         sys: &AccessSystem,
         q: &ResolvedQuery,
@@ -939,6 +952,7 @@ fn apply_projection(sys: &AccessSystem, q: &ResolvedQuery, m: Molecule) -> Optio
         match proj {
             NodeProjection::All => {}
             NodeProjection::Attrs(attrs) => {
+                // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
                 let at = sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
                 let mut keep = attrs.clone();
                 keep.push(at.identifier_index());
@@ -950,6 +964,7 @@ fn apply_projection(sys: &AccessSystem, q: &ResolvedQuery, m: Molecule) -> Optio
                 }
                 if let Some(attrs) = attrs {
                     let at =
+                        // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
                         sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
                     let mut keep = attrs.clone();
                     keep.push(at.identifier_index());
@@ -957,6 +972,7 @@ fn apply_projection(sys: &AccessSystem, q: &ResolvedQuery, m: Molecule) -> Optio
                 }
             }
             NodeProjection::Exclude => {
+                // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
                 let at = sys.schema().atom_type(q.nodes[ma.node].atom_type).expect("resolved");
                 ma.atom = ma.atom.project(&[at.identifier_index()]);
             }

@@ -30,7 +30,7 @@ impl MolAtom {
 
     /// Number of atoms in this subtree.
     pub fn atom_count(&self) -> usize {
-        1 + self.children.iter().map(|c| c.atom_count()).sum::<usize>()
+        1 + self.children.iter().map(MolAtom::atom_count).sum::<usize>()
     }
 
     fn visit<'a>(&'a self, f: &mut impl FnMut(&'a MolAtom)) {
@@ -136,7 +136,7 @@ impl MoleculeSet {
 
     /// Total atom count across molecules.
     pub fn atom_count(&self) -> usize {
-        self.molecules.iter().map(|m| m.atom_count()).sum()
+        self.molecules.iter().map(Molecule::atom_count).sum()
     }
 
     pub fn len(&self) -> usize {
@@ -165,7 +165,7 @@ fn fmt_mol_atom(
     nodes: &[NodeInfo],
     indent: usize,
 ) -> fmt::Result {
-    let label = nodes.get(m.node).map(|n| n.label.as_str()).unwrap_or("?");
+    let label = nodes.get(m.node).map_or("?", |n| n.label.as_str());
     write!(f, "{}{} {}", "  ".repeat(indent), label, m.atom.id)?;
     if m.level > 0 {
         write!(f, " (level {})", m.level)?;
@@ -176,7 +176,7 @@ fn fmt_mol_atom(
         .iter()
         .filter(|v| !matches!(v, prima_mad::Value::Null))
         .take(4)
-        .map(|v| v.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     writeln!(f, " [{}]", shown.join(", "))?;
     for c in &m.children {

@@ -172,7 +172,7 @@ pub fn root_bounds(ssa: &Ssa) -> Vec<RootBound> {
 fn collect_bounds(ssa: &Ssa, out: &mut Vec<RootBound>) {
     match ssa {
         Ssa::Cmp { attr, op, value } => {
-            out.push(RootBound { attr: *attr, op: *op, value: value.clone() })
+            out.push(RootBound { attr: *attr, op: *op, value: value.clone() });
         }
         Ssa::And(ts) => ts.iter().for_each(|t| collect_bounds(t, out)),
         _ => {}

@@ -118,7 +118,7 @@ fn clean_name(component: &str) -> &str {
         // marker is "\u{1}name\u{1}depth" prefixed to the real name.
         if let Some(p) = rest.find('\u{1}') {
             let tail = &rest[p + 1..];
-            let digits = tail.chars().take_while(|c| c.is_ascii_digit()).count();
+            let digits = tail.chars().take_while(char::is_ascii_digit).count();
             return &tail[digits..];
         }
     }
@@ -126,6 +126,7 @@ fn clean_name(component: &str) -> &str {
 }
 
 /// Validates and resolves a parsed query against the schema.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub fn validate(schema: &Schema, query: &Query) -> PrimaResult<ResolvedQuery> {
     let (expanded, aliases) = resolve_molecule_types(schema, query.from.graph())?;
     // Flatten the tree into nodes with parent/child indices (pre-order).
@@ -135,6 +136,7 @@ pub fn validate(schema: &Schema, query: &Query) -> PrimaResult<ResolvedQuery> {
     // First occurrence wins for duplicate labels.
     let root_attrs: Vec<String> = schema
         .atom_type(nodes[0].atom_type)
+        // lint: allow(error-hygiene, root type was resolved a few lines up in this same pass)
         .expect("resolved root type")
         .attributes
         .iter()
@@ -165,9 +167,7 @@ pub fn validate(schema: &Schema, query: &Query) -> PrimaResult<ResolvedQuery> {
     if resolved.nodes.iter().any(|n| n.recursive) && matches!(resolved.root_ssa, Ssa::True) {
         let name = resolved
             .aliases
-            .first()
-            .map(|(n, _)| n.clone())
-            .unwrap_or_else(|| resolved.nodes[0].label.clone());
+            .first().map_or_else(|| resolved.nodes[0].label.clone(), |(n, _)| n.clone());
         return Err(PrimaError::MissingSeed(name));
     }
     // Select resolution.
@@ -218,6 +218,7 @@ fn flatten(
 }
 
 /// Resolves a component reference to `(node index, attribute index)`.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub fn resolve_ref(
     q: &ResolvedQuery,
     r: &CompRef,
@@ -233,6 +234,7 @@ pub fn resolve_ref(
                 detail: format!("no component '{name}' in FROM"),
             })?,
     };
+    // lint: allow(error-hygiene, node type ids were interned into this schema by the resolve pass)
     let at = schema.atom_type(q.nodes[node_idx].atom_type).expect("resolved type");
     let attr = at.attribute_index(&r.attr).ok_or_else(|| PrimaError::UnresolvedReference {
         reference: r.to_string(),
@@ -326,6 +328,7 @@ pub(crate) fn convert_op(op: CompareOp) -> CmpOp {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn resolve_select(
     schema: &Schema,
     q: &ResolvedQuery,
@@ -380,6 +383,7 @@ fn resolve_select(
                             "qualified projection for '{component}' must SELECT … FROM {component}"
                         )));
                     }
+                    // lint: allow(error-hygiene, node type ids were interned into this schema by the resolve pass)
                     let at = schema.atom_type(q.nodes[node].atom_type).expect("resolved");
                     let ssa = match &query.predicate {
                         None => Ssa::True,

@@ -78,6 +78,54 @@
 //!   bounded ring ([`Prima::slow_statements`]); threshold zero captures
 //!   every statement.
 //!
+//! # Concurrency invariants
+//!
+//! Every lock in the kernel carries a **rank** from the canonical
+//! hierarchy in `crates/lint/src/ranks.rs`; a thread may acquire a lock
+//! only while every lock it already holds ranks **≤** the new one
+//! (equal ranks are peer groups whose mutual safety is argued at the
+//! declaration site). The legal order is the Fig. 3.1 layer order, top
+//! of the kernel first:
+//!
+//! | rank domain | base | Fig. 3.1 layer        | guards |
+//! |-------------|------|-----------------------|--------|
+//! | `api`       |  10  | MAD interface         | session txn slot, last-profile slot |
+//! | `txn`       |  20  | data system           | checkpoint gate, active-txn table |
+//! | `locktable` |  30  | data system           | granular lock table + wait queues |
+//! | `mvcc`      |  40  | data system           | version store |
+//! | `access`    |  50  | access system         | structure directory, registries, tree roots, grid files |
+//! | `buffer`    |  60  | storage system        | shard latches, frame locks, record-file maps |
+//! | `walgroup`  |  70  | storage system (WAL)  | group-commit coordinator |
+//! | `walio`     |  80  | storage system (WAL)  | device-append serialisation, append buffer |
+//! | `storage`   |  90  | storage system        | segment-id allocator, segment catalog |
+//! | `obs`       | 100  | (cross-cutting)       | slow log, parallel work queues |
+//! | `device`    | 110  | devices               | block-device internals |
+//!
+//! Two enforcers keep the table honest:
+//!
+//! * **Static** — `cargo run -p prima-lint` (a required CI gate) walks
+//!   the kernel sources and checks five rules:
+//!   1. *lock-rank* — every `Mutex`/`RwLock` declaration carries a
+//!      `// lockrank: <domain>.<n>` annotation resolving against the
+//!      table, and no function's nested acquisitions violate the order;
+//!   2. *lock-across-io* — no guard (below the `device` domain) is live
+//!      across a `BlockDevice` call, `fsync`, or WAL force;
+//!   3. *error-hygiene* — no `unwrap`/`expect`/`panic!` in non-test
+//!      kernel code;
+//!   4. *ignored-result* — no `StorageResult`/`TxnResult`-returning
+//!      call used as a bare statement;
+//!   5. *allow-without-reason* — every
+//!      `// lint: allow(<rule>, <reason>)` escape hatch must state a
+//!      non-empty reason.
+//! * **Dynamic** — the vendored `parking_lot` shim's
+//!   `Mutex::new_ranked`/`RwLock::new_ranked` maintain a thread-local
+//!   acquisition stack under `debug_assertions` (or the root `lockrank`
+//!   feature, which the contention and crash-fuzz CI jobs enable in
+//!   release) and panic on rank inversion, so every randomized fault
+//!   schedule doubles as a lock-order model check. Release builds
+//!   without the feature compile the tracking out to nothing — verified
+//!   by the `scripts/perf_trajectory.sh --sanity` leg.
+//!
 //! # Durability
 //!
 //! A kernel built with `PrimaBuilder::durable()` (plus a device) runs

@@ -236,7 +236,7 @@ thread_local! {
 
 #[inline]
 fn active() -> bool {
-    ACTIVE.with(|a| a.get())
+    ACTIVE.with(std::cell::Cell::get)
 }
 
 fn open_frame(kind: SpanKind) {
@@ -247,12 +247,15 @@ fn open_frame(kind: SpanKind) {
     });
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn close_frame() {
     RECORDER.with(|r| {
         if let Some(rec) = r.borrow_mut().as_mut() {
             if rec.stack.len() > 1 {
+                // lint: allow(error-hygiene, guarded by the len > 1 check above)
                 let mut frame = rec.stack.pop().expect("len checked");
                 frame.span.nanos = frame.started.elapsed().as_nanos() as u64;
+                // lint: allow(error-hygiene, the root frame is never popped while a child is being folded)
                 let parent = rec.stack.last_mut().expect("root frame remains");
                 merge_child(&mut parent.span.children, frame.span);
             }
@@ -372,6 +375,7 @@ impl Probe {
 
     /// Ends recording and returns the root span (duration = `total`).
     /// An inert probe returns an empty root.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn finish(self, total: Duration) -> Span {
         if !self.active {
             return Span::new(SpanKind::Statement);
@@ -380,16 +384,20 @@ impl Probe {
         ACTIVE.with(|a| a.set(false));
         RECORDER.with(|r| {
             let rec = r.borrow_mut().take();
+            // lint: allow(error-hygiene, probe construction always installs a recorder before handing out the probe)
             let mut rec = rec.expect("active probe owns a recorder");
             // Close any frames a panic-free caller should already have
             // closed; being defensive keeps a malformed tree from
             // panicking the statement that produced it.
             while rec.stack.len() > 1 {
+                // lint: allow(error-hygiene, guarded by the len check above)
                 let mut frame = rec.stack.pop().expect("len checked");
                 frame.span.nanos = frame.started.elapsed().as_nanos() as u64;
+                // lint: allow(error-hygiene, the root frame is never popped while a child is being folded)
                 let parent = rec.stack.last_mut().expect("root remains");
                 merge_child(&mut parent.span.children, frame.span);
             }
+            // lint: allow(error-hygiene, finish runs once and the root frame is still on the stack here)
             let mut root = rec.stack.pop().expect("root frame").span;
             root.nanos = total.as_nanos() as u64;
             root

@@ -1,7 +1,7 @@
 //! The slow-statement log: a bounded ring of full statement profiles.
 
 use super::profile::StatementProfile;
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use std::collections::VecDeque;
 
 /// Default ring capacity (overridable via
@@ -12,13 +12,15 @@ pub const DEFAULT_SLOW_LOG_CAPACITY: usize = 64;
 /// configured threshold: pushing past capacity evicts the oldest entry.
 #[derive(Debug)]
 pub struct SlowLog {
+    // lockrank: obs.0 — bounded profile ring; pushed after the statement
+    // has released every kernel lock.
     ring: Mutex<VecDeque<StatementProfile>>,
     capacity: usize,
 }
 
 impl SlowLog {
     pub fn new(capacity: usize) -> SlowLog {
-        SlowLog { ring: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+        SlowLog { ring: Mutex::new_ranked(VecDeque::new(), rank::OBS), capacity: capacity.max(1) }
     }
 
     pub fn push(&self, profile: StatementProfile) {

@@ -40,8 +40,8 @@ use crate::error::PrimaResult;
 use crate::txn::ReadGuard;
 use prima_access::AccessSystem;
 use prima_mad::value::AtomId;
+use parking_lot::rank;
 use std::collections::HashSet;
-use std::sync::Mutex;
 
 /// A unit of work with declared read and write sets (atom granularity —
 /// matching the lock granularity of [`crate::txn`]).
@@ -130,24 +130,29 @@ where
     if threads == 1 || tasks.len() <= 1 {
         return tasks.into_iter().map(f).collect();
     }
-    let queue: Mutex<Vec<(usize, T)>> =
-        Mutex::new(tasks.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<(usize, PrimaResult<R>)>> = Mutex::new(Vec::new());
+    // lockrank: obs.1 — work queue; popped transiently, never held while
+    // a task runs.
+    let queue: parking_lot::Mutex<Vec<(usize, T)>> =
+        parking_lot::Mutex::new_ranked(tasks.into_iter().enumerate().rev().collect(), rank::OBS + 1);
+    // lockrank: obs.2 — result collection; pushed transiently after the
+    // task completes.
+    let results: parking_lot::Mutex<Vec<(usize, PrimaResult<R>)>> =
+        parking_lot::Mutex::new_ranked(Vec::new(), rank::OBS + 2);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
+                let next = queue.lock().pop();
                 match next {
                     Some((i, task)) => {
                         let r = f(task);
-                        results.lock().expect("results lock").push((i, r));
+                        results.lock().push((i, r));
                     }
                     None => break,
                 }
             });
         }
     });
-    let mut collected = results.into_inner().expect("results");
+    let mut collected = results.into_inner();
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, r)| r).collect()
 }
@@ -169,7 +174,10 @@ pub fn execute_parallel(
     let clusters = sys.cluster_types_of(q.nodes[0].atom_type);
     // Assembly scratch is recycled across DUs through a small pool, so the
     // parallel path amortises per-molecule allocations like the serial one.
-    let ctx_pool: parking_lot::Mutex<Vec<AssemblyCtx>> = parking_lot::Mutex::new(Vec::new());
+    // lockrank: obs.3 — assembly-scratch recycling pool; popped/pushed
+    // transiently around each DU.
+    let ctx_pool: parking_lot::Mutex<Vec<AssemblyCtx>> =
+        parking_lot::Mutex::new_ranked(Vec::new(), rank::OBS + 3);
     let results = run_parallel(roots, threads, |root| {
         let mut ctx = ctx_pool.lock().pop().unwrap_or_else(|| AssemblyCtx::new(q));
         let r = process_root(sys, q, root, &clusters, &mut ctx, locks);

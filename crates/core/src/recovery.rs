@@ -25,6 +25,7 @@
 
 use crate::error::{PrimaError, PrimaResult};
 use crate::txn::UndoOp;
+use prima_storage::bytes::{le_u32, le_u64};
 use prima_storage::{PageSize, SegmentId, SegmentMeta, WalRecord};
 use std::collections::HashSet;
 
@@ -53,7 +54,9 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn size_code(s: PageSize) -> u8 {
+    // lint: allow(error-hygiene, PageSize::ALL enumerates every variant of the closed enum)
     PageSize::ALL.iter().position(|&x| x == s).expect("known size") as u8
 }
 
@@ -77,11 +80,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> PrimaResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> PrimaResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(le_u64(self.take(8)?))
     }
 }
 

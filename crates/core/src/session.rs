@@ -84,7 +84,7 @@ use crate::error::{PrimaError, PrimaResult};
 use crate::obs::{self, Obs, Probe, StatementKind, StatementProfile};
 use crate::parallel;
 use crate::txn::{ReadGuard, Snapshot, Transaction, TxnId, TxnManager};
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use prima_access::cluster::AtomClusterType;
 use prima_access::{AccessSystem, Atom};
 use prima_mad::mql::{
@@ -405,11 +405,14 @@ pub struct Session {
     txn_mgr: Arc<TxnManager>,
     stats: Arc<ApiStats>,
     obs: Arc<Obs>,
+    // lockrank: api.0 — the session's explicit-transaction slot; the
+    // outermost lock a statement can hold.
     txn: Mutex<Option<Transaction>>,
     retry: RetryPolicy,
     /// Per-session profiler switch ([`Session::set_profiling`]); a
     /// kernel-wide slow-statement threshold overrides it to on.
     profiling: AtomicBool,
+    // lockrank: api.1
     last_profile: Mutex<Option<StatementProfile>>,
 }
 
@@ -425,10 +428,10 @@ impl Session {
             txn_mgr,
             stats,
             obs,
-            txn: Mutex::new(None),
+            txn: Mutex::new_ranked(None, rank::API),
             retry: RetryPolicy::default(),
             profiling: AtomicBool::new(false),
-            last_profile: Mutex::new(None),
+            last_profile: Mutex::new_ranked(None, rank::API + 1),
         }
     }
 
@@ -542,7 +545,7 @@ impl Session {
 
     /// Id of the transaction currently underway, if any.
     pub fn txn_id(&self) -> Option<TxnId> {
-        self.txn.lock().as_ref().map(|t| t.id())
+        self.txn.lock().as_ref().map(super::txn::Transaction::id)
     }
 
     /// Explicitly opens the session's transaction now (it otherwise
@@ -563,11 +566,13 @@ impl Session {
         Ok(())
     }
 
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn with_txn<R>(&self, f: impl FnOnce(&Transaction) -> PrimaResult<R>) -> PrimaResult<R> {
         let mut guard = self.txn.lock();
         if guard.is_none() {
             *guard = Some(self.txn_mgr.begin(None)?);
         }
+        // lint: allow(error-hygiene, ensure_txn on the preceding line just filled the slot and the session lock is still held)
         f(guard.as_ref().expect("txn just ensured"))
     }
 
@@ -785,8 +790,10 @@ impl Session {
     /// Reads one atom: lock-free against a snapshot outside a
     /// transaction, under a `Shared` lock of the session's transaction
     /// inside one.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn read_atom(&self, id: AtomId) -> PrimaResult<Atom> {
         if let Some(r) = self.try_snapshot(|g| {
+            // lint: allow(error-hygiene, the guard was constructed in snapshot mode in this same function)
             let snap = g.as_snapshot().expect("guard built in snapshot mode");
             let base = match self.access.read_atom(id, None) {
                 Ok(a) => Some(a),
@@ -921,6 +928,7 @@ impl<'s> Prepared<'s> {
 
     /// Binds by name (`:name` parameters; positional slots are addressed
     /// as `?1`, `?2`, …).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn bind_named(&mut self, pairs: &[(&str, Value)]) -> PrimaResult<&mut Self> {
         let mut values: Vec<Option<Value>> = vec![None; self.slots.len()];
         for (name, v) in pairs {
@@ -939,7 +947,7 @@ impl<'s> Prepared<'s> {
                 })?;
             values[idx] = Some(v.clone());
         }
-        let missing = values.iter().position(|v| v.is_none());
+        let missing = values.iter().position(std::option::Option::is_none);
         if let Some(i) = missing {
             return Err(PrimaError::UnboundParameter {
                 slot: i as u16,
@@ -949,6 +957,7 @@ impl<'s> Prepared<'s> {
                 },
             });
         }
+        // lint: allow(error-hygiene, an earlier loop returned on any None entry)
         let values: Vec<Value> = values.into_iter().map(|v| v.expect("checked")).collect();
         self.bind(&values)
     }
@@ -1043,6 +1052,7 @@ impl<'s> Prepared<'s> {
 /// position it occurs in: comparisons against a component attribute take
 /// that attribute's type; INSERT/MODIFY assignments take the assigned
 /// attribute's type.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn infer_param_types(
     schema: &Schema,
     stmt: &Statement,
@@ -1062,6 +1072,7 @@ fn infer_param_types(
         collect_param_comparisons(pred, &mut pairs);
         for (r, slot) in pairs {
             if let Ok((node, attr)) = resolve_ref(plan, r, schema) {
+                // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
                 let at = schema.atom_type(plan.nodes[node].atom_type).expect("resolved");
                 note(slot, at.attributes[attr].ty.clone(), slots);
             }
@@ -1092,6 +1103,7 @@ fn infer_param_types(
                         if let Ok((node, attr)) = resolve_ref(plan, target, schema) {
                             let at = schema
                                 .atom_type(plan.nodes[node].atom_type)
+                                // lint: allow(error-hygiene, plan node type ids were resolved against this same frozen schema during validation)
                                 .expect("resolved");
                             note(*slot, at.attributes[attr].ty.clone(), slots);
                         }
@@ -1136,11 +1148,11 @@ fn collect_param_comparisons<'p>(pred: &'p Predicate, out: &mut Vec<(&'p CompRef
             _ => {}
         },
         Predicate::And(ts) | Predicate::Or(ts) => {
-            ts.iter().for_each(|t| collect_param_comparisons(t, out))
+            ts.iter().for_each(|t| collect_param_comparisons(t, out));
         }
         Predicate::Not(t) => collect_param_comparisons(t, out),
         Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
-            collect_param_comparisons(inner, out)
+            collect_param_comparisons(inner, out);
         }
         Predicate::IsEmpty(_) | Predicate::NotEmpty(_) => {}
     }

@@ -68,7 +68,7 @@
 //! timeouts, deadlocks and victims.
 
 use super::{TxnError, TxnId};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{rank, Condvar, Mutex};
 use prima_mad::value::{AtomId, AtomTypeId};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -410,9 +410,13 @@ impl Inner {
     }
 
     /// Removes `t`'s waiter from `target`'s queue, returning it.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn dequeue(&mut self, target: LockTarget, t: TxnId) -> Waiter {
+        // lint: allow(error-hygiene, dequeue is only called for a txn whose waiter is queued and waiters pin their entry)
         let e = self.entries.get_mut(&target).expect("waiter keeps its entry alive");
+        // lint: allow(error-hygiene, dequeue is only called for a txn whose waiter is queued)
         let pos = e.waiters.iter().position(|w| w.txn == t).expect("waiter is queued");
+        // lint: allow(error-hygiene, position returned by the search on the previous line)
         let w = e.waiters.remove(pos).expect("position just found");
         if e.holders.is_empty() && e.waiters.is_empty() {
             self.entries.remove(&target);
@@ -502,17 +506,19 @@ impl Inner {
 
     /// Victim = cycle member holding the fewest locks (cheapest rollback),
     /// ties broken youngest-first (largest TxnId — least work lost).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn pick_victim(&self, cycle: &[TxnId]) -> TxnId {
         *cycle
             .iter()
             .min_by_key(|t| (self.by_txn.get(*t).map_or(0, Vec::len), std::cmp::Reverse(t.0)))
+            // lint: allow(error-hygiene, a detected deadlock cycle has at least one participant)
             .expect("cycle is non-empty")
     }
 
     /// Marks `victim`'s waiter doomed wherever it is queued.
     fn doom(&mut self, victim: TxnId) {
         for e in self.entries.values_mut() {
-            for w in e.waiters.iter_mut() {
+            for w in &mut e.waiters {
                 if w.txn == victim {
                     w.doomed = true;
                     return;
@@ -523,14 +529,27 @@ impl Inner {
 }
 
 /// The lock table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LockTable {
+    // lockrank: locktable.0 — entry map + wait queues; held across grant
+    // bookkeeping and condvar parks, never across I/O or access descent.
     inner: Mutex<Inner>,
     /// Single condvar for all waiters: releases/transfers/grants are rare
     /// relative to parked time and wake everyone to re-check eligibility.
     cv: Condvar,
     config: LockConfig,
     stats: LockStats,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable {
+            inner: Mutex::new_ranked(Inner::default(), rank::LOCKTABLE),
+            cv: Condvar::new(),
+            config: LockConfig::default(),
+            stats: LockStats::default(),
+        }
+    }
 }
 
 impl LockTable {
@@ -560,6 +579,7 @@ impl LockTable {
     /// with [`TxnError::LockConflict`] when waiting is disabled or the
     /// queue is full, [`TxnError::LockTimeout`] when the wait expires, and
     /// [`TxnError::Deadlock`] when it is chosen to break a wait-for cycle.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn acquire(
         &self,
         t: TxnId,
@@ -584,6 +604,7 @@ impl LockTable {
         let holder = e
             .conflicting_holder(ancestors, mode)
             .or_else(|| e.blocking_waiter(ancestors, mode))
+            // lint: allow(error-hygiene, a non-grantable request always has a holder or queued stranger blocking it)
             .expect("not grantable implies a blocker");
         if self.config.wait_timeout.is_zero() {
             return Err(TxnError::LockConflict { target, holder });
@@ -595,6 +616,7 @@ impl LockTable {
 
         // Enqueue: upgraders go ahead of plain waiters (but behind other
         // queued upgraders) so holders block them but strangers do not.
+        // lint: allow(error-hygiene, a conflict was just observed on this entry under the same lock acquisition)
         let e = inner.entries.get_mut(&target).expect("conflict implies entry");
         let pos = if e.holds(t) {
             let held: Vec<TxnId> = e.holders.iter().map(|(h, _)| *h).collect();
@@ -648,6 +670,7 @@ impl LockTable {
         let deadline = Instant::now() + self.config.wait_timeout;
         loop {
             let e = &inner.entries[&target];
+            // lint: allow(error-hygiene, the timed-out waiter was enqueued by this same call and nobody else removes it)
             let pos = e.waiters.iter().position(|w| w.txn == t).expect("still queued");
             if e.waiters[pos].doomed {
                 let w = inner.dequeue(target, t);
@@ -739,7 +762,7 @@ impl LockTable {
 
     /// Number of locks `t` currently holds (diagnostics).
     pub fn held_by(&self, t: TxnId) -> usize {
-        self.inner.lock().by_txn.get(&t).map_or(0, |v| v.len())
+        self.inner.lock().by_txn.get(&t).map_or(0, std::vec::Vec::len)
     }
 
     /// Targets that currently have waiters, with their queue depths

@@ -73,7 +73,7 @@ pub use mvcc::{Snapshot, VersionStats, VersionStatsSnapshot, VersionStore};
 pub use undo::UndoOp;
 
 use crate::error::PrimaResult;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{rank, Mutex, RwLock};
 use prima_access::{AccessSystem, Atom};
 use prima_mad::value::{AtomId, AtomTypeId, Value};
 use prima_storage::{Wal, WalPayload};
@@ -162,12 +162,15 @@ pub struct TxnManager {
     /// uncommitted versions from base storage, so recovery owes the
     /// store nothing.
     versions: Arc<VersionStore>,
+    // lockrank: txn.1 — active-transaction table; taken inside the gate
+    // by begin, and held across WAL undo appends (txn < walio).
     active: Mutex<HashMap<TxnId, TxnState>>,
     next: AtomicU64,
     wal: Option<Arc<Wal>>,
     /// Checkpoint gate: [`TxnManager::begin`] holds it shared,
     /// [`TxnManager::quiesced`] exclusively — so "no active
     /// transactions" can be checked without racing new begins.
+    // lockrank: txn.0
     gate: RwLock<()>,
 }
 
@@ -183,10 +186,10 @@ impl TxnManager {
             sys,
             locks: LockTable::with_config(config),
             versions: VersionStore::new(),
-            active: Mutex::new(HashMap::new()),
+            active: Mutex::new_ranked(HashMap::new(), rank::TXN + 1),
             next: AtomicU64::new(1),
             wal,
-            gate: RwLock::new(()),
+            gate: RwLock::new_ranked((), rank::TXN),
         })
     }
 
@@ -244,7 +247,7 @@ impl TxnManager {
     /// proceed, since its undo could never become durable.
     fn log_undo(&self, t: TxnId, op: &UndoOp) -> prima_storage::StorageResult<()> {
         if let Some(wal) = &self.wal {
-            let top = *self.ancestors(t).last().expect("ancestors include self");
+            let top = self.ancestors(t).last().copied().unwrap_or(t);
             {
                 let mut active = self.active.lock();
                 if let Some(state) = active.get_mut(&top) {
@@ -373,7 +376,7 @@ impl TxnManager {
         let before = self.sys.read_atom(id, None).map_err(|e| TxnError::Access(e.to_string()))?;
         // Lock atoms whose back-references will change.
         for (i, v) in updates {
-            for target in before.values.get(*i).map(|x| x.referenced_ids()).unwrap_or_default()
+            for target in before.values.get(*i).map(prima_mad::Value::referenced_ids).unwrap_or_default()
             {
                 self.lock_atom_exclusive(t, target)?;
             }
@@ -446,7 +449,10 @@ impl TxnManager {
         }
         let undo = {
             let mut active = self.active.lock();
-            let state = active.remove(&t).expect("validated above");
+            // Validated under this same lock at function entry; if it
+            // vanished since (it cannot — only the owner removes it),
+            // surface the error rather than panicking.
+            let state = active.remove(&t).ok_or(TxnError::NotActive(t))?;
             if let Some(p) = state.parent {
                 if let Some(ps) = active.get_mut(&p) {
                     ps.children.retain(|c| *c != t);

@@ -67,7 +67,7 @@
 //! crash semantics need no MVCC persistence.
 
 use super::TxnId;
-use parking_lot::Mutex;
+use parking_lot::{rank, Mutex};
 use prima_access::Atom;
 use prima_mad::value::{AtomId, AtomTypeId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -209,6 +209,8 @@ pub enum Resolution {
 /// The version store. One per kernel, shared by the transaction
 /// manager (writer hooks) and every snapshot reader.
 pub struct VersionStore {
+    // lockrank: mvcc.0 — chain table + snapshot registry; every hold is
+    // transient (no I/O, no nested locks).
     inner: Mutex<Inner>,
     stats: VersionStats,
     /// Lock-free fast path: number of live chains. While 0, resolves
@@ -222,14 +224,14 @@ pub struct VersionStore {
 impl VersionStore {
     pub fn new() -> Arc<VersionStore> {
         Arc::new(VersionStore {
-            inner: Mutex::new(Inner {
+            inner: Mutex::new_ranked(Inner {
                 chains: HashMap::new(),
                 by_txn: HashMap::new(),
                 by_type: HashMap::new(),
                 commit_seq: 0,
                 snapshots: BTreeMap::new(),
                 reclaim: VecDeque::new(),
-            }),
+            }, rank::MVCC),
             stats: VersionStats::default(),
             live_chains: AtomicUsize::new(0),
         })
@@ -414,11 +416,13 @@ impl VersionStore {
     fn gc_locked(&self, inner: &mut Inner, mut reclaimed: u64) {
         let watermark =
             inner.snapshots.keys().next().copied().unwrap_or(inner.commit_seq);
-        while let Some((c, _)) = inner.reclaim.front() {
-            if *c > watermark {
+        while let Some((c, ids)) = inner.reclaim.pop_front() {
+            if c > watermark {
+                // Not yet reclaimable: put it back and stop (the deque is
+                // ordered by commit position).
+                inner.reclaim.push_front((c, ids));
                 break;
             }
-            let (c, ids) = inner.reclaim.pop_front().expect("front checked");
             for id in ids {
                 let Some(chain) = inner.chains.get_mut(&id) else { continue };
                 let before = chain.len();
@@ -449,8 +453,7 @@ impl VersionStore {
             .snapshots
             .keys()
             .next()
-            .map(|oldest| inner.commit_seq - oldest)
-            .unwrap_or(0);
+            .map_or(0, |oldest| inner.commit_seq - oldest);
         VersionStatsSnapshot {
             versions_installed: self.stats.versions_installed.load(Ordering::Relaxed),
             versions_reclaimed: self.stats.versions_reclaimed.load(Ordering::Relaxed),

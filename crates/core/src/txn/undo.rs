@@ -18,6 +18,7 @@
 
 use prima_access::{AccessError, AccessSystem, Atom};
 use prima_mad::codec::{self, CodecError};
+use prima_storage::bytes::{le_u32, le_u64};
 use prima_mad::value::{AtomId, Value};
 
 /// One logical undo entry.
@@ -67,7 +68,7 @@ impl UndoOp {
                 // restored later in the reverse replay — in that case the
                 // later restore re-adds the back-reference symmetrically).
                 let mut values = atom.values.clone();
-                for v in values.iter_mut() {
+                for v in &mut values {
                     match v {
                         Value::Ref(Some(t)) if !sys.exists(*t) => *v = Value::Ref(None),
                         Value::RefSet(ids) => ids.retain(|t| sys.exists(*t)),
@@ -92,7 +93,7 @@ impl UndoOp {
                     return Ok(());
                 }
                 let mut old = old.clone();
-                for (_, v) in old.iter_mut() {
+                for (_, v) in &mut old {
                     match v {
                         Value::Ref(Some(t)) if !sys.exists(*t) => *v = Value::Ref(None),
                         Value::RefSet(ids) => ids.retain(|t| sys.exists(*t)),
@@ -147,7 +148,7 @@ impl UndoOp {
             }
             Ok(AtomId::new(
                 u16::from_le_bytes([buf[0], buf[1]]),
-                u64::from_le_bytes(buf[2..10].try_into().unwrap()),
+                le_u64(&buf[2..10]),
             ))
         };
         match buf.first() {
@@ -158,7 +159,7 @@ impl UndoOp {
                 if rest.len() < 4 {
                     return Err(trunc());
                 }
-                let n = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                let n = le_u32(&rest[0..4]) as usize;
                 let mut pos = 4usize;
                 let mut old = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -166,7 +167,7 @@ impl UndoOp {
                         return Err(trunc());
                     }
                     let idx =
-                        u32::from_le_bytes(rest[pos..pos + 4].try_into().unwrap()) as usize;
+                        le_u32(&rest[pos..pos + 4]) as usize;
                     pos += 4;
                     let v = codec::decode_value(rest, &mut pos).map_err(AccessError::Codec)?;
                     old.push((idx, v));

@@ -1,0 +1,312 @@
+//! A small hand-rolled Rust tokenizer — just enough structure for the
+//! lint rules: identifiers, punctuation, and literals with line numbers,
+//! plus `//` comments captured separately (the annotation/allow channel).
+//!
+//! It understands the lexical shapes that would otherwise break a naive
+//! scanner: nested block comments, string escapes, raw strings
+//! (`r#"…"#`), byte strings, char literals vs lifetimes, raw identifiers
+//! (`r#type`), and numeric literals that must not swallow `..` ranges.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `let`, `self`, …).
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `;`, `#`, …). Multi-char
+    /// operators arrive as their constituent characters.
+    Punct(char),
+    /// Any string / byte-string literal (content irrelevant to the rules).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` comment (doc comments included), trimmed of the slashes.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    // Consumes a quoted string body starting *after* the opening quote,
+    // returning the index just past the closing quote.
+    fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+        while i < b.len() {
+            match b[i] {
+                b'\\' => {
+                    // Escapes skip the next byte — which may be a real
+                    // newline (line-continuation `\` at end of line).
+                    if b.get(i + 1) == Some(&b'\n') {
+                        *line += 1;
+                    }
+                    i += 2;
+                }
+                b'"' => return i + 1,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Raw (byte) strings: r"…", r#"…"#, br#"…"# etc. Handled ahead of
+        // the match so the prefix probe binds directly.
+        if matches!(c, b'r' | b'b') {
+            if let Some((hashes, body)) = raw_string_hashes(b, i) {
+                let l = line;
+                let closer: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                let mut j = body;
+                while j < b.len() {
+                    if b[j] == b'\n' {
+                        line += 1;
+                    }
+                    if b[j] == b'"' && b[j..].starts_with(&closer) {
+                        j += closer.len();
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+                tokens.push(Token { tok: Tok::Str, line: l });
+                continue;
+            }
+        }
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    text: src[start..j].trim_start_matches('/').trim().to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let l = line;
+                i = skip_string(b, i + 1, &mut line);
+                tokens.push(Token { tok: Tok::Str, line: l });
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\…'` and `'x'` are chars;
+                // `'ident` (no closing quote right after) is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    tokens.push(Token { tok: Tok::Char, line });
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    tokens.push(Token { tok: Tok::Char, line });
+                    i += 3;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    tokens.push(Token { tok: Tok::Lifetime, line });
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                // Raw identifier `r#name`.
+                if (c == b'r' || c == b'b') && b.get(i + 1) == Some(&b'#') {
+                    i += 2;
+                }
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].trim_start_matches("r#").to_string()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.' {
+                        // `1..n` is a range, not a float.
+                        if b.get(j + 1) == Some(&b'.') {
+                            break;
+                        }
+                        // `1.method()` — integer then method call.
+                        if b.get(j + 1).is_some_and(|n| n.is_ascii_alphabetic() || *n == b'_') {
+                            break;
+                        }
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { tok: Tok::Num, line });
+                i = j;
+            }
+            _ => {
+                tokens.push(Token { tok: Tok::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#`, `br"`, `br#`),
+/// returns `(hash_count, index_of_first_body_byte)`.
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let a = 1; // lockrank: api.0\n// standalone\nfn f() {}\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "lockrank: api.0");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        assert_eq!(idents(r#"let s = "fn fake() { .lock() }"; x"#), vec!["let", "s", "x"]);
+        assert_eq!(idents("let c = '{'; y"), vec!["let", "c", "y"]);
+        assert_eq!(idents("let c = '\\n'; y"), vec!["let", "c", "y"]);
+        assert_eq!(idents(r##"let r = r#"raw "quoted" body"#; z"##), vec!["let", "r", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) {}");
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count(), 2);
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 0);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { a[i] = 1.5; }");
+        let dots = l.tokens.iter().filter(|t| t.tok.is_punct('.')).count();
+        assert_eq!(dots, 2, "both range dots survive");
+        // `0`, `10`, and `1.5` — the float's dot is part of the number.
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Num).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_inside_literals() {
+        let l = lex("let s = \"two\nlines\";\nnext");
+        let next = l.tokens.iter().find(|t| t.tok.is_ident("next")).expect("next token");
+        assert_eq!(next.line, 3);
+    }
+}

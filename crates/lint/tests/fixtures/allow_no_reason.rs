@@ -1,0 +1,7 @@
+//! Fixture: exactly one `allow-without-reason` finding — the allow
+//! suppresses its unwrap but is itself flagged for the missing reason.
+
+pub fn hushed(v: Option<u32>) -> u32 {
+    // lint: allow(error-hygiene, )
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: exactly one `error-hygiene` finding — a bare unwrap in
+//! non-test code. The test-module unwrap below must NOT fire.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

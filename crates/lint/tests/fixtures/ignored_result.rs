@@ -1,0 +1,16 @@
+//! Fixture: exactly one `ignored-result` finding — a bare statement
+//! discarding a kernel Result. The handled calls below must NOT fire.
+
+pub fn might_fail() -> StorageResult<()> {
+    Ok(())
+}
+
+pub fn bad() {
+    might_fail();
+}
+
+pub fn good() -> StorageResult<()> {
+    might_fail()?;
+    let _ = might_fail();
+    might_fail()
+}

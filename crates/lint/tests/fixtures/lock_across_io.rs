@@ -1,0 +1,15 @@
+//! Fixture: exactly one `lock-across-io` finding — device I/O under a
+//! kernel lock. Not compiled; lexed and analysed by `tests/lint_rules.rs`.
+
+pub struct S {
+    // lockrank: buffer.0
+    inner: Mutex<u32>,
+}
+
+impl S {
+    pub fn bad(&self, dev: &Dev) -> StorageResult<()> {
+        let _g = self.inner.lock();
+        dev.write_block(0)?;
+        Ok(())
+    }
+}

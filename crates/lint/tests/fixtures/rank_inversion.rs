@@ -1,0 +1,17 @@
+//! Fixture: exactly one `lockrank` finding — a rank inversion.
+//! Not compiled; lexed and analysed by `tests/lint_rules.rs`.
+
+pub struct S {
+    // lockrank: walio.0
+    io: Mutex<()>,
+    // lockrank: txn.0
+    gate: Mutex<()>,
+}
+
+impl S {
+    pub fn inverted(&self) {
+        let _io = self.io.lock();
+        // txn (20) acquired while holding walio (80): inversion.
+        let _g = self.gate.lock();
+    }
+}

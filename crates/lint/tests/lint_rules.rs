@@ -1,0 +1,63 @@
+//! End-to-end rule coverage: every fixture under `tests/fixtures/` seeds
+//! exactly one violation of one rule, and the real kernel tree must be
+//! clean.
+
+// Integration-test harness: panicking on a broken fixture is the point
+// (clippy's allow-*-in-tests only covers `#[cfg(test)]` items).
+#![allow(clippy::expect_used)]
+
+use prima_lint::{analyze_file, collect_result_fns, Rule};
+use std::path::{Path, PathBuf};
+
+fn analyze_fixture(name: &str) -> Vec<prima_lint::Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let sources = vec![(path.clone(), src.clone())];
+    let result_fns = collect_result_fns(&sources);
+    analyze_file(&path, &src, &result_fns)
+}
+
+fn check(name: &str, rule: Rule) {
+    let findings = analyze_fixture(name);
+    assert_eq!(findings.len(), 1, "{name} must fire exactly once, got: {findings:#?}");
+    assert_eq!(findings[0].rule, rule, "{name} fired the wrong rule: {findings:#?}");
+}
+
+#[test]
+fn rank_inversion_fires_once() {
+    check("rank_inversion.rs", Rule::LockRank);
+}
+
+#[test]
+fn lock_across_io_fires_once() {
+    check("lock_across_io.rs", Rule::LockAcrossIo);
+}
+
+#[test]
+fn bare_unwrap_fires_once_outside_tests() {
+    check("bare_unwrap.rs", Rule::ErrorHygiene);
+}
+
+#[test]
+fn ignored_result_fires_once() {
+    check("ignored_result.rs", Rule::IgnoredResult);
+}
+
+#[test]
+fn allow_without_reason_fires_once_and_suppresses() {
+    check("allow_no_reason.rs", Rule::AllowWithoutReason);
+}
+
+/// The self-check the CI `lint` job re-runs via the binary: the real
+/// kernel tree has zero unexplained findings.
+#[test]
+fn real_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = prima_lint::run(&root).expect("kernel sources readable");
+    assert!(
+        findings.is_empty(),
+        "prima-lint found {} problem(s) in the real tree:\n{}",
+        findings.len(),
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

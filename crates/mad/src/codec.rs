@@ -208,7 +208,9 @@ fn get_atom_id(buf: &[u8], pos: &mut usize) -> Result<AtomId, CodecError> {
 fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], CodecError> {
     let s = buf.get(*pos..*pos + N).ok_or(CodecError::Truncated)?;
     *pos += N;
-    Ok(s.try_into().unwrap())
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Ok(a)
 }
 
 fn take_slice<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {

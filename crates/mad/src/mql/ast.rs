@@ -222,6 +222,7 @@ pub enum SetExpr {
 
 impl Predicate {
     /// Conjunction constructor flattening nested ANDs.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn and(terms: Vec<Predicate>) -> Predicate {
         let mut flat = Vec::new();
         for t in terms {
@@ -231,6 +232,7 @@ impl Predicate {
             }
         }
         if flat.len() == 1 {
+            // lint: allow(error-hygiene, guarded by the len == 1 check on the preceding line)
             flat.pop().unwrap()
         } else {
             Predicate::And(flat)
@@ -256,11 +258,11 @@ impl Predicate {
             }
             Predicate::IsEmpty(r) | Predicate::NotEmpty(r) => out.push(r),
             Predicate::And(ts) | Predicate::Or(ts) => {
-                ts.iter().for_each(|t| t.collect_refs(out))
+                ts.iter().for_each(|t| t.collect_refs(out));
             }
             Predicate::Not(t) => t.collect_refs(out),
             Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
-                inner.collect_refs(out)
+                inner.collect_refs(out);
             }
         }
     }
@@ -320,11 +322,11 @@ impl Predicate {
             }
             Predicate::IsEmpty(_) | Predicate::NotEmpty(_) => {}
             Predicate::And(ts) | Predicate::Or(ts) => {
-                ts.iter().for_each(|t| t.collect_params(out))
+                ts.iter().for_each(|t| t.collect_params(out));
             }
             Predicate::Not(t) => t.collect_params(out),
             Predicate::ExistsAtLeast { inner, .. } | Predicate::ForAll { inner, .. } => {
-                inner.collect_params(out)
+                inner.collect_params(out);
             }
         }
     }

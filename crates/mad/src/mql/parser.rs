@@ -271,19 +271,23 @@ impl Parser {
         self.or_expr()
     }
 
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn or_expr(&mut self) -> Result<Predicate, ParseError> {
         let mut terms = vec![self.and_expr()?];
         while self.eat_kw("or") {
             terms.push(self.and_expr()?);
         }
+        // lint: allow(error-hygiene, pop after len == 1 check in the same expression)
         Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Predicate::Or(terms) })
     }
 
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn and_expr(&mut self) -> Result<Predicate, ParseError> {
         let mut terms = vec![self.not_expr()?];
         while self.eat_kw("and") {
             terms.push(self.not_expr()?);
         }
+        // lint: allow(error-hygiene, pop after len == 1 check in the same expression)
         Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Predicate::And(terms) })
     }
 

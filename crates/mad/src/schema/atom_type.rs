@@ -49,10 +49,12 @@ impl AtomType {
     }
 
     /// Index of the (unique) IDENTIFIER attribute.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn identifier_index(&self) -> usize {
         self.attributes
             .iter()
             .position(|a| matches!(a.ty, AttrType::Identifier))
+            // lint: allow(error-hygiene, registration rejects atom types without an IDENTIFIER attribute)
             .expect("atom types always have an IDENTIFIER (checked on registration)")
     }
 

@@ -240,6 +240,7 @@ impl Schema {
     /// Finds the association connecting two atom types, optionally
     /// disambiguated by the attribute name on the `from` side (the
     /// `solid.sub - solid` notation of Fig. 2.3c).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn association_between(
         &self,
         from: AtomTypeId,
@@ -253,8 +254,9 @@ impl Schema {
         for (i, a) in from_type.attributes.iter().enumerate() {
             if let Some(t) = a.ty.ref_target() {
                 if self.type_id(&t.type_name) == Some(to)
-                    && via_attr.map(|v| v == a.name).unwrap_or(true)
+                    && via_attr.is_none_or(|v| v == a.name)
                 {
+                    // lint: allow(error-hygiene, association ids come from the association table iterated here)
                     candidates.push(self.association_of(from, i).expect("validated"));
                 }
             }
@@ -264,9 +266,7 @@ impl Schema {
             _ => Err(SchemaError::NoAssociation {
                 from: from_type.name.clone(),
                 to: self
-                    .atom_type(to)
-                    .map(|t| t.name.clone())
-                    .unwrap_or_else(|| format!("#{to}")),
+                    .atom_type(to).map_or_else(|| format!("#{to}"), |t| t.name.clone()),
             }),
         }
     }

@@ -66,12 +66,12 @@ impl MoleculeNode {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self.children.iter().map(MoleculeNode::node_count).sum::<usize>()
     }
 
     /// Depth of the structure (a single node has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+        1 + self.children.iter().map(MoleculeNode::depth).max().unwrap_or(0)
     }
 }
 
@@ -90,8 +90,10 @@ impl MoleculeGraph {
     }
 
     /// A linear chain `a-b-c-…` (the Table 2.1a notation).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn linear(components: &[&str]) -> Self {
         let mut iter = components.iter().rev();
+        // lint: allow(error-hygiene, component list was checked non-empty on registration)
         let last = iter.next().expect("at least one component");
         let mut node = MoleculeNode::leaf(*last);
         for c in iter {

@@ -43,7 +43,7 @@ impl Cardinality {
     }
 
     pub fn contains(&self, len: usize) -> bool {
-        len >= self.min as usize && self.max.map(|m| len <= m as usize).unwrap_or(true)
+        len >= self.min as usize && self.max.is_none_or(|m| len <= m as usize)
     }
 }
 

@@ -47,7 +47,7 @@ use crate::page::{Page, PageId, PageSize, PageType};
 use crate::probe::{self, ProbeEvent};
 use crate::wal::{Lsn, Wal, WalPayload};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
-use parking_lot::{Mutex, RawRwLock, RwLock};
+use parking_lot::{rank, Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -211,7 +211,22 @@ impl crate::stats::StatsSnapshot for BufferStatsSnapshot {
     }
 }
 
+// lockrank: buffer.0 — per-page frame locks, same rank as the shard
+// latches: the two interleave in *both* orders. Eviction write-locks an
+// unfixed victim frame while holding the shard latch (shard → frame), and
+// a caller holding a fixed page's guard may fix another page (frame →
+// shard). The cycle cannot close because a fixed frame (`fix_count > 0`)
+// is never chosen as a victim, so the frame locks taken under a shard
+// latch are disjoint from guards held by fixers — the pair is modelled as
+// one rank level, and peer frame guards (one batch read-holds several)
+// are likewise data-dependent.
+// lockrank-name: frame = buffer.0
 type FrameRef = Arc<RwLock<Page>>;
+
+/// Every frame lock is built here so the rank rides along.
+fn new_frame(page: Page) -> FrameRef {
+    Arc::new(RwLock::new_ranked(page, rank::BUFFER))
+}
 
 /// Sentinel for "no link" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
@@ -278,34 +293,42 @@ impl PoolInner {
     }
 
     /// Detaches `slot` from the LRU list (it must be linked).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn lru_unlink(&mut self, slot: usize) {
         let (prev, next) = {
+            // lint: allow(error-hygiene, intrusive LRU invariant: linked slots are occupied (checked by debug assertions))
             let m = self.arena[slot].as_ref().expect("linked slot");
             (m.lru_prev, m.lru_next)
         };
         match prev {
             NIL => self.lru_head = next,
+            // lint: allow(error-hygiene, intrusive LRU invariant: linked slots are occupied)
             p => self.arena[p].as_mut().expect("linked prev").lru_next = next,
         }
         match next {
             NIL => self.lru_tail = prev,
+            // lint: allow(error-hygiene, intrusive LRU invariant: linked slots are occupied)
             n => self.arena[n].as_mut().expect("linked next").lru_prev = prev,
         }
+        // lint: allow(error-hygiene, intrusive LRU invariant: linked slots are occupied)
         let m = self.arena[slot].as_mut().expect("linked slot");
         m.lru_prev = NIL;
         m.lru_next = NIL;
     }
 
     /// Appends `slot` at the MRU end.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn lru_push_tail(&mut self, slot: usize) {
         let old_tail = self.lru_tail;
         {
+            // lint: allow(error-hygiene, callers pass slots they just found in the page index)
             let m = self.arena[slot].as_mut().expect("slot occupied");
             m.lru_prev = old_tail;
             m.lru_next = NIL;
         }
         match old_tail {
             NIL => self.lru_head = slot,
+            // lint: allow(error-hygiene, the LRU tail is occupied whenever the list is non-empty)
             t => self.arena[t].as_mut().expect("tail occupied").lru_next = slot,
         }
         self.lru_tail = slot;
@@ -351,9 +374,11 @@ impl PoolInner {
     }
 
     /// Unlinks and removes the frame, maintaining byte/dirty accounting.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn remove_frame(&mut self, id: PageId) -> Option<FrameMeta> {
         let slot = self.index.remove(&id)?;
         self.lru_unlink(slot);
+        // lint: allow(error-hygiene, callers pass slots they just found in the page index)
         let meta = self.arena[slot].take().expect("indexed slot occupied");
         self.free_slots.push(slot);
         self.used_bytes -= meta.size.bytes();
@@ -365,9 +390,11 @@ impl PoolInner {
 
     /// Least-recently-used page with no fixes, if any (the modified-LRU
     /// victim walk: skip fixed frames, oldest first).
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn lru_victim(&self) -> Option<PageId> {
         let mut slot = self.lru_head;
         while slot != NIL {
+            // lint: allow(error-hygiene, intrusive LRU invariant: linked slots are occupied)
             let m = self.arena[slot].as_ref().expect("linked slot");
             if m.fix_count == 0 {
                 return Some(m.id);
@@ -420,6 +447,8 @@ impl PoolInner {
 pub struct BufferManager {
     store: Arc<dyn PageStore>,
     capacity_bytes: usize,
+    // lockrank: buffer.0 — shard latches.
+    // lockrank-name: shard = buffer.0
     shards: Vec<Arc<Mutex<PoolInner>>>,
     shard_capacity: usize,
     stats: Arc<BufferStats>,
@@ -450,7 +479,9 @@ impl BufferManager {
         BufferManager {
             store,
             capacity_bytes,
-            shards: (0..shards).map(|_| Arc::new(Mutex::new(PoolInner::new()))).collect(),
+            shards: (0..shards)
+                .map(|_| Arc::new(Mutex::new_ranked(PoolInner::new(), rank::BUFFER)))
+                .collect(),
             shard_capacity,
             stats: Arc::new(BufferStats::default()),
             wal: None,
@@ -558,7 +589,7 @@ impl BufferManager {
                 f
             } else {
                 self.make_room(&mut inner, size.bytes())?;
-                let f: FrameRef = Arc::new(RwLock::new(page));
+                let f: FrameRef = new_frame(page);
                 inner.insert_frame(id, Arc::clone(&f), true, size);
                 f
             }
@@ -614,6 +645,7 @@ impl BufferManager {
                 // store. Forcing to the buffered tail is cheap when
                 // nothing is pending.
                 if let Some(wal) = &self.wal {
+                    // lint: allow(lock-across-io, WAL-before-data requires forcing under the frame write lock; the victim is unfixed so nothing else waits on it)
                     wal.force()?;
                 }
                 self.store.store(&mut page)?;
@@ -669,13 +701,14 @@ impl BufferManager {
             return Ok(f);
         }
         self.make_room(&mut inner, size.bytes())?;
-        let f: FrameRef = Arc::new(RwLock::new(page));
+        let f: FrameRef = new_frame(page);
         inner.insert_frame(id, Arc::clone(&f), for_update, size);
         Ok(f)
     }
 
     /// The modified-LRU core: evict least-recently-used *unfixed* pages
     /// until `need` more bytes fit within the (shard's) byte budget.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn make_room(&self, inner: &mut PoolInner, need: usize) -> StorageResult<()> {
         while inner.used_bytes + need > self.shard_capacity {
             let Some(vid) = inner.lru_victim() else {
@@ -686,6 +719,7 @@ impl BufferManager {
                     .sum();
                 return Err(StorageError::BufferExhausted { needed: need, unfixable });
             };
+            // lint: allow(error-hygiene, the victim id was read from the resident map under this same shard latch)
             let meta = inner.remove_frame(vid).expect("victim resident");
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             if meta.dirty {
@@ -712,6 +746,7 @@ impl BufferManager {
 /// Shared read access to a fixed page. Dropping the guard unfixes the page.
 pub struct PageGuard {
     lock: Option<ArcRwLockReadGuard<RawRwLock, Page>>,
+    // lockrank: buffer.0 — handle to the owning shard (`shards`), relocked on drop.
     pool: Arc<Mutex<PoolInner>>,
     id: PageId,
 }
@@ -721,6 +756,7 @@ pub struct PageGuard {
 /// stamps the frame's `recovery_lsn`.
 pub struct PageGuardMut {
     lock: Option<ArcRwLockWriteGuard<RawRwLock, Page>>,
+    // lockrank: buffer.0 — handle to the owning shard (`shards`), relocked on drop.
     pool: Arc<Mutex<PoolInner>>,
     id: PageId,
     wal: Option<Arc<Wal>>,
@@ -740,20 +776,26 @@ impl std::fmt::Debug for PageGuardMut {
 
 impl std::ops::Deref for PageGuard {
     type Target = Page;
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn deref(&self) -> &Page {
+        // lint: allow(error-hygiene, the Option is only None after drop has run)
         self.lock.as_ref().expect("guard alive")
     }
 }
 
 impl std::ops::Deref for PageGuardMut {
     type Target = Page;
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn deref(&self) -> &Page {
+        // lint: allow(error-hygiene, the Option is only None after drop has run)
         self.lock.as_ref().expect("guard alive")
     }
 }
 
 impl std::ops::DerefMut for PageGuardMut {
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn deref_mut(&mut self) -> &mut Page {
+        // lint: allow(error-hygiene, the Option is only None after drop has run)
         self.lock.as_mut().expect("guard alive")
     }
 }
@@ -846,8 +888,10 @@ impl PartitionedBuffer {
         Self::new(store, capacity_bytes, [0.2; 5])
     }
 
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     fn pool_of(&self, id: PageId) -> StorageResult<&BufferManager> {
         let size = self.store.page_size_of(id.segment)?;
+        // lint: allow(error-hygiene, all five page sizes are constructed in new and the set never changes)
         Ok(&self.pools.iter().find(|(s, _)| *s == size).expect("all sizes present").1)
     }
 

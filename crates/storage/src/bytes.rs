@@ -1,0 +1,57 @@
+//! Panic-free little-endian field decoding for on-disk formats.
+//!
+//! `le_uN(b)` reads the first `N/8` bytes of `b`, zero-padding a short
+//! slice instead of panicking. Callers pass exactly-sized subslices whose
+//! bounds are enforced by their own framing checks; the helpers exist so
+//! decode paths need no `try_into().unwrap()` (see the `error-hygiene`
+//! rule in `prima-lint`).
+
+#[inline]
+pub fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u16::from_le_bytes(a)
+}
+
+#[inline]
+pub fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u32::from_le_bytes(a)
+}
+
+#[inline]
+pub fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    for (d, s) in a.iter_mut().zip(b) {
+        *d = *s;
+    }
+    u64::from_le_bytes(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(le_u16(&0xBEEFu16.to_le_bytes()), 0xBEEF);
+        assert_eq!(le_u32(&0xDEAD_BEEFu32.to_le_bytes()), 0xDEAD_BEEF);
+        assert_eq!(le_u64(&0x0123_4567_89AB_CDEFu64.to_le_bytes()), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn short_input_zero_pads() {
+        assert_eq!(le_u32(&[0x01, 0x02]), 0x0201);
+        assert_eq!(le_u64(&[]), 0);
+    }
+
+    #[test]
+    fn long_input_reads_prefix() {
+        assert_eq!(le_u16(&[0x01, 0x02, 0xFF, 0xFF]), 0x0201);
+    }
+}

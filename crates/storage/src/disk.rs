@@ -17,7 +17,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::stats::IoStats;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{rank, Mutex, RwLock};
 use std::sync::Arc;
 
 /// Address of one block within one file of the device.
@@ -182,14 +182,19 @@ struct ArmState {
 /// not serialise on one global mutex — the real device property being
 /// modelled is arm movement (cost model), not a software lock.
 pub struct SimDisk {
+    // lockrank: device.0 — file directory (outer); per-file locks nest
+    // inside it.
     files: RwLock<Vec<Option<Arc<RwLock<SimFile>>>>>,
+    // lockrank: device.2 — arm-position cost model; leaf.
     arm: Mutex<ArmState>,
     cost: CostModel,
     stats: Arc<IoStats>,
     /// Durable metadata blob (checkpoint snapshot) — in-memory stand-in.
+    // lockrank: device.3
     meta: Mutex<Option<Vec<u8>>>,
     /// Log area: only what was explicitly appended (i.e. *forced*) lives
     /// here, so dropping a kernel without forcing models a crash exactly.
+    // lockrank: device.4
     wal: Mutex<Vec<u8>>,
 }
 
@@ -209,12 +214,12 @@ impl SimDisk {
     /// seek/transfer ratio).
     pub fn with_cost(cost: CostModel) -> Self {
         SimDisk {
-            files: RwLock::new(Vec::new()),
-            arm: Mutex::new(ArmState::default()),
+            files: RwLock::new_ranked(Vec::new(), rank::DEVICE),
+            arm: Mutex::new_ranked(ArmState::default(), rank::DEVICE + 2),
             cost,
             stats: IoStats::new_shared(),
-            meta: Mutex::new(None),
-            wal: Mutex::new(Vec::new()),
+            meta: Mutex::new_ranked(None, rank::DEVICE + 3),
+            wal: Mutex::new_ranked(Vec::new(), rank::DEVICE + 4),
         }
     }
 
@@ -251,7 +256,7 @@ impl SimDisk {
         self.files
             .read()
             .get(file as usize)
-            .and_then(|s| s.clone())
+            .and_then(std::clone::Clone::clone)
             .ok_or(StorageError::UnknownSegment(file))
     }
 
@@ -288,8 +293,9 @@ impl BlockDevice for SimDisk {
         if files.len() <= file as usize {
             files.resize_with(file as usize + 1, || None);
         }
+        // lockrank: device.1 — per-file content lock, inside the directory.
         files[file as usize] =
-            Some(Arc::new(RwLock::new(SimFile { block_len, blocks: Vec::new() })));
+            Some(Arc::new(RwLock::new_ranked(SimFile { block_len, blocks: Vec::new() }, rank::DEVICE + 1)));
         Ok(())
     }
 

@@ -46,7 +46,7 @@
 use crate::disk::{BlockAddr, BlockDevice};
 use crate::error::{StorageError, StorageResult};
 use crate::stats::IoStats;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{rank, Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -177,7 +177,10 @@ impl FaultState {
 pub struct FaultDisk {
     inner: Arc<dyn BlockDevice>,
     schedule: FaultSchedule,
+    // lockrank: device.0 — fault-injection state (schedule, persisted
+    // images); outermost of the wrapper's locks.
     state: Mutex<FaultState>,
+    // lockrank: device.1 — stall gate parking I/O threads.
     gate: Mutex<StallGate>,
     gate_cv: Condvar,
 }
@@ -201,7 +204,7 @@ impl FaultDisk {
         Arc::new(FaultDisk {
             inner,
             schedule,
-            state: Mutex::new(FaultState {
+            state: Mutex::new_ranked(FaultState {
                 rng,
                 ops: 0,
                 forces: 0,
@@ -210,8 +213,8 @@ impl FaultDisk {
                 armed: None,
                 fail_appends: 0,
                 cache: BTreeMap::new(),
-            }),
-            gate: Mutex::new(StallGate { hold: false, stalled: 0 }),
+            }, rank::DEVICE),
+            gate: Mutex::new_ranked(StallGate { hold: false, stalled: 0 }, rank::DEVICE + 1),
             gate_cv: Condvar::new(),
         })
     }

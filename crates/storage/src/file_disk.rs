@@ -25,7 +25,7 @@
 use crate::disk::{BlockAddr, BlockDevice, CostModel};
 use crate::error::{StorageError, StorageResult};
 use crate::stats::IoStats;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{rank, Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
@@ -47,8 +47,13 @@ struct ArmState {
 /// File-backed block device rooted at one directory. See module docs.
 pub struct FileDisk {
     dir: PathBuf,
+    // lockrank: device.0 — file directory; guards are released before
+    // block I/O (the Arc<DiskFile> is cloned out).
     files: RwLock<HashMap<u32, Arc<DiskFile>>>,
+    // lockrank: device.1 — log-file handle; held across the OS write by
+    // design (this lock *is* the device-side append serialisation).
     wal: Mutex<File>,
+    // lockrank: device.2 — arm-position cost model; leaf.
     arm: Mutex<ArmState>,
     cost: CostModel,
     stats: Arc<IoStats>,
@@ -212,9 +217,9 @@ impl FileDisk {
             .map_err(|e| io_err("open wal.log", e))?;
         Ok(FileDisk {
             dir,
-            files: RwLock::new(HashMap::new()),
-            wal: Mutex::new(wal),
-            arm: Mutex::new(ArmState::default()),
+            files: RwLock::new_ranked(HashMap::new(), rank::DEVICE),
+            wal: Mutex::new_ranked(wal, rank::DEVICE + 1),
+            arm: Mutex::new_ranked(ArmState::default(), rank::DEVICE + 2),
             cost: CostModel::default(),
             stats: IoStats::new_shared(),
         })
@@ -269,7 +274,7 @@ impl FileDisk {
             match f.file.read_at(&mut buf[read..], offset + read as u64) {
                 Ok(0) => break,
                 Ok(n) => read += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {} // EINTR: retry
                 Err(e) => return Err(io_err("pread", e)),
             }
         }

@@ -105,6 +105,7 @@
 //! recovered database against a committed-prefix oracle.
 
 pub mod buffer;
+pub mod bytes;
 pub mod disk;
 pub mod error;
 pub mod fault_disk;

@@ -10,6 +10,7 @@
 //! detectable), a payload length, page-sequence linkage fields, and a
 //! checksum over the payload.
 
+use crate::bytes::le_u32;
 use crate::error::{PageRefDesc, StorageError, StorageResult};
 
 /// The five page sizes supported by the storage system (in bytes).
@@ -190,8 +191,8 @@ impl Page {
             return Err(StorageError::ChecksumMismatch(id.desc()));
         }
         let page = Page { size, buf: bytes.to_vec().into_boxed_slice() };
-        let stored_seg = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        let stored_no = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let stored_seg = le_u32(&bytes[4..8]);
+        let stored_no = le_u32(&bytes[8..12]);
         if (stored_seg, stored_no) != (id.segment, id.page) {
             return Err(StorageError::ChecksumMismatch(id.desc()));
         }
@@ -204,8 +205,8 @@ impl Page {
     /// The page's identity as recorded in its header.
     pub fn id(&self) -> PageId {
         PageId {
-            segment: u32::from_le_bytes(self.buf[4..8].try_into().unwrap()),
-            page: u32::from_le_bytes(self.buf[8..12].try_into().unwrap()),
+            segment: le_u32(&self.buf[4..8]),
+            page: le_u32(&self.buf[8..12]),
         }
     }
 
@@ -223,7 +224,7 @@ impl Page {
 
     /// Number of payload bytes in use.
     pub fn payload_len(&self) -> usize {
-        u32::from_le_bytes(self.buf[12..16].try_into().unwrap()) as usize
+        le_u32(&self.buf[12..16]) as usize
     }
 
     /// Read-only view of the used payload.
@@ -262,8 +263,8 @@ impl Page {
     /// Page-sequence linkage: header page number this page belongs to
     /// (None if not in a sequence) and position within the sequence.
     pub fn seq_link(&self) -> (Option<u32>, u32) {
-        let hdr = u32::from_le_bytes(self.buf[16..20].try_into().unwrap());
-        let pos = u32::from_le_bytes(self.buf[20..24].try_into().unwrap());
+        let hdr = le_u32(&self.buf[16..20]);
+        let pos = le_u32(&self.buf[20..24]);
         (if hdr == NO_LINK { None } else { Some(hdr) }, pos)
     }
 
@@ -273,7 +274,7 @@ impl Page {
     }
 
     fn stored_checksum(&self) -> u32 {
-        u32::from_le_bytes(self.buf[24..28].try_into().unwrap())
+        le_u32(&self.buf[24..28])
     }
 
     fn compute_checksum(&self) -> u32 {

@@ -18,6 +18,7 @@
 //!   sequence: fetch only the component pages covering a byte range,
 //!   "achieving faster access to single atoms of the atom cluster".
 
+use crate::bytes::le_u32;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageId, PageType};
 use crate::segment::{SegmentId, StorageSystem};
@@ -106,11 +107,11 @@ impl PageSequence {
             });
         }
         let p = g.payload();
-        let total = u32::from_le_bytes(p[0..4].try_into().unwrap()) as usize;
-        let n = u32::from_le_bytes(p[4..8].try_into().unwrap()) as usize;
+        let total = le_u32(&p[0..4]) as usize;
+        let n = le_u32(&p[4..8]) as usize;
         let mut comps = Vec::with_capacity(n);
         for i in 0..n {
-            comps.push(u32::from_le_bytes(p[8 + i * 4..12 + i * 4].try_into().unwrap()));
+            comps.push(le_u32(&p[8 + i * 4..12 + i * 4]));
         }
         Ok((total, comps))
     }
@@ -191,6 +192,7 @@ impl PageSequence {
     /// Replaces the sequence's contents. Reuses existing component pages;
     /// allocates additional ones (possibly non-contiguous — the price of
     /// growth) or frees surplus ones.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn overwrite(
         storage: &StorageSystem,
         handle: PageSeqHandle,
@@ -206,6 +208,7 @@ impl PageSequence {
         }
         // Shrink: free surplus pages.
         while comps.len() > needed {
+            // lint: allow(error-hygiene, the chain walk pushed at least the head component)
             let p = comps.pop().unwrap();
             storage.free_page(PageId::new(seg, p))?;
         }
@@ -350,9 +353,9 @@ mod tests {
         let s = sys();
         let seg = s.create_segment(PageSize::Half).unwrap();
         let h = PageSequence::create(&s, seg, &data(2000)).unwrap();
-        let before = s.with_segment(seg, |m| m.allocated_pages()).unwrap();
+        let before = s.with_segment(seg, super::super::segment::Segment::allocated_pages).unwrap();
         PageSequence::delete(&s, h).unwrap();
-        let after = s.with_segment(seg, |m| m.allocated_pages()).unwrap();
+        let after = s.with_segment(seg, super::super::segment::Segment::allocated_pages).unwrap();
         assert!(after < before);
         // Freed pages get reused by the next sequence.
         let h2 = PageSequence::create(&s, seg, &data(500)).unwrap();

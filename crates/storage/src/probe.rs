@@ -73,7 +73,7 @@ pub fn timer() -> Option<Instant> {
 #[inline]
 pub fn emit_elapsed(started: Option<Instant>, event: ProbeEvent, bytes: u64) {
     if let Some(t) = started {
-        if let Some(hook) = HOOK.with(|h| h.get()) {
+        if let Some(hook) = HOOK.with(std::cell::Cell::get) {
             hook(event, t.elapsed().as_nanos() as u64, bytes);
         }
     }
@@ -83,7 +83,7 @@ pub fn emit_elapsed(started: Option<Instant>, event: ProbeEvent, bytes: u64) {
 /// runs `f` directly with zero overhead beyond the enabled check.
 #[inline]
 pub fn observed<R>(event: ProbeEvent, f: impl FnOnce() -> R) -> R {
-    let Some(hook) = HOOK.with(|h| h.get()) else {
+    let Some(hook) = HOOK.with(std::cell::Cell::get) else {
         return f();
     };
     let started = Instant::now();

@@ -18,7 +18,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PageSize, PageType};
 use crate::stats::IoStats;
 use crate::wal::Wal;
-use parking_lot::RwLock;
+use parking_lot::{rank, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -77,6 +77,8 @@ pub struct SegmentMeta {
 /// the segment directory (for page-size lookup).
 pub(crate) struct DiskStore {
     pub device: Arc<dyn BlockDevice>,
+    // lockrank: storage.1 — segment catalog; read transiently on every
+    // load/store, write-held only by segment creation.
     pub segments: RwLock<HashMap<SegmentId, Segment>>,
 }
 
@@ -103,7 +105,7 @@ impl PageStore for DiskStore {
     }
 
     fn wal_logged(&self, segment: u32) -> bool {
-        self.segments.read().get(&segment).map(|s| s.logged).unwrap_or(true)
+        self.segments.read().get(&segment).is_none_or(|s| s.logged)
     }
 }
 
@@ -111,6 +113,8 @@ impl PageStore for DiskStore {
 pub struct StorageSystem {
     store: Arc<DiskStore>,
     buffer: BufferManager,
+    // lockrank: storage.0 — segment-id allocator; taken before the catalog
+    // write lock by segment creation.
     next_segment: RwLock<SegmentId>,
     wal: Option<Arc<Wal>>,
 }
@@ -130,10 +134,10 @@ impl StorageSystem {
 
     fn build(device: Arc<dyn BlockDevice>, buffer_bytes: usize, wal: Option<Arc<Wal>>) -> Self {
         let store =
-            Arc::new(DiskStore { device, segments: RwLock::new(HashMap::new()) });
+            Arc::new(DiskStore { device, segments: RwLock::new_ranked(HashMap::new(), rank::STORAGE + 1) });
         // Latch-shard the pool for parallel DUs; semantics per shard are
         // the paper's modified LRU.
-        let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        let shards = std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(16);
         let mut buffer = BufferManager::with_shards(
             Arc::clone(&store) as Arc<dyn PageStore>,
             buffer_bytes,
@@ -142,7 +146,7 @@ impl StorageSystem {
         if let Some(wal) = &wal {
             buffer = buffer.attach_wal(Arc::clone(wal));
         }
-        StorageSystem { store, buffer, next_segment: RwLock::new(0), wal }
+        StorageSystem { store, buffer, next_segment: RwLock::new_ranked(0, rank::STORAGE), wal }
     }
 
     /// Convenience: storage system over a fresh simulated disk.
@@ -169,6 +173,7 @@ impl StorageSystem {
         let mut next = self.next_segment.write();
         let id = *next;
         *next += 1;
+        // lint: allow(lock-across-io, allocator lock must cover file creation or a racing checkpoint could snapshot an id whose file does not exist yet)
         self.store.device.create_file(id, page_size.bytes())?;
         self.store.segments.write().insert(id, Segment::new(id, page_size, logged));
         Ok(id)
@@ -292,6 +297,10 @@ impl StorageSystem {
     /// Point-in-time copy of the segment directory, for the checkpoint's
     /// catalog snapshot.
     pub fn segments_snapshot(&self) -> (SegmentId, Vec<SegmentMeta>) {
+        // Allocator before directory — the lock order of segment creation.
+        // The checkpoint gate has quiesced writers, so reading the two
+        // under separate holds still yields one consistent snapshot.
+        let next = *self.next_segment.read();
         let segs = self.store.segments.read();
         let mut metas: Vec<SegmentMeta> = segs
             .values()
@@ -304,7 +313,7 @@ impl StorageSystem {
             })
             .collect();
         metas.sort_by_key(|m| m.id);
-        (*self.next_segment.read(), metas)
+        (next, metas)
     }
 
     /// Restores the segment directory from a checkpoint snapshot. The
@@ -312,6 +321,8 @@ impl StorageSystem {
     /// the in-memory directory is rebuilt, so this must run on a freshly
     /// constructed system before any allocation.
     pub fn restore_segments(&self, next_segment: SegmentId, metas: &[SegmentMeta]) {
+        // Allocator before directory — the lock order of segment creation.
+        *self.next_segment.write() = next_segment;
         let mut segs = self.store.segments.write();
         for m in metas {
             let mut seg = Segment::new(m.id, m.page_size, m.logged);
@@ -320,7 +331,6 @@ impl StorageSystem {
             seg.allocated = (m.next_page as u64).saturating_sub(m.free.len() as u64);
             segs.insert(m.id, seg);
         }
-        *self.next_segment.write() = next_segment;
     }
 
     /// Redo: installs a logged page after-image directly on the device

@@ -44,10 +44,11 @@
 //! records; `body = [u8 kind][u64 lsn][fields]`. Replay stops at the
 //! first truncated or corrupt record — the torn tail of a crash.
 
+use crate::bytes::{le_u32, le_u64};
 use crate::disk::BlockDevice;
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{rank, Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -171,11 +172,16 @@ struct GroupState {
 /// The write-ahead log over a device's log area. See module docs.
 pub struct Wal {
     device: Arc<dyn BlockDevice>,
+    // lockrank: walio.1 — the append buffer; taken *inside* io_lock by a
+    // force (batch swap) and bare by appenders.
     inner: Mutex<WalBuf>,
     /// Serialises batch swap + device append so file order == LSN order
     /// even with concurrent forces. Held across device I/O *instead of*
     /// `inner`, which is released before the write starts.
+    // lockrank: walio.0
     io_lock: Mutex<()>,
+    // lockrank: walgroup.0 — group-commit leader election; taken before
+    // any walio lock on the commit path.
     group: Mutex<GroupState>,
     group_cv: Condvar,
     /// Transactions currently inside [`Wal::commit`]; a lingering leader
@@ -239,13 +245,12 @@ impl Wal {
     ) -> Arc<Wal> {
         Arc::new(Wal {
             device,
-            inner: Mutex::new(WalBuf {
-                pending: Vec::new(),
-                buffered: first_lsn - 1,
-                pending_commits: 0,
-            }),
-            io_lock: Mutex::new(()),
-            group: Mutex::new(GroupState { leader_active: false }),
+            inner: Mutex::new_ranked(
+                WalBuf { pending: Vec::new(), buffered: first_lsn - 1, pending_commits: 0 },
+                rank::WAL_IO + 1,
+            ),
+            io_lock: Mutex::new_ranked((), rank::WAL_IO),
+            group: Mutex::new_ranked(GroupState { leader_active: false }, rank::WAL_GROUP),
             group_cv: Condvar::new(),
             committing: AtomicU64::new(0),
             config,
@@ -505,6 +510,7 @@ impl Wal {
     pub fn reset(&self) -> StorageResult<()> {
         let _io = self.io_lock.lock();
         let mut inner = self.inner.lock();
+        // lint: allow(lock-across-io, the io_lock IS the device-append serialisation; truncation must exclude concurrent forces and buffer mutation)
         self.device.wal_reset()?;
         // Truncation discards any torn fragment, so the log is clean
         // again.
@@ -529,8 +535,8 @@ impl Wal {
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let len = le_u32(&bytes[pos..pos + 4]) as usize;
+            let crc = le_u32(&bytes[pos + 4..pos + 8]);
             let body_start = pos + 8;
             if body_start + len > bytes.len() {
                 break; // torn tail
@@ -557,16 +563,16 @@ impl Wal {
             return None;
         }
         let kind = body[0];
-        let lsn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+        let lsn = le_u64(&body[1..9]);
         let rest = &body[9..];
         Some(match kind {
             KIND_PAGE_IMAGE => {
                 if rest.len() < 12 {
                     return None;
                 }
-                let segment = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-                let page = u32::from_le_bytes(rest[4..8].try_into().unwrap());
-                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                let segment = le_u32(&rest[0..4]);
+                let page = le_u32(&rest[4..8]);
+                let n = le_u32(&rest[8..12]) as usize;
                 if rest.len() < 12 + n {
                     return None;
                 }
@@ -580,7 +586,7 @@ impl Wal {
                 if rest.len() < 8 {
                     return None;
                 }
-                let txn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+                let txn = le_u64(&rest[0..8]);
                 match kind {
                     KIND_TXN_BEGIN => WalRecord::TxnBegin { lsn, txn },
                     KIND_TXN_COMMIT => WalRecord::TxnCommit { lsn, txn },
@@ -591,8 +597,8 @@ impl Wal {
                 if rest.len() < 12 {
                     return None;
                 }
-                let txn = u64::from_le_bytes(rest[0..8].try_into().unwrap());
-                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                let txn = le_u64(&rest[0..8]);
+                let n = le_u32(&rest[8..12]) as usize;
                 if rest.len() < 12 + n {
                     return None;
                 }

@@ -14,8 +14,133 @@
 //!
 //! Performance is whatever `std::sync` provides; semantics are what the
 //! callers rely on.
+//!
+//! # Lock-rank enforcement (debug builds / `lockrank` feature)
+//!
+//! The kernel's latch hierarchy (see [`rank`] and the canonical table in
+//! `crates/lint/src/ranks.rs`) is enforced dynamically: a lock built with
+//! [`Mutex::new_ranked`] / [`RwLock::new_ranked`] registers its rank on a
+//! thread-local acquisition stack when locked, and acquiring a rank
+//! *lower* than one already held panics with the full held stack — so the
+//! crash-fuzz matrix and the contention suite double as lock-order model
+//! checks. Equal ranks are allowed (peer latches such as buffer frames
+//! are acquired in data-dependent order but only transiently).
+//!
+//! The tracking exists only under `debug_assertions` or the `lockrank`
+//! feature: release builds compile ranked locks down to the exact same
+//! layout and code as unranked ones (pinned by
+//! `release_build_has_zero_rank_overhead`), and [`Mutex::new`] stays
+//! usable in `const` context either way.
 
 use std::sync::Arc;
+
+pub mod rank {
+    //! Canonical lock-rank domains, in legal acquisition order — the
+    //! PRIMA Fig. 3.1 layer order, refined where one layer owns several
+    //! locks. A thread may acquire a lock only while every lock it holds
+    //! has a rank **≤** the new lock's rank.
+    //!
+    //! The authoritative copy of this table (domain names, numeric bases,
+    //! and the `// lockrank: <domain>.<n>` source annotations the static
+    //! checker consumes) lives in `crates/lint/src/ranks.rs`; a prima-lint
+    //! unit test parses this module and asserts the two agree.
+
+    /// Session / API surface (MAD interface layer).
+    pub const API: u32 = 10;
+    /// Transaction manager bookkeeping (checkpoint gate, active set).
+    pub const TXN: u32 = 20;
+    /// Granular lock table (data system).
+    pub const LOCKTABLE: u32 = 30;
+    /// MVCC version store (data system).
+    pub const MVCC: u32 = 40;
+    /// Access system structures (address tables, trees, record files).
+    pub const ACCESS: u32 = 50;
+    /// Page buffer (shard latches, then frame locks).
+    pub const BUFFER: u32 = 60;
+    /// WAL group-commit coordinator.
+    pub const WAL_GROUP: u32 = 70;
+    /// WAL device-append serialisation, then the group append buffer.
+    pub const WAL_IO: u32 = 80;
+    /// Storage-system directory (segment catalog).
+    pub const STORAGE: u32 = 90;
+    /// Observability registries (slow log, scratch pools).
+    pub const OBS: u32 = 100;
+    /// Block-device internals (the leaf domain; exempt from the
+    /// "no lock across device I/O" lint rule — these locks *are* the
+    /// device).
+    pub const DEVICE: u32 = 110;
+}
+
+#[cfg(any(debug_assertions, feature = "lockrank"))]
+mod rankcheck {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Panics if acquiring `rank` would invert the hierarchy, then
+    /// records it as held.
+    pub(crate) fn acquired(rank: u32) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(&max) = h.iter().max() {
+                assert!(
+                    rank >= max,
+                    "lock rank inversion: acquiring rank {rank} while holding {:?} \
+                     (highest {max}); legal order is parking_lot::rank / \
+                     crates/lint/src/ranks.rs",
+                    *h
+                );
+            }
+            h.push(rank);
+        });
+    }
+
+    /// Removes one held entry of `rank` (locks may be released in any
+    /// order, so this is not a strict stack pop).
+    pub(crate) fn released(rank: u32) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(i) = h.iter().rposition(|&r| r == rank) {
+                h.remove(i);
+            }
+        });
+    }
+
+    /// RAII holder for one acquisition's rank entry. Lives inside every
+    /// guard type; dropping the guard (in any order) retires the entry.
+    #[derive(Debug)]
+    pub(crate) struct RankToken {
+        rank: Option<u32>,
+    }
+
+    impl RankToken {
+        /// Checks + records `rank` (None: unranked lock, no tracking).
+        pub(crate) fn acquire(rank: Option<u32>) -> RankToken {
+            if let Some(r) = rank {
+                acquired(r);
+            }
+            RankToken { rank }
+        }
+    }
+
+    impl Drop for RankToken {
+        fn drop(&mut self) {
+            if let Some(r) = self.rank {
+                released(r);
+            }
+        }
+    }
+
+    /// The current thread's held ranks, oldest first (diagnostics).
+    pub fn held_ranks() -> Vec<u32> {
+        HELD.with(|h| h.borrow().clone())
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "lockrank"))]
+pub use rankcheck::held_ranks;
 
 /// Raw lock marker type (type-level compatibility only).
 pub struct RawRwLock {
@@ -32,13 +157,60 @@ pub struct RawMutex {
 // ---------------------------------------------------------------------------
 
 pub struct Mutex<T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    rank: Option<u32>,
     inner: std::sync::Mutex<T>,
 }
 
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard wrapper: identical to `std::sync::MutexGuard` in release builds;
+/// in rank-checked builds it additionally retires the lock's rank entry on
+/// drop. The rank token is declared first so it drops before the lock is
+/// released — the entry never outlives the hold.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    _rank: rankcheck::RankToken,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 impl<T> Mutex<T> {
     pub const fn new(t: T) -> Self {
+        Mutex {
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            rank: None,
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// A mutex participating in lock-rank enforcement (see module docs).
+    /// In release builds without the `lockrank` feature this is exactly
+    /// [`Mutex::new`].
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    pub const fn new_ranked(t: T, rank: u32) -> Self {
+        Mutex { rank: Some(rank), inner: std::sync::Mutex::new(t) }
+    }
+
+    /// See the rank-checked variant; tracking is compiled out here.
+    #[cfg(not(any(debug_assertions, feature = "lockrank")))]
+    pub const fn new_ranked(t: T, _rank: u32) -> Self {
         Mutex { inner: std::sync::Mutex::new(t) }
     }
 
@@ -51,20 +223,38 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    fn rank_of(&self) -> Option<u32> {
+        self.rank
+    }
+
     /// Acquires the mutex, ignoring poison (parking_lot has no poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        let g = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            _rank: rankcheck::RankToken::acquire(self.rank_of()),
+            inner: g,
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            // try_lock never blocks, so it cannot deadlock — but holding
+            // the lock still constrains later acquisitions, so the rank
+            // is recorded (and checked) all the same.
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            _rank: rankcheck::RankToken::acquire(self.rank_of()),
+            inner: g,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -112,6 +302,12 @@ impl WaitTimeoutResult {
 ///
 /// As with `std::sync::Condvar`, every guard passed to one `Condvar` must
 /// come from the same `Mutex`.
+///
+/// Rank note: a parked waiter keeps its mutex's rank entry on the
+/// acquisition stack even though the lock is released while parked. The
+/// parked thread acquires nothing in that window, so the conservative
+/// accounting cannot produce a false inversion on this thread — and the
+/// entry is accurate again the moment the wait returns.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: std::sync::Condvar,
@@ -156,23 +352,26 @@ impl Condvar {
         WaitTimeoutResult { timed_out }
     }
 
-    /// Moves the guard out of `*slot`, runs `f` (which consumes it and
-    /// returns the re-acquired guard), and moves the result back in.
+    /// Moves the *inner* std guard out of `slot`, runs `f` (which consumes
+    /// it and returns the re-acquired guard), and moves the result back
+    /// in. The wrapper's rank token stays in place throughout — see the
+    /// type-level rank note.
     fn replace_guard<'a, T>(
         &self,
         slot: &mut MutexGuard<'a, T>,
-        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+        f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T>,
     ) {
-        // SAFETY: `ptr::read` duplicates the guard; `f` consumes that
-        // duplicate (std's wait drops it while parked and hands back a
-        // fresh one), and `ptr::write` installs the replacement without
+        // SAFETY: `ptr::read` duplicates the inner guard; `f` consumes
+        // that duplicate (std's wait drops it while parked and hands back
+        // a fresh one), and `ptr::write` installs the replacement without
         // dropping the moved-out original. `f` must not panic between the
         // read and the write — std's wait only panics when the guard
-        // belongs to a different mutex, which this shim's callers never do.
+        // belongs to a different mutex, which this shim's callers never
+        // do.
         unsafe {
-            let g = std::ptr::read(slot);
+            let g = std::ptr::read(&slot.inner);
             let g = f(g);
-            std::ptr::write(slot, g);
+            std::ptr::write(&mut slot.inner, g);
         }
     }
 }
@@ -185,27 +384,103 @@ impl Condvar {
 /// be produced without unsafe self-references in callers.
 pub struct RwLock<T> {
     inner: Arc<std::sync::RwLock<T>>,
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    rank: Option<u32>,
 }
 
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// Shared-guard wrapper; see [`MutexGuard`] for the rank-token layout.
+pub struct RwLockReadGuard<'a, T> {
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    _rank: rankcheck::RankToken,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-guard wrapper; see [`MutexGuard`] for the rank-token layout.
+pub struct RwLockWriteGuard<'a, T> {
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    _rank: rankcheck::RankToken,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<'a, T> std::ops::Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T> std::ops::Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<'a, T: std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 impl<T> RwLock<T> {
     pub fn new(t: T) -> Self {
-        RwLock { inner: Arc::new(std::sync::RwLock::new(t)) }
+        RwLock {
+            inner: Arc::new(std::sync::RwLock::new(t)),
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            rank: None,
+        }
+    }
+
+    /// An rwlock participating in lock-rank enforcement (see module
+    /// docs). In release builds without the `lockrank` feature this is
+    /// exactly [`RwLock::new`].
+    pub fn new_ranked(t: T, rank: u32) -> Self {
+        let _ = rank;
+        RwLock {
+            inner: Arc::new(std::sync::RwLock::new(t)),
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            rank: Some(rank),
+        }
+    }
+
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    fn rank_of(&self) -> Option<u32> {
+        self.rank
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
+        let g = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            _rank: rankcheck::RankToken::acquire(self.rank_of()),
+            inner: g,
         }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
+        let g = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            _rank: rankcheck::RankToken::acquire(self.rank_of()),
+            inner: g,
         }
     }
 
@@ -215,7 +490,11 @@ impl<T> RwLock<T> {
     where
         T: 'static,
     {
-        lock_api::ArcRwLockReadGuard::new(Arc::clone(&self.inner))
+        lock_api::ArcRwLockReadGuard::new(
+            Arc::clone(&self.inner),
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            self.rank,
+        )
     }
 
     /// Exclusive owning guard; see [`RwLock::read_arc`].
@@ -223,7 +502,11 @@ impl<T> RwLock<T> {
     where
         T: 'static,
     {
-        lock_api::ArcRwLockWriteGuard::new(Arc::clone(&self.inner))
+        lock_api::ArcRwLockWriteGuard::new(
+            Arc::clone(&self.inner),
+            #[cfg(any(debug_assertions, feature = "lockrank"))]
+            self.rank,
+        )
     }
 }
 
@@ -245,6 +528,8 @@ impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
 pub mod lock_api {
     //! Owning guard types compatible with `lock_api`'s `Arc*Guard` names.
 
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    use super::rankcheck;
     use std::marker::PhantomData;
     use std::ops::{Deref, DerefMut};
     use std::sync::Arc;
@@ -253,6 +538,8 @@ pub mod lock_api {
     /// lives on the `Arc` heap allocation it also owns; the guard field is
     /// declared before the Arc so it drops first.
     pub struct ArcRwLockReadGuard<R, T: 'static> {
+        #[cfg(any(debug_assertions, feature = "lockrank"))]
+        _rank: rankcheck::RankToken,
         // SAFETY invariant: `guard` borrows from the RwLock inside `_lock`;
         // declaration order guarantees the guard is released before the Arc.
         guard: Option<std::sync::RwLockReadGuard<'static, T>>,
@@ -261,7 +548,10 @@ pub mod lock_api {
     }
 
     impl<R, T: 'static> ArcRwLockReadGuard<R, T> {
-        pub(crate) fn new(lock: Arc<std::sync::RwLock<T>>) -> Self {
+        pub(crate) fn new(
+            lock: Arc<std::sync::RwLock<T>>,
+            #[cfg(any(debug_assertions, feature = "lockrank"))] rank: Option<u32>,
+        ) -> Self {
             let g = match lock.read() {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
@@ -271,7 +561,13 @@ pub mod lock_api {
             // guard never leaves the struct.
             let g: std::sync::RwLockReadGuard<'static, T> =
                 unsafe { std::mem::transmute(g) };
-            ArcRwLockReadGuard { guard: Some(g), _lock: lock, _raw: PhantomData }
+            ArcRwLockReadGuard {
+                #[cfg(any(debug_assertions, feature = "lockrank"))]
+                _rank: rankcheck::RankToken::acquire(rank),
+                guard: Some(g),
+                _lock: lock,
+                _raw: PhantomData,
+            }
         }
     }
 
@@ -290,13 +586,18 @@ pub mod lock_api {
 
     /// Exclusive guard owning its lock; see [`ArcRwLockReadGuard`].
     pub struct ArcRwLockWriteGuard<R, T: 'static> {
+        #[cfg(any(debug_assertions, feature = "lockrank"))]
+        _rank: rankcheck::RankToken,
         guard: Option<std::sync::RwLockWriteGuard<'static, T>>,
         _lock: Arc<std::sync::RwLock<T>>,
         _raw: PhantomData<R>,
     }
 
     impl<R, T: 'static> ArcRwLockWriteGuard<R, T> {
-        pub(crate) fn new(lock: Arc<std::sync::RwLock<T>>) -> Self {
+        pub(crate) fn new(
+            lock: Arc<std::sync::RwLock<T>>,
+            #[cfg(any(debug_assertions, feature = "lockrank"))] rank: Option<u32>,
+        ) -> Self {
             let g = match lock.write() {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
@@ -304,7 +605,13 @@ pub mod lock_api {
             // SAFETY: as for ArcRwLockReadGuard.
             let g: std::sync::RwLockWriteGuard<'static, T> =
                 unsafe { std::mem::transmute(g) };
-            ArcRwLockWriteGuard { guard: Some(g), _lock: lock, _raw: PhantomData }
+            ArcRwLockWriteGuard {
+                #[cfg(any(debug_assertions, feature = "lockrank"))]
+                _rank: rankcheck::RankToken::acquire(rank),
+                guard: Some(g),
+                _lock: lock,
+                _raw: PhantomData,
+            }
         }
     }
 
@@ -399,5 +706,98 @@ mod tests {
             *g = 9;
         }
         assert_eq!(*l.read(), 9);
+    }
+
+    // -- lock-rank enforcement ---------------------------------------------
+
+    /// The acceptance-criterion test: an intentionally inverted two-mutex
+    /// acquisition must panic under the debug rank enforcer.
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    #[test]
+    fn rank_inversion_panics() {
+        let low = Arc::new(Mutex::new_ranked(1u32, rank::TXN));
+        let high = Arc::new(Mutex::new_ranked(2u32, rank::WAL_IO));
+        let (l2, h2) = (Arc::clone(&low), Arc::clone(&high));
+        let inverted = std::thread::spawn(move || {
+            let _h = h2.lock(); // WAL_IO (80) first …
+            let _l = l2.lock(); // … then TXN (20): inversion, must panic.
+        })
+        .join();
+        assert!(inverted.is_err(), "inverted acquisition did not panic");
+        // The panicking thread's stack is its own; this thread is clean
+        // and the legal order still works.
+        let _l = low.lock();
+        let _h = high.lock();
+    }
+
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    #[test]
+    fn legal_orders_do_not_panic() {
+        let a = Mutex::new_ranked(0u8, rank::BUFFER);
+        let b = Mutex::new_ranked(0u8, rank::BUFFER); // equal ranks allowed
+        let c = RwLock::new_ranked(0u8, rank::WAL_IO + 1);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+            let _gc = c.write();
+            // Out-of-order *release* is fine.
+            drop(_ga);
+            drop(_gc);
+        }
+        assert!(held_ranks().is_empty(), "all entries retired");
+        // Re-acquiring after release is not an inversion.
+        let _gc = c.read();
+        let unranked = Mutex::new(0u8);
+        let _g = unranked.lock(); // unranked: never tracked
+        assert_eq!(held_ranks(), vec![rank::WAL_IO + 1]);
+    }
+
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    #[test]
+    fn arc_guards_carry_ranks() {
+        let l = Arc::new(RwLock::new_ranked(5u32, rank::BUFFER + 1));
+        let g = l.read_arc();
+        assert_eq!(held_ranks(), vec![rank::BUFFER + 1]);
+        drop(g);
+        let g = l.write_arc();
+        assert_eq!(held_ranks(), vec![rank::BUFFER + 1]);
+        drop(g);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[cfg(any(debug_assertions, feature = "lockrank"))]
+    #[test]
+    fn condvar_wait_keeps_rank_entry() {
+        use std::time::Duration;
+        let m = Mutex::new_ranked(false, rank::LOCKTABLE);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert_eq!(held_ranks(), vec![rank::LOCKTABLE]);
+        let _ = cv.wait_for(&mut g, Duration::from_millis(2));
+        assert_eq!(held_ranks(), vec![rank::LOCKTABLE], "entry survives the park");
+        drop(g);
+        assert!(held_ranks().is_empty());
+    }
+
+    /// Release builds without the `lockrank` feature must compile the
+    /// tracking out to nothing: ranked and unranked locks share one
+    /// layout, and guards are exactly as large as their std equivalents.
+    #[cfg(not(any(debug_assertions, feature = "lockrank")))]
+    #[test]
+    fn release_build_has_zero_rank_overhead() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<Mutex<u64>>(), size_of::<std::sync::Mutex<u64>>());
+        assert_eq!(
+            size_of::<MutexGuard<'static, u64>>(),
+            size_of::<std::sync::MutexGuard<'static, u64>>()
+        );
+        assert_eq!(
+            size_of::<RwLockReadGuard<'static, u64>>(),
+            size_of::<std::sync::RwLockReadGuard<'static, u64>>()
+        );
+        assert_eq!(
+            size_of::<RwLockWriteGuard<'static, u64>>(),
+            size_of::<std::sync::RwLockWriteGuard<'static, u64>>()
+        );
     }
 }

@@ -28,8 +28,57 @@
 #     exposition (MetricsSnapshot::render_text: buffer/io/access/lock/
 #     version/api counters + per-statement-kind latency quantiles) for
 #     the database the timings were measured on.
+#
+# Sanity leg (`perf_trajectory.sh --sanity BENCH_4.json`): re-runs the
+# release `multi_session` bench — rank tracking compiled out, since
+# release builds without the `lockrank` feature stub `new_ranked` to
+# `new` — and asserts per-series ops/sec shows no regression vs the
+# reference record (>= TOLERANCE x, default 0.6 to absorb CI noise on
+# the conflict-heavy series).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--sanity" ]; then
+    ref="${2:?usage: perf_trajectory.sh --sanity <reference BENCH_4.json>}"
+    tol="${PRIMA_SANITY_TOLERANCE:-0.6}"
+    log="$(mktemp)"
+    trap 'rm -f "$log"' EXIT
+    cargo bench --bench multi_session 2>&1 | tee "$log"
+    grep '^BENCHJSON ' "$log" | sed 's/^BENCHJSON //' > "$log.fresh"
+    python3 - "$ref" "$log.fresh" "$tol" <<'EOF'
+import json, sys
+
+ref_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(ref_path) as f:
+    ref = {r["series"]: r["ops_per_sec"] for r in json.load(f)
+           if r.get("bench") == "multi_session"}
+fresh = {}
+with open(fresh_path) as f:
+    for line in f:
+        r = json.loads(line)
+        if r.get("bench") == "multi_session":
+            fresh[r["series"]] = r["ops_per_sec"]
+
+if not ref:
+    sys.exit(f"no multi_session records in reference {ref_path}")
+failed = False
+for series, want in sorted(ref.items()):
+    got = fresh.get(series)
+    if got is None:
+        print(f"SANITY FAIL {series}: missing from fresh run")
+        failed = True
+        continue
+    ratio = got / want if want else float("inf")
+    verdict = "ok" if ratio >= tol else "REGRESSION"
+    print(f"sanity {series}: ref {want:.0f} ops/s, fresh {got:.0f} ops/s "
+          f"({ratio:.2f}x, floor {tol:.2f}x) {verdict}")
+    failed |= ratio < tol
+sys.exit(1 if failed else 0)
+EOF
+    rm -f "$log.fresh"
+    echo "sanity leg passed: release multi_session shows no regression vs $ref"
+    exit 0
+fi
 
 out="${1:-BENCH_4.json}"
 shift || true
